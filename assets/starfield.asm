@@ -1,0 +1,99 @@
+; starfield.asm — sample ROM shipped with rtct, demonstrating the AC16
+; toolchain end to end:
+;
+;   ./build/tools/rtct_asm assets/starfield.asm -o starfield.rom --listing
+;   ./build/tools/rtct_play starfield.rom
+;   ./build/tools/rtct_netplay --site 0 --rom starfield.rom ...
+;
+; Two players steer a shared "warp speed" starfield: player 0's Up/Down
+; sets the scroll speed (0..7), player 1's buttons recolour the stars.
+; A deterministic LCG seeded from ROM data places the stars.
+
+.equ STATE,  0x8000
+.equ FB,     0xA000
+.equ SEED,   0          ; word offsets in STATE
+.equ SPEED,  2
+.equ TICK,   4
+
+.entry main
+main:
+    LDI r14, STATE
+    LDW r0, r14, SEED       ; first frame: seed from ROM constant
+    CMPI r0, 0
+    JNZ frame
+    LDW r0, r14, 0          ; (re)load — stays 0
+    LDI r0, init_seed
+    LDW r1, r0              ; fetch the seed word from ROM data
+    STW r14, r1, SEED
+    LDI r1, 3
+    STW r14, r1, SPEED
+
+frame:
+    ; player 0 adjusts speed with Up/Down
+    IN  r0, 0
+    LDW r1, r14, SPEED
+    MOV r2, r0
+    ANDI r2, 1              ; Up: faster
+    JZ  no_up
+    CMPI r1, 7
+    JZ  no_up
+    ADDI r1, 1
+no_up:
+    MOV r2, r0
+    ANDI r2, 2              ; Down: slower
+    JZ  no_down
+    CMPI r1, 0
+    JZ  no_down
+    SUBI r1, 1
+no_down:
+    STW r14, r1, SPEED
+
+    ; advance the field `speed` ticks per frame
+    LDW r2, r14, TICK
+    ADD r2, r1
+    STW r14, r2, TICK
+
+    ; player 1 picks the star colour (1..8)
+    IN  r3, 1
+    ANDI r3, 7
+    ADDI r3, 1
+
+    ; clear
+    LDI r4, FB
+    LDI r5, 3072
+    LDI r6, 0
+clear:
+    STB r4, r6
+    ADDI r4, 1
+    SUBI r5, 1
+    JNZ clear
+
+    ; draw 48 stars from the LCG, scrolled horizontally by TICK
+    LDW r5, r14, SEED
+    LDI r7, 48
+stars:
+    MULI r5, 25173
+    ADDI r5, 13849
+    MOV r8, r5              ; x = (rand + tick) & 63
+    SHRI r8, 4
+    ADD r8, r2
+    ANDI r8, 63
+    MOV r9, r5              ; y = rand & 47 clipped
+    ANDI r9, 63
+    CMPI r9, 48
+    JC  y_ok
+    SUBI r9, 16
+y_ok:
+    SHLI r9, 6
+    ADD r9, r8
+    ADDI r9, FB
+    STB r9, r3
+    SUBI r7, 1
+    JNZ stars
+
+    OUT 4, r1               ; hum at the warp speed
+    HALT
+    JMP frame
+
+init_seed:
+.word 0xBEEF

@@ -1,0 +1,65 @@
+// A-PACER — ablation of Algorithm 4 (master/slave rate sync), §3.2.
+//
+// Paper claim: with only EndFrameTiming's compensation (Algorithm 3), "the
+// site that starts earlier is always penalized ... The earlier site will
+// suffer from considerable speed fluctuation"; Algorithm 4 instead makes
+// the slave absorb the startup deviation "within only a few frames" and
+// "no site will be penalized".
+//
+// Setup: the handshake makes the master start ~ one one-way delay earlier
+// than the slave, so larger RTT = larger startup skew. We compare
+// PacingPolicy::kFull (Algorithms 3+4) against kCompensateOnly (3 only)
+// and kNaive (plain waiting), reporting each site's frame-time deviation
+// and the residual inter-site skew.
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/testbed/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace rtct;
+  using namespace rtct::testbed;
+  using core::PacingPolicy;
+
+  const int frames = argc > 1 ? std::atoi(argv[1]) : 1200;
+
+  struct Named {
+    PacingPolicy policy;
+    const char* name;
+  };
+  const Named policies[] = {{PacingPolicy::kFull, "alg3+alg4 (paper)"},
+                            {PacingPolicy::kCompensateOnly, "alg3 only"},
+                            {PacingPolicy::kNaive, "naive waiting"}};
+
+  std::printf("=== A-PACER: pacing-policy ablation (%d frames) ===\n\n", frames);
+  std::printf("%8s | %-18s | %10s | %11s %11s | %10s | %8s\n", "RTT(ms)", "policy",
+              "avgFT0(ms)", "devFT0(ms)", "devFT1(ms)", "sync(ms)", "stalls0");
+  std::printf("---------+--------------------+------------+-------------------------+"
+              "------------+--------\n");
+
+  for (int rtt_ms : {40, 80, 120}) {
+    for (const auto& p : policies) {
+      ExperimentConfig cfg;
+      cfg.frames = frames;
+      cfg.set_rtt(milliseconds(rtt_ms));
+      cfg.pacing[0] = p.policy;
+      cfg.pacing[1] = p.policy;
+
+      const auto r = run_experiment(cfg);
+      std::printf("%8d | %-18s | %10.3f | %11.3f %11.3f | %10.3f | %7zu\n", rtt_ms, p.name,
+                  r.avg_frame_time_ms(0), r.frame_time_deviation_ms(0),
+                  r.frame_time_deviation_ms(1), r.synchrony_ms(),
+                  r.site[0].timeline.stalled_frames());
+    }
+    std::printf("---------+--------------------+------------+-------------------------+"
+                "------------+--------\n");
+  }
+
+  std::printf("\nExpected shape: without Algorithm 4 the startup skew persists forever\n"
+              "(sync column stays at ~ the staggered start), the earlier site stalls in\n"
+              "SyncInput every frame, and either fluctuates (alg3-only: compensation\n"
+              "fights the stalls — the paper's 'considerable speed fluctuation') or runs\n"
+              "visibly slower than CFPS (naive waiting). With Algorithm 4 the slave\n"
+              "absorbs the skew within a few frames and both sites stay smooth at 60 FPS.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// A-TCP — the §3.1 transport claim: "As a reliable transport, TCP solves
+// those problems. However, it is problematic in satisfying the real time
+// constraint. Therefore ... we resort to UDP and implement some of the
+// reliability mechanisms in TCP."
+//
+// Head-to-head: the paper's scheme (UDP + cumulative-ack go-back-N inside
+// the sync protocol, where every 20 ms flush redundantly re-sends the
+// unacked input window) versus a TCP-like strictly-in-order stream (one
+// lost segment head-of-line-blocks everything behind it until an RTO).
+// Swept over loss rate x RTT; the UDP scheme should degrade gracefully
+// while the TCP-like one stalls increasingly.
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/testbed/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace rtct;
+  using namespace rtct::testbed;
+
+  const int frames = argc > 1 ? std::atoi(argv[1]) : 900;
+
+  std::printf("=== A-TCP: UDP+protocol-reliability vs TCP-like stream (%d frames) ===\n\n",
+              frames);
+  std::printf("%8s %7s | %9s %11s %10s | %9s %11s %10s\n", "RTT(ms)", "loss%", "udp:dev",
+              "udp:stalls", "udp:sync", "tcp:dev", "tcp:stalls", "tcp:sync");
+  std::printf("-----------------+---------------------------------+------------------------"
+              "---------\n");
+
+  for (int rtt_ms : {40, 80, 120}) {
+    for (double loss_pct : {0.0, 0.5, 1.0, 2.0, 5.0}) {
+      double dev[2], sync[2];
+      std::size_t stalls[2];
+      for (int t = 0; t < 2; ++t) {
+        ExperimentConfig cfg;
+        cfg.frames = frames;
+        cfg.set_rtt(milliseconds(rtt_ms));
+        cfg.net_a_to_b.loss = loss_pct / 100.0;
+        cfg.net_b_to_a.loss = loss_pct / 100.0;
+        cfg.transport = t == 0 ? ExperimentConfig::Transport::kUdp
+                               : ExperimentConfig::Transport::kTcpLike;
+        const auto r = run_experiment(cfg);
+        dev[t] = std::max(r.frame_time_deviation_ms(0), r.frame_time_deviation_ms(1));
+        sync[t] = r.synchrony_ms();
+        stalls[t] =
+            r.site[0].timeline.stalled_frames() + r.site[1].timeline.stalled_frames();
+        if (!r.converged()) dev[t] = -1;  // flag inconsistency, should not happen
+      }
+      std::printf("%8d %7.1f | %9.3f %11zu %10.3f | %9.3f %11zu %10.3f\n", rtt_ms, loss_pct,
+                  dev[0], stalls[0], sync[0], dev[1], stalls[1], sync[1]);
+    }
+    std::printf("-----------------+---------------------------------+----------------------"
+                "-----------\n");
+  }
+
+  std::printf("\nExpected shape: at 0%% loss the transports tie; as loss grows the TCP-like\n"
+              "stream's head-of-line blocking multiplies stalled frames and deviation,\n"
+              "while the UDP scheme's redundant window resends absorb most losses without\n"
+              "a single extra stall until loss is severe.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// T-BW — the §5 bandwidth claim: "the amount of [input] data is not
+// excessive", and §4.2's trade-off between interactivity and "utilization
+// of system resources (such as CPU and bandwidths)" that motivates the
+// 20 ms send-buffer flush.
+//
+// Sweeps the flush period and reports messages/s, payload bytes/s, and the
+// smoothness cost — quantifying the interactivity-vs-bandwidth knob.
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/testbed/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace rtct;
+  using namespace rtct::testbed;
+
+  const int frames = argc > 1 ? std::atoi(argv[1]) : 1800;
+  const int rtt_ms = argc > 2 ? std::atoi(argv[2]) : 80;
+
+  std::printf("=== T-BW: bandwidth vs send flush period (RTT %d ms, %d frames) ===\n\n",
+              rtt_ms, frames);
+  std::printf("%10s | %8s %10s %11s | %9s %9s\n", "flush(ms)", "msgs/s", "bytes/s",
+              "inputs/msg", "dev(ms)", "sync(ms)");
+  std::printf("-----------+----------------------------------+--------------------\n");
+
+  for (int flush_ms : {5, 10, 20, 40, 80}) {
+    ExperimentConfig cfg;
+    cfg.frames = frames;
+    cfg.set_rtt(milliseconds(rtt_ms));
+    cfg.sync.send_flush_period = milliseconds(flush_ms);
+
+    const auto r = run_experiment(cfg);
+    // Wall time of the experiment = frames * avg frame time of site 0.
+    const double duration_s = r.avg_frame_time_ms(0) * frames / 1000.0;
+    const auto& tx = r.site[0].tx_stats;  // site 0's outgoing traffic
+    const double msgs_per_s = static_cast<double>(tx.packets_offered) / duration_s;
+    const double bytes_per_s = static_cast<double>(tx.bytes_offered) / duration_s;
+    const double inputs_per_msg =
+        static_cast<double>(r.site[0].sync_stats.inputs_sent) /
+        static_cast<double>(r.site[0].sync_stats.messages_made);
+
+    std::printf("%10d | %8.1f %10.0f %11.2f | %9.3f %9.3f\n", flush_ms, msgs_per_s,
+                bytes_per_s, inputs_per_msg,
+                std::max(r.frame_time_deviation_ms(0), r.frame_time_deviation_ms(1)),
+                r.synchrony_ms());
+  }
+
+  std::printf("\nExpected shape: bytes/s stays in the low kilobytes regardless (the paper's\n"
+              "'not excessive'); shrinking the flush period multiplies messages/s for a\n"
+              "modest smoothness gain — the paper picked 20 ms as the balance point.\n");
+  return 0;
+}

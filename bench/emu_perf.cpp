@@ -1,0 +1,80 @@
+// T-EMU — substrate sanity: the emulator must be far cheaper than the
+// 16.7 ms frame budget, or the "frame_compute_time" model parameter (and
+// the whole real-time analysis) would be fiction. google-benchmark
+// microbenchmarks of the VM, state hashing, snapshots and the assembler.
+#include <benchmark/benchmark.h>
+
+#include "src/common/random.h"
+#include "src/emu/assembler.h"
+#include "src/emu/machine.h"
+#include "src/games/roms.h"
+
+namespace {
+
+using namespace rtct;
+
+void BM_StepFrame(benchmark::State& state, const char* game) {
+  auto m = games::make_machine(game);
+  Rng rng(1);
+  for (auto _ : state) {
+    m->step_frame(static_cast<InputWord>(rng.next_u64() & 0xFFFF));
+    if (m->faulted()) state.SkipWithError("machine faulted");
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["cycles/frame"] = static_cast<double>(m->last_frame_cycles());
+}
+BENCHMARK_CAPTURE(BM_StepFrame, pong, "pong");
+BENCHMARK_CAPTURE(BM_StepFrame, duel, "duel");
+BENCHMARK_CAPTURE(BM_StepFrame, invaders, "invaders");
+BENCHMARK_CAPTURE(BM_StepFrame, torture, "torture");
+
+void BM_StateHash(benchmark::State& state) {
+  auto m = games::make_machine("duel");
+  for (int i = 0; i < 60; ++i) m->step_frame(0x0404);
+  for (auto _ : state) benchmark::DoNotOptimize(m->state_hash());
+}
+BENCHMARK(BM_StateHash);
+
+void BM_SaveState(benchmark::State& state) {
+  auto m = games::make_machine("duel");
+  for (int i = 0; i < 60; ++i) m->step_frame(0x0404);
+  for (auto _ : state) benchmark::DoNotOptimize(m->save_state());
+}
+BENCHMARK(BM_SaveState);
+
+void BM_LoadState(benchmark::State& state) {
+  auto m = games::make_machine("duel");
+  for (int i = 0; i < 60; ++i) m->step_frame(0x0404);
+  const auto snap = m->save_state();
+  for (auto _ : state) benchmark::DoNotOptimize(m->load_state(snap));
+}
+BENCHMARK(BM_LoadState);
+
+void BM_AssemblePong(benchmark::State& state) {
+  // Re-assembling the ROM source measures the toolchain, not the cache.
+  const std::string source = R"asm(
+.equ FB, 0xA000
+.entry main
+main:
+    LDI r0, FB
+    LDI r1, 3072
+loop:
+    LDI r2, 1
+    STB r0, r2
+    ADDI r0, 1
+    SUBI r1, 1
+    JNZ loop
+    HALT
+    JMP main
+)asm";
+  for (auto _ : state) {
+    auto result = emu::assemble(source, "bench");
+    if (!result.ok()) state.SkipWithError("assembly failed");
+    benchmark::DoNotOptimize(result.rom.image.data());
+  }
+}
+BENCHMARK(BM_AssemblePong);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// FIG1 — reproduces Figure 1, "Frame rates and smoothness" (§4.1.1).
+//
+// Paper protocol: two sites play Street Fighter 2 through a Netem box;
+// RTT swept 0→200 ms (10 ms steps) and 200→400 ms (50 ms steps); each
+// point records the begin time of 3 600 frames per site, then reports the
+// average frame time and the average absolute deviation of frame times.
+//
+// Paper findings this bench should reproduce in shape:
+//   * avg frame time ≈ 16.7 ms (60 FPS) while RTT is below the threshold;
+//   * deviation ≈ 0 at low RTT, < 5 ms a bit below the threshold, jumping
+//     ≥ 11 ms at it;
+//   * an inflection just above the threshold (deviation higher than both
+//     neighbours) before the game settles at a slower but steadier pace
+//     (paper: ~20 ms per frame at RTT 160).
+// The absolute threshold depends on the modelled overheads (paper: 140 ms
+// with 20 ms batching + 5 ms thread handoff on Windows XP; see
+// bench/budget_threshold for the arithmetic).
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/testbed/sweep.h"
+
+int main(int argc, char** argv) {
+  using namespace rtct;
+  using namespace rtct::testbed;
+
+  ExperimentConfig base;
+  base.game = "duel";
+  base.frames = argc > 1 ? std::atoi(argv[1]) : 3600;
+
+  std::printf("=== FIG1: frame rates and smoothness vs RTT (%d frames/point) ===\n\n",
+              base.frames);
+  std::printf("%8s | %11s %11s | %11s %11s | %s\n", "RTT(ms)", "avgFT0(ms)", "avgFT1(ms)",
+              "devFT0(ms)", "devFT1(ms)", "consistent");
+  std::printf("---------+-------------------------+-------------------------+-----------\n");
+
+  const auto points = sweep_rtt(base, paper_rtt_sweep());
+  for (const auto& p : points) {
+    std::printf("%8.0f | %11.3f %11.3f | %11.3f %11.3f | %s\n", to_ms(p.rtt),
+                p.result.avg_frame_time_ms(0), p.result.avg_frame_time_ms(1),
+                p.result.frame_time_deviation_ms(0), p.result.frame_time_deviation_ms(1),
+                p.result.converged() ? "yes" : "NO");
+  }
+
+  const Dur threshold = find_threshold_rtt(points, base.sync.cfps);
+  std::printf("\nfull-speed threshold RTT: %.0f ms (paper: ~140 ms with its overheads)\n",
+              to_ms(threshold));
+
+  // Inflection detection: a point just above the threshold whose deviation
+  // exceeds both neighbours' (the paper singles out 150 ms).
+  for (std::size_t i = 1; i + 1 < points.size(); ++i) {
+    if (points[i].rtt <= threshold) continue;
+    const auto dev = [&](std::size_t k) {
+      return std::max(points[k].result.frame_time_deviation_ms(0),
+                      points[k].result.frame_time_deviation_ms(1));
+    };
+    if (dev(i) > dev(i - 1) && dev(i) > dev(i + 1)) {
+      std::printf("inflection point at RTT %.0f ms: deviation %.3f ms exceeds neighbours "
+                  "(%.3f / %.3f) — the paper's '150 ms is an inflection point'\n",
+                  to_ms(points[i].rtt), dev(i), dev(i - 1), dev(i + 1));
+      break;
+    }
+  }
+
+  bool all_consistent = true;
+  for (const auto& p : points) all_consistent = all_consistent && p.result.converged();
+  std::printf("logical consistency at every RTT: %s\n", all_consistent ? "yes" : "NO");
+  return all_consistent ? 0 : 1;
+}

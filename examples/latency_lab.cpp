@@ -1,0 +1,47 @@
+// Latency lab: explore how network conditions affect a shared game —
+// the paper's §4 experiments as an interactive tool.
+//
+//   ./build/examples/latency_lab [game] [frames] [loss%] [jitter_ms]
+//
+// Sweeps the RTT grid, prints the Figure 1 / Figure 2 table, and reports
+// the threshold RTT (the paper found ~140 ms with its overheads; with this
+// library's default model parameters the same budget arithmetic lands
+// slightly higher — see EXPERIMENTS.md).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/testbed/sweep.h"
+
+int main(int argc, char** argv) {
+  using namespace rtct;
+  using namespace rtct::testbed;
+
+  ExperimentConfig base;
+  base.game = argc > 1 ? argv[1] : "duel";
+  base.frames = argc > 2 ? std::atoi(argv[2]) : 600;
+  const double loss = (argc > 3 ? std::atof(argv[3]) : 0.0) / 100.0;
+  const long jitter_ms = argc > 4 ? std::strtol(argv[4], nullptr, 10) : 0;
+
+  std::printf("game=%s frames=%d loss=%.1f%% jitter=%ld ms  (local lag %.0f ms, flush %.0f ms)\n\n",
+              base.game.c_str(), base.frames, loss * 100, jitter_ms,
+              to_ms(base.sync.local_lag()), to_ms(base.sync.send_flush_period));
+
+  const auto points = sweep_rtt(base, quick_rtt_sweep(), [&](ExperimentConfig& cfg, Dur) {
+    cfg.net_a_to_b.loss = loss;
+    cfg.net_b_to_a.loss = loss;
+    cfg.net_a_to_b.jitter = milliseconds(jitter_ms);
+    cfg.net_b_to_a.jitter = milliseconds(jitter_ms);
+  });
+
+  print_paper_table(points);
+  const Dur threshold = find_threshold_rtt(points, base.sync.cfps);
+  if (threshold >= 0) {
+    std::printf("\nfull-speed threshold RTT on this grid: %.0f ms\n", to_ms(threshold));
+  } else {
+    std::printf("\nno swept RTT sustained full speed under these conditions\n");
+  }
+  std::printf("(the paper recommends one-way latencies under the local lag of %.0f ms, §3)\n",
+              to_ms(base.sync.local_lag()));
+  return 0;
+}

@@ -1,0 +1,112 @@
+#include "src/baseline/tcp_like.h"
+
+#include "src/common/bytes.h"
+
+namespace rtct::baseline {
+
+namespace {
+constexpr std::uint8_t kData = 1;
+constexpr std::uint8_t kAck = 2;
+}  // namespace
+
+TcpLikeEndpoint::TcpLikeEndpoint(sim::Simulator& sim, net::SimEndpoint& under, Dur rto)
+    : sim_(sim), under_(under), rto_(rto), deliverable_(sim) {
+  // Dedicated pump process: acks must not wait for the application to poll.
+  struct Spawner {
+    static sim::Task run(TcpLikeEndpoint* self) {
+      for (;;) {
+        if (self->under_.inbox_size() == 0) co_await self->under_.arrival_trigger().wait();
+        self->pump();
+      }
+    }
+  };
+  sim_.spawn(Spawner::run(this));
+}
+
+void TcpLikeEndpoint::send(std::span<const std::uint8_t> payload) {
+  const std::uint64_t seq = next_send_seq_++;
+  unacked_[seq] = net::Payload(payload.begin(), payload.end());
+  transmit(seq);
+  arm_timer();
+}
+
+void TcpLikeEndpoint::transmit(std::uint64_t seq) {
+  ByteWriter w(unacked_[seq].size() + 16);
+  w.u8(kData);
+  w.u64(seq);
+  w.bytes(unacked_[seq]);
+  under_.send(w.data());
+  ++stats_.segments_sent;
+}
+
+void TcpLikeEndpoint::send_ack() {
+  ByteWriter w(9);
+  w.u8(kAck);
+  w.u64(next_deliver_seq_);  // cumulative: "I have everything below this"
+  under_.send(w.data());
+  ++stats_.acks_sent;
+}
+
+void TcpLikeEndpoint::arm_timer() {
+  if (timer_armed_) return;
+  timer_armed_ = true;
+  sim_.schedule_in(rto_, [this] { on_timer(); });
+}
+
+void TcpLikeEndpoint::on_timer() {
+  timer_armed_ = false;
+  if (unacked_.empty()) return;
+  // Go-back-N: resend the whole unacked window.
+  for (const auto& [seq, payload] : unacked_) {
+    (void)payload;
+    transmit(seq);
+    ++stats_.retransmissions;
+  }
+  arm_timer();
+}
+
+void TcpLikeEndpoint::pump() {
+  bool delivered = false;
+  while (auto raw = under_.try_recv()) {
+    ByteReader r(*raw);
+    const std::uint8_t kind = r.u8();
+    if (kind == kData) {
+      const std::uint64_t seq = r.u64();
+      const auto body = r.bytes(r.remaining());
+      if (!r.ok()) continue;
+      if (seq < next_deliver_seq_ || reorder_buf_.count(seq) != 0) {
+        ++stats_.duplicate_segments;
+        send_ack();  // re-ack so the sender stops resending
+        continue;
+      }
+      if (seq != next_deliver_seq_) ++stats_.out_of_order_buffered;
+      reorder_buf_[seq] = net::Payload(body.begin(), body.end());
+      while (true) {  // deliver the in-order prefix
+        auto it = reorder_buf_.find(next_deliver_seq_);
+        if (it == reorder_buf_.end()) break;
+        app_inbox_.push_back(std::move(it->second));
+        reorder_buf_.erase(it);
+        ++next_deliver_seq_;
+        delivered = true;
+      }
+      send_ack();
+    } else if (kind == kAck) {
+      const std::uint64_t upto = r.u64();
+      if (!r.ok()) continue;
+      while (!unacked_.empty() && unacked_.begin()->first < upto) {
+        unacked_.erase(unacked_.begin());
+      }
+      if (upto > send_base_) send_base_ = upto;
+    }
+  }
+  if (delivered) deliverable_.notify_all();
+}
+
+std::optional<net::Payload> TcpLikeEndpoint::try_recv() {
+  if (app_inbox_.empty()) return std::nullopt;
+  net::Payload p = std::move(app_inbox_.front());
+  app_inbox_.pop_front();
+  return p;
+}
+
+}  // namespace rtct::baseline

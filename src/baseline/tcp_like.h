@@ -1,0 +1,81 @@
+// TcpLikeEndpoint — a reliable, strictly in-order stream transport layered
+// over a lossy simulated datagram path.
+//
+// The paper rejects TCP for the sync channel (§3.1: "as a reliable
+// transport, TCP solves those problems. However, it is problematic in
+// satisfying the real time constraint") and re-implements just the needed
+// reliability over UDP. This baseline exists to *measure* that claim
+// (bench/ablation_transport): it delivers every payload exactly once and
+// in order — so a single lost datagram head-of-line-blocks every later
+// arrival until a retransmission timeout (go-back-N), which is the latency
+// behaviour that breaks lockstep gaming.
+//
+// It is deliberately a minimal TCP analogue: cumulative acks, fixed RTO
+// (no Karn/Jacobson), go-back-N. Those simplifications make it *kinder*
+// than real TCP under loss (no slow start, no congestion window collapse),
+// so the measured gap versus the paper's UDP scheme is a lower bound.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "src/common/time.h"
+#include "src/net/sim_network.h"
+#include "src/net/transport.h"
+#include "src/sim/simulator.h"
+#include "src/sim/trigger.h"
+
+namespace rtct::baseline {
+
+struct TcpLikeStats {
+  std::uint64_t segments_sent = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t out_of_order_buffered = 0;
+  std::uint64_t duplicate_segments = 0;
+  std::uint64_t acks_sent = 0;
+};
+
+class TcpLikeEndpoint final : public net::DatagramTransport {
+ public:
+  /// `under` is the raw (lossy) path endpoint; `rto` the fixed
+  /// retransmission timeout.
+  TcpLikeEndpoint(sim::Simulator& sim, net::SimEndpoint& under, Dur rto);
+
+  /// Reliable, ordered send of one payload.
+  void send(std::span<const std::uint8_t> payload) override;
+
+  /// Next payload in send order, if the head of the stream has arrived.
+  std::optional<net::Payload> try_recv() override;
+
+  /// Notified when a payload becomes deliverable in order.
+  [[nodiscard]] sim::Trigger& deliverable_trigger() { return deliverable_; }
+
+  [[nodiscard]] const TcpLikeStats& stats() const { return stats_; }
+
+ private:
+  void pump();                        ///< drain the underlying endpoint
+  void transmit(std::uint64_t seq);   ///< (re)send one stored segment
+  void send_ack();
+  void arm_timer();
+  void on_timer();
+
+  sim::Simulator& sim_;
+  net::SimEndpoint& under_;
+  Dur rto_;
+
+  std::uint64_t next_send_seq_ = 0;
+  std::uint64_t send_base_ = 0;  ///< oldest unacked seq
+  std::map<std::uint64_t, net::Payload> unacked_;
+
+  std::uint64_t next_deliver_seq_ = 0;
+  std::map<std::uint64_t, net::Payload> reorder_buf_;
+  std::deque<net::Payload> app_inbox_;
+
+  bool timer_armed_ = false;
+  sim::Trigger deliverable_;
+  TcpLikeStats stats_;
+};
+
+}  // namespace rtct::baseline

@@ -1,0 +1,76 @@
+#include "src/common/bytes.h"
+
+namespace rtct {
+
+void ByteWriter::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v & 0xFF));
+  u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v & 0xFFFF));
+  u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+  u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void ByteWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+bool ByteReader::take(void* out, std::size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    std::memset(out, 0, n);
+    return false;
+  }
+  std::memcpy(out, data_.data() + pos_, n);
+  pos_ += n;
+  return true;
+}
+
+std::uint8_t ByteReader::u8() {
+  std::uint8_t v;
+  take(&v, 1);
+  return v;
+}
+
+std::uint16_t ByteReader::u16() {
+  std::uint8_t b[2];
+  take(b, 2);
+  return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+}
+
+std::uint32_t ByteReader::u32() {
+  const std::uint32_t lo = u16();
+  const std::uint32_t hi = u16();
+  return lo | (hi << 16);
+}
+
+std::uint64_t ByteReader::u64() {
+  const std::uint64_t lo = u32();
+  const std::uint64_t hi = u32();
+  return lo | (hi << 32);
+}
+
+std::span<const std::uint8_t> ByteReader::bytes(std::size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return {};
+  }
+  auto s = data_.subspan(pos_, n);
+  pos_ += n;
+  return s;
+}
+
+std::string ByteReader::str() {
+  const std::uint32_t n = u32();
+  auto s = bytes(n);
+  return std::string(s.begin(), s.end());
+}
+
+}  // namespace rtct

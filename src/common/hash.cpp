@@ -1,0 +1,17 @@
+#include "src/common/hash.h"
+
+namespace rtct {
+
+void Fnv1a64::update(std::span<const std::uint8_t> data) {
+  std::uint64_t h = h_;
+  for (std::uint8_t b : data) h = (h ^ b) * kFnvPrime;
+  h_ = h;
+}
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> data) {
+  Fnv1a64 h;
+  h.update(data);
+  return h.digest();
+}
+
+}  // namespace rtct

@@ -1,0 +1,36 @@
+// Minimal leveled logging. Off by default so benches and tests stay quiet;
+// examples flip the level up to narrate what the protocol is doing.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rtct {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide log threshold. Not thread-synchronized by design: it is set
+/// once at startup before any worker threads exist.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+}  // namespace rtct
+
+#define RTCT_LOG(level, expr)                                  \
+  do {                                                         \
+    if (static_cast<int>(level) >= static_cast<int>(::rtct::log_level())) { \
+      std::ostringstream rtct_log_os;                          \
+      rtct_log_os << expr;                                     \
+      ::rtct::detail::log_line(level, rtct_log_os.str());      \
+    }                                                          \
+  } while (0)
+
+#define RTCT_TRACE(expr) RTCT_LOG(::rtct::LogLevel::kTrace, expr)
+#define RTCT_DEBUG(expr) RTCT_LOG(::rtct::LogLevel::kDebug, expr)
+#define RTCT_INFO(expr) RTCT_LOG(::rtct::LogLevel::kInfo, expr)
+#define RTCT_WARN(expr) RTCT_LOG(::rtct::LogLevel::kWarn, expr)
+#define RTCT_ERROR(expr) RTCT_LOG(::rtct::LogLevel::kError, expr)

@@ -1,0 +1,50 @@
+// Deterministic pseudo-randomness for the network model.
+//
+// The Netem substitute needs jitter/loss/duplication/reorder draws that are
+// reproducible across runs and platforms, so we ship our own xoshiro256**
+// generator and distributions instead of relying on implementation-defined
+// std::normal_distribution behaviour.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/time.h"
+
+namespace rtct {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Standard normal via Box–Muller (deterministic given the stream).
+  double normal();
+
+  /// Normal with the given mean/stddev, truncated at lo (e.g. jitter that
+  /// must not make latency negative).
+  Dur jitter(Dur mean, Dur stddev, Dur lo);
+
+  /// Exponential with the given mean.
+  double exponential(double mean);
+
+  /// Splits off an independently-seeded child stream (for per-link RNGs).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_spare_ = false;
+  double spare_ = 0;
+};
+
+}  // namespace rtct

@@ -1,0 +1,59 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rtct {
+
+Summary Series::summarize() const {
+  Summary s;
+  s.count = xs_.size();
+  if (xs_.empty()) return s;
+
+  double sum = 0, sum_abs = 0;
+  s.min = xs_.front();
+  s.max = xs_.front();
+  for (double x : xs_) {
+    sum += x;
+    sum_abs += std::abs(x);
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  const double n = static_cast<double>(xs_.size());
+  s.mean = sum / n;
+  s.mean_abs = sum_abs / n;
+
+  double dev = 0, var = 0;
+  for (double x : xs_) {
+    const double d = x - s.mean;
+    dev += std::abs(d);
+    var += d * d;
+  }
+  s.mean_abs_deviation = dev / n;
+  s.stddev = std::sqrt(var / n);
+
+  s.p50 = percentile(xs_, 50);
+  s.p95 = percentile(xs_, 95);
+  s.p99 = percentile(xs_, 99);
+  return s;
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+std::vector<double> consecutive_deltas(const std::vector<double>& xs) {
+  std::vector<double> out;
+  if (xs.size() < 2) return out;
+  out.reserve(xs.size() - 1);
+  for (std::size_t i = 1; i < xs.size(); ++i) out.push_back(xs[i] - xs[i - 1]);
+  return out;
+}
+
+}  // namespace rtct

@@ -1,0 +1,56 @@
+// Sample-series statistics matching the paper's evaluation metrics.
+//
+// Figure 1 reports the *average* frame time and the *average (absolute)
+// deviation* of frame times (footnote 10: mean of |x_i - mean|). Figure 2
+// reports the *absolute average* of inter-site differences (footnote 11:
+// mean of |x_i|). Both are implemented here verbatim, plus the usual
+// descriptive statistics for the extended benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace rtct {
+
+/// Descriptive summary of a numeric series.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0;
+  double mean_abs_deviation = 0;  ///< footnote 10: (Σ|x_i - mean|)/n
+  double mean_abs = 0;            ///< footnote 11: (Σ|x_i|)/n
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+/// Collects raw samples and produces a Summary. Keeps every sample (the
+/// paper's experiments are 3 600 frames — tiny) so exact percentiles and
+/// mean-absolute-deviation are computable.
+class Series {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  void add_dur(Dur d) { xs_.push_back(to_ms(d)); }  ///< store as milliseconds
+
+  [[nodiscard]] std::size_t size() const { return xs_.size(); }
+  [[nodiscard]] bool empty() const { return xs_.empty(); }
+  [[nodiscard]] const std::vector<double>& samples() const { return xs_; }
+
+  [[nodiscard]] Summary summarize() const;
+
+ private:
+  std::vector<double> xs_;
+};
+
+/// Exact percentile (nearest-rank on a copy; fine at these sample sizes).
+double percentile(std::vector<double> xs, double p);
+
+/// Consecutive differences x[i+1]-x[i]; turns frame *start* timestamps into
+/// frame *times*, exactly how §4.1.1 post-processes its recordings.
+std::vector<double> consecutive_deltas(const std::vector<double>& xs);
+
+}  // namespace rtct

@@ -1,0 +1,100 @@
+// Small shared vocabulary types.
+#pragma once
+
+#include <cstdint>
+
+namespace rtct {
+
+/// Site (player machine) identifier. The ICDCS'09 paper fixes two sites,
+/// 0 = master and 1 = slave (§3.2); the type permits more for the journal
+/// extensions (observers, >2 players).
+using SiteId = std::int32_t;
+
+inline constexpr SiteId kMasterSite = 0;
+inline constexpr SiteId kSlaveSite = 1;
+inline constexpr SiteId kNoSite = -1;  ///< the paper's SET[-1]: unowned input bits
+
+/// Frame sequence number. Frames count from 0 and advance once per emulated
+/// video frame (Algorithm 1's `Frame` variable).
+using FrameNo = std::int64_t;
+
+/// A full controller-input word for one frame: the paper models input as a
+/// binary string in which each site owns a disjoint set of bits (§3).
+/// We give each of two players 8 buttons: player 0 owns bits 0..7,
+/// player 1 owns bits 8..15.
+using InputWord = std::uint16_t;
+
+/// Button bit layout within one player's byte.
+enum Button : std::uint8_t {
+  kBtnUp = 1u << 0,
+  kBtnDown = 1u << 1,
+  kBtnLeft = 1u << 2,
+  kBtnRight = 1u << 3,
+  kBtnA = 1u << 4,
+  kBtnB = 1u << 5,
+  kBtnStart = 1u << 6,
+  kBtnSelect = 1u << 7,
+};
+
+/// Mask of the input bits a site owns (the paper's SET[k]).
+constexpr InputWord site_input_mask(SiteId site) {
+  return site == 0 ? InputWord{0x00FF} : site == 1 ? InputWord{0xFF00} : InputWord{0};
+}
+
+/// Extracts site k's bits from a full input word (the paper's I(SET[k])).
+constexpr InputWord site_bits(InputWord i, SiteId site) {
+  return static_cast<InputWord>(i & site_input_mask(site));
+}
+
+/// Merges a site's partial input into a full word, replacing that site's bits.
+constexpr InputWord merge_site_bits(InputWord whole, InputWord partial, SiteId site) {
+  const InputWord m = site_input_mask(site);
+  return static_cast<InputWord>((whole & ~m) | (partial & m));
+}
+
+/// One player's byte extracted from the full word (for feeding the emulator).
+constexpr std::uint8_t player_byte(InputWord i, int player) {
+  return static_cast<std::uint8_t>(player == 0 ? (i & 0xFF) : ((i >> 8) & 0xFF));
+}
+
+constexpr InputWord make_input(std::uint8_t p0, std::uint8_t p1) {
+  return static_cast<InputWord>(p0 | (static_cast<InputWord>(p1) << 8));
+}
+
+// ---- N-site partitions (journal-version multi-player extension) ------------
+//
+// The paper's SET[k] model generalizes directly: for N (2, 4, or 8) sites
+// the 16 input bits are split into equal disjoint spans. The bundled
+// 4-player game (quadtron) uses the 4-site partition: each player gets a
+// nibble with Up/Down/Left/Right.
+
+/// Bits per site in an N-site partition.
+constexpr int site_bits_width(int num_sites) { return 16 / num_sites; }
+
+/// SET[k] for an N-site session.
+constexpr InputWord site_input_mask_n(SiteId site, int num_sites) {
+  if (site < 0 || site >= num_sites || num_sites <= 0 || 16 % num_sites != 0) return 0;
+  const int width = site_bits_width(num_sites);
+  const InputWord base = static_cast<InputWord>((1u << width) - 1);
+  return static_cast<InputWord>(base << (site * width));
+}
+
+constexpr InputWord site_bits_n(InputWord i, SiteId site, int num_sites) {
+  return static_cast<InputWord>(i & site_input_mask_n(site, num_sites));
+}
+
+constexpr InputWord merge_site_bits_n(InputWord whole, InputWord partial, SiteId site,
+                                      int num_sites) {
+  const InputWord m = site_input_mask_n(site, num_sites);
+  return static_cast<InputWord>((whole & ~m) | (partial & m));
+}
+
+/// Places a player's low bits into their N-site span (e.g. a 4-bit
+/// direction pad into player k's nibble).
+constexpr InputWord pack_player_bits_n(std::uint8_t bits, SiteId site, int num_sites) {
+  const int width = site_bits_width(num_sites);
+  return static_cast<InputWord>(
+      (static_cast<InputWord>(bits) << (site * width)) & site_input_mask_n(site, num_sites));
+}
+
+}  // namespace rtct

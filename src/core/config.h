@@ -1,0 +1,59 @@
+// Tunables of the synchronization layer, with the paper's values as
+// defaults (§3–§4.2).
+#pragma once
+
+#include "src/common/time.h"
+
+namespace rtct::core {
+
+struct SyncConfig {
+  /// CFPS — frames the game is expected to deliver per second (§3.2,
+  /// "game-specific but normally 60").
+  int cfps = 60;
+
+  /// BufFrame — the local-lag value in frames (§3, Algorithm 2). 6 frames
+  /// at 60 FPS ≈ the recommended 100 ms local lag.
+  int buf_frames = 6;
+
+  /// Outbound messages are buffered and flushed on this period; the paper
+  /// sends "one message every 20ms", costing 10 ms average (20 ms worst)
+  /// extra input latency (§4.2).
+  Dur send_flush_period = milliseconds(20);
+
+  /// Mean extra delay between a flush firing and bytes hitting the wire,
+  /// modelling the paper's producer/consumer thread handoff ("assuming the
+  /// thread time slice is 10ms, there is a 5ms average delay", §4.2).
+  Dur send_dispatch_delay = milliseconds(5);
+
+  /// Cap on input entries per sync message. Bounds datagram size during
+  /// long loss bursts (go-back-N resend window).
+  int max_inputs_per_message = 128;
+
+  /// Smoothing of Algorithm 4's slave correction. The paper's pseudocode
+  /// applies the raw SyncAdjustTimeDelta every frame, but the estimate of
+  /// the master's progress jitters with the send-batching phase (±10 ms
+  /// for a 20 ms flush period); applied raw, that jitter would show up
+  /// directly as slave frame-time deviation — contradicting the paper's
+  /// own Figure 1 (deviation ≈ 0 below 90 ms RTT), so their implementation
+  /// necessarily smooths too ("the slave site can smooth out the deviation
+  /// within only a few frames", §3.2). We fold in a fraction per frame
+  /// (geometric convergence) and ignore corrections inside a deadband.
+  /// Set gain=1, deadband=0 to run the literal pseudocode.
+  double rate_sync_gain = 0.15;
+  Dur rate_sync_deadband = milliseconds(4);
+
+  /// Attach the local state hash to outgoing sync messages every N frames
+  /// (0 disables). Desync detection: the paper *assumes* VM determinism
+  /// (§3); exchanging hashes verifies it continuously at ~16 bytes per
+  /// interval of bandwidth.
+  int hash_interval = 60;
+
+  [[nodiscard]] Dur frame_period() const { return rtct::frame_period(cfps); }
+  /// The local-lag duration: how long a player waits to see her own input.
+  [[nodiscard]] Dur local_lag() const { return buf_frames * frame_period(); }
+};
+
+/// Wire protocol version (checked in the session handshake).
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+}  // namespace rtct::core

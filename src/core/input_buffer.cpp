@@ -1,0 +1,61 @@
+#include "src/core/input_buffer.h"
+
+namespace rtct::core {
+
+InputBuffer::Entry* InputBuffer::entry_at(FrameNo frame, bool create) {
+  if (frame < base_) return nullptr;
+  const auto idx = static_cast<std::size_t>(frame - base_);
+  if (idx >= entries_.size()) {
+    if (!create) return nullptr;
+    entries_.resize(idx + 1);
+  }
+  return &entries_[idx];
+}
+
+const InputBuffer::Entry* InputBuffer::entry_at(FrameNo frame) const {
+  if (frame < base_) return nullptr;
+  const auto idx = static_cast<std::size_t>(frame - base_);
+  return idx < entries_.size() ? &entries_[idx] : nullptr;
+}
+
+bool InputBuffer::put(SiteId site, FrameNo frame, InputWord partial) {
+  if (site < 0 || site >= num_sites_) return false;
+  Entry* e = entry_at(frame, /*create=*/true);
+  if (e == nullptr || e->filled[site]) return false;  // stale or duplicate
+  e->filled[site] = true;
+  e->partial[site] = site_bits_n(partial, site, num_sites_);
+  return true;
+}
+
+bool InputBuffer::has(SiteId site, FrameNo frame) const {
+  if (site < 0 || site >= num_sites_) return false;
+  const Entry* e = entry_at(frame);
+  return e != nullptr && e->filled[site];
+}
+
+InputWord InputBuffer::partial(SiteId site, FrameNo frame) const {
+  if (site < 0 || site >= num_sites_) return 0;
+  const Entry* e = entry_at(frame);
+  return (e != nullptr && e->filled[site]) ? e->partial[site] : 0;
+}
+
+std::optional<InputWord> InputBuffer::merged(FrameNo frame) const {
+  const Entry* e = entry_at(frame);
+  if (e == nullptr) return std::nullopt;
+  InputWord out = 0;
+  for (SiteId s = 0; s < num_sites_; ++s) {
+    if (!e->filled[s]) return std::nullopt;
+    out = merge_site_bits_n(out, e->partial[s], s, num_sites_);
+  }
+  return out;
+}
+
+void InputBuffer::trim_below(FrameNo frame) {
+  while (base_ < frame && !entries_.empty()) {
+    entries_.pop_front();
+    ++base_;
+  }
+  if (entries_.empty() && base_ < frame) base_ = frame;
+}
+
+}  // namespace rtct::core

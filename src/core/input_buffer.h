@@ -1,0 +1,66 @@
+// IBuf — Algorithm 2's input buffer.
+//
+// Maps frame numbers to per-site partial inputs. The paper assumes "a
+// buffer of unlimited size ... for simplicity in presentation"; this
+// implementation grows on demand but reclaims delivered entries, so memory
+// stays proportional to the in-flight window (local lag + network skew).
+// Duplicate arrivals (from retransmission) are absorbed idempotently —
+// "only one copy of them will be kept in the buffer" (§3.1).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "src/common/types.h"
+
+namespace rtct::core {
+
+class InputBuffer {
+ public:
+  /// Two-site by default, like the paper; pass 4 or 8 for the mesh
+  /// extension (num_sites must divide 16 — each site owns an equal,
+  /// disjoint span of the input word).
+  explicit InputBuffer(int num_sites = 2)
+      : num_sites_(num_sites < 1 ? 1 : (num_sites > kMaxSites ? kMaxSites : num_sites)) {}
+
+  static constexpr int kMaxSites = 8;
+
+  /// Records site `site`'s partial input for `frame`. Returns true if the
+  /// slot was empty (false = duplicate, ignored). Frames below the trim
+  /// point are stale retransmissions and count as duplicates.
+  bool put(SiteId site, FrameNo frame, InputWord partial);
+
+  [[nodiscard]] bool has(SiteId site, FrameNo frame) const;
+
+  /// Site's stored partial input (0 if absent — matching the paper's
+  /// all-zero initialization, which is also what the first BufFrame
+  /// "empty input" frames deliver).
+  [[nodiscard]] InputWord partial(SiteId site, FrameNo frame) const;
+
+  /// The merged input word for `frame` if every site's partial input has
+  /// arrived; nullopt otherwise.
+  [[nodiscard]] std::optional<InputWord> merged(FrameNo frame) const;
+
+  /// Frames below `frame` have been delivered to the game and can be
+  /// reclaimed.
+  void trim_below(FrameNo frame);
+
+  [[nodiscard]] FrameNo base() const { return base_; }
+  [[nodiscard]] std::size_t entries_in_memory() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    InputWord partial[kMaxSites] = {};
+    bool filled[kMaxSites] = {};
+  };
+
+  Entry* entry_at(FrameNo frame, bool create);
+  [[nodiscard]] const Entry* entry_at(FrameNo frame) const;
+
+  int num_sites_;
+  FrameNo base_ = 0;  ///< frame number of entries_[0]
+  std::deque<Entry> entries_;
+};
+
+}  // namespace rtct::core

@@ -1,0 +1,12 @@
+#include "src/core/input_source.h"
+
+namespace rtct::core {
+
+std::vector<std::uint8_t> materialize_script(InputSource& src, FrameNo frames) {
+  std::vector<std::uint8_t> out;
+  out.reserve(static_cast<std::size_t>(frames));
+  for (FrameNo f = 0; f < frames; ++f) out.push_back(src.input_for_frame(f));
+  return out;
+}
+
+}  // namespace rtct::core

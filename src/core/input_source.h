@@ -1,0 +1,72 @@
+// Local input sources: where a site's controller bytes come from.
+//
+// In the real system this is a human on a gamepad; experiments use
+// deterministic synthetic players so runs are reproducible and replicas
+// can be checked against a single-machine reference execution.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/types.h"
+
+namespace rtct::core {
+
+class InputSource {
+ public:
+  virtual ~InputSource() = default;
+  /// The local player's button byte for local frame `frame`. Must be a
+  /// pure function of (source state, frame) — called exactly once per
+  /// frame, in order.
+  virtual std::uint8_t input_for_frame(FrameNo frame) = 0;
+};
+
+/// Always-idle player.
+class IdleInput final : public InputSource {
+ public:
+  std::uint8_t input_for_frame(FrameNo) override { return 0; }
+};
+
+/// Replays a fixed script (zero after it ends). The exact input sequence
+/// is then known to tests for reference-run comparison.
+class ScriptedInput final : public InputSource {
+ public:
+  explicit ScriptedInput(std::vector<std::uint8_t> script) : script_(std::move(script)) {}
+  std::uint8_t input_for_frame(FrameNo frame) override {
+    const auto i = static_cast<std::size_t>(frame);
+    return i < script_.size() ? script_[i] : 0;
+  }
+
+ private:
+  std::vector<std::uint8_t> script_;
+};
+
+/// A deterministic "button masher": picks a random button byte and holds
+/// it for `hold_frames` (humans hold buttons across many 60ths of a
+/// second). Same seed => same input sequence, on any platform.
+class MasherInput final : public InputSource {
+ public:
+  explicit MasherInput(std::uint64_t seed, int hold_frames = 6)
+      : rng_(seed), hold_frames_(hold_frames < 1 ? 1 : hold_frames) {}
+
+  std::uint8_t input_for_frame(FrameNo frame) override {
+    if (frame >= next_change_) {
+      current_ = static_cast<std::uint8_t>(rng_.next_u64() & 0xFF);
+      next_change_ = frame + hold_frames_;
+    }
+    return current_;
+  }
+
+ private:
+  Rng rng_;
+  int hold_frames_;
+  std::uint8_t current_ = 0;
+  FrameNo next_change_ = 0;
+};
+
+/// Pre-computes the full input sequence a source would produce — used to
+/// build single-machine reference runs.
+std::vector<std::uint8_t> materialize_script(InputSource& src, FrameNo frames);
+
+}  // namespace rtct::core

@@ -1,0 +1,55 @@
+#include "src/core/metrics.h"
+
+#include <algorithm>
+
+namespace rtct::core {
+
+std::vector<double> FrameTimeline::begin_times_ms() const {
+  std::vector<double> out;
+  out.reserve(records_.size());
+  for (const auto& r : records_) out.push_back(to_ms(r.begin_time));
+  return out;
+}
+
+Series FrameTimeline::frame_times() const {
+  Series s;
+  for (std::size_t i = 1; i < records_.size(); ++i) {
+    s.add_dur(records_[i].begin_time - records_[i - 1].begin_time);
+  }
+  return s;
+}
+
+Series FrameTimeline::stalls() const {
+  Series s;
+  for (const auto& r : records_) s.add_dur(r.stall);
+  return s;
+}
+
+std::size_t FrameTimeline::stalled_frames() const {
+  // Threshold at 1 ms: under a real-time clock even an instantly-ready
+  // SyncInput measures a few microseconds, which is not a stall.
+  return static_cast<std::size_t>(
+      std::count_if(records_.begin(), records_.end(),
+                    [](const FrameRecord& r) { return r.stall >= kMillisecond; }));
+}
+
+Series synchrony_differences(const FrameTimeline& a, const FrameTimeline& b) {
+  Series s;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    s.add_dur(a.records()[i].begin_time - b.records()[i].begin_time);
+  }
+  return s;
+}
+
+FrameNo first_divergence(const FrameTimeline& a, const FrameTimeline& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a.records()[i].state_hash != b.records()[i].state_hash) {
+      return static_cast<FrameNo>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace rtct::core

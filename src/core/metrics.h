@@ -1,0 +1,59 @@
+// Per-frame timing/consistency records — what the paper's time server
+// collected (§4: "we record the beginning time of every frame of each site
+// to the time server"), plus state hashes so logical consistency can be
+// *verified* rather than assumed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/time.h"
+#include "src/common/types.h"
+
+namespace rtct::core {
+
+struct FrameRecord {
+  FrameNo frame = 0;
+  Time begin_time = 0;        ///< when BeginFrameTiming ran (→ time server)
+  Time input_ready_time = 0;  ///< when SyncInput returned
+  Dur wait = 0;               ///< sleep granted by EndFrameTiming
+  Dur stall = 0;              ///< time spent blocked in SyncInput's loop
+  std::uint64_t state_hash = 0;  ///< game state after Transition()
+};
+
+class FrameTimeline {
+ public:
+  void reserve(std::size_t n) { records_.reserve(n); }
+  void add(const FrameRecord& r) { records_.push_back(r); }
+
+  [[nodiscard]] const std::vector<FrameRecord>& records() const { return records_; }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+  /// Frame begin times in ms (the raw time-server log of §4.1.1).
+  [[nodiscard]] std::vector<double> begin_times_ms() const;
+
+  /// Frame times (consecutive begin-time deltas) as a Series — the paper's
+  /// Figure 1 statistic base.
+  [[nodiscard]] Series frame_times() const;
+
+  /// Time spent stalled in SyncInput per frame, in ms.
+  [[nodiscard]] Series stalls() const;
+
+  /// Number of frames whose SyncInput blocked on the network for >= 1 ms.
+  [[nodiscard]] std::size_t stalled_frames() const;
+
+ private:
+  std::vector<FrameRecord> records_;
+};
+
+/// Figure 2's statistic: per-frame begin-time difference (a - b, in ms)
+/// over the common prefix of two timelines. Summarize().mean_abs is the
+/// paper's "absolute average" (footnote 11).
+Series synchrony_differences(const FrameTimeline& a, const FrameTimeline& b);
+
+/// Logical consistency check: first frame index at which the two replicas'
+/// state hashes differ, or -1 if they never diverge over the common prefix.
+FrameNo first_divergence(const FrameTimeline& a, const FrameTimeline& b);
+
+}  // namespace rtct::core

@@ -1,0 +1,64 @@
+// FramePacer — the real-time-consistency algorithms (paper Algorithms 3
+// and 4, BeginFrameTiming / EndFrameTiming).
+//
+// Two mechanisms compose:
+//
+//  * Lag compensation (Algorithm 3): a frame that overran its 1/CFPS slot
+//    (because SyncInput stalled on the network) leaves a *negative*
+//    AdjustTimeDelta that shortens the following frames until the schedule
+//    is caught up; an on-time frame waits out its remainder.
+//
+//  * Master/slave rate sync (Algorithm 4): only the slave (site 1)
+//    estimates the master's current frame — from the freshest
+//    LastRcvFrame[0], its arrival time, and RTT/2 — and folds the frame
+//    difference into AdjustTimeDelta. Whichever site started earlier, the
+//    *slave* absorbs the skew; without this, the earlier site oscillates
+//    (shown by bench/ablation_pacing).
+#pragma once
+
+#include "src/common/time.h"
+#include "src/common/types.h"
+#include "src/core/config.h"
+#include "src/core/sync_peer.h"
+
+namespace rtct::core {
+
+/// Ablation switch for bench/ablation_pacing (§3.2's design discussion):
+///   kFull           — Algorithms 3 + 4 (the paper's system)
+///   kCompensateOnly — Algorithm 3 only: lag compensation, no master/slave
+///                     rate sync ("the earlier site is always penalized")
+///   kNaive          — "consume what is left in the current frame time by
+///                     waiting": no compensation at all (§3.2's strawman)
+enum class PacingPolicy { kFull, kCompensateOnly, kNaive };
+
+class FramePacer {
+ public:
+  FramePacer(SiteId my_site, SyncConfig cfg, PacingPolicy policy = PacingPolicy::kFull)
+      : my_site_(my_site), cfg_(cfg), policy_(policy) {}
+
+  /// Algorithm 4 (BeginFrameTiming). `current_frame` is Algorithm 1's
+  /// Frame; `obs` is the slave's freshest view of the master (ignored on
+  /// the master, where SyncAdjustTimeDelta is defined to be zero).
+  void begin_frame(Time now, FrameNo current_frame, const SyncPeer::RemoteObs& obs);
+
+  /// Algorithm 3 (EndFrameTiming). Returns how long the caller should
+  /// sleep before the next frame (0 when the frame overran and the deficit
+  /// was pushed into AdjustTimeDelta instead).
+  [[nodiscard]] Dur end_frame(Time now);
+
+  [[nodiscard]] Dur adjust_time_delta() const { return adjust_; }
+  [[nodiscard]] Dur last_sync_adjust() const { return last_sync_adjust_; }
+  [[nodiscard]] Time current_frame_start() const { return frame_start_; }
+
+  [[nodiscard]] PacingPolicy policy() const { return policy_; }
+
+ private:
+  SiteId my_site_;
+  SyncConfig cfg_;
+  PacingPolicy policy_;
+  Time frame_start_ = 0;      ///< CurrFrameStart
+  Dur adjust_ = 0;            ///< AdjustTimeDelta
+  Dur last_sync_adjust_ = 0;  ///< most recent SyncAdjustTimeDelta (telemetry)
+};
+
+}  // namespace rtct::core

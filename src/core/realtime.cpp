@@ -1,0 +1,192 @@
+#include "src/core/realtime.h"
+
+#include <chrono>
+#include <thread>
+
+#include "src/core/wire.h"
+
+namespace rtct::core {
+
+namespace {
+Time steady_now() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+RealtimeSession::RealtimeSession(SiteId site, emu::IDeterministicGame& game, InputSource& input,
+                                 net::UdpSocket& socket, RealtimeConfig cfg)
+    : site_(site),
+      game_(game),
+      input_(input),
+      socket_(socket),
+      cfg_(cfg),
+      peer_(site, cfg.sync),
+      pacer_(site, cfg.sync, cfg.pacing),
+      session_(site, game.content_id(), cfg.sync),
+      replay_(game.content_id(), cfg.sync) {
+  epoch_ = steady_now();
+}
+
+Time RealtimeSession::now() const { return steady_now() - epoch_; }
+
+void RealtimeSession::drain() {
+  while (auto payload = socket_.try_recv()) {
+    const auto msg = decode_message(*payload);
+    if (!msg) continue;
+    if (const auto* sync = std::get_if<SyncMsg>(&*msg)) {
+      session_.note_sync_traffic(now());
+      peer_.ingest(*sync, now());
+    } else {
+      session_.ingest(*msg, now());
+    }
+  }
+}
+
+void RealtimeSession::flush_if_due() {
+  const Time t = now();
+  if (t < next_flush_) return;
+  next_flush_ = t + cfg_.sync.send_flush_period;
+  if (auto msg = peer_.make_message(t)) {
+    const auto bytes = encode_message(Message{*msg});
+    socket_.send(bytes);
+  }
+  pump_spectators();
+}
+
+void RealtimeSession::pump_spectators() {
+  if (spectator_socket_ == nullptr) return;
+  while (auto got = spectator_socket_->recv_from()) {
+    const auto msg = decode_message(got->first);
+    if (!msg) continue;
+    auto [it, inserted] =
+        spectators_.try_emplace(got->second, game_.content_id(), cfg_.sync);
+    it->second.ingest(*msg);
+  }
+  for (auto& [addr, host] : spectators_) {
+    if (host.wants_snapshot()) {
+      // Called from the frame loop between Transitions: consistent state.
+      host.provide_snapshot(game_.frame() - 1, game_.save_state());
+    }
+    if (auto m = host.make_message(now())) {
+      spectator_socket_->send_to(addr, encode_message(*m));
+    }
+  }
+}
+
+bool RealtimeSession::handshake(std::string* error) {
+  const Time deadline = now() + cfg_.handshake_timeout;
+  while (!session_.running()) {
+    if (stop_.load(std::memory_order_relaxed)) {
+      if (error) *error = "stopped during handshake";
+      return false;
+    }
+    if (session_.state() == SessionState::kFailed) {
+      if (error) *error = session_.failure_reason();
+      return false;
+    }
+    if (now() > deadline) {
+      if (error) *error = "handshake timeout: no compatible peer responded";
+      return false;
+    }
+    if (auto m = session_.poll(now())) socket_.send(encode_message(*m));
+    socket_.wait_readable(milliseconds(5));
+    drain();
+  }
+  return true;
+}
+
+bool RealtimeSession::run(std::string* error) {
+  if (!socket_.valid()) {
+    if (error) *error = "socket invalid: " + socket_.last_error();
+    return false;
+  }
+  if (!handshake(error)) return false;
+
+  for (FrameNo frame = 0; frame < cfg_.frames; ++frame) {
+    if (stop_.load(std::memory_order_relaxed)) {
+      if (error) *error = "stopped";
+      return false;
+    }
+
+    FrameRecord rec;
+    rec.frame = frame;
+    pacer_.begin_frame(now(), frame, peer_.remote_obs());  // step 5
+    rec.begin_time = pacer_.current_frame_start();
+
+    const InputWord local = site_ == 0 ? make_input(input_.input_for_frame(frame), 0)
+                                       : make_input(0, input_.input_for_frame(frame));
+    peer_.submit_local(frame, local);
+
+    // SyncInput's blocking loop: flush on schedule, wake on datagrams.
+    const Time sync_start = now();
+    while (!peer_.ready()) {
+      if (now() - sync_start > cfg_.stall_timeout) {
+        if (error) *error = "stall timeout: peer or network failed";
+        return false;
+      }
+      flush_if_due();
+      const Dur until_flush = next_flush_ - now();
+      socket_.wait_readable(std::min<Dur>(std::max<Dur>(until_flush, 0), milliseconds(5)));
+      drain();
+    }
+    rec.stall = now() - sync_start;
+    rec.input_ready_time = now();
+
+    const InputWord merged = peer_.pop();
+    game_.step_frame(merged);  // step 8
+    replay_.record(merged);
+    for (auto& [addr, host] : spectators_) host.on_frame(frame, merged);
+    rec.state_hash = game_.state_hash();
+    peer_.note_state_hash(frame, rec.state_hash);
+    if (peer_.desync_detected()) {
+      if (error) {
+        *error = "desync detected at frame " + std::to_string(peer_.desync_frame()) +
+                 ": replicas diverged (non-deterministic game?)";
+      }
+      return false;
+    }
+    if (hook_) hook_(game_, rec);
+
+    const Dur wait = pacer_.end_frame(now());  // step 10
+    rec.wait = wait;
+    timeline_.add(rec);
+
+    // Sleep out the remainder, keeping the flush timer and receiver live.
+    // poll() only has millisecond resolution and tends to overshoot, so
+    // block for all but the last ~1.5 ms and spin-poll the rest — the
+    // standard netplay pacing trick to hold 60 FPS on a real kernel.
+    const Time resume_at = now() + wait;
+    while (now() < resume_at) {
+      flush_if_due();
+      const Dur remain = resume_at - now();
+      if (remain > milliseconds(3)) {
+        socket_.wait_readable(remain - milliseconds(2));
+      } else {
+        socket_.wait_readable(0);  // nonblocking readability check
+      }
+      drain();
+    }
+    flush_if_due();
+  }
+
+  // Post-game spectator drain: without this, an observer mid-catch-up is
+  // orphaned the moment our frame loop ends (its lost feed datagrams would
+  // never be retransmitted).
+  if (spectator_socket_ != nullptr) {
+    const Time grace_end = now() + cfg_.spectator_drain_grace;
+    while (now() < grace_end && !stop_.load(std::memory_order_relaxed)) {
+      pump_spectators();
+      bool all_drained = true;
+      for (const auto& [addr, host] : spectators_) {
+        all_drained = all_drained && host.observer_joined() && host.backlog_size() == 0;
+      }
+      if (all_drained) break;  // nobody waiting (or everyone caught up)
+      spectator_socket_->wait_readable(milliseconds(10));
+    }
+  }
+  return true;
+}
+
+}  // namespace rtct::core

@@ -1,0 +1,109 @@
+// RealtimeSession — the wall-clock driver: Algorithm 1 on a real thread
+// over a real UDP socket.
+//
+// This is the deployment shape of the paper's system (two PCs, one VM
+// each). It runs the exact same sans-IO protocol objects (SyncPeer,
+// FramePacer, SessionControl) as the simulated testbed; only the clock
+// (std::chrono::steady_clock) and the transport (UdpSocket) differ.
+//
+// Single-threaded by design: the frame loop interleaves the send flush
+// timer and receive polling at its own co_await-free pace — on real
+// hardware the 20 ms flush and the frame loop live comfortably on one
+// thread, and examples/netplay_udp runs one RealtimeSession per thread to
+// get two sites in one process.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "src/common/types.h"
+#include "src/core/config.h"
+#include "src/core/input_source.h"
+#include "src/core/metrics.h"
+#include "src/core/pacer.h"
+#include "src/core/replay.h"
+#include "src/core/session.h"
+#include "src/core/spectate.h"
+#include "src/core/sync_peer.h"
+#include "src/emu/game.h"
+#include "src/net/udp_socket.h"
+
+namespace rtct::core {
+
+struct RealtimeConfig {
+  SyncConfig sync;
+  PacingPolicy pacing = PacingPolicy::kFull;
+  int frames = 600;  ///< frames to run (examples keep this short)
+  Dur handshake_timeout = seconds(10);
+  /// Abort if SyncInput stalls longer than this (the paper's behaviour is
+  /// to freeze forever; a library should let the caller bound that).
+  Dur stall_timeout = seconds(5);
+  /// After the last frame, keep serving spectators (snapshot/feed
+  /// retransmissions) for up to this long so observers can finish
+  /// catching up before the process exits.
+  Dur spectator_drain_grace = seconds(3);
+};
+
+class RealtimeSession {
+ public:
+  /// `socket` must already be bound and connected to the peer.
+  RealtimeSession(SiteId site, emu::IDeterministicGame& game, InputSource& input,
+                  net::UdpSocket& socket, RealtimeConfig cfg);
+
+  /// Optional per-frame callback (rendering, logging). Called after
+  /// Transition with the frame's record.
+  using FrameHook = std::function<void(const emu::IDeterministicGame&, const FrameRecord&)>;
+  void set_frame_hook(FrameHook hook) { hook_ = std::move(hook); }
+
+  /// Blocks through handshake + cfg.frames frames. Returns false (with
+  /// `error` filled) on handshake failure, stall timeout, or stop request.
+  bool run(std::string* error = nullptr);
+
+  /// Thread-safe: makes run() return at the next frame boundary.
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] const FrameTimeline& timeline() const { return timeline_; }
+  [[nodiscard]] const SyncPeerStats& stats() const { return peer_.stats(); }
+  [[nodiscard]] Dur rtt() const { return peer_.rtt(); }
+
+  /// The session's merged-input recording (replayable on a fresh machine
+  /// of the same ROM; identical on both sites of a match).
+  [[nodiscard]] const Replay& replay() const { return replay_; }
+
+  /// Serve spectators from an additional, *unconnected* UDP socket: any
+  /// JoinRequest arriving there is answered with a snapshot and a live
+  /// input feed (one SpectatorHost per observer address). Call before
+  /// run(); the socket must outlive the session.
+  void serve_spectators(net::UdpSocket* socket) { spectator_socket_ = socket; }
+  [[nodiscard]] std::size_t spectators_joined() const { return spectators_.size(); }
+
+ private:
+  [[nodiscard]] Time now() const;
+  void flush_if_due();
+  void drain();
+  void pump_spectators();
+  bool handshake(std::string* error);
+
+  SiteId site_;
+  emu::IDeterministicGame& game_;
+  InputSource& input_;
+  net::UdpSocket& socket_;
+  RealtimeConfig cfg_;
+
+  SyncPeer peer_;
+  FramePacer pacer_;
+  SessionControl session_;
+  FrameTimeline timeline_;
+  Replay replay_;
+  FrameHook hook_;
+  Time epoch_ = 0;
+  Time next_flush_ = 0;
+  std::atomic<bool> stop_{false};
+
+  net::UdpSocket* spectator_socket_ = nullptr;
+  std::map<net::UdpAddress, SpectatorHost> spectators_;
+};
+
+}  // namespace rtct::core

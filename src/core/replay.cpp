@@ -1,0 +1,82 @@
+#include "src/core/replay.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/common/bytes.h"
+#include "src/common/hash.h"
+
+namespace rtct::core {
+
+namespace {
+constexpr std::uint8_t kMagic[8] = {'R', 'T', 'C', 'T', 'R', 'P', 'L', '1'};
+constexpr std::uint32_t kReplayVersion = 1;
+constexpr std::uint32_t kMaxReplayFrames = 1u << 24;  // ~77 hours at 60 FPS
+}  // namespace
+
+std::vector<std::uint8_t> Replay::serialize() const {
+  ByteWriter w(inputs_.size() * 2 + 64);
+  // Byte-wise append: GCC 12's -Wstringop-overflow misfires on an 8-byte
+  // insert into a freshly-reserved vector here.
+  for (std::uint8_t b : kMagic) w.u8(b);
+  w.u32(kReplayVersion);
+  w.u64(content_id_);
+  w.u16(static_cast<std::uint16_t>(cfps_));
+  w.u16(static_cast<std::uint16_t>(buf_frames_));
+  w.u32(static_cast<std::uint32_t>(inputs_.size()));
+  for (InputWord i : inputs_) w.u16(i);
+  w.u64(fnv1a64(w.data()));
+  return w.take();
+}
+
+std::optional<Replay> Replay::parse(std::span<const std::uint8_t> data) {
+  if (data.size() < 8 + 4 + 8 + 2 + 2 + 4 + 8) return std::nullopt;
+  ByteReader r(data);
+  const auto magic = r.bytes(8);
+  if (std::memcmp(magic.data(), kMagic, 8) != 0) return std::nullopt;
+  if (r.u32() != kReplayVersion) return std::nullopt;
+
+  Replay out;
+  out.content_id_ = r.u64();
+  out.cfps_ = r.u16();
+  out.buf_frames_ = r.u16();
+  const std::uint32_t n = r.u32();
+  if (n > kMaxReplayFrames) return std::nullopt;
+  out.inputs_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.inputs_.push_back(r.u16());
+  if (!r.ok() || r.remaining() != 8) return std::nullopt;
+  if (r.u64() != fnv1a64(data.subspan(0, data.size() - 8))) return std::nullopt;
+  return out;
+}
+
+bool Replay::apply(emu::IDeterministicGame& game,
+                   const std::function<void(FrameNo, std::uint64_t)>& per_frame) const {
+  if (game.content_id() != content_id_) return false;
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    game.step_frame(inputs_[i]);
+    if (per_frame) per_frame(static_cast<FrameNo>(i), game.state_hash());
+  }
+  return true;
+}
+
+bool Replay::save_file(const std::string& path) const {
+  const auto bytes = serialize();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  std::fclose(f);
+  return ok;
+}
+
+std::optional<Replay> Replay::load_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::vector<std::uint8_t> data;
+  std::uint8_t buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.insert(data.end(), buf, buf + n);
+  std::fclose(f);
+  return parse(data);
+}
+
+}  // namespace rtct::core

@@ -1,0 +1,68 @@
+// Session recording and deterministic replay.
+//
+// Because the game is deterministic and fully input-driven, a complete
+// session is just (game identity, sync parameters, merged input per
+// frame). Recording that is ~2 bytes/frame and replaying it reproduces the
+// session bit-exactly — the standard netplay facility for sharing matches
+// and debugging desyncs offline. The drivers record the *merged* inputs
+// after SyncInput, so a replay file from either site of a match is
+// identical.
+//
+// File layout (little-endian, checksummed like the .rom container):
+//   magic "RTCTRPL1", u32 version, u64 content_id, u16 cfps,
+//   u16 buf_frames, u32 frame count, inputs (u16 each), u64 fnv-1a crc.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/core/config.h"
+#include "src/emu/game.h"
+
+namespace rtct::core {
+
+/// A parsed (or under-construction) replay.
+class Replay {
+ public:
+  Replay() = default;
+  Replay(std::uint64_t content_id, const SyncConfig& cfg)
+      : content_id_(content_id), cfps_(cfg.cfps), buf_frames_(cfg.buf_frames) {}
+
+  /// Appends the merged input of the next frame (call in frame order).
+  void record(InputWord merged) { inputs_.push_back(merged); }
+
+  [[nodiscard]] std::uint64_t content_id() const { return content_id_; }
+  [[nodiscard]] int cfps() const { return cfps_; }
+  [[nodiscard]] int buf_frames() const { return buf_frames_; }
+  [[nodiscard]] const std::vector<InputWord>& inputs() const { return inputs_; }
+  [[nodiscard]] FrameNo frames() const { return static_cast<FrameNo>(inputs_.size()); }
+
+  /// Serializes to the container format.
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  /// Parses a container; nullopt on corruption or version mismatch.
+  static std::optional<Replay> parse(std::span<const std::uint8_t> data);
+
+  /// Replays every recorded frame onto `game` (which must be freshly reset
+  /// and of the matching content). Returns false on content-id mismatch.
+  /// `per_frame` (optional) observes (frame, state hash) after each step.
+  bool apply(emu::IDeterministicGame& game,
+             const std::function<void(FrameNo, std::uint64_t)>& per_frame = nullptr) const;
+
+  // File helpers.
+  [[nodiscard]] bool save_file(const std::string& path) const;
+  static std::optional<Replay> load_file(const std::string& path);
+
+ private:
+  std::uint64_t content_id_ = 0;
+  int cfps_ = 60;
+  int buf_frames_ = 6;
+  std::vector<InputWord> inputs_;
+};
+
+}  // namespace rtct::core

@@ -1,0 +1,78 @@
+#include "src/core/session.h"
+
+#include <sstream>
+
+namespace rtct::core {
+
+SessionControl::SessionControl(SiteId my_site, std::uint64_t rom_checksum, SyncConfig cfg,
+                               Dur hello_interval)
+    : my_site_(my_site), rom_checksum_(rom_checksum), cfg_(cfg),
+      hello_interval_(hello_interval) {}
+
+HelloMsg SessionControl::my_hello() const {
+  HelloMsg h;
+  h.site = my_site_;
+  h.protocol_version = kProtocolVersion;
+  h.rom_checksum = rom_checksum_;
+  h.cfps = static_cast<std::uint16_t>(cfg_.cfps);
+  h.buf_frames = static_cast<std::uint16_t>(cfg_.buf_frames);
+  return h;
+}
+
+bool SessionControl::hello_compatible(const HelloMsg& h) {
+  std::ostringstream why;
+  if (h.protocol_version != kProtocolVersion) {
+    why << "protocol version mismatch: peer " << h.protocol_version << " vs " << kProtocolVersion;
+  } else if (h.rom_checksum != rom_checksum_) {
+    why << "game image mismatch: the sites loaded different ROMs";
+  } else if (h.cfps != static_cast<std::uint16_t>(cfg_.cfps) ||
+             h.buf_frames != static_cast<std::uint16_t>(cfg_.buf_frames)) {
+    why << "sync parameter mismatch (cfps/buf_frames)";
+  } else {
+    return true;
+  }
+  fail(why.str());
+  return false;
+}
+
+std::optional<Message> SessionControl::poll(Time now) {
+  if (state_ == SessionState::kFailed) return std::nullopt;
+
+  if (start_pending_) {  // master answers every HELLO with a START
+    start_pending_ = false;
+    return Message{StartMsg{my_site_}};
+  }
+  if (state_ == SessionState::kConnecting && now >= next_hello_) {
+    next_hello_ = now + hello_interval_;
+    return Message{my_hello()};
+  }
+  return std::nullopt;
+}
+
+void SessionControl::ingest(const Message& msg, Time now) {
+  if (state_ == SessionState::kFailed) return;
+
+  if (const auto* hello = std::get_if<HelloMsg>(&msg)) {
+    if (hello->site == my_site_) return;  // self-echo, ignore
+    if (!hello_compatible(*hello)) return;
+    peer_seen_ = true;
+    if (my_site_ == kMasterSite) {
+      // Master: announce the start (and re-announce on every later HELLO —
+      // the slave only re-HELLOs if it missed the START).
+      start_pending_ = true;
+      enter_running(now);
+    }
+    return;
+  }
+  if (const auto* start = std::get_if<StartMsg>(&msg)) {
+    if (start->site == my_site_) return;
+    if (my_site_ != kMasterSite) enter_running(now);
+    return;
+  }
+}
+
+void SessionControl::note_sync_traffic(Time now) {
+  if (my_site_ != kMasterSite) enter_running(now);
+}
+
+}  // namespace rtct::core

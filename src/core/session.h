@@ -1,0 +1,78 @@
+// SessionControl — the startup handshake (§3.2: "a simple session control
+// protocol is implemented to ensure that two sites start at almost the
+// same time, with at most one round-trip time deviation").
+//
+// Both sites broadcast HELLO periodically. The master starts the moment it
+// has seen the slave's (compatible) HELLO and emits START; the slave
+// starts on receiving START. A lost START is repaired because the slave
+// keeps HELLOing and the master answers every HELLO with a fresh START.
+// Start-time skew is therefore bounded by one one-way delay, which the
+// slave's Algorithm 4 then smooths out "within only a few frames".
+//
+// The handshake also enforces the §2 preconditions: same game image
+// (checksum), same protocol version, and same sync parameters.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/common/time.h"
+#include "src/common/types.h"
+#include "src/core/config.h"
+#include "src/core/wire.h"
+
+namespace rtct::core {
+
+enum class SessionState { kConnecting, kRunning, kFailed };
+
+class SessionControl {
+ public:
+  SessionControl(SiteId my_site, std::uint64_t rom_checksum, SyncConfig cfg,
+                 Dur hello_interval = milliseconds(50));
+
+  /// Driver calls this on a timer; returns a message to transmit now, if
+  /// any (HELLO while connecting; START when the master must [re]announce).
+  std::optional<Message> poll(Time now);
+
+  /// Feed any received session message (HelloMsg / StartMsg). SyncMsgs
+  /// also imply a running peer — drivers may call note_sync_traffic().
+  void ingest(const Message& msg, Time now);
+
+  /// A sync message arrived: the peer is definitely running (covers a
+  /// slave whose START was lost but whose peer is already streaming).
+  void note_sync_traffic(Time now);
+
+  [[nodiscard]] SessionState state() const { return state_; }
+  [[nodiscard]] bool running() const { return state_ == SessionState::kRunning; }
+  [[nodiscard]] const std::string& failure_reason() const { return failure_; }
+  /// Local time at which this site entered kRunning.
+  [[nodiscard]] Time start_time() const { return start_time_; }
+
+ private:
+  void fail(const std::string& why) {
+    state_ = SessionState::kFailed;
+    failure_ = why;
+  }
+  void enter_running(Time now) {
+    if (state_ == SessionState::kConnecting) {
+      state_ = SessionState::kRunning;
+      start_time_ = now;
+    }
+  }
+  [[nodiscard]] HelloMsg my_hello() const;
+  bool hello_compatible(const HelloMsg& h);
+
+  SiteId my_site_;
+  std::uint64_t rom_checksum_;
+  SyncConfig cfg_;
+  Dur hello_interval_;
+
+  SessionState state_ = SessionState::kConnecting;
+  std::string failure_;
+  Time start_time_ = 0;
+  Time next_hello_ = 0;
+  bool peer_seen_ = false;
+  bool start_pending_ = false;  ///< master owes the slave a START
+};
+
+}  // namespace rtct::core

@@ -1,0 +1,126 @@
+#include "src/core/spectate.h"
+
+#include <algorithm>
+
+namespace rtct::core {
+
+// ---- SpectatorHost ----------------------------------------------------------
+
+void SpectatorHost::on_frame(FrameNo frame, InputWord merged) {
+  last_executed_ = frame;
+  if (!snapshot_.has_value()) return;  // nobody watching yet
+  const FrameNo expected = backlog_base_ + static_cast<FrameNo>(backlog_.size());
+  if (frame == expected) {
+    backlog_.push_back(merged);
+  }
+  // frame < expected: duplicate driver call, ignore. frame > expected can
+  // not happen for a driver that reports every executed frame in order.
+}
+
+void SpectatorHost::ingest(const Message& msg) {
+  if (const auto* join = std::get_if<JoinRequestMsg>(&msg)) {
+    if (join->content_id != content_id_) return;  // wrong game, not ours
+    if (!snapshot_.has_value()) wants_snapshot_ = true;
+    // A re-request while we already hold a snapshot just means our
+    // snapshot datagram was lost; make_message keeps resending it.
+    return;
+  }
+  if (const auto* ack = std::get_if<FeedAckMsg>(&msg)) {
+    if (ack->frame <= acked_frame_) return;
+    acked_frame_ = ack->frame;
+    if (snapshot_.has_value() && acked_frame_ >= snapshot_->frame) snapshot_acked_ = true;
+    while (!backlog_.empty() && backlog_base_ <= acked_frame_) {
+      backlog_.pop_front();
+      ++backlog_base_;
+    }
+  }
+}
+
+void SpectatorHost::provide_snapshot(FrameNo frame, std::vector<std::uint8_t> state) {
+  SnapshotMsg snap;
+  snap.frame = frame;
+  snap.state = std::move(state);
+  snapshot_ = std::move(snap);
+  snapshot_acked_ = false;
+  wants_snapshot_ = false;
+  backlog_base_ = frame + 1;
+  backlog_.clear();
+}
+
+std::optional<Message> SpectatorHost::make_message(Time /*now*/) {
+  if (!snapshot_.has_value()) return std::nullopt;
+  if (!snapshot_acked_) return Message{*snapshot_};  // resend until acked
+
+  if (backlog_.empty()) return std::nullopt;
+  InputFeedMsg feed;
+  feed.first_frame = backlog_base_;
+  const auto count =
+      std::min<std::size_t>(backlog_.size(), static_cast<std::size_t>(cfg_.max_inputs_per_message));
+  feed.inputs.assign(backlog_.begin(), backlog_.begin() + static_cast<std::ptrdiff_t>(count));
+  return Message{feed};
+}
+
+// ---- SpectatorClient ---------------------------------------------------------
+
+std::optional<Message> SpectatorClient::make_message(Time now) {
+  if (!joined_) {
+    if (now < next_join_) return std::nullopt;
+    next_join_ = now + milliseconds(50);
+    return Message{JoinRequestMsg{game_.content_id()}};
+  }
+  if (ack_dirty_) {
+    ack_dirty_ = false;
+    return Message{FeedAckMsg{applied_frame_}};
+  }
+  return std::nullopt;
+}
+
+void SpectatorClient::ingest(const Message& msg) {
+  if (const auto* snap = std::get_if<SnapshotMsg>(&msg)) {
+    if (joined_) {
+      // Duplicate snapshot (our ack was lost): just re-ack.
+      ack_dirty_ = true;
+      return;
+    }
+    if (!game_.load_state(snap->state)) return;  // corrupt — keep requesting
+    joined_ = true;
+    applied_frame_ = snap->frame;
+    pending_base_ = snap->frame + 1;
+    pending_.clear();
+    ack_dirty_ = true;
+    return;
+  }
+  if (const auto* feed = std::get_if<InputFeedMsg>(&msg)) {
+    if (!joined_) return;  // retransmission will come after the snapshot
+    for (std::size_t i = 0; i < feed->inputs.size(); ++i) {
+      const FrameNo f = feed->first_frame + static_cast<FrameNo>(i);
+      const FrameNo idx = f - pending_base_;
+      if (idx < 0) {
+        ack_dirty_ = true;  // stale retransmission: re-ack so the host trims
+        continue;
+      }
+      if (static_cast<std::size_t>(idx) >= pending_.size()) {
+        pending_.resize(static_cast<std::size_t>(idx) + 1);
+      }
+      pending_[static_cast<std::size_t>(idx)] = feed->inputs[i];
+    }
+  }
+}
+
+bool SpectatorClient::step_one() {
+  if (pending_.empty() || !pending_.front().has_value()) return false;
+  game_.step_frame(*pending_.front());
+  pending_.pop_front();
+  ++pending_base_;
+  ++applied_frame_;
+  ack_dirty_ = true;
+  return true;
+}
+
+int SpectatorClient::step_available() {
+  int advanced = 0;
+  while (step_one()) ++advanced;
+  return advanced;
+}
+
+}  // namespace rtct::core

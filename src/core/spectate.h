@@ -1,0 +1,118 @@
+// Spectator / late-join support — the journal-version extension the ICDCS
+// paper defers in §6 ("how to support ... observers, how to accommodate
+// late comers").
+//
+// Protocol: an observer sends JoinRequest (repeatedly, over the same
+// lossy-datagram substrate as everything else). The host answers with a
+// full machine snapshot taken at some frame F, then streams the merged
+// input of every frame it executes after F as a go-back-N InputFeed
+// window; the observer acks cumulatively. Because the game VM is
+// deterministic, replaying the feed from the snapshot reproduces the
+// session bit-exactly — the observer's replica is provably identical
+// (state hashes), merely delayed by its own path latency.
+//
+// Both classes are sans-IO, in the same style as SyncPeer: the embedding
+// driver moves Messages between them and supplies snapshots/time.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "src/common/time.h"
+#include "src/common/types.h"
+#include "src/core/config.h"
+#include "src/core/wire.h"
+#include "src/emu/game.h"
+
+namespace rtct::core {
+
+/// Runs beside a playing site (typically the master). Records every
+/// executed frame's merged input; serves one or more observers.
+/// For presentation simplicity this implementation tracks a single
+/// observer endpoint (one host instance per observer — they are cheap).
+class SpectatorHost {
+ public:
+  SpectatorHost(std::uint64_t content_id, SyncConfig cfg)
+      : content_id_(content_id), cfg_(cfg) {}
+
+  /// Driver calls this after every Transition with the frame just
+  /// executed (0-based) and its merged input word.
+  void on_frame(FrameNo frame, InputWord merged);
+
+  /// Feeds a received observer message (JoinRequest / FeedAck).
+  void ingest(const Message& msg);
+
+  /// True when a join was accepted and the driver must supply the current
+  /// machine snapshot via provide_snapshot().
+  [[nodiscard]] bool wants_snapshot() const { return wants_snapshot_; }
+
+  /// `frame` is the last executed frame (machine.frame() - 1); `state` is
+  /// machine.save_state() taken at that point.
+  void provide_snapshot(FrameNo frame, std::vector<std::uint8_t> state);
+
+  /// Next outbound message for the observer: the snapshot until acked,
+  /// then unacked feed windows. nullopt = nothing to send.
+  std::optional<Message> make_message(Time now);
+
+  [[nodiscard]] bool observer_joined() const { return snapshot_.has_value(); }
+  [[nodiscard]] FrameNo acked_frame() const { return acked_frame_; }
+  [[nodiscard]] std::size_t backlog_size() const { return backlog_.size(); }
+
+ private:
+  std::uint64_t content_id_;
+  SyncConfig cfg_;
+
+  bool wants_snapshot_ = false;
+  std::optional<SnapshotMsg> snapshot_;
+  bool snapshot_acked_ = false;
+
+  FrameNo backlog_base_ = 0;          ///< frame number of backlog_[0]
+  std::deque<InputWord> backlog_;     ///< merged inputs after the snapshot
+  /// Observer's cumulative ack. Starts below any valid ack value: a
+  /// pre-game snapshot is taken at frame -1 and its ack must still count.
+  FrameNo acked_frame_ = -2;
+  FrameNo last_executed_ = -1;
+};
+
+/// The observing side: owns (a reference to) its own replica machine.
+class SpectatorClient {
+ public:
+  /// `game` must be a fresh machine of the same ROM as the host's.
+  SpectatorClient(emu::IDeterministicGame& game, SyncConfig cfg)
+      : game_(game), cfg_(cfg) {}
+
+  /// Next outbound message: JoinRequest until the snapshot lands, then
+  /// cumulative acks whenever progress was made.
+  std::optional<Message> make_message(Time now);
+
+  /// Feeds a received host message (Snapshot / InputFeed).
+  void ingest(const Message& msg);
+
+  /// Applies the next input to the replica if it is available. Returns
+  /// true when a frame was advanced (callers wanting per-frame hooks —
+  /// rendering, hash recording — loop on this).
+  bool step_one();
+
+  /// Applies every contiguously-available input to the replica. Returns
+  /// the number of frames advanced. The caller decides pacing (a UI would
+  /// rate-limit to CFPS; tests drain greedily).
+  int step_available();
+
+  [[nodiscard]] bool joined() const { return joined_; }
+  /// Last frame applied to the replica (-1 before the snapshot loads).
+  [[nodiscard]] FrameNo applied_frame() const { return applied_frame_; }
+
+ private:
+  emu::IDeterministicGame& game_;
+  SyncConfig cfg_;
+
+  bool joined_ = false;
+  bool ack_dirty_ = false;
+  Time next_join_ = 0;
+  FrameNo applied_frame_ = -1;
+  FrameNo pending_base_ = 0;
+  std::deque<std::optional<InputWord>> pending_;  ///< inputs after applied_frame_
+};
+
+}  // namespace rtct::core

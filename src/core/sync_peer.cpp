@@ -1,0 +1,157 @@
+#include "src/core/sync_peer.h"
+
+#include <algorithm>
+
+namespace rtct::core {
+
+SyncPeer::SyncPeer(SiteId my_site, SyncConfig cfg)
+    : my_site_(my_site), rm_site_(1 - my_site), cfg_(cfg), ibuf_(2) {
+  // Paper initialization: both LastRcvFrame and LastAckFrame start at
+  // BufFrame-1, which makes the exit condition trivially true for the
+  // first BufFrame frames ("empty inputs are returned", §3.1).
+  last_rcv_frame_[0] = cfg_.buf_frames - 1;
+  last_rcv_frame_[1] = cfg_.buf_frames - 1;
+  last_ack_frame_ = cfg_.buf_frames - 1;
+  // The initial LastRcvFrame is part of the protocol's shared knowledge:
+  // acking it would be "new info" to no one.
+  ack_sent_ = cfg_.buf_frames - 1;
+}
+
+void SyncPeer::submit_local(FrameNo frame, InputWord local_input) {
+  const FrameNo lag_frame = frame + cfg_.buf_frames;  // line 1: LagF
+  if (last_rcv_frame_[my_site_] < lag_frame) {        // lines 2-5
+    ibuf_.put(my_site_, lag_frame, local_input);
+    last_rcv_frame_[my_site_] = lag_frame;
+  }
+}
+
+std::optional<SyncMsg> SyncPeer::make_message(Time now) {
+  const FrameNo ack = last_rcv_frame_[rm_site_];     // sd[0]
+  const FrameNo first = last_ack_frame_ + 1;         // sd[1]
+  const FrameNo last = last_rcv_frame_[my_site_];    // sd[2]
+
+  const bool have_inputs = last >= first;
+  const bool have_new_ack = ack > ack_sent_;
+  if (!have_inputs && !have_new_ack) return std::nullopt;  // "if new info exists"
+
+  SyncMsg msg;
+  msg.site = my_site_;
+  msg.ack_frame = ack;
+  msg.first_frame = first;
+  if (have_inputs) {
+    const auto count = std::min<FrameNo>(last - first + 1, cfg_.max_inputs_per_message);
+    msg.inputs.reserve(static_cast<std::size_t>(count));
+    for (FrameNo f = first; f < first + count; ++f) {
+      msg.inputs.push_back(ibuf_.partial(my_site_, f));
+      if (f <= highest_sent_) ++stats_.inputs_retransmitted;
+    }
+    highest_sent_ = std::max(highest_sent_, first + count - 1);
+    stats_.inputs_sent += msg.inputs.size();
+  }
+
+  msg.send_time = now;
+  if (last_peer_send_time_ >= 0) {
+    msg.echo_time = last_peer_send_time_;
+    msg.echo_hold = now - last_peer_recv_time_;
+  }
+  if (latest_own_.frame >= 0) {
+    msg.hash_frame = latest_own_.frame;
+    msg.state_hash = latest_own_.hash;
+  }
+
+  ack_sent_ = std::max(ack_sent_, ack);
+  ++stats_.messages_made;
+  return msg;
+}
+
+void SyncPeer::ingest(const SyncMsg& msg, Time recv_time) {
+  if (msg.site != rm_site_) {
+    ++stats_.stale_messages;
+    return;
+  }
+  ++stats_.messages_ingested;
+
+  // Lines 13-16: merge remote partial inputs, advance LastRcvFrame[rm].
+  for (std::size_t i = 0; i < msg.inputs.size(); ++i) {
+    const FrameNo f = msg.first_frame + static_cast<FrameNo>(i);
+    if (f < 0) continue;
+    if (!ibuf_.put(rm_site_, f, msg.inputs[i])) ++stats_.duplicate_inputs_rcvd;
+  }
+  if (!msg.inputs.empty() && msg.last_frame() > last_rcv_frame_[rm_site_]) {
+    last_rcv_frame_[rm_site_] = msg.last_frame();
+    remote_advance_time_ = recv_time;  // "MasterRcvTime" for Algorithm 4
+    seen_remote_ = true;
+  }
+
+  // Lines 17-19: cumulative ack from the peer.
+  if (msg.ack_frame > last_ack_frame_) {
+    last_ack_frame_ = msg.ack_frame;
+    ibuf_.trim_below(std::min(pointer_, last_ack_frame_ + 1));
+  }
+
+  // RTT sample from echoed timestamps.
+  if (msg.echo_time >= 0) {
+    const Dur sample = recv_time - msg.echo_time - msg.echo_hold;
+    if (sample >= 0) {
+      rtt_ = rtt_ == 0 ? sample : (rtt_ * 7 + sample) / 8;  // EWMA, alpha=1/8
+      ++stats_.rtt_samples;
+    }
+  }
+  if (msg.send_time > last_peer_send_time_) {
+    last_peer_send_time_ = msg.send_time;
+    last_peer_recv_time_ = recv_time;
+  }
+
+  if (msg.hash_frame >= 0) check_remote_hash(msg.hash_frame, msg.state_hash);
+}
+
+void SyncPeer::note_state_hash(FrameNo frame, std::uint64_t hash) {
+  if (cfg_.hash_interval <= 0) return;
+  if (frame % cfg_.hash_interval != 0) return;
+  const auto slot = static_cast<std::size_t>((frame / cfg_.hash_interval) % kHashWindow);
+  own_hashes_[slot] = {frame, hash};
+  latest_own_ = {frame, hash};
+  // A remote hash may have been waiting for us to reach this frame.
+  if (pending_remote_.frame == frame && desync_frame_ < 0) {
+    if (pending_remote_.hash != hash) desync_frame_ = frame;
+    pending_remote_ = {};
+  }
+}
+
+void SyncPeer::check_remote_hash(FrameNo frame, std::uint64_t hash) {
+  if (cfg_.hash_interval <= 0 || desync_frame_ >= 0) return;
+  const auto slot = static_cast<std::size_t>((frame / cfg_.hash_interval) % kHashWindow);
+  if (own_hashes_[slot].frame == frame) {
+    if (own_hashes_[slot].hash != hash) desync_frame_ = frame;
+    return;
+  }
+  // We have not executed that frame yet (the peer runs ahead): park the
+  // newest such observation and compare when we get there.
+  if (frame > pending_remote_.frame) pending_remote_ = {frame, hash};
+}
+
+bool SyncPeer::ready() const {
+  // Line 21: LastRcvFrame[RmSiteNo] >= IBufPointer (and the local side,
+  // which submit_local keeps ahead by construction).
+  return last_rcv_frame_[rm_site_] >= pointer_ && last_rcv_frame_[my_site_] >= pointer_;
+}
+
+InputWord SyncPeer::pop() {
+  // Lines 22-23. For the first BufFrame frames no entry exists and the
+  // merged input is the paper's "empty input" (all zeros).
+  const InputWord out = ibuf_.merged(pointer_).value_or(0);
+  ++pointer_;
+  ibuf_.trim_below(std::min(pointer_, last_ack_frame_ + 1));
+  return out;
+}
+
+SyncPeer::RemoteObs SyncPeer::remote_obs() const {
+  RemoteObs obs;
+  obs.valid = seen_remote_;
+  obs.last_rcv_frame = last_rcv_frame_[rm_site_];
+  obs.rcv_time = remote_advance_time_;
+  obs.rtt = rtt_;
+  return obs;
+}
+
+}  // namespace rtct::core

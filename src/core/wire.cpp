@@ -1,0 +1,141 @@
+#include "src/core/wire.h"
+
+#include "src/common/bytes.h"
+
+namespace rtct::core {
+
+namespace {
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,
+  kStart = 2,
+  kSync = 3,
+  kJoinRequest = 4,
+  kSnapshot = 5,
+  kInputFeed = 6,
+  kFeedAck = 7,
+};
+
+constexpr std::size_t kMaxWireInputs = 4096;    // decode hard cap (anti-abuse)
+constexpr std::size_t kMaxSnapshot = 1 << 20;   // 1 MiB snapshot cap
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_message(const Message& msg) {
+  ByteWriter w(64);
+  if (const auto* hello = std::get_if<HelloMsg>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(MsgType::kHello));
+    w.i32(hello->site);
+    w.u32(hello->protocol_version);
+    w.u64(hello->rom_checksum);
+    w.u16(hello->cfps);
+    w.u16(hello->buf_frames);
+  } else if (const auto* start = std::get_if<StartMsg>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(MsgType::kStart));
+    w.i32(start->site);
+  } else if (const auto* sync = std::get_if<SyncMsg>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(MsgType::kSync));
+    w.i32(sync->site);
+    w.i64(sync->ack_frame);
+    w.i64(sync->first_frame);
+    w.u32(static_cast<std::uint32_t>(sync->inputs.size()));
+    for (InputWord i : sync->inputs) w.u16(i);
+    w.i64(sync->send_time);
+    w.i64(sync->echo_time);
+    w.i64(sync->echo_hold);
+    w.i64(sync->hash_frame);
+    w.u64(sync->state_hash);
+  } else if (const auto* join = std::get_if<JoinRequestMsg>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(MsgType::kJoinRequest));
+    w.u64(join->content_id);
+  } else if (const auto* snap = std::get_if<SnapshotMsg>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(MsgType::kSnapshot));
+    w.i64(snap->frame);
+    w.u32(static_cast<std::uint32_t>(snap->state.size()));
+    w.bytes(snap->state);
+  } else if (const auto* feed = std::get_if<InputFeedMsg>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(MsgType::kInputFeed));
+    w.i64(feed->first_frame);
+    w.u32(static_cast<std::uint32_t>(feed->inputs.size()));
+    for (InputWord i : feed->inputs) w.u16(i);
+  } else if (const auto* ack = std::get_if<FeedAckMsg>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(MsgType::kFeedAck));
+    w.i64(ack->frame);
+  }
+  return w.take();
+}
+
+std::optional<Message> decode_message(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  const auto type = static_cast<MsgType>(r.u8());
+  switch (type) {
+    case MsgType::kHello: {
+      HelloMsg m;
+      m.site = r.i32();
+      m.protocol_version = r.u32();
+      m.rom_checksum = r.u64();
+      m.cfps = r.u16();
+      m.buf_frames = r.u16();
+      if (!r.ok() || !r.at_end()) return std::nullopt;
+      return m;
+    }
+    case MsgType::kStart: {
+      StartMsg m;
+      m.site = r.i32();
+      if (!r.ok() || !r.at_end()) return std::nullopt;
+      return m;
+    }
+    case MsgType::kSync: {
+      SyncMsg m;
+      m.site = r.i32();
+      m.ack_frame = r.i64();
+      m.first_frame = r.i64();
+      const std::uint32_t n = r.u32();
+      if (n > kMaxWireInputs) return std::nullopt;
+      m.inputs.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) m.inputs.push_back(r.u16());
+      m.send_time = r.i64();
+      m.echo_time = r.i64();
+      m.echo_hold = r.i64();
+      m.hash_frame = r.i64();
+      m.state_hash = r.u64();
+      if (!r.ok() || !r.at_end()) return std::nullopt;
+      return m;
+    }
+    case MsgType::kJoinRequest: {
+      JoinRequestMsg m;
+      m.content_id = r.u64();
+      if (!r.ok() || !r.at_end()) return std::nullopt;
+      return m;
+    }
+    case MsgType::kSnapshot: {
+      SnapshotMsg m;
+      m.frame = r.i64();
+      const std::uint32_t n = r.u32();
+      if (n > kMaxSnapshot) return std::nullopt;
+      const auto body = r.bytes(n);
+      if (!r.ok() || !r.at_end()) return std::nullopt;
+      m.state.assign(body.begin(), body.end());
+      return m;
+    }
+    case MsgType::kInputFeed: {
+      InputFeedMsg m;
+      m.first_frame = r.i64();
+      const std::uint32_t n = r.u32();
+      if (n > kMaxWireInputs) return std::nullopt;
+      m.inputs.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) m.inputs.push_back(r.u16());
+      if (!r.ok() || !r.at_end()) return std::nullopt;
+      return m;
+    }
+    case MsgType::kFeedAck: {
+      FeedAckMsg m;
+      m.frame = r.i64();
+      if (!r.ok() || !r.at_end()) return std::nullopt;
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace rtct::core

@@ -1,0 +1,668 @@
+#include "src/emu/assembler.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "src/emu/isa.h"
+
+namespace rtct::emu {
+
+std::string AsmResult::error_text() const {
+  std::ostringstream os;
+  for (const auto& e : errors) os << "line " << e.line << ": " << e.message << "\n";
+  return os.str();
+}
+
+namespace {
+
+// ---------------------------------------------------------------- tokens --
+
+enum class Tok { kEnd, kIdent, kNumber, kString, kComma, kColon, kLParen, kRParen,
+                 kPlus, kMinus, kStar, kSlash, kPercent, kDot };
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;      // identifiers / strings
+  std::int64_t value = 0;  // numbers
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view line) : s_(line) {}
+
+  /// Tokenizes the whole line; returns false (with message) on bad input.
+  bool run(std::vector<Token>& out, std::string& err) {
+    while (true) {
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] == ';' || s_[pos_] == '#') {
+        out.push_back({Tok::kEnd, "", 0});
+        return true;
+      }
+      const char ch = s_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(ch)) || ch == '_') {
+        out.push_back(ident());
+      } else if (std::isdigit(static_cast<unsigned char>(ch))) {
+        Token t;
+        if (!number(t, err)) return false;
+        out.push_back(t);
+      } else if (ch == '\'') {
+        Token t;
+        if (!char_lit(t, err)) return false;
+        out.push_back(t);
+      } else if (ch == '"') {
+        Token t;
+        if (!string_lit(t, err)) return false;
+        out.push_back(t);
+      } else {
+        Tok k;
+        switch (ch) {
+          case ',': k = Tok::kComma; break;
+          case ':': k = Tok::kColon; break;
+          case '(': k = Tok::kLParen; break;
+          case ')': k = Tok::kRParen; break;
+          case '+': k = Tok::kPlus; break;
+          case '-': k = Tok::kMinus; break;
+          case '*': k = Tok::kStar; break;
+          case '/': k = Tok::kSlash; break;
+          case '%': k = Tok::kPercent; break;
+          case '.': k = Tok::kDot; break;
+          default:
+            err = std::string("unexpected character '") + ch + "'";
+            return false;
+        }
+        ++pos_;
+        out.push_back({k, "", 0});
+      }
+    }
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\r')) ++pos_;
+  }
+
+  Token ident() {
+    std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isalnum(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '_')) {
+      ++pos_;
+    }
+    return {Tok::kIdent, std::string(s_.substr(start, pos_ - start)), 0};
+  }
+
+  bool number(Token& t, std::string& err) {
+    std::size_t start = pos_;
+    int base = 10;
+    if (s_[pos_] == '0' && pos_ + 1 < s_.size() && (s_[pos_ + 1] == 'x' || s_[pos_ + 1] == 'X')) {
+      base = 16;
+      pos_ += 2;
+      start = pos_;
+    } else if (s_[pos_] == '0' && pos_ + 1 < s_.size() &&
+               (s_[pos_ + 1] == 'b' || s_[pos_ + 1] == 'B')) {
+      base = 2;
+      pos_ += 2;
+      start = pos_;
+    }
+    std::int64_t v = 0;
+    bool any = false;
+    while (pos_ < s_.size()) {
+      const char ch = s_[pos_];
+      int digit;
+      if (ch >= '0' && ch <= '9') digit = ch - '0';
+      else if (ch >= 'a' && ch <= 'f') digit = ch - 'a' + 10;
+      else if (ch >= 'A' && ch <= 'F') digit = ch - 'A' + 10;
+      else break;
+      if (digit >= base) break;
+      v = v * base + digit;
+      any = true;
+      ++pos_;
+    }
+    if (!any) {
+      err = "malformed number at '" + std::string(s_.substr(start)) + "'";
+      return false;
+    }
+    t = {Tok::kNumber, "", v};
+    return true;
+  }
+
+  bool char_lit(Token& t, std::string& err) {
+    // 'c' or '\n' style
+    ++pos_;  // opening quote
+    if (pos_ >= s_.size()) {
+      err = "unterminated character literal";
+      return false;
+    }
+    char v = s_[pos_++];
+    if (v == '\\') {
+      if (pos_ >= s_.size()) {
+        err = "unterminated escape";
+        return false;
+      }
+      const char e = s_[pos_++];
+      switch (e) {
+        case 'n': v = '\n'; break;
+        case 't': v = '\t'; break;
+        case '0': v = '\0'; break;
+        case '\\': v = '\\'; break;
+        case '\'': v = '\''; break;
+        default:
+          err = std::string("unknown escape '\\") + e + "'";
+          return false;
+      }
+    }
+    if (pos_ >= s_.size() || s_[pos_] != '\'') {
+      err = "unterminated character literal";
+      return false;
+    }
+    ++pos_;
+    t = {Tok::kNumber, "", static_cast<unsigned char>(v)};
+    return true;
+  }
+
+  bool string_lit(Token& t, std::string& err) {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char v = s_[pos_++];
+      if (v == '\\' && pos_ < s_.size()) {
+        const char e = s_[pos_++];
+        switch (e) {
+          case 'n': v = '\n'; break;
+          case 't': v = '\t'; break;
+          case '0': v = '\0'; break;
+          case '\\': v = '\\'; break;
+          case '"': v = '"'; break;
+          default:
+            err = std::string("unknown escape '\\") + e + "'";
+            return false;
+        }
+      }
+      out.push_back(v);
+    }
+    if (pos_ >= s_.size()) {
+      err = "unterminated string";
+      return false;
+    }
+    ++pos_;
+    t = {Tok::kString, out, 0};
+    return true;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+// ------------------------------------------------------------ assembler --
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char ch) { return static_cast<char>(std::toupper(ch)); });
+  return s;
+}
+
+std::optional<int> parse_register(const std::string& ident) {
+  if (ident.size() < 2 || ident.size() > 3) return std::nullopt;
+  if (ident[0] != 'r' && ident[0] != 'R') return std::nullopt;
+  int v = 0;
+  for (std::size_t i = 1; i < ident.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(ident[i]))) return std::nullopt;
+    v = v * 10 + (ident[i] - '0');
+  }
+  if (v < 0 || v >= kNumRegs) return std::nullopt;
+  return v;
+}
+
+/// Operand shapes accepted per mnemonic.
+enum class Shape {
+  kNone,        // NOP HALT BRK RET
+  kReg,         // NEG NOT PUSH POP
+  kRegReg,      // MOV ADD ... CMP
+  kRegImm,      // LDI ADDI ... CMPI
+  kRegRegImm,   // LDB LDW STB STW (imm optional)
+  kImm,         // JMP ... CALL
+  kRegPort,     // IN rd, port
+  kPortReg,     // OUT port, rs
+};
+
+struct OpInfo {
+  Op op;
+  Shape shape;
+};
+
+const std::map<std::string, OpInfo>& op_table() {
+  static const std::map<std::string, OpInfo> table = {
+      {"NOP", {Op::kNop, Shape::kNone}},    {"HALT", {Op::kHalt, Shape::kNone}},
+      {"BRK", {Op::kBrk, Shape::kNone}},    {"RET", {Op::kRet, Shape::kNone}},
+      {"LDI", {Op::kLdi, Shape::kRegImm}},  {"MOV", {Op::kMov, Shape::kRegReg}},
+      {"LDB", {Op::kLdb, Shape::kRegRegImm}}, {"LDW", {Op::kLdw, Shape::kRegRegImm}},
+      {"STB", {Op::kStb, Shape::kRegRegImm}}, {"STW", {Op::kStw, Shape::kRegRegImm}},
+      {"ADD", {Op::kAdd, Shape::kRegReg}},  {"SUB", {Op::kSub, Shape::kRegReg}},
+      {"AND", {Op::kAnd, Shape::kRegReg}},  {"OR", {Op::kOr, Shape::kRegReg}},
+      {"XOR", {Op::kXor, Shape::kRegReg}},  {"SHL", {Op::kShl, Shape::kRegReg}},
+      {"SHR", {Op::kShr, Shape::kRegReg}},  {"MUL", {Op::kMul, Shape::kRegReg}},
+      {"NEG", {Op::kNeg, Shape::kReg}},     {"NOT", {Op::kNot, Shape::kReg}},
+      {"ADDI", {Op::kAddi, Shape::kRegImm}}, {"SUBI", {Op::kSubi, Shape::kRegImm}},
+      {"ANDI", {Op::kAndi, Shape::kRegImm}}, {"ORI", {Op::kOri, Shape::kRegImm}},
+      {"XORI", {Op::kXori, Shape::kRegImm}}, {"SHLI", {Op::kShli, Shape::kRegImm}},
+      {"SHRI", {Op::kShri, Shape::kRegImm}}, {"MULI", {Op::kMuli, Shape::kRegImm}},
+      {"CMP", {Op::kCmp, Shape::kRegReg}},  {"CMPI", {Op::kCmpi, Shape::kRegImm}},
+      {"JMP", {Op::kJmp, Shape::kImm}},     {"JZ", {Op::kJz, Shape::kImm}},
+      {"JNZ", {Op::kJnz, Shape::kImm}},     {"JC", {Op::kJc, Shape::kImm}},
+      {"JNC", {Op::kJnc, Shape::kImm}},     {"JN", {Op::kJn, Shape::kImm}},
+      {"JNN", {Op::kJnn, Shape::kImm}},     {"CALL", {Op::kCall, Shape::kImm}},
+      {"PUSH", {Op::kPush, Shape::kReg}},   {"POP", {Op::kPop, Shape::kReg}},
+      {"IN", {Op::kIn, Shape::kRegPort}},   {"OUT", {Op::kOut, Shape::kPortReg}},
+  };
+  return table;
+}
+
+class Assembler {
+ public:
+  explicit Assembler(std::string_view source, std::string title) : title_(std::move(title)) {
+    std::size_t start = 0;
+    while (start <= source.size()) {
+      const std::size_t nl = source.find('\n', start);
+      const std::size_t end = nl == std::string_view::npos ? source.size() : nl;
+      lines_.emplace_back(source.substr(start, end - start));
+      if (nl == std::string_view::npos) break;
+      start = nl + 1;
+    }
+  }
+
+  AsmResult run() {
+    pass(1);
+    if (result_.errors.empty()) {
+      image_.clear();
+      pass(2);
+    }
+    result_.rom.title = title_;
+    result_.rom.image = std::move(image_);
+    result_.rom.entry = entry_;
+    return std::move(result_);
+  }
+
+ private:
+  void error(const std::string& msg) { result_.errors.push_back({line_no_, msg}); }
+
+  void pass(int n) {
+    pass_ = n;
+    origin_ = 0;
+    for (line_no_ = 1; line_no_ <= static_cast<int>(lines_.size()); ++line_no_) {
+      std::vector<Token> toks;
+      std::string err;
+      Lexer lex(lines_[line_no_ - 1]);
+      if (!lex.run(toks, err)) {
+        if (pass_ == 1) error(err);
+        continue;
+      }
+      toks_ = &toks;
+      pos_ = 0;
+      statement();
+    }
+  }
+
+  const Token& peek() const { return (*toks_)[pos_]; }
+  const Token& next() { return (*toks_)[pos_++]; }
+  bool at_end() const { return peek().kind == Tok::kEnd; }
+
+  bool expect(Tok k, const char* what) {
+    if (peek().kind != k) {
+      error(std::string("expected ") + what);
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  void statement() {
+    if (at_end()) return;
+    if (peek().kind == Tok::kDot) {
+      ++pos_;
+      directive();
+      return;
+    }
+    if (peek().kind != Tok::kIdent) {
+      error("expected label, directive or mnemonic");
+      return;
+    }
+    // label?
+    if ((*toks_)[pos_ + 1].kind == Tok::kColon) {
+      const std::string name = next().text;
+      ++pos_;  // colon
+      define_label(name);
+      if (at_end()) return;
+      statement();  // allow "label: INSTR"
+      return;
+    }
+    instruction();
+  }
+
+  void define_label(const std::string& name) {
+    if (pass_ != 1) return;
+    if (symbols_.count(name) != 0) {
+      error("duplicate symbol '" + name + "'");
+      return;
+    }
+    symbols_[name] = origin_;
+  }
+
+  void directive() {
+    if (peek().kind != Tok::kIdent) {
+      error("expected directive name after '.'");
+      return;
+    }
+    const std::string name = upper(next().text);
+    if (name == "ORG") {
+      std::int64_t v;
+      if (!expr(v)) return;
+      if (v < 0 || v > 0xFFFF) {
+        error(".org out of range");
+        return;
+      }
+      origin_ = static_cast<std::uint32_t>(v);
+    } else if (name == "EQU") {
+      if (peek().kind != Tok::kIdent) {
+        error(".equ expects a name");
+        return;
+      }
+      const std::string sym = next().text;
+      if (!expect(Tok::kComma, "','")) return;
+      std::int64_t v;
+      if (!expr(v)) return;
+      if (pass_ == 1) {
+        if (symbols_.count(sym) != 0) {
+          error("duplicate symbol '" + sym + "'");
+          return;
+        }
+        symbols_[sym] = v;
+      }
+    } else if (name == "ENTRY") {
+      std::int64_t v;
+      if (!expr(v)) return;
+      // Labels may be forward-declared, so only pass 2's value is final.
+      if (pass_ == 2) {
+        if (v < 0 || v > 0xFFFF) {
+          error(".entry out of range");
+          return;
+        }
+        entry_ = static_cast<std::uint16_t>(v);
+      }
+    } else if (name == "BYTE") {
+      data_list(1);
+    } else if (name == "WORD") {
+      data_list(2);
+    } else if (name == "SPACE") {
+      std::int64_t v;
+      if (!expr(v)) return;
+      if (v < 0 || v > 0x8000) {
+        error(".space size out of range");
+        return;
+      }
+      for (std::int64_t i = 0; i < v; ++i) emit8(0);
+    } else {
+      error("unknown directive '." + name + "'");
+    }
+  }
+
+  void data_list(int width) {
+    while (true) {
+      if (peek().kind == Tok::kString) {
+        for (char ch : next().text) {
+          if (width == 1) {
+            emit8(static_cast<std::uint8_t>(ch));
+          } else {
+            emit16(static_cast<std::uint16_t>(static_cast<unsigned char>(ch)));
+          }
+        }
+      } else {
+        std::int64_t v;
+        if (!expr(v)) return;
+        if (width == 1) {
+          emit8(static_cast<std::uint8_t>(v & 0xFF));
+        } else {
+          emit16(static_cast<std::uint16_t>(v & 0xFFFF));
+        }
+      }
+      if (peek().kind != Tok::kComma) break;
+      ++pos_;
+    }
+    if (!at_end()) error("trailing tokens after data list");
+  }
+
+  void instruction() {
+    const std::string mn = upper(next().text);
+    const auto it = op_table().find(mn);
+    if (it == op_table().end()) {
+      error("unknown mnemonic '" + mn + "'");
+      return;
+    }
+    const OpInfo info = it->second;
+    Instr ins;
+    ins.op = info.op;
+
+    switch (info.shape) {
+      case Shape::kNone:
+        break;
+      case Shape::kReg: {
+        int rd;
+        if (!reg_operand(rd)) return;
+        ins.a = static_cast<std::uint8_t>(rd);
+        break;
+      }
+      case Shape::kRegReg: {
+        int rd, rs;
+        if (!reg_operand(rd) || !expect(Tok::kComma, "','") || !reg_operand(rs)) return;
+        ins.a = static_cast<std::uint8_t>(rd);
+        ins.b = static_cast<std::uint8_t>(rs);
+        break;
+      }
+      case Shape::kRegImm: {
+        int rd;
+        std::int64_t v;
+        if (!reg_operand(rd) || !expect(Tok::kComma, "','") || !expr(v)) return;
+        if (!check_imm16(v)) return;
+        ins.a = static_cast<std::uint8_t>(rd);
+        set_imm(ins, v);
+        break;
+      }
+      case Shape::kRegRegImm: {
+        int ra, rb;
+        if (!reg_operand(ra) || !expect(Tok::kComma, "','") || !reg_operand(rb)) return;
+        std::int64_t v = 0;
+        if (peek().kind == Tok::kComma) {
+          ++pos_;
+          if (!expr(v)) return;
+          if (!check_imm16(v)) return;
+        }
+        // Encoding note: for loads a=rd b=rs; for stores a=addr-reg b=src.
+        ins.a = static_cast<std::uint8_t>(ra);
+        // imm shares bytes b/c with the second register: re-encode.
+        ins.b = static_cast<std::uint8_t>(rb);
+        // kLdb/kLdw/kStb/kStw carry the offset in a third byte? The fixed
+        // 4-byte format has only a,b,c — we place low 8 bits of the offset
+        // in c. Offsets are therefore limited to 0..255.
+        if (v < 0 || v > 0xFF) {
+          error("memory offset must be 0..255");
+          return;
+        }
+        ins.c = static_cast<std::uint8_t>(v);
+        break;
+      }
+      case Shape::kImm: {
+        std::int64_t v;
+        if (!expr(v)) return;
+        if (!check_imm16(v)) return;
+        set_imm(ins, v);
+        break;
+      }
+      case Shape::kRegPort: {
+        int rd;
+        std::int64_t port;
+        if (!reg_operand(rd) || !expect(Tok::kComma, "','") || !expr(port)) return;
+        if (port < 0 || port > 255) {
+          error("port must be 0..255");
+          return;
+        }
+        ins.a = static_cast<std::uint8_t>(rd);
+        ins.b = static_cast<std::uint8_t>(port);
+        break;
+      }
+      case Shape::kPortReg: {
+        std::int64_t port;
+        int rs;
+        if (!expr(port) || !expect(Tok::kComma, "','") || !reg_operand(rs)) return;
+        if (port < 0 || port > 255) {
+          error("port must be 0..255");
+          return;
+        }
+        ins.a = static_cast<std::uint8_t>(port);
+        ins.b = static_cast<std::uint8_t>(rs);
+        break;
+      }
+    }
+    if (!at_end()) {
+      error("trailing tokens after instruction");
+      return;
+    }
+    std::uint8_t enc[4];
+    encode(ins, enc);
+    for (auto byte : enc) emit8(byte);
+  }
+
+  static void set_imm(Instr& ins, std::int64_t v) {
+    const auto u = static_cast<std::uint16_t>(v & 0xFFFF);
+    ins.b = static_cast<std::uint8_t>(u & 0xFF);
+    ins.c = static_cast<std::uint8_t>(u >> 8);
+  }
+
+  bool check_imm16(std::int64_t v) {
+    if (v < -0x8000 || v > 0xFFFF) {
+      error("immediate out of 16-bit range");
+      return false;
+    }
+    return true;
+  }
+
+  bool reg_operand(int& out) {
+    if (peek().kind == Tok::kIdent) {
+      if (auto r = parse_register(peek().text)) {
+        ++pos_;
+        out = *r;
+        return true;
+      }
+    }
+    error("expected register (r0..r15)");
+    return false;
+  }
+
+  // Expressions: term (('+'|'-') term)*; term: factor (('*'|'/'|'%') factor)*;
+  // factor: number | symbol | '-' factor | '(' expr ')'.
+  bool expr(std::int64_t& out) { return add_expr(out); }
+
+  bool add_expr(std::int64_t& out) {
+    if (!mul_expr(out)) return false;
+    while (peek().kind == Tok::kPlus || peek().kind == Tok::kMinus) {
+      const bool plus = next().kind == Tok::kPlus;
+      std::int64_t rhs;
+      if (!mul_expr(rhs)) return false;
+      out = plus ? out + rhs : out - rhs;
+    }
+    return true;
+  }
+
+  bool mul_expr(std::int64_t& out) {
+    if (!factor(out)) return false;
+    while (peek().kind == Tok::kStar || peek().kind == Tok::kSlash ||
+           peek().kind == Tok::kPercent) {
+      const Tok k = next().kind;
+      std::int64_t rhs;
+      if (!factor(rhs)) return false;
+      if ((k == Tok::kSlash || k == Tok::kPercent) && rhs == 0) {
+        error("division by zero in expression");
+        return false;
+      }
+      out = k == Tok::kStar ? out * rhs : k == Tok::kSlash ? out / rhs : out % rhs;
+    }
+    return true;
+  }
+
+  bool factor(std::int64_t& out) {
+    if (peek().kind == Tok::kMinus) {
+      ++pos_;
+      if (!factor(out)) return false;
+      out = -out;
+      return true;
+    }
+    if (peek().kind == Tok::kNumber) {
+      out = next().value;
+      return true;
+    }
+    if (peek().kind == Tok::kLParen) {
+      ++pos_;
+      if (!expr(out)) return false;
+      return expect(Tok::kRParen, "')'");
+    }
+    if (peek().kind == Tok::kIdent) {
+      const std::string name = next().text;
+      const auto it = symbols_.find(name);
+      if (it == symbols_.end()) {
+        // Unknown in pass 1 is fine (forward label); must resolve in pass 2.
+        if (pass_ == 2) {
+          error("undefined symbol '" + name + "'");
+          return false;
+        }
+        out = 0;
+        return true;
+      }
+      out = it->second;
+      return true;
+    }
+    error("expected expression");
+    return false;
+  }
+
+  void emit8(std::uint8_t v) {
+    if (origin_ >= kRomCapacity) {
+      if (pass_ == 2 && !overflowed_) {
+        error("ROM overflow (32 KiB limit)");
+        overflowed_ = true;
+      }
+      ++origin_;
+      return;
+    }
+    if (pass_ == 2) {
+      if (image_.size() <= origin_) image_.resize(origin_ + 1, 0);
+      image_[origin_] = v;
+    }
+    ++origin_;
+  }
+
+  void emit16(std::uint16_t v) {
+    emit8(static_cast<std::uint8_t>(v & 0xFF));
+    emit8(static_cast<std::uint8_t>(v >> 8));
+  }
+
+  std::string title_;
+  std::vector<std::string> lines_;
+  AsmResult result_;
+  std::map<std::string, std::int64_t> symbols_;
+  std::vector<std::uint8_t> image_;
+  std::uint32_t origin_ = 0;
+  std::uint16_t entry_ = 0;
+  int pass_ = 1;
+  int line_no_ = 0;
+  bool overflowed_ = false;
+  const std::vector<Token>* toks_ = nullptr;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+AsmResult assemble(std::string_view source, std::string title) {
+  return Assembler(source, std::move(title)).run();
+}
+
+}  // namespace rtct::emu

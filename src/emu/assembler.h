@@ -1,0 +1,51 @@
+// Two-pass AC16 assembler.
+//
+// The four bundled games (src/games) are written in AC16 assembly and
+// assembled at startup; this keeps the "game" genuinely separate from the
+// engine — the sync layer ships input words to a ROM it knows nothing
+// about, exactly the paper's transparency setup.
+//
+// Syntax:
+//   ; comment (also "#")
+//   label:                          ; defines `label` = current address
+//   .org  EXPR                      ; move assembly origin
+//   .equ  NAME, EXPR                ; define constant (backward refs only)
+//   .entry LABEL_OR_EXPR            ; set the ROM entry point (default 0)
+//   .byte EXPR|"string", ...        ; emit bytes
+//   .word EXPR, ...                 ; emit little-endian 16-bit words
+//   .space EXPR                     ; emit zero bytes
+//   MNEMONIC operands               ; see isa.h; e.g.  LDI r0, 0xA000
+//
+// Operands: registers r0..r15 (case-insensitive); immediate expressions
+// over decimal / 0x hex / 0b binary / 'c' char literals, labels and .equ
+// symbols, with + - * / %, unary -, and parentheses. Memory operands are
+// written "LDB rd, rs, offset" (offset defaults to 0 when omitted).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/emu/rom.h"
+
+namespace rtct::emu {
+
+struct AsmError {
+  int line = 0;  ///< 1-based source line
+  std::string message;
+};
+
+struct AsmResult {
+  Rom rom;
+  std::vector<AsmError> errors;
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+  /// All errors joined, one per line — for test failure messages.
+  [[nodiscard]] std::string error_text() const;
+};
+
+/// Assembles AC16 source into a ROM image. Never throws; syntax problems
+/// are reported per line in the result.
+AsmResult assemble(std::string_view source, std::string title = "untitled");
+
+}  // namespace rtct::emu

@@ -1,0 +1,232 @@
+#include "src/emu/cpu.h"
+
+namespace rtct::emu {
+
+const char* fault_name(Fault f) {
+  switch (f) {
+    case Fault::kNone: return "none";
+    case Fault::kBadOpcode: return "bad-opcode";
+    case Fault::kRomWrite: return "rom-write";
+    case Fault::kBudgetExceeded: return "budget-exceeded";
+    case Fault::kBrk: return "brk";
+  }
+  return "?";
+}
+
+void Cpu::reset(std::uint16_t entry, std::uint16_t initial_sp) {
+  for (auto& r : regs_) r = 0;
+  regs_[kSpReg] = initial_sp;
+  pc_ = entry;
+  z_ = n_ = c_ = false;
+  halted_ = false;
+  fault_ = Fault::kNone;
+}
+
+Cpu::RawState Cpu::raw_state() const {
+  RawState s{};
+  for (int i = 0; i < kNumRegs; ++i) s.regs[i] = regs_[i];
+  s.pc = pc_;
+  s.flags = static_cast<std::uint8_t>((z_ ? 1 : 0) | (n_ ? 2 : 0) | (c_ ? 4 : 0));
+  s.fault = static_cast<std::uint8_t>(fault_);
+  return s;
+}
+
+void Cpu::restore(const RawState& s) {
+  for (int i = 0; i < kNumRegs; ++i) regs_[i] = s.regs[i];
+  pc_ = s.pc;
+  z_ = (s.flags & 1) != 0;
+  n_ = (s.flags & 2) != 0;
+  c_ = (s.flags & 4) != 0;
+  fault_ = static_cast<Fault>(s.fault);
+  halted_ = false;
+}
+
+int Cpu::run_frame(Bus& bus, int cycle_budget) {
+  if (fault_ != Fault::kNone) return 0;
+  halted_ = false;
+  int used = 0;
+  while (!halted_ && fault_ == Fault::kNone) {
+    std::uint8_t raw[4];
+    raw[0] = bus.read8(pc_);
+    raw[1] = bus.read8(static_cast<std::uint16_t>(pc_ + 1));
+    raw[2] = bus.read8(static_cast<std::uint16_t>(pc_ + 2));
+    raw[3] = bus.read8(static_cast<std::uint16_t>(pc_ + 3));
+    if (!is_valid_opcode(raw[0])) {
+      fault_ = Fault::kBadOpcode;
+      break;
+    }
+    const Instr ins = decode(raw);
+    pc_ = static_cast<std::uint16_t>(pc_ + kInstrBytes);
+    exec(bus, ins);
+    used += cycle_cost(ins.op);
+    if (used > cycle_budget) {
+      fault_ = Fault::kBudgetExceeded;
+      break;
+    }
+  }
+  return used;
+}
+
+void Cpu::exec(Bus& bus, const Instr& ins) {
+  auto& rd = regs_[ins.a & 0xF];
+  const std::uint16_t rs_val = regs_[ins.b & 0xF];
+  const std::uint16_t imm = ins.imm();
+
+  switch (ins.op) {
+    case Op::kNop:
+      break;
+    case Op::kHalt:
+      halted_ = true;
+      break;
+    case Op::kBrk:
+      fault_ = Fault::kBrk;
+      break;
+
+    case Op::kLdi:
+      rd = imm;
+      break;
+    case Op::kMov:
+      rd = rs_val;
+      set_zn(rd);
+      break;
+    case Op::kLdb:
+      rd = bus.read8(static_cast<std::uint16_t>(rs_val + ins.c));
+      set_zn(rd);
+      break;
+    case Op::kLdw:
+      rd = read16(bus, static_cast<std::uint16_t>(rs_val + ins.c));
+      set_zn(rd);
+      break;
+    case Op::kStb:
+      if (!bus.write8(static_cast<std::uint16_t>(rd + ins.c),
+                      static_cast<std::uint8_t>(rs_val & 0xFF))) {
+        fault_ = Fault::kRomWrite;
+      }
+      break;
+    case Op::kStw:
+      if (!write16(bus, static_cast<std::uint16_t>(rd + ins.c), rs_val)) {
+        fault_ = Fault::kRomWrite;
+      }
+      break;
+
+    case Op::kAdd:
+    case Op::kAddi: {
+      const std::uint16_t operand = ins.op == Op::kAdd ? rs_val : imm;
+      const std::uint32_t sum = static_cast<std::uint32_t>(rd) + operand;
+      c_ = sum > 0xFFFF;
+      rd = static_cast<std::uint16_t>(sum);
+      set_zn(rd);
+      break;
+    }
+    case Op::kSub:
+    case Op::kSubi: {
+      const std::uint16_t operand = ins.op == Op::kSub ? rs_val : imm;
+      c_ = rd < operand;  // borrow
+      rd = static_cast<std::uint16_t>(rd - operand);
+      set_zn(rd);
+      break;
+    }
+    case Op::kAnd:
+    case Op::kAndi:
+      rd = static_cast<std::uint16_t>(rd & (ins.op == Op::kAnd ? rs_val : imm));
+      set_zn(rd);
+      break;
+    case Op::kOr:
+    case Op::kOri:
+      rd = static_cast<std::uint16_t>(rd | (ins.op == Op::kOr ? rs_val : imm));
+      set_zn(rd);
+      break;
+    case Op::kXor:
+    case Op::kXori:
+      rd = static_cast<std::uint16_t>(rd ^ (ins.op == Op::kXor ? rs_val : imm));
+      set_zn(rd);
+      break;
+    case Op::kShl:
+    case Op::kShli: {
+      const int s = (ins.op == Op::kShl ? rs_val : imm) & 15;
+      if (s > 0) {
+        c_ = ((rd >> (16 - s)) & 1) != 0;
+        rd = static_cast<std::uint16_t>(rd << s);
+      }
+      set_zn(rd);
+      break;
+    }
+    case Op::kShr:
+    case Op::kShri: {
+      const int s = (ins.op == Op::kShr ? rs_val : imm) & 15;
+      if (s > 0) {
+        c_ = ((rd >> (s - 1)) & 1) != 0;
+        rd = static_cast<std::uint16_t>(rd >> s);
+      }
+      set_zn(rd);
+      break;
+    }
+    case Op::kMul:
+    case Op::kMuli:
+      rd = static_cast<std::uint16_t>(rd * (ins.op == Op::kMul ? rs_val : imm));
+      set_zn(rd);
+      break;
+    case Op::kNeg:
+      rd = static_cast<std::uint16_t>(-rd);
+      set_zn(rd);
+      break;
+    case Op::kNot:
+      rd = static_cast<std::uint16_t>(~rd);
+      set_zn(rd);
+      break;
+
+    case Op::kCmp:
+    case Op::kCmpi: {
+      const std::uint16_t operand = ins.op == Op::kCmp ? rs_val : imm;
+      c_ = rd < operand;
+      set_zn(static_cast<std::uint16_t>(rd - operand));
+      break;
+    }
+
+    case Op::kJmp:
+      pc_ = imm;
+      break;
+    case Op::kJz:
+      if (z_) pc_ = imm;
+      break;
+    case Op::kJnz:
+      if (!z_) pc_ = imm;
+      break;
+    case Op::kJc:
+      if (c_) pc_ = imm;
+      break;
+    case Op::kJnc:
+      if (!c_) pc_ = imm;
+      break;
+    case Op::kJn:
+      if (n_) pc_ = imm;
+      break;
+    case Op::kJnn:
+      if (!n_) pc_ = imm;
+      break;
+
+    case Op::kCall:
+      push16(bus, pc_);
+      pc_ = imm;
+      break;
+    case Op::kRet:
+      pc_ = pop16(bus);
+      break;
+    case Op::kPush:
+      push16(bus, regs_[ins.a & 0xF]);
+      break;
+    case Op::kPop:
+      rd = pop16(bus);
+      break;
+
+    case Op::kIn:
+      rd = bus.in_port(ins.b);
+      set_zn(rd);
+      break;
+    case Op::kOut:
+      bus.out_port(ins.a, rs_val);
+      break;
+  }
+}
+
+}  // namespace rtct::emu

@@ -1,0 +1,102 @@
+// AC16 CPU core: fetch/decode/execute interpreter.
+#pragma once
+
+#include <cstdint>
+
+#include "src/emu/isa.h"
+
+namespace rtct::emu {
+
+/// Execution faults. A faulted machine stops making progress; faults are
+/// programming errors in the ROM (or a runaway frame), never expected in a
+/// correct game, and tests assert their absence.
+enum class Fault : std::uint8_t {
+  kNone = 0,
+  kBadOpcode,
+  kRomWrite,
+  kBudgetExceeded,  ///< frame did not HALT within the cycle budget
+  kBrk,             ///< explicit BRK trap
+};
+
+const char* fault_name(Fault f);
+
+/// Memory / IO seen by the CPU. Implemented by ArcadeMachine.
+class Bus {
+ public:
+  virtual ~Bus() = default;
+  virtual std::uint8_t read8(std::uint16_t addr) = 0;
+  /// Returns false if the address is not writable (ROM) — faults the CPU.
+  virtual bool write8(std::uint16_t addr, std::uint8_t v) = 0;
+  virtual std::uint16_t in_port(std::uint8_t port) = 0;
+  virtual void out_port(std::uint8_t port, std::uint16_t v) = 0;
+};
+
+/// Register file + flags + sequencer. Pure integer machine: all arithmetic
+/// wraps mod 2^16, so behaviour is identical on every host.
+class Cpu {
+ public:
+  void reset(std::uint16_t entry, std::uint16_t initial_sp);
+
+  /// Resumes execution (after the previous frame's HALT) and runs until the
+  /// ROM executes HALT again, a fault occurs, or `cycle_budget` cycles
+  /// elapse (which raises kBudgetExceeded). Returns cycles consumed.
+  int run_frame(Bus& bus, int cycle_budget);
+
+  [[nodiscard]] Fault fault() const { return fault_; }
+  [[nodiscard]] std::uint16_t pc() const { return pc_; }
+  [[nodiscard]] std::uint16_t reg(int i) const { return regs_[i]; }
+  void set_reg(int i, std::uint16_t v) { regs_[i] = v; }
+  [[nodiscard]] bool flag_z() const { return z_; }
+  [[nodiscard]] bool flag_n() const { return n_; }
+  [[nodiscard]] bool flag_c() const { return c_; }
+
+  // State serialization hooks (ArcadeMachine save/load/hash).
+  template <typename Sink>
+  void visit_state(Sink&& sink) const {
+    for (auto r : regs_) sink.u16(r);
+    sink.u16(pc_);
+    sink.u8(static_cast<std::uint8_t>((z_ ? 1 : 0) | (n_ ? 2 : 0) | (c_ ? 4 : 0)));
+    sink.u8(static_cast<std::uint8_t>(fault_));
+  }
+  struct RawState {
+    std::uint16_t regs[kNumRegs];
+    std::uint16_t pc;
+    std::uint8_t flags;
+    std::uint8_t fault;
+  };
+  [[nodiscard]] RawState raw_state() const;
+  void restore(const RawState& s);
+
+ private:
+  void exec(Bus& bus, const Instr& ins);
+  void set_zn(std::uint16_t v) {
+    z_ = v == 0;
+    n_ = (v & 0x8000) != 0;
+  }
+  std::uint16_t read16(Bus& bus, std::uint16_t addr) {
+    const std::uint16_t lo = bus.read8(addr);
+    const std::uint16_t hi = bus.read8(static_cast<std::uint16_t>(addr + 1));
+    return static_cast<std::uint16_t>(lo | (hi << 8));
+  }
+  bool write16(Bus& bus, std::uint16_t addr, std::uint16_t v) {
+    return bus.write8(addr, static_cast<std::uint8_t>(v & 0xFF)) &&
+           bus.write8(static_cast<std::uint16_t>(addr + 1), static_cast<std::uint8_t>(v >> 8));
+  }
+  void push16(Bus& bus, std::uint16_t v) {
+    regs_[kSpReg] = static_cast<std::uint16_t>(regs_[kSpReg] - 2);
+    if (!write16(bus, regs_[kSpReg], v)) fault_ = Fault::kRomWrite;
+  }
+  std::uint16_t pop16(Bus& bus) {
+    const std::uint16_t v = read16(bus, regs_[kSpReg]);
+    regs_[kSpReg] = static_cast<std::uint16_t>(regs_[kSpReg] + 2);
+    return v;
+  }
+
+  std::uint16_t regs_[kNumRegs] = {};
+  std::uint16_t pc_ = 0;
+  bool z_ = false, n_ = false, c_ = false;
+  bool halted_ = false;
+  Fault fault_ = Fault::kNone;
+};
+
+}  // namespace rtct::emu

@@ -1,0 +1,100 @@
+#include "src/emu/disassembler.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace rtct::emu {
+
+namespace {
+std::string hex16(std::uint16_t v) {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "0x%04X", v);
+  return buf;
+}
+}  // namespace
+
+std::string disassemble_instr(const Instr& ins) {
+  const std::string mn = mnemonic(ins.op);
+  std::ostringstream os;
+  os << mn;
+  const int rd = ins.a & 0xF;
+  const int rs = ins.b & 0xF;
+  switch (ins.op) {
+    case Op::kNop:
+    case Op::kHalt:
+    case Op::kBrk:
+    case Op::kRet:
+      break;
+    case Op::kNeg:
+    case Op::kNot:
+    case Op::kPush:
+    case Op::kPop:
+      os << " r" << rd;
+      break;
+    case Op::kMov:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kShl:
+    case Op::kShr:
+    case Op::kMul:
+    case Op::kCmp:
+      os << " r" << rd << ", r" << rs;
+      break;
+    case Op::kLdi:
+    case Op::kAddi:
+    case Op::kSubi:
+    case Op::kAndi:
+    case Op::kOri:
+    case Op::kXori:
+    case Op::kShli:
+    case Op::kShri:
+    case Op::kMuli:
+    case Op::kCmpi:
+      os << " r" << rd << ", " << hex16(ins.imm());
+      break;
+    case Op::kLdb:
+    case Op::kLdw:
+    case Op::kStb:
+    case Op::kStw:
+      os << " r" << rd << ", r" << rs << ", " << static_cast<int>(ins.c);
+      break;
+    case Op::kJmp:
+    case Op::kJz:
+    case Op::kJnz:
+    case Op::kJc:
+    case Op::kJnc:
+    case Op::kJn:
+    case Op::kJnn:
+    case Op::kCall:
+      os << " " << hex16(ins.imm());
+      break;
+    case Op::kIn:
+      os << " r" << rd << ", " << static_cast<int>(ins.b);
+      break;
+    case Op::kOut:
+      os << " " << static_cast<int>(ins.a) << ", r" << rs;
+      break;
+  }
+  return os.str();
+}
+
+std::string disassemble(std::span<const std::uint8_t> code, std::uint16_t base) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i + kInstrBytes <= code.size(); i += kInstrBytes) {
+    const Instr ins = decode(code.data() + i);
+    os << hex16(static_cast<std::uint16_t>(base + i)) << "  ";
+    if (is_valid_opcode(code[i])) {
+      os << disassemble_instr(ins);
+    } else {
+      os << ".byte " << static_cast<int>(code[i]) << ", " << static_cast<int>(code[i + 1])
+         << ", " << static_cast<int>(code[i + 2]) << ", " << static_cast<int>(code[i + 3]);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rtct::emu

@@ -1,0 +1,20 @@
+// AC16 disassembler — debugging aid for ROM authors and round-trip tests
+// for the assembler/encoder.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "src/emu/isa.h"
+
+namespace rtct::emu {
+
+/// Renders one decoded instruction, e.g. "LDI r0, 0xA000".
+std::string disassemble_instr(const Instr& ins);
+
+/// Disassembles `code` (multiple of 4 bytes) with addresses starting at
+/// `base`, one instruction per line.
+std::string disassemble(std::span<const std::uint8_t> code, std::uint16_t base = 0);
+
+}  // namespace rtct::emu

@@ -1,0 +1,50 @@
+// The determinism contract between the emulator and the sync layer.
+//
+// The paper's central transparency claim (§2) is that the sync module
+// treats `S' = Transition(I, S)` as a black box. This interface *is* that
+// black box: the distributed VM (src/core) drives games exclusively through
+// it and never learns anything about their semantics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace rtct::emu {
+
+class IDeterministicGame {
+ public:
+  virtual ~IDeterministicGame() = default;
+
+  /// Returns to the initial state S0. Two replicas that reset() and then
+  /// receive the same input sequence MUST produce identical state_hash()
+  /// sequences — that is the determinism assumption of §3, and the tests
+  /// enforce it rather than assume it.
+  virtual void reset() = 0;
+
+  /// Executes one video frame given the full (merged, both players') input
+  /// word. This is Algorithm 1's `S = Transition(I, S)`.
+  virtual void step_frame(InputWord input) = 0;
+
+  /// 64-bit fingerprint of the complete mutable state.
+  [[nodiscard]] virtual std::uint64_t state_hash() const = 0;
+
+  /// Serializes the complete mutable state (versioned).
+  [[nodiscard]] virtual std::vector<std::uint8_t> save_state() const = 0;
+
+  /// Restores a save_state() snapshot. Returns false on a malformed or
+  /// version-mismatched snapshot (state is then unspecified; reset()).
+  virtual bool load_state(std::span<const std::uint8_t> data) = 0;
+
+  /// Number of frames executed since reset().
+  [[nodiscard]] virtual FrameNo frame() const = 0;
+
+  /// Stable identity of the loaded content (e.g. ROM checksum). The
+  /// session handshake refuses to pair sites whose content ids differ —
+  /// the paper's "same game image" precondition (§2).
+  [[nodiscard]] virtual std::uint64_t content_id() const = 0;
+};
+
+}  // namespace rtct::emu

@@ -1,0 +1,115 @@
+#include "src/emu/machine.h"
+
+#include <algorithm>
+
+#include "src/common/bytes.h"
+#include "src/common/hash.h"
+
+namespace rtct::emu {
+
+namespace {
+constexpr std::size_t kMemSize = 0x10000;
+constexpr std::size_t kMutableSize = kMemSize - kRamBase;  // 32 KiB RAM+FB
+constexpr std::size_t kDebugLogCap = 4096;
+}  // namespace
+
+ArcadeMachine::ArcadeMachine(Rom rom, MachineConfig cfg)
+    : rom_(std::move(rom)), cfg_(cfg), mem_(kMemSize, 0) {
+  reset();
+}
+
+void ArcadeMachine::reset() {
+  std::fill(mem_.begin(), mem_.end(), 0);
+  std::copy(rom_.image.begin(), rom_.image.end(), mem_.begin());
+  cpu_.reset(rom_.entry, kInitialSp);
+  input_latch_ = 0;
+  tone_ = 0;
+  frame_ = 0;
+  last_frame_cycles_ = 0;
+  debug_log_.clear();
+}
+
+void ArcadeMachine::step_frame(InputWord input) {
+  if (faulted()) return;  // a faulted machine stays stopped
+  input_latch_ = input;
+  last_frame_cycles_ = cpu_.run_frame(*this, cfg_.cycles_per_frame);
+  ++frame_;
+}
+
+std::uint16_t ArcadeMachine::in_port(std::uint8_t port) {
+  switch (static_cast<Port>(port)) {
+    case Port::kPlayer0:
+      return player_byte(input_latch_, 0);
+    case Port::kPlayer1:
+      return player_byte(input_latch_, 1);
+    case Port::kFrameLo:
+      return static_cast<std::uint16_t>(frame_ & 0xFFFF);
+    case Port::kFrameHi:
+      return static_cast<std::uint16_t>((frame_ >> 16) & 0xFFFF);
+    default:
+      return 0;  // undefined ports read as zero (deterministically)
+  }
+}
+
+void ArcadeMachine::out_port(std::uint8_t port, std::uint16_t v) {
+  switch (static_cast<Port>(port)) {
+    case Port::kTone:
+      tone_ = v;
+      break;
+    case Port::kDebug:
+      if (debug_log_.size() < kDebugLogCap) debug_log_.push_back(v);
+      break;
+    default:
+      break;  // writes to undefined ports are ignored
+  }
+}
+
+std::uint64_t ArcadeMachine::state_hash() const {
+  Fnv1a64 h;
+  cpu_.visit_state(h);
+  h.update_u16(input_latch_);
+  h.update_u16(tone_);
+  h.update_u64(static_cast<std::uint64_t>(frame_));
+  h.update(std::span<const std::uint8_t>(mem_.data() + kRamBase, kMutableSize));
+  return h.digest();
+}
+
+std::vector<std::uint8_t> ArcadeMachine::save_state() const {
+  ByteWriter w(64 + kMutableSize);
+  w.u8(kStateVersion);
+  w.u64(rom_.checksum());
+  cpu_.visit_state(w);
+  w.u16(input_latch_);
+  w.u16(tone_);
+  w.u64(static_cast<std::uint64_t>(frame_));
+  w.bytes(std::span<const std::uint8_t>(mem_.data() + kRamBase, kMutableSize));
+  return w.take();
+}
+
+bool ArcadeMachine::load_state(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  if (r.u8() != kStateVersion) return false;
+  if (r.u64() != rom_.checksum()) return false;  // snapshot from another game
+
+  Cpu::RawState cs{};
+  for (auto& reg : cs.regs) reg = r.u16();
+  cs.pc = r.u16();
+  cs.flags = r.u8();
+  cs.fault = r.u8();
+  const std::uint16_t latch = r.u16();
+  const std::uint16_t tone = r.u16();
+  const auto frame = static_cast<FrameNo>(r.u64());
+  const auto ram = r.bytes(kMutableSize);
+  if (!r.ok() || !r.at_end()) return false;
+
+  cpu_.restore(cs);
+  input_latch_ = latch;
+  tone_ = tone;
+  frame_ = frame;
+  std::copy(ram.begin(), ram.end(), mem_.begin() + kRamBase);
+  // ROM region is already in place; debug log is diagnostic state only.
+  debug_log_.clear();
+  return true;
+}
+
+}  // namespace rtct::emu

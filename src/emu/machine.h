@@ -1,0 +1,96 @@
+// ArcadeMachine: the complete emulated console (CPU + memory map + video +
+// input latch + tone channel), rtct's stand-in for a MAME-emulated arcade
+// board. Implements IDeterministicGame, the only surface the sync layer
+// ever touches.
+//
+// Memory map (byte addresses):
+//   0x0000–0x7FFF  ROM (writes fault the machine)
+//   0x8000–0x9FFF  general RAM
+//   0xA000–0xABFF  framebuffer, 64 cols x 48 rows, 1 byte = palette index
+//   0xAC00–0xFFFF  general RAM (stack grows down from 0xFFFE)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/emu/cpu.h"
+#include "src/emu/game.h"
+#include "src/emu/rom.h"
+
+namespace rtct::emu {
+
+inline constexpr std::uint16_t kRamBase = 0x8000;
+inline constexpr std::uint16_t kFbBase = 0xA000;
+inline constexpr int kFbCols = 64;
+inline constexpr int kFbRows = 48;
+inline constexpr std::size_t kFbSize = kFbCols * kFbRows;  // 3072 bytes
+inline constexpr std::uint16_t kInitialSp = 0xFFFE;
+
+struct MachineConfig {
+  /// Per-frame cycle budget; exceeding it faults (a ROM must HALT once per
+  /// frame, like real arcade code waiting for vblank).
+  int cycles_per_frame = 100000;
+};
+
+class ArcadeMachine final : public IDeterministicGame, private Bus {
+ public:
+  explicit ArcadeMachine(Rom rom, MachineConfig cfg = {});
+
+  // IDeterministicGame
+  void reset() override;
+  void step_frame(InputWord input) override;
+  [[nodiscard]] std::uint64_t state_hash() const override;
+  [[nodiscard]] std::vector<std::uint8_t> save_state() const override;
+  bool load_state(std::span<const std::uint8_t> data) override;
+  [[nodiscard]] FrameNo frame() const override { return frame_; }
+  [[nodiscard]] std::uint64_t content_id() const override { return rom_.checksum(); }
+
+  // Introspection (rendering, tests, examples).
+  [[nodiscard]] std::span<const std::uint8_t> framebuffer() const {
+    return {mem_.data() + kFbBase, kFbSize};
+  }
+  [[nodiscard]] std::uint16_t tone() const { return tone_; }
+  [[nodiscard]] Fault fault() const { return cpu_.fault(); }
+  [[nodiscard]] bool faulted() const { return cpu_.fault() != Fault::kNone; }
+  [[nodiscard]] const Rom& rom() const { return rom_; }
+  [[nodiscard]] const Cpu& cpu() const { return cpu_; }
+  [[nodiscard]] int last_frame_cycles() const { return last_frame_cycles_; }
+
+  /// Raw memory peek for tests (any address, including ROM).
+  [[nodiscard]] std::uint8_t peek(std::uint16_t addr) const { return mem_[addr]; }
+  [[nodiscard]] std::uint16_t peek16(std::uint16_t addr) const {
+    return static_cast<std::uint16_t>(mem_[addr] |
+                                      (mem_[static_cast<std::uint16_t>(addr + 1)] << 8));
+  }
+
+  /// Values written to Port::kDebug this frame-run (diagnostic only; not
+  /// part of the synchronized state, not hashed, not serialized).
+  [[nodiscard]] const std::vector<std::uint16_t>& debug_log() const { return debug_log_; }
+
+ private:
+  // Bus
+  std::uint8_t read8(std::uint16_t addr) override { return mem_[addr]; }
+  bool write8(std::uint16_t addr, std::uint8_t v) override {
+    if (addr < kRamBase) return false;  // ROM region
+    mem_[addr] = v;
+    return true;
+  }
+  std::uint16_t in_port(std::uint8_t port) override;
+  void out_port(std::uint8_t port, std::uint16_t v) override;
+
+  static constexpr std::uint8_t kStateVersion = 1;
+
+  Rom rom_;
+  MachineConfig cfg_;
+  Cpu cpu_;
+  std::vector<std::uint8_t> mem_;  ///< full 64 KiB address space
+  InputWord input_latch_ = 0;      ///< latched at frame start
+  std::uint16_t tone_ = 0;
+  FrameNo frame_ = 0;
+  int last_frame_cycles_ = 0;
+  std::vector<std::uint16_t> debug_log_;
+};
+
+}  // namespace rtct::emu

@@ -1,0 +1,42 @@
+#include "src/emu/render_text.h"
+
+#include <algorithm>
+
+namespace rtct::emu {
+
+namespace {
+constexpr const char* kRamp = " .:-=+*#%@";
+constexpr int kRampLen = 10;
+
+char cell(std::span<const std::uint8_t> fb, int cols, int x, int y_top) {
+  // Combine two vertically adjacent pixels; brighter one wins.
+  const std::uint8_t a = fb[y_top * cols + x];
+  const std::uint8_t b = fb[(y_top + 1) * cols + x];
+  const int v = std::max(a, b);
+  return kRamp[std::min(v, kRampLen - 1)];
+}
+}  // namespace
+
+std::string render_ascii(std::span<const std::uint8_t> fb, int cols, int rows) {
+  std::string out;
+  out.reserve(static_cast<std::size_t>((cols + 1) * rows / 2));
+  for (int y = 0; y + 1 < rows; y += 2) {
+    for (int x = 0; x < cols; ++x) out.push_back(cell(fb, cols, x, y));
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string render_ascii_pair(std::span<const std::uint8_t> left,
+                              std::span<const std::uint8_t> right, int cols, int rows) {
+  std::string out;
+  for (int y = 0; y + 1 < rows; y += 2) {
+    for (int x = 0; x < cols; ++x) out.push_back(cell(left, cols, x, y));
+    out += "  |  ";
+    for (int x = 0; x < cols; ++x) out.push_back(cell(right, cols, x, y));
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace rtct::emu

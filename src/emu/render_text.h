@@ -1,0 +1,21 @@
+// Terminal rendering of the ArcadeMachine framebuffer — the examples'
+// stand-in for the paper's "translate and present S'" step (Algorithm 1,
+// line 9) on the target platform.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace rtct::emu {
+
+/// Renders a palette-indexed framebuffer as ASCII art. Rows are paired
+/// (vertical downsample by 2) so a 64x48 screen fits a terminal as 64x24.
+/// Palette indices map onto a brightness ramp; 0 is blank.
+std::string render_ascii(std::span<const std::uint8_t> fb, int cols, int rows);
+
+/// Two screens side by side (e.g. both replicas), separated by a gutter.
+std::string render_ascii_pair(std::span<const std::uint8_t> left,
+                              std::span<const std::uint8_t> right, int cols, int rows);
+
+}  // namespace rtct::emu

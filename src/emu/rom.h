@@ -1,0 +1,32 @@
+// ROM image container: the "game image" both players must install (§2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/hash.h"
+
+namespace rtct::emu {
+
+inline constexpr std::size_t kRomCapacity = 0x8000;  ///< 32 KiB at 0x0000
+
+struct Rom {
+  std::string title;
+  std::vector<std::uint8_t> image;  ///< at most kRomCapacity bytes
+  std::uint16_t entry = 0;          ///< initial PC
+
+  [[nodiscard]] bool valid() const { return !image.empty() && image.size() <= kRomCapacity; }
+
+  /// Fingerprint used by session control to verify both sites loaded the
+  /// same game image before starting (§2: "install ... the same game image").
+  [[nodiscard]] std::uint64_t checksum() const {
+    Fnv1a64 h;
+    h.update(std::span<const std::uint8_t>(image.data(), image.size()));
+    h.update_u16(entry);
+    return h.digest();
+  }
+};
+
+}  // namespace rtct::emu

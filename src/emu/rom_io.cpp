@@ -1,0 +1,68 @@
+#include "src/emu/rom_io.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/common/bytes.h"
+#include "src/common/hash.h"
+
+namespace rtct::emu {
+
+namespace {
+constexpr std::uint8_t kMagic[8] = {'R', 'T', 'C', 'T', 'R', 'O', 'M', '1'};
+}
+
+std::vector<std::uint8_t> serialize_rom(const Rom& rom) {
+  ByteWriter w(rom.image.size() + 64);
+  w.bytes(kMagic);
+  w.u16(rom.entry);
+  w.str(rom.title);
+  w.u32(static_cast<std::uint32_t>(rom.image.size()));
+  w.bytes(rom.image);
+  const std::uint64_t crc = fnv1a64(w.data());
+  w.u64(crc);
+  return w.take();
+}
+
+std::optional<Rom> parse_rom(std::span<const std::uint8_t> data) {
+  if (data.size() < 8 + 2 + 4 + 4 + 8) return std::nullopt;
+  ByteReader r(data);
+  const auto magic = r.bytes(8);
+  if (std::memcmp(magic.data(), kMagic, 8) != 0) return std::nullopt;
+
+  Rom rom;
+  rom.entry = r.u16();
+  rom.title = r.str();
+  const std::uint32_t n = r.u32();
+  if (n == 0 || n > kRomCapacity) return std::nullopt;
+  const auto image = r.bytes(n);
+  if (!r.ok() || r.remaining() != 8) return std::nullopt;
+
+  const std::uint64_t expected = fnv1a64(data.subspan(0, data.size() - 8));
+  if (r.u64() != expected) return std::nullopt;  // corrupt file
+
+  rom.image.assign(image.begin(), image.end());
+  return rom;
+}
+
+bool save_rom_file(const Rom& rom, const std::string& path) {
+  const auto bytes = serialize_rom(rom);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  std::fclose(f);
+  return ok;
+}
+
+std::optional<Rom> load_rom_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::vector<std::uint8_t> data;
+  std::uint8_t buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.insert(data.end(), buf, buf + n);
+  std::fclose(f);
+  return parse_rom(data);
+}
+
+}  // namespace rtct::emu

@@ -1,0 +1,32 @@
+// ROM container file format (.rom) — lets the assembler CLI, the runner
+// and the netplay tool exchange game images as files, the way players of
+// the paper's system exchange "the same game image" (§2).
+//
+// Layout (little-endian):
+//   magic   "RTCTROM1"           8 bytes
+//   entry   u16
+//   title   u32 length + bytes
+//   image   u32 length + bytes
+//   crc     u64 fnv-1a of everything above
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/emu/rom.h"
+
+namespace rtct::emu {
+
+/// Serializes a ROM into the container format.
+std::vector<std::uint8_t> serialize_rom(const Rom& rom);
+
+/// Parses a container; nullopt on bad magic, truncation, CRC mismatch or
+/// an image exceeding kRomCapacity.
+std::optional<Rom> parse_rom(std::span<const std::uint8_t> data);
+
+/// File convenience wrappers. Return false / nullopt on IO failure.
+bool save_rom_file(const Rom& rom, const std::string& path);
+std::optional<Rom> load_rom_file(const std::string& path);
+
+}  // namespace rtct::emu

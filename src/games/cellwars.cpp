@@ -1,0 +1,163 @@
+#include "src/games/cellwars.h"
+
+#include <algorithm>
+
+#include "src/common/bytes.h"
+#include "src/common/hash.h"
+
+namespace rtct::games {
+
+void CellWarsGame::reset() {
+  std::fill(std::begin(grid_), std::end(grid_), 0);
+  cursor_x_[0] = 4;
+  cursor_y_[0] = kRows / 2;
+  cursor_x_[1] = kCols - 5;
+  cursor_y_[1] = kRows / 2;
+  bomb_cooldown_[0] = bomb_cooldown_[1] = 0;
+  has_claimed_[0] = has_claimed_[1] = false;
+  frame_ = 0;
+}
+
+bool CellWarsGame::adjacent_to(int x, int y, std::uint8_t owner) const {
+  const int dx[] = {1, -1, 0, 0};
+  const int dy[] = {0, 0, 1, -1};
+  for (int k = 0; k < 4; ++k) {
+    const int nx = (x + dx[k] + kCols) % kCols;
+    const int ny = (y + dy[k] + kRows) % kRows;
+    if (grid_[ny * kCols + nx] == owner) return true;
+  }
+  return false;
+}
+
+void CellWarsGame::step_player(int player, std::uint8_t buttons) {
+  int& cx = cursor_x_[player];
+  int& cy = cursor_y_[player];
+  if (buttons & kBtnUp) cy = (cy + kRows - 1) % kRows;
+  if (buttons & kBtnDown) cy = (cy + 1) % kRows;
+  if (buttons & kBtnLeft) cx = (cx + kCols - 1) % kCols;
+  if (buttons & kBtnRight) cx = (cx + 1) % kCols;
+
+  const auto owner = static_cast<std::uint8_t>(player + 1);
+  std::uint8_t& here = grid_[cy * kCols + cx];
+  if ((buttons & kBtnA) && here == 0 &&
+      (!has_claimed_[player] || adjacent_to(cx, cy, owner))) {
+    here = owner;
+    has_claimed_[player] = true;
+  }
+  if ((buttons & kBtnB) && bomb_cooldown_[player] == 0) {
+    bomb_cooldown_[player] = 40;
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int nx = (cx + dx + kCols) % kCols;
+        const int ny = (cy + dy + kRows) % kRows;
+        grid_[ny * kCols + nx] = 0;
+      }
+    }
+  }
+  if (bomb_cooldown_[player] > 0) --bomb_cooldown_[player];
+}
+
+void CellWarsGame::conversion_step() {
+  std::uint8_t next[kCols * kRows];
+  std::copy(std::begin(grid_), std::end(grid_), std::begin(next));
+  for (int y = 0; y < kRows; ++y) {
+    for (int x = 0; x < kCols; ++x) {
+      int count[3] = {0, 0, 0};
+      const int dx[] = {1, -1, 0, 0};
+      const int dy[] = {0, 0, 1, -1};
+      for (int k = 0; k < 4; ++k) {
+        const int nx = (x + dx[k] + kCols) % kCols;
+        const int ny = (y + dy[k] + kRows) % kRows;
+        ++count[grid_[ny * kCols + nx]];
+      }
+      const std::uint8_t here = grid_[y * kCols + x];
+      for (std::uint8_t owner = 1; owner <= 2; ++owner) {
+        if (here != owner && count[owner] >= 3) next[y * kCols + x] = owner;
+      }
+    }
+  }
+  std::copy(std::begin(next), std::end(next), std::begin(grid_));
+}
+
+void CellWarsGame::step_frame(InputWord input) {
+  // Player 0 acts first by definition; both read the same latched input,
+  // so ordering is deterministic and identical on every replica.
+  step_player(0, player_byte(input, 0));
+  step_player(1, player_byte(input, 1));
+  ++frame_;
+  if (frame_ % 16 == 0) conversion_step();
+}
+
+int CellWarsGame::score(int player) const {
+  const auto owner = static_cast<std::uint8_t>(player + 1);
+  return static_cast<int>(
+      std::count(std::begin(grid_), std::end(grid_), owner));
+}
+
+std::uint64_t CellWarsGame::state_hash() const {
+  Fnv1a64 h;
+  h.update(std::span<const std::uint8_t>(grid_, sizeof(grid_)));
+  for (int p = 0; p < 2; ++p) {
+    h.u16(static_cast<std::uint16_t>(cursor_x_[p]));
+    h.u16(static_cast<std::uint16_t>(cursor_y_[p]));
+    h.u16(static_cast<std::uint16_t>(bomb_cooldown_[p]));
+    h.u8(has_claimed_[p] ? 1 : 0);
+  }
+  h.u64(static_cast<std::uint64_t>(frame_));
+  return h.digest();
+}
+
+std::vector<std::uint8_t> CellWarsGame::save_state() const {
+  ByteWriter w(sizeof(grid_) + 32);
+  w.u8(kStateVersion);
+  w.u64(content_id());
+  w.bytes(std::span<const std::uint8_t>(grid_, sizeof(grid_)));
+  for (int p = 0; p < 2; ++p) {
+    w.u16(static_cast<std::uint16_t>(cursor_x_[p]));
+    w.u16(static_cast<std::uint16_t>(cursor_y_[p]));
+    w.u16(static_cast<std::uint16_t>(bomb_cooldown_[p]));
+    w.u8(has_claimed_[p] ? 1 : 0);
+  }
+  w.u64(static_cast<std::uint64_t>(frame_));
+  return w.take();
+}
+
+bool CellWarsGame::load_state(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  if (r.u8() != kStateVersion) return false;
+  if (r.u64() != content_id()) return false;
+  const auto grid = r.bytes(sizeof(grid_));
+  int cx[2], cy[2], cd[2];
+  bool claimed[2];
+  for (int p = 0; p < 2; ++p) {
+    cx[p] = r.u16();
+    cy[p] = r.u16();
+    cd[p] = r.u16();
+    claimed[p] = r.u8() != 0;
+  }
+  const auto fr = static_cast<FrameNo>(r.u64());
+  if (!r.ok() || !r.at_end()) return false;
+  // Validate ranges before committing (a hostile snapshot must not plant
+  // out-of-bounds cursors).
+  for (int p = 0; p < 2; ++p) {
+    if (cx[p] < 0 || cx[p] >= kCols || cy[p] < 0 || cy[p] >= kRows) return false;
+  }
+  for (auto cell_value : grid) {
+    if (cell_value > 2) return false;
+  }
+  std::copy(grid.begin(), grid.end(), std::begin(grid_));
+  for (int p = 0; p < 2; ++p) {
+    cursor_x_[p] = cx[p];
+    cursor_y_[p] = cy[p];
+    bomb_cooldown_[p] = cd[p];
+    has_claimed_[p] = claimed[p];
+  }
+  frame_ = fr;
+  return true;
+}
+
+std::unique_ptr<emu::IDeterministicGame> make_cellwars() {
+  return std::make_unique<CellWarsGame>();
+}
+
+}  // namespace rtct::games

@@ -1,0 +1,72 @@
+// CELLWARS — a native C++ game (no AC16, no emulator) implementing
+// IDeterministicGame directly.
+//
+// Its purpose is architectural: the paper's transparency claim says the
+// sync layer needs *only* a deterministic input-driven transition
+// function. This game proves the rtct interface really is that narrow —
+// the identical sync/pacing/session/testbed stack runs it unchanged, even
+// though there is no CPU, ROM or framebuffer underneath.
+//
+// Rules (two players on a 32x24 grid):
+//  * each player steers a cursor (Up/Down/Left/Right, wrapping);
+//  * A claims the cursor cell for that player if it is empty and adjacent
+//    (4-neighbourhood) to one of their cells — or anywhere on the player's
+//    first claim;
+//  * B detonates a 3x3 clear centred on the cursor (40-frame cooldown);
+//  * every 16 frames a conversion step runs: an enemy/neutral cell
+//    surrounded by 3+ cells of one colour flips to that colour
+//    (synchronous, computed from the pre-step grid);
+//  * score = owned cells.
+// Everything is integer arithmetic driven only by (state, input) — fully
+// deterministic by construction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "src/emu/game.h"
+
+namespace rtct::games {
+
+class CellWarsGame final : public emu::IDeterministicGame {
+ public:
+  static constexpr int kCols = 32;
+  static constexpr int kRows = 24;
+
+  CellWarsGame() { reset(); }
+
+  void reset() override;
+  void step_frame(InputWord input) override;
+  [[nodiscard]] std::uint64_t state_hash() const override;
+  [[nodiscard]] std::vector<std::uint8_t> save_state() const override;
+  bool load_state(std::span<const std::uint8_t> data) override;
+  [[nodiscard]] FrameNo frame() const override { return frame_; }
+  [[nodiscard]] std::uint64_t content_id() const override { return 0xCE113A125ull; }
+
+  // Introspection for tests / rendering.
+  [[nodiscard]] std::uint8_t cell(int x, int y) const {
+    return grid_[y * kCols + x];  // 0 = neutral, 1 = player0+1, 2 = player1+1
+  }
+  [[nodiscard]] int score(int player) const;
+  [[nodiscard]] int cursor_x(int player) const { return cursor_x_[player]; }
+  [[nodiscard]] int cursor_y(int player) const { return cursor_y_[player]; }
+
+ private:
+  void step_player(int player, std::uint8_t buttons);
+  void conversion_step();
+  [[nodiscard]] bool adjacent_to(int x, int y, std::uint8_t owner) const;
+
+  static constexpr std::uint8_t kStateVersion = 1;
+
+  std::uint8_t grid_[kCols * kRows] = {};
+  int cursor_x_[2] = {};
+  int cursor_y_[2] = {};
+  int bomb_cooldown_[2] = {};
+  bool has_claimed_[2] = {};
+  FrameNo frame_ = 0;
+};
+
+/// Factory matching the testbed's game_factory signature.
+std::unique_ptr<emu::IDeterministicGame> make_cellwars();
+
+}  // namespace rtct::games

@@ -1,0 +1,17 @@
+// Internal helper for the game catalogue: assemble-once ROM caching.
+#pragma once
+
+#include <string>
+
+#include "src/emu/rom.h"
+
+namespace rtct::games::detail {
+
+/// Assembles `source` under `title`, aborting with the assembler's error
+/// listing if it does not assemble — a bundled ROM failing to build is a
+/// library defect, not a runtime condition.
+/// Each game's accessor wraps this in its own function-local static (one
+/// static per game — a shared helper static would alias all ROMs).
+emu::Rom build_rom(const std::string& title, const char* source);
+
+}  // namespace rtct::games::detail

@@ -1,0 +1,250 @@
+// DUEL — a minimal one-on-one fighting game (the bundled stand-in for the
+// paper's Street Fighter 2 experiments).
+//
+// Controls: Left (bit2) / Right (bit3) move, A (bit4) punches, B (bit5)
+// blocks. A punch lands when the fighters are within 6 columns and the
+// victim is not blocking; 12-frame attack cooldown. Health starts at 99;
+// reaching 0 gives the opponent a round win and resets the round.
+#include "src/games/detail.h"
+#include "src/games/roms.h"
+
+namespace rtct::games {
+
+namespace {
+constexpr const char* kSource = R"asm(
+; ---------------------------------------------------------------- DUEL ----
+.equ STATE, 0x8000
+.equ FB,    0xA000
+.equ X0,   0
+.equ X1,   2
+.equ H0,   4
+.equ H1,   6
+.equ CD0,  8
+.equ CD1,  10
+.equ W0,   12
+.equ W1,   14
+.equ INIT, 16
+
+.entry main
+main:
+    LDI r14, STATE
+    LDW r0, r14, INIT
+    CMPI r0, 0
+    JNZ frame
+    CALL round_reset
+    LDI r0, 1
+    STW r14, r0, INIT
+
+frame:
+    IN  r0, 0
+    IN  r1, 1
+
+    ; ---- player 0 movement
+    LDW r2, r14, X0
+    MOV r3, r0
+    ANDI r3, 4
+    JZ  p0_nl
+    CMPI r2, 0
+    JZ  p0_nl
+    SUBI r2, 1
+p0_nl:
+    MOV r3, r0
+    ANDI r3, 8
+    JZ  p0_nr
+    CMPI r2, 58
+    JZ  p0_nr
+    ADDI r2, 1
+p0_nr:
+    STW r14, r2, X0
+
+    ; ---- player 1 movement
+    LDW r2, r14, X1
+    MOV r3, r1
+    ANDI r3, 4
+    JZ  p1_nl
+    CMPI r2, 0
+    JZ  p1_nl
+    SUBI r2, 1
+p1_nl:
+    MOV r3, r1
+    ANDI r3, 8
+    JZ  p1_nr
+    CMPI r2, 58
+    JZ  p1_nr
+    ADDI r2, 1
+p1_nr:
+    STW r14, r2, X1
+
+    ; ---- distance r6 = |x0 - x1|
+    LDW r2, r14, X0
+    LDW r3, r14, X1
+    MOV r6, r2
+    SUB r6, r3
+    JNN dist_ok
+    NEG r6
+dist_ok:
+
+    ; ---- player 0 punch
+    MOV r3, r0
+    ANDI r3, 16
+    JZ  p0_natk
+    LDW r4, r14, CD0
+    CMPI r4, 0
+    JNZ p0_natk
+    LDI r4, 12
+    STW r14, r4, CD0
+    CMPI r6, 7
+    JNC p0_natk           ; out of range
+    MOV r3, r1
+    ANDI r3, 32           ; victim blocking?
+    JNZ p0_natk
+    LDW r4, r14, H1
+    CMPI r4, 0
+    JZ  p0_natk
+    SUBI r4, 1
+    STW r14, r4, H1
+p0_natk:
+
+    ; ---- player 1 punch
+    MOV r3, r1
+    ANDI r3, 16
+    JZ  p1_natk
+    LDW r4, r14, CD1
+    CMPI r4, 0
+    JNZ p1_natk
+    LDI r4, 12
+    STW r14, r4, CD1
+    CMPI r6, 7
+    JNC p1_natk
+    MOV r3, r0
+    ANDI r3, 32
+    JNZ p1_natk
+    LDW r4, r14, H0
+    CMPI r4, 0
+    JZ  p1_natk
+    SUBI r4, 1
+    STW r14, r4, H0
+p1_natk:
+
+    ; ---- cooldowns tick down
+    LDW r4, r14, CD0
+    CMPI r4, 0
+    JZ  cd0_z
+    SUBI r4, 1
+    STW r14, r4, CD0
+cd0_z:
+    LDW r4, r14, CD1
+    CMPI r4, 0
+    JZ  cd1_z
+    SUBI r4, 1
+    STW r14, r4, CD1
+cd1_z:
+
+    ; ---- round over?
+    LDW r4, r14, H1
+    CMPI r4, 0
+    JNZ no_w0
+    LDW r4, r14, W0
+    ADDI r4, 1
+    STW r14, r4, W0
+    CALL round_reset
+no_w0:
+    LDW r4, r14, H0
+    CMPI r4, 0
+    JNZ no_w1
+    LDW r4, r14, W1
+    ADDI r4, 1
+    STW r14, r4, W1
+    CALL round_reset
+no_w1:
+
+    ; ---- render
+    LDI r4, FB
+    LDI r5, 3072
+    LDI r6, 0
+clear:
+    STB r4, r6
+    ADDI r4, 1
+    SUBI r5, 1
+    JNZ clear
+
+    LDW r2, r14, H0       ; health bars (1 pixel per 4 HP)
+    SHRI r2, 2
+    JZ  hb0_done
+    LDI r4, FB
+    LDI r7, 2
+hb0:
+    STB r4, r7
+    ADDI r4, 1
+    SUBI r2, 1
+    JNZ hb0
+hb0_done:
+    LDW r2, r14, H1
+    SHRI r2, 2
+    JZ  hb1_done
+    LDI r4, FB + 64
+    LDI r7, 3
+hb1:
+    STB r4, r7
+    ADDI r4, 1
+    SUBI r2, 1
+    JNZ hb1
+hb1_done:
+
+    LDW r4, r14, X0
+    LDI r7, 4
+    CALL draw_fighter
+    LDW r4, r14, X1
+    LDI r7, 5
+    CALL draw_fighter
+
+    LDW r2, r14, W0       ; round wins in the bottom corners
+    LDI r4, FB + 3008
+    STB r4, r2
+    LDW r2, r14, W1
+    LDI r4, FB + 3071
+    STB r4, r2
+
+    LDW r2, r14, H0
+    LDW r3, r14, H1
+    ADD r2, r3
+    OUT 4, r2
+
+    HALT
+    JMP frame
+
+round_reset:
+    LDI r2, 15
+    STW r14, r2, X0
+    LDI r2, 45
+    STW r14, r2, X1
+    LDI r2, 99
+    STW r14, r2, H0
+    STW r14, r2, H1
+    LDI r2, 0
+    STW r14, r2, CD0
+    STW r14, r2, CD1
+    RET
+
+draw_fighter:             ; r4 = x column, r7 = colour; 4x10 block, rows 30..39
+    MOV r5, r4
+    ADDI r5, FB + 1920
+    LDI r6, 10
+df_row:
+    STB r5, r7
+    STB r5, r7, 1
+    STB r5, r7, 2
+    STB r5, r7, 3
+    ADDI r5, 64
+    SUBI r6, 1
+    JNZ df_row
+    RET
+)asm";
+}  // namespace
+
+const emu::Rom& duel_rom() {
+  static const emu::Rom rom = detail::build_rom("duel", kSource);
+  return rom;
+}
+
+}  // namespace rtct::games

@@ -1,0 +1,342 @@
+// INVADERS — a co-operative fixed shooter: 3x8 aliens march and descend,
+// two ships (one per player) fire one bullet each.
+//
+// Controls: Left (bit2) / Right (bit3), A (bit4) fires. A cleared wave
+// respawns higher score intact; an alien reaching row 30 ends the game
+// (the machine keeps rendering a frozen screen).
+#include "src/games/detail.h"
+#include "src/games/roms.h"
+
+namespace rtct::games {
+
+namespace {
+constexpr const char* kSource = R"asm(
+; ------------------------------------------------------------ INVADERS ----
+.equ STATE,  0x8000
+.equ ALIENS, 0x8040     ; 24 alive-flag bytes
+.equ FB,     0xA000
+.equ INIT,  0
+.equ AX,    2           ; march x offset (0..15)
+.equ AY,    4           ; march y offset
+.equ ADIR,  6           ; +1 / -1
+.equ SHIP0, 8
+.equ SHIP1, 10
+.equ B0X,   12          ; bullet records: {x, y, active}
+.equ B0Y,   14
+.equ B0A,   16
+.equ B1X,   18
+.equ B1Y,   20
+.equ B1A,   22
+.equ SCORE, 24
+.equ OVER,  26
+.equ TICK,  28
+.equ ALIVE, 30
+
+.entry main
+main:
+    LDI r14, STATE
+    LDI r13, ALIENS
+    LDW r0, r14, INIT
+    CMPI r0, 0
+    JNZ frame
+    CALL init_aliens
+    LDI r0, 4
+    STW r14, r0, AX
+    STW r14, r0, AY
+    LDI r0, 1
+    STW r14, r0, ADIR
+    LDI r0, 20
+    STW r14, r0, SHIP0
+    LDI r0, 40
+    STW r14, r0, SHIP1
+    LDI r0, 1
+    STW r14, r0, INIT
+
+frame:
+    LDW r7, r14, OVER
+    CMPI r7, 0
+    JNZ render            ; frozen after game over
+
+    IN  r0, 0
+    IN  r1, 1
+
+    ; ---- ship 0 movement + fire
+    LDW r2, r14, SHIP0
+    MOV r3, r0
+    ANDI r3, 4
+    JZ  s0_nl
+    CMPI r2, 0
+    JZ  s0_nl
+    SUBI r2, 1
+s0_nl:
+    MOV r3, r0
+    ANDI r3, 8
+    JZ  s0_nr
+    CMPI r2, 60
+    JZ  s0_nr
+    ADDI r2, 1
+s0_nr:
+    STW r14, r2, SHIP0
+    MOV r3, r0
+    ANDI r3, 16
+    JZ  s0_nofire
+    LDW r4, r14, B0A
+    CMPI r4, 0
+    JNZ s0_nofire
+    ADDI r2, 1
+    STW r14, r2, B0X
+    LDI r4, 43
+    STW r14, r4, B0Y
+    LDI r4, 1
+    STW r14, r4, B0A
+s0_nofire:
+
+    ; ---- ship 1 movement + fire
+    LDW r2, r14, SHIP1
+    MOV r3, r1
+    ANDI r3, 4
+    JZ  s1_nl
+    CMPI r2, 0
+    JZ  s1_nl
+    SUBI r2, 1
+s1_nl:
+    MOV r3, r1
+    ANDI r3, 8
+    JZ  s1_nr
+    CMPI r2, 60
+    JZ  s1_nr
+    ADDI r2, 1
+s1_nr:
+    STW r14, r2, SHIP1
+    MOV r3, r1
+    ANDI r3, 16
+    JZ  s1_nofire
+    LDW r4, r14, B1A
+    CMPI r4, 0
+    JNZ s1_nofire
+    ADDI r2, 1
+    STW r14, r2, B1X
+    LDI r4, 43
+    STW r14, r4, B1Y
+    LDI r4, 1
+    STW r14, r4, B1A
+s1_nofire:
+
+    ; ---- bullets fly and collide
+    LDI r11, STATE + B0X
+    CALL bullet_update
+    LDI r11, STATE + B1X
+    CALL bullet_update
+
+    ; ---- wave cleared? respawn
+    LDW r7, r14, ALIVE
+    CMPI r7, 0
+    JNZ wave_ok
+    CALL init_aliens
+    LDI r7, 4
+    STW r14, r7, AY
+wave_ok:
+
+    ; ---- march every 8th frame
+    LDW r7, r14, TICK
+    ADDI r7, 1
+    STW r14, r7, TICK
+    ANDI r7, 7
+    JNZ no_march
+    LDW r7, r14, AX
+    LDW r8, r14, ADIR
+    ADD r7, r8
+    STW r14, r7, AX
+    CMPI r7, 0
+    JZ  flip
+    CMPI r7, 15
+    JZ  flip
+    JMP no_march
+flip:
+    LDW r8, r14, ADIR
+    NEG r8
+    STW r14, r8, ADIR
+    LDW r8, r14, AY
+    ADDI r8, 1
+    STW r14, r8, AY
+    CMPI r8, 30
+    JC  no_march          ; still above the ships
+    LDI r8, 1
+    STW r14, r8, OVER
+no_march:
+
+render:
+    LDI r4, FB
+    LDI r5, 3072
+    LDI r6, 0
+clear:
+    STB r4, r6
+    ADDI r4, 1
+    SUBI r5, 1
+    JNZ clear
+
+    ; aliens
+    LDI r8, 0
+ra_loop:
+    MOV r9, r13
+    ADD r9, r8
+    LDB r10, r9
+    CMPI r10, 0
+    JZ  ra_next
+    MOV r10, r8           ; x = AX + (i & 7) * 7
+    ANDI r10, 7
+    MULI r10, 7
+    LDW r7, r14, AX
+    ADD r10, r7
+    MOV r9, r8            ; y = AY + (i >> 3) * 5
+    SHRI r9, 3
+    MULI r9, 5
+    LDW r7, r14, AY
+    ADD r9, r7
+    SHLI r9, 6
+    ADD r9, r10
+    ADDI r9, FB
+    LDI r10, 6
+    STB r9, r10
+ra_next:
+    ADDI r8, 1
+    CMPI r8, 24
+    JC  ra_loop
+
+    ; ships (3 px wide, row 45 = FB + 2880)
+    LDW r4, r14, SHIP0
+    ADDI r4, FB + 2880
+    LDI r7, 2
+    STB r4, r7
+    STB r4, r7, 1
+    STB r4, r7, 2
+    LDW r4, r14, SHIP1
+    ADDI r4, FB + 2880
+    LDI r7, 3
+    STB r4, r7
+    STB r4, r7, 1
+    STB r4, r7, 2
+
+    ; bullets
+    LDW r4, r14, B0A
+    CMPI r4, 0
+    JZ  rb0_done
+    LDW r4, r14, B0Y
+    SHLI r4, 6
+    LDW r5, r14, B0X
+    ADD r4, r5
+    ADDI r4, FB
+    LDI r7, 7
+    STB r4, r7
+rb0_done:
+    LDW r4, r14, B1A
+    CMPI r4, 0
+    JZ  rb1_done
+    LDW r4, r14, B1Y
+    SHLI r4, 6
+    LDW r5, r14, B1X
+    ADD r4, r5
+    ADDI r4, FB
+    LDI r7, 7
+    STB r4, r7
+rb1_done:
+
+    ; score pixel + game-over marker
+    LDW r4, r14, SCORE
+    LDI r5, FB
+    STB r5, r4
+    LDW r4, r14, OVER
+    CMPI r4, 0
+    JZ  no_over_mark
+    LDI r5, FB + 32
+    LDI r4, 9
+    STB r5, r4
+no_over_mark:
+
+    LDW r4, r14, SCORE
+    OUT 4, r4
+
+    HALT
+    JMP frame
+
+; ---- bullet_update: r11 -> {x, y, active} record -----------------------
+bullet_update:
+    LDW r4, r11, 4        ; active?
+    CMPI r4, 0
+    JZ  bu_done
+    LDW r3, r11, 2        ; y -= 2
+    SUBI r3, 2
+    STW r11, r3, 2
+    CMPI r3, 2
+    JNC bu_alive
+    LDI r4, 0             ; left the screen
+    STW r11, r4, 4
+    JMP bu_done
+bu_alive:
+    LDW r2, r11, 0        ; bx
+    LDI r8, 0
+bu_loop:
+    MOV r9, r13
+    ADD r9, r8
+    LDB r10, r9
+    CMPI r10, 0
+    JZ  bu_next
+    MOV r10, r8           ; alien x
+    ANDI r10, 7
+    MULI r10, 7
+    LDW r7, r14, AX
+    ADD r10, r7
+    MOV r7, r2
+    SUB r7, r10
+    CMPI r7, 3            ; within 3 columns?
+    JNC bu_next
+    MOV r10, r8           ; alien y
+    SHRI r10, 3
+    MULI r10, 5
+    LDW r7, r14, AY
+    ADD r10, r7
+    MOV r7, r3
+    SUB r7, r10
+    CMPI r7, 3
+    JNC bu_next
+    LDI r10, 0            ; hit: kill alien, consume bullet, score
+    MOV r7, r13
+    ADD r7, r8
+    STB r7, r10
+    LDW r7, r14, SCORE
+    ADDI r7, 1
+    STW r14, r7, SCORE
+    LDW r7, r14, ALIVE
+    SUBI r7, 1
+    STW r14, r7, ALIVE
+    LDI r4, 0
+    STW r11, r4, 4
+    JMP bu_done
+bu_next:
+    ADDI r8, 1
+    CMPI r8, 24
+    JC  bu_loop
+bu_done:
+    RET
+
+init_aliens:
+    LDI r7, 24
+    MOV r8, r13
+    LDI r9, 1
+ia_loop:
+    STB r8, r9
+    ADDI r8, 1
+    SUBI r7, 1
+    JNZ ia_loop
+    LDI r7, 24
+    STW r14, r7, ALIVE
+    RET
+)asm";
+}  // namespace
+
+const emu::Rom& invaders_rom() {
+  static const emu::Rom rom = detail::build_rom("invaders", kSource);
+  return rom;
+}
+
+}  // namespace rtct::games

@@ -1,0 +1,202 @@
+// PONG — the archetypal two-player arcade game, in AC16 assembly.
+//
+// Controls (each player): Up (bit0) / Down (bit1) move the paddle.
+// Player 0 defends the left edge, player 1 the right. A missed ball scores
+// for the opponent and recenters. Scores are stored at STATE+12/14 and also
+// drawn into the top framebuffer row so they affect video state.
+#include "src/games/detail.h"
+#include "src/games/roms.h"
+
+namespace rtct::games {
+
+namespace {
+constexpr const char* kSource = R"asm(
+; ---------------------------------------------------------------- PONG ----
+.equ STATE, 0x8000
+.equ FB,    0xA000
+; state word offsets (from STATE, via r14)
+.equ P0Y,  0          ; paddle 0 top row (0..40)
+.equ P1Y,  2
+.equ BX,   4          ; ball x (0..63)
+.equ BY,   6          ; ball y (0..47)
+.equ DX,   8          ; ball x velocity (+1 / -1)
+.equ DY,   10
+.equ S0,   12         ; player 0 score
+.equ S1,   14
+.equ INIT, 16
+
+.entry main
+main:
+    LDI r14, STATE
+    LDW r0, r14, INIT
+    CMPI r0, 0
+    JNZ frame
+    ; one-time init
+    LDI r0, 20
+    STW r14, r0, P0Y
+    STW r14, r0, P1Y
+    LDI r0, 32
+    STW r14, r0, BX
+    LDI r0, 24
+    STW r14, r0, BY
+    LDI r0, 1
+    STW r14, r0, DX
+    STW r14, r0, DY
+    STW r14, r0, INIT
+
+frame:
+    ; ---- player 0 paddle
+    IN  r0, 0
+    LDW r1, r14, P0Y
+    MOV r2, r0
+    ANDI r2, 1            ; Up
+    JZ  p0_no_up
+    CMPI r1, 0
+    JZ  p0_no_up
+    SUBI r1, 1
+p0_no_up:
+    MOV r2, r0
+    ANDI r2, 2            ; Down
+    JZ  p0_no_down
+    CMPI r1, 40
+    JZ  p0_no_down
+    ADDI r1, 1
+p0_no_down:
+    STW r14, r1, P0Y
+
+    ; ---- player 1 paddle
+    IN  r0, 1
+    LDW r1, r14, P1Y
+    MOV r2, r0
+    ANDI r2, 1
+    JZ  p1_no_up
+    CMPI r1, 0
+    JZ  p1_no_up
+    SUBI r1, 1
+p1_no_up:
+    MOV r2, r0
+    ANDI r2, 2
+    JZ  p1_no_down
+    CMPI r1, 40
+    JZ  p1_no_down
+    ADDI r1, 1
+p1_no_down:
+    STW r14, r1, P1Y
+
+    ; ---- ball physics (r0=x r1=y r2=dx r3=dy)
+    LDW r0, r14, BX
+    LDW r1, r14, BY
+    LDW r2, r14, DX
+    LDW r3, r14, DY
+    ADD r0, r2
+    ADD r1, r3
+    CMPI r1, 0            ; bounce off top
+    JNZ not_top
+    LDI r3, 1
+not_top:
+    CMPI r1, 47           ; bounce off bottom
+    JNZ not_bottom
+    LDI r3, -1
+not_bottom:
+
+    CMPI r0, 2            ; reached player 0's column?
+    JNZ not_left
+    LDW r4, r14, P0Y
+    MOV r5, r1
+    SUB r5, r4
+    CMPI r5, 8            ; 0 <= by - p0y < 8  (unsigned)
+    JC  hit_left
+    LDW r4, r14, S1       ; miss: point for player 1
+    ADDI r4, 1
+    STW r14, r4, S1
+    LDI r0, 32
+    LDI r1, 24
+    LDI r2, 1
+    JMP moved
+hit_left:
+    LDI r2, 1
+    JMP moved
+not_left:
+    CMPI r0, 61           ; reached player 1's column?
+    JNZ moved
+    LDW r4, r14, P1Y
+    MOV r5, r1
+    SUB r5, r4
+    CMPI r5, 8
+    JC  hit_right
+    LDW r4, r14, S0       ; miss: point for player 0
+    ADDI r4, 1
+    STW r14, r4, S0
+    LDI r0, 32
+    LDI r1, 24
+    LDI r2, -1
+    JMP moved
+hit_right:
+    LDI r2, -1
+moved:
+    STW r14, r0, BX
+    STW r14, r1, BY
+    STW r14, r2, DX
+    STW r14, r3, DY
+    OUT 4, r1             ; tone channel follows ball height
+
+    ; ---- render
+    LDI r4, FB            ; clear
+    LDI r5, 3072
+    LDI r6, 0
+clear:
+    STB r4, r6
+    ADDI r4, 1
+    SUBI r5, 1
+    JNZ clear
+
+    LDW r4, r14, P0Y      ; paddle 0 at x=1, colour 2
+    MOV r5, r4
+    SHLI r5, 6
+    ADDI r5, FB + 1
+    LDI r6, 8
+    LDI r7, 2
+pad0:
+    STB r5, r7
+    ADDI r5, 64
+    SUBI r6, 1
+    JNZ pad0
+
+    LDW r4, r14, P1Y      ; paddle 1 at x=62, colour 3
+    MOV r5, r4
+    SHLI r5, 6
+    ADDI r5, FB + 62
+    LDI r6, 8
+    LDI r7, 3
+pad1:
+    STB r5, r7
+    ADDI r5, 64
+    SUBI r6, 1
+    JNZ pad1
+
+    LDW r4, r14, BX       ; ball, colour 7
+    LDW r5, r14, BY
+    SHLI r5, 6
+    ADD r5, r4
+    ADDI r5, FB
+    LDI r6, 7
+    STB r5, r6
+
+    LDW r4, r14, S0       ; scores into the corners of row 0
+    LDI r5, FB
+    STB r5, r4
+    LDW r4, r14, S1
+    LDI r5, FB + 63
+    STB r5, r4
+
+    HALT
+    JMP frame
+)asm";
+}  // namespace
+
+const emu::Rom& pong_rom() {
+  static const emu::Rom rom = detail::build_rom("pong", kSource);
+  return rom;
+}
+
+}  // namespace rtct::games

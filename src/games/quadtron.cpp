@@ -1,0 +1,244 @@
+// QUADTRON — four-player light cycles, the demonstration game for the
+// N-site mesh extension.
+//
+// Input packing: the 16-bit input word is split into four nibbles (the
+// 4-site SET[k] partition); player k's nibble is Up/Down/Left/Right. The
+// ROM reads ports 0 and 1 (players 0+1 and 2+3 respectively) and extracts
+// its nibbles itself — the hardware interface is unchanged.
+//
+// Rules: cycles advance every second frame leaving permanent trails;
+// touching anything lit kills the cycle in place (the round continues!);
+// when at most one cycle remains, the survivor scores and the arena
+// resets. Scores live at STATE+0/2/4/6.
+#include "src/games/detail.h"
+#include "src/games/roms.h"
+
+namespace rtct::games {
+
+namespace {
+constexpr const char* kSource = R"asm(
+; ------------------------------------------------------------ QUADTRON ----
+.equ STATE, 0x8000    ; words: S0 S1 S2 S3 (0,2,4,6), INIT (8)
+.equ CYC,   0x8020    ; four records, stride 8: X, Y, D, ALIVE
+.equ FB,    0xA000
+.equ INIT,  8
+
+.entry main
+main:
+    LDI r14, STATE
+    LDW r0, r14, INIT
+    CMPI r0, 0
+    JNZ frame
+    CALL arena_reset
+    LDI r0, 1
+    STW r14, r0, INIT
+
+frame:
+    IN  r9, 2             ; move on even frames only
+    ANDI r9, 1
+    JZ  do_move
+    HALT
+    JMP frame
+
+do_move:
+    IN  r10, 0            ; players 0+1 nibbles
+    IN  r11, 1            ; players 2+3 nibbles
+    LDI r12, 0
+player_loop:
+    MOV r13, r12          ; r13 -> this cycle's record
+    SHLI r13, 3
+    ADDI r13, CYC
+    LDW r4, r13, 6        ; alive?
+    CMPI r4, 0
+    JZ  next_player
+
+    MOV r0, r10           ; select the player's input nibble
+    MOV r1, r12
+    ANDI r1, 2
+    JZ  pl_port0
+    MOV r0, r11
+pl_port0:
+    MOV r1, r12
+    ANDI r1, 1
+    JZ  pl_noshift
+    SHRI r0, 4
+pl_noshift:
+    ANDI r0, 15
+
+    LDW r4, r13, 4        ; steer
+    MOV r1, r0
+    ANDI r1, 1
+    JZ  pl_nu
+    LDI r4, 0
+pl_nu:
+    MOV r1, r0
+    ANDI r1, 2
+    JZ  pl_nd
+    LDI r4, 1
+pl_nd:
+    MOV r1, r0
+    ANDI r1, 4
+    JZ  pl_nl
+    LDI r4, 2
+pl_nl:
+    MOV r1, r0
+    ANDI r1, 8
+    JZ  pl_nr
+    LDI r4, 3
+pl_nr:
+    STW r13, r4, 4
+
+    LDW r2, r13, 0        ; advance one step
+    LDW r3, r13, 2
+    CALL advance
+    MOV r5, r3            ; probe the target cell
+    SHLI r5, 6
+    ADD r5, r2
+    ADDI r5, FB
+    LDB r6, r5
+    CMPI r6, 0
+    JZ  pl_clear
+    LDI r6, 0             ; crash: this cycle dies in place
+    STW r13, r6, 6
+    JMP next_player
+pl_clear:
+    MOV r6, r12           ; trail colour 2 + player index
+    ADDI r6, 2
+    STB r5, r6
+    STW r13, r2, 0
+    STW r13, r3, 2
+next_player:
+    ADDI r12, 1
+    CMPI r12, 4
+    JC  player_loop
+
+    ; ---- count the living
+    LDI r5, 0             ; count
+    LDI r6, 0             ; index of (a) survivor
+    LDI r12, 0
+count_loop:
+    MOV r13, r12
+    SHLI r13, 3
+    ADDI r13, CYC
+    LDW r4, r13, 6
+    CMPI r4, 0
+    JZ  count_next
+    ADDI r5, 1
+    MOV r6, r12
+count_next:
+    ADDI r12, 1
+    CMPI r12, 4
+    JC  count_loop
+
+    OUT 4, r5             ; tone = cycles still alive
+    CMPI r5, 2
+    JNC end_frame         ; two or more alive: keep fighting
+    CMPI r5, 0
+    JZ  round_done        ; mutual destruction: nobody scores
+    MOV r7, r6            ; lone survivor scores
+    SHLI r7, 1
+    ADD r7, r14
+    LDW r8, r7
+    ADDI r8, 1
+    STW r7, r8
+round_done:
+    CALL arena_reset
+end_frame:
+    HALT
+    JMP frame
+
+; ---- advance (r2=x r3=y r4=dir) ------------------------------------------
+advance:
+    CMPI r4, 0
+    JNZ adv_nu
+    SUBI r3, 1
+    RET
+adv_nu:
+    CMPI r4, 1
+    JNZ adv_nd
+    ADDI r3, 1
+    RET
+adv_nd:
+    CMPI r4, 2
+    JNZ adv_nl
+    SUBI r2, 1
+    RET
+adv_nl:
+    ADDI r2, 1
+    RET
+
+; ---- arena_reset: clear, walls, respawn from the spawn table --------------
+arena_reset:
+    LDI r4, FB
+    LDI r5, 3072
+    LDI r6, 0
+ar_clear:
+    STB r4, r6
+    ADDI r4, 1
+    SUBI r5, 1
+    JNZ ar_clear
+
+    LDI r4, FB
+    LDI r5, FB + 3008
+    LDI r6, 64
+    LDI r7, 1
+ar_rows:
+    STB r4, r7
+    STB r5, r7
+    ADDI r4, 1
+    ADDI r5, 1
+    SUBI r6, 1
+    JNZ ar_rows
+    LDI r4, FB
+    LDI r5, FB + 63
+    LDI r6, 48
+ar_cols:
+    STB r4, r7
+    STB r5, r7
+    ADDI r4, 64
+    ADDI r5, 64
+    SUBI r6, 1
+    JNZ ar_cols
+
+    LDI r12, 0
+spawn_loop:
+    MOV r13, r12
+    SHLI r13, 3
+    ADDI r13, CYC
+    MOV r7, r12
+    SHLI r7, 3            ; spawn table stride 8 (4 words, last unused)
+    ADDI r7, spawns
+    LDW r2, r7, 0
+    LDW r3, r7, 2
+    LDW r4, r7, 4
+    STW r13, r2, 0
+    STW r13, r3, 2
+    STW r13, r4, 4
+    LDI r6, 1
+    STW r13, r6, 6
+    MOV r5, r3            ; seed the trail pixel
+    SHLI r5, 6
+    ADD r5, r2
+    ADDI r5, FB
+    MOV r6, r12
+    ADDI r6, 2
+    STB r5, r6
+    ADDI r12, 1
+    CMPI r12, 4
+    JC  spawn_loop
+    RET
+
+spawns:                   ; x, y, initial direction, (pad)
+.word 10, 10, 3, 0
+.word 53, 10, 2, 0
+.word 10, 37, 3, 0
+.word 53, 37, 2, 0
+)asm";
+}  // namespace
+
+const emu::Rom& quadtron_rom() {
+  static const emu::Rom rom = detail::build_rom("quadtron", kSource);
+  return rom;
+}
+
+}  // namespace rtct::games

@@ -1,0 +1,44 @@
+#include "src/games/roms.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/emu/assembler.h"
+#include "src/games/detail.h"
+
+namespace rtct::games {
+
+namespace detail {
+
+emu::Rom build_rom(const std::string& title, const char* source) {
+  auto result = emu::assemble(source, title);
+  if (!result.ok()) {
+    std::fprintf(stderr, "rtct_games: bundled ROM '%s' failed to assemble:\n%s", title.c_str(),
+                 result.error_text().c_str());
+    std::abort();
+  }
+  return std::move(result.rom);
+}
+
+}  // namespace detail
+
+std::vector<std::string_view> game_names() { return {"pong", "duel", "invaders", "tron", "tanks", "quadtron", "torture"}; }
+
+const emu::Rom* rom_by_name(std::string_view name) {
+  if (name == "pong") return &pong_rom();
+  if (name == "duel") return &duel_rom();
+  if (name == "invaders") return &invaders_rom();
+  if (name == "tron") return &tron_rom();
+  if (name == "tanks") return &tanks_rom();
+  if (name == "quadtron") return &quadtron_rom();
+  if (name == "torture") return &torture_rom();
+  return nullptr;
+}
+
+std::unique_ptr<emu::ArcadeMachine> make_machine(std::string_view name) {
+  const emu::Rom* rom = rom_by_name(name);
+  if (rom == nullptr) return nullptr;
+  return std::make_unique<emu::ArcadeMachine>(*rom);
+}
+
+}  // namespace rtct::games

@@ -1,0 +1,47 @@
+// The bundled "legacy game" catalogue.
+//
+// Each game is an AC16 assembly program, assembled on first use. They play
+// the role of the paper's Street Fighter 2 image: opaque two-player ROMs
+// the sync layer drives without any semantic knowledge. All four read both
+// players' controller ports every frame, so replica divergence caused by a
+// sync bug shows up immediately in the state hash.
+//
+//   pong      two paddles, a ball, scores — the archetypal two-player game
+//   duel      a minimal fighting game (move / punch / block / rounds)
+//   invaders  co-op fixed shooter (marching aliens, two ships, bullets)
+//   tron      light-cycle duel (trail collision via framebuffer readback)
+//   tanks     artillery duel (fixed-point ballistics, ROM data tables)
+//   quadtron  FOUR-player light cycles (nibble-per-player inputs; the
+//             demonstration game for the N-site mesh extension)
+//   torture   determinism stressor: input-seeded PRNG scribbling over RAM,
+//             deep CALL recursion, MUL/shift mixing — no gameplay, maximal
+//             state sensitivity to any lost or reordered input bit
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/emu/machine.h"
+#include "src/emu/rom.h"
+
+namespace rtct::games {
+
+const emu::Rom& pong_rom();
+const emu::Rom& duel_rom();
+const emu::Rom& invaders_rom();
+const emu::Rom& tron_rom();
+const emu::Rom& tanks_rom();
+const emu::Rom& quadtron_rom();
+const emu::Rom& torture_rom();
+
+/// Names accepted by rom_by_name / make_machine.
+std::vector<std::string_view> game_names();
+
+/// Returns nullptr for an unknown name.
+const emu::Rom* rom_by_name(std::string_view name);
+
+/// Convenience: a fresh machine running the named game (nullptr if unknown).
+std::unique_ptr<emu::ArcadeMachine> make_machine(std::string_view name);
+
+}  // namespace rtct::games

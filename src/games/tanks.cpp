@@ -1,0 +1,308 @@
+// TANKS — an artillery duel: two fixed emplacements lob shells with
+// adjustable launch power; gravity is integrated in 8.8 fixed point and
+// the muzzle-velocity table lives in ROM data (.word directives).
+//
+// Controls: Up/Down (bits 0/1) raise/lower the power setting (0..7, with
+// a 6-frame repeat cooldown), A (bit 4) fires if no shell is in flight.
+// A shell landing within 3 columns of the opposing tank scores for the
+// shooter. No round reset — tanks are eternal, only scores move.
+#include "src/games/detail.h"
+#include "src/games/roms.h"
+
+namespace rtct::games {
+
+namespace {
+constexpr const char* kSource = R"asm(
+; --------------------------------------------------------------- TANKS ----
+.equ STATE, 0x8000
+.equ FB,    0xA000
+.equ A0,   0          ; power setting (0..7)
+.equ A1,   2
+.equ S0,   4          ; scores
+.equ S1,   6
+.equ P0A,  8          ; shell records: active, x, y (8.8), vx, vy
+.equ P0X,  10
+.equ P0Y,  12
+.equ P0VX, 14
+.equ P0VY, 16
+.equ P1A,  18
+.equ P1X,  20
+.equ P1Y,  22
+.equ P1VX, 24
+.equ P1VY, 26
+.equ CD0,  28         ; power-adjust repeat cooldowns
+.equ CD1,  30
+
+.equ T0X,  8          ; tank columns and the ground row
+.equ T1X,  55
+.equ GY,   40
+.equ GRAV, 16         ; 8.8 gravity per frame
+.equ VY0,  120        ; 8.8 initial climb rate (flight ~15 frames)
+
+.entry main
+main:
+    LDI r14, STATE
+frame:
+    ; ---- player 0 power setting
+    IN  r0, 0
+    LDW r4, r14, A0
+    LDW r5, r14, CD0
+    CMPI r5, 0
+    JNZ p0_no_adjust
+    MOV r3, r0
+    ANDI r3, 1            ; up => more power
+    JZ  p0_no_up
+    CMPI r4, 7
+    JZ  p0_no_up
+    ADDI r4, 1
+    LDI r5, 6
+p0_no_up:
+    MOV r3, r0
+    ANDI r3, 2            ; down => less power
+    JZ  p0_no_adjust
+    CMPI r4, 0
+    JZ  p0_no_adjust
+    SUBI r4, 1
+    LDI r5, 6
+p0_no_adjust:
+    STW r14, r4, A0
+    CMPI r5, 0
+    JZ  p0_cd_done
+    SUBI r5, 1
+p0_cd_done:
+    STW r14, r5, CD0
+
+    ; ---- player 0 fire
+    MOV r3, r0
+    ANDI r3, 16
+    JZ  p0_no_fire
+    LDW r3, r14, P0A
+    CMPI r3, 0
+    JNZ p0_no_fire
+    LDI r3, 1
+    STW r14, r3, P0A
+    LDI r3, T0X * 256
+    STW r14, r3, P0X
+    LDI r3, (GY - 2) * 256
+    STW r14, r3, P0Y
+    LDI r5, vxtab
+    LDW r6, r14, A0
+    SHLI r6, 1
+    ADD r5, r6
+    LDW r7, r5            ; muzzle vx from the ROM table
+    STW r14, r7, P0VX
+    LDI r7, -VY0
+    STW r14, r7, P0VY
+p0_no_fire:
+
+    ; ---- player 1 power setting
+    IN  r0, 1
+    LDW r4, r14, A1
+    LDW r5, r14, CD1
+    CMPI r5, 0
+    JNZ p1_no_adjust
+    MOV r3, r0
+    ANDI r3, 1
+    JZ  p1_no_up
+    CMPI r4, 7
+    JZ  p1_no_up
+    ADDI r4, 1
+    LDI r5, 6
+p1_no_up:
+    MOV r3, r0
+    ANDI r3, 2
+    JZ  p1_no_adjust
+    CMPI r4, 0
+    JZ  p1_no_adjust
+    SUBI r4, 1
+    LDI r5, 6
+p1_no_adjust:
+    STW r14, r4, A1
+    CMPI r5, 0
+    JZ  p1_cd_done
+    SUBI r5, 1
+p1_cd_done:
+    STW r14, r5, CD1
+
+    ; ---- player 1 fire (shoots leftward: vx negated)
+    MOV r3, r0
+    ANDI r3, 16
+    JZ  p1_no_fire
+    LDW r3, r14, P1A
+    CMPI r3, 0
+    JNZ p1_no_fire
+    LDI r3, 1
+    STW r14, r3, P1A
+    LDI r3, T1X * 256
+    STW r14, r3, P1X
+    LDI r3, (GY - 2) * 256
+    STW r14, r3, P1Y
+    LDI r5, vxtab
+    LDW r6, r14, A1
+    SHLI r6, 1
+    ADD r5, r6
+    LDW r7, r5
+    NEG r7
+    STW r14, r7, P1VX
+    LDI r7, -VY0
+    STW r14, r7, P1VY
+p1_no_fire:
+
+    ; ---- integrate shells (r11 -> record base; r12 = target x; r13 = my score slot)
+    LDI r11, STATE + P0A
+    LDI r12, T1X
+    LDI r13, S0
+    CALL shell_update
+    LDI r11, STATE + P1A
+    LDI r12, T0X
+    LDI r13, S1
+    CALL shell_update
+
+    ; ---- render
+    LDI r4, FB
+    LDI r5, 3072
+    LDI r6, 0
+clear:
+    STB r4, r6
+    ADDI r4, 1
+    SUBI r5, 1
+    JNZ clear
+
+    LDI r4, FB + GY * 64  ; ground
+    LDI r5, 64
+    LDI r7, 1
+ground:
+    STB r4, r7
+    ADDI r4, 1
+    SUBI r5, 1
+    JNZ ground
+
+    ; tanks (3x2 blocks)
+    LDI r4, FB + (GY - 2) * 64 + T0X - 1
+    LDI r7, 2
+    CALL draw_tank
+    LDI r4, FB + (GY - 2) * 64 + T1X - 1
+    LDI r7, 3
+    CALL draw_tank
+
+    ; power indicators: a pixel climbing with the setting
+    LDW r4, r14, A0
+    LDI r5, GY - 4
+    SUB r5, r4
+    SHLI r5, 6
+    ADDI r5, FB + T0X
+    LDI r7, 6
+    STB r5, r7
+    LDW r4, r14, A1
+    LDI r5, GY - 4
+    SUB r5, r4
+    SHLI r5, 6
+    ADDI r5, FB + T1X
+    STB r5, r7
+
+    ; shells
+    LDI r11, STATE + P0A
+    CALL draw_shell
+    LDI r11, STATE + P1A
+    CALL draw_shell
+
+    ; scores in the top corners
+    LDW r4, r14, S0
+    LDI r5, FB
+    STB r5, r4
+    LDW r4, r14, S1
+    LDI r5, FB + 63
+    STB r5, r4
+
+    LDW r2, r14, S0
+    LDW r3, r14, S1
+    ADD r2, r3
+    OUT 4, r2
+    HALT
+    JMP frame
+
+; ---- shell_update: r11 -> {active,x,y,vx,vy}; r12 = target x; r13 = score slot
+shell_update:
+    LDW r4, r11, 0
+    CMPI r4, 0
+    JZ  su_done
+    LDW r4, r11, 2        ; x += vx
+    LDW r5, r11, 6
+    ADD r4, r5
+    STW r11, r4, 2
+    LDW r4, r11, 4        ; y += vy
+    LDW r5, r11, 8
+    ADD r4, r5
+    STW r11, r4, 4
+    ADDI r5, GRAV         ; vy += g
+    STW r11, r5, 8
+    ; landed? (descending and y >= ground level)
+    MOV r6, r5
+    ANDI r6, 0x8000
+    JNZ su_done           ; still climbing
+    CMPI r4, GY * 256
+    JC  su_done           ; still above ground
+    LDI r6, 0             ; impact: deactivate
+    STW r11, r6, 0
+    LDW r4, r11, 2        ; landing column
+    SHRI r4, 8
+    SUB r4, r12           ; |x - target| <= 3 ?
+    JNN su_abs_done
+    NEG r4
+su_abs_done:
+    CMPI r4, 4
+    JNC su_done           ; miss
+    MOV r6, r14           ; hit: ++score at [STATE + r13]
+    ADD r6, r13
+    LDW r7, r6
+    ADDI r7, 1
+    STW r6, r7
+su_done:
+    RET
+
+; ---- draw_tank: r4 = fb addr of top-left, r7 = colour --------------------
+draw_tank:
+    STB r4, r7
+    STB r4, r7, 1
+    STB r4, r7, 2
+    ADDI r4, 64
+    STB r4, r7
+    STB r4, r7, 1
+    STB r4, r7, 2
+    RET
+
+; ---- draw_shell: r11 -> shell record ------------------------------------
+draw_shell:
+    LDW r4, r11, 0
+    CMPI r4, 0
+    JZ  ds_done
+    LDW r4, r11, 2        ; column
+    SHRI r4, 8
+    CMPI r4, 64
+    JNC ds_done           ; off screen
+    LDW r5, r11, 4        ; row
+    SHRI r5, 8
+    CMPI r5, 48
+    JNC ds_done
+    SHLI r5, 6
+    ADD r5, r4
+    ADDI r5, FB
+    LDI r7, 7
+    STB r5, r7
+ds_done:
+    RET
+
+; muzzle-velocity table: 8.8 horizontal speeds for power settings 0..7.
+; With VY0=120 and GRAV=16 a shell flies ~15 frames, giving ranges of
+; roughly 20..56 columns — bracketing the 47-column gap between the tanks.
+vxtab:
+.word 341, 443, 546, 648, 751, 802, 853, 956
+)asm";
+}  // namespace
+
+const emu::Rom& tanks_rom() {
+  static const emu::Rom rom = detail::build_rom("tanks", kSource);
+  return rom;
+}
+
+}  // namespace rtct::games

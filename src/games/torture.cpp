@@ -1,0 +1,101 @@
+// TORTURE — a determinism stressor, not a game.
+//
+// Every frame it folds both players' inputs and the frame counter into a
+// multiplicative PRNG seed, scatters XOR writes across a RAM page, recurses
+// to an input-dependent stack depth, and splats pseudo-random framebuffer
+// pixels. A single wrong, lost, duplicated or reordered input bit at either
+// site diverges the state hash within one frame and keeps it diverged —
+// making it the sharpest possible probe of the sync layer's logical
+// consistency guarantee.
+#include "src/games/detail.h"
+#include "src/games/roms.h"
+
+namespace rtct::games {
+
+namespace {
+constexpr const char* kSource = R"asm(
+; ------------------------------------------------------------- TORTURE ----
+.equ STATE,   0x8000
+.equ SCRATCH, 0x8100
+.equ FB,      0xA000
+.equ SEED, 0
+
+.entry main
+main:
+    LDI r14, STATE
+frame:
+    IN  r0, 0             ; player 0 buttons
+    IN  r1, 1             ; player 1 buttons
+    IN  r2, 2             ; frame counter (low)
+    LDW r5, r14, SEED
+    MULI r5, 31421        ; LCG step
+    ADDI r5, 6927
+    XOR r5, r0            ; fold in inputs
+    MOV r6, r1
+    SHLI r6, 8
+    XOR r5, r6
+    ADD r5, r2
+
+    ; scatter 64 XOR writes across the scratch page
+    LDI r7, 64
+scatter:
+    MOV r8, r5
+    SHRI r8, 3
+    MOV r9, r7
+    MULI r9, 7
+    ADD r8, r9
+    ANDI r8, 0xFF
+    ADDI r8, SCRATCH
+    LDB r9, r8
+    MOV r10, r5
+    ADD r10, r7
+    XOR r9, r10
+    STB r8, r9
+    MULI r5, 5            ; remix between writes
+    ADDI r5, 77
+    SUBI r7, 1
+    JNZ scatter
+
+    ; input-dependent recursion depth (exercises CALL/RET/PUSH/POP)
+    MOV r3, r0
+    ANDI r3, 7
+    ADDI r3, 2
+    CALL rec
+
+    ; splat 8 pseudo-random pixels
+    LDI r7, 8
+pixels:
+    MOV r8, r5
+    ANDI r8, 2047
+    ADDI r8, FB
+    STB r8, r5
+    MULI r5, 9
+    ADDI r5, 12345
+    SUBI r7, 1
+    JNZ pixels
+
+    OUT 4, r5             ; tone follows the seed
+    STW r14, r5, SEED
+    HALT
+    JMP frame
+
+rec:
+    CMPI r3, 0
+    JZ  rec_done
+    PUSH r3
+    SUBI r3, 1
+    CALL rec
+    POP r3
+    XORI r5, 0x5A5A
+    ADD r5, r3
+rec_done:
+    RET
+)asm";
+}  // namespace
+
+const emu::Rom& torture_rom() {
+  static const emu::Rom rom = detail::build_rom("torture", kSource);
+  return rom;
+}
+
+}  // namespace rtct::games

@@ -1,0 +1,234 @@
+// TRON — two light cycles leave permanent trails; touching any lit pixel
+// (wall, either trail) crashes and scores for the opponent.
+//
+// Controls: Up/Down/Left/Right (bits 0-3) steer. Cycles advance every
+// second frame. Uniquely among the bundled games, collision detection
+// *reads the framebuffer back* (LDB from video memory), exercising the
+// video region as ordinary addressable RAM.
+#include "src/games/detail.h"
+#include "src/games/roms.h"
+
+namespace rtct::games {
+
+namespace {
+constexpr const char* kSource = R"asm(
+; ---------------------------------------------------------------- TRON ----
+.equ STATE, 0x8000
+.equ FB,    0xA000
+.equ X0,   0
+.equ Y0,   2
+.equ D0,   4          ; 0=up 1=down 2=left 3=right
+.equ X1,   6
+.equ Y1,   8
+.equ D1,   10
+.equ S0,   12
+.equ S1,   14
+.equ INIT, 16
+
+.entry main
+main:
+    LDI r14, STATE
+    LDW r0, r14, INIT
+    CMPI r0, 0
+    JNZ frame
+    CALL arena_reset
+    LDI r0, 1
+    STW r14, r0, INIT
+
+frame:
+    IN  r0, 2             ; move on even frames only
+    ANDI r0, 1
+    JZ  do_move
+    HALT
+    JMP frame
+
+do_move:
+    ; ---- steer player 0
+    IN  r0, 0
+    LDW r4, r14, D0
+    MOV r3, r0
+    ANDI r3, 1
+    JZ  p0_not_up
+    LDI r4, 0
+p0_not_up:
+    MOV r3, r0
+    ANDI r3, 2
+    JZ  p0_not_down
+    LDI r4, 1
+p0_not_down:
+    MOV r3, r0
+    ANDI r3, 4
+    JZ  p0_not_left
+    LDI r4, 2
+p0_not_left:
+    MOV r3, r0
+    ANDI r3, 8
+    JZ  p0_not_right
+    LDI r4, 3
+p0_not_right:
+    STW r14, r4, D0
+
+    ; ---- steer player 1
+    IN  r0, 1
+    LDW r4, r14, D1
+    MOV r3, r0
+    ANDI r3, 1
+    JZ  p1_not_up
+    LDI r4, 0
+p1_not_up:
+    MOV r3, r0
+    ANDI r3, 2
+    JZ  p1_not_down
+    LDI r4, 1
+p1_not_down:
+    MOV r3, r0
+    ANDI r3, 4
+    JZ  p1_not_left
+    LDI r4, 2
+p1_not_left:
+    MOV r3, r0
+    ANDI r3, 8
+    JZ  p1_not_right
+    LDI r4, 3
+p1_not_right:
+    STW r14, r4, D1
+
+    ; ---- advance player 0 (r2=x r3=y r4=d)
+    LDW r2, r14, X0
+    LDW r3, r14, Y0
+    LDW r4, r14, D0
+    CALL advance
+    ; collision probe at the new cell
+    MOV r5, r3
+    SHLI r5, 6
+    ADD r5, r2
+    ADDI r5, FB
+    LDB r6, r5
+    CMPI r6, 0
+    JZ  p0_clear
+    LDW r6, r14, S1       ; crash: point to player 1
+    ADDI r6, 1
+    STW r14, r6, S1
+    CALL arena_reset
+    JMP end_frame
+p0_clear:
+    LDI r6, 2             ; lay trail
+    STB r5, r6
+    STW r14, r2, X0
+    STW r14, r3, Y0
+
+    ; ---- advance player 1
+    LDW r2, r14, X1
+    LDW r3, r14, Y1
+    LDW r4, r14, D1
+    CALL advance
+    MOV r5, r3
+    SHLI r5, 6
+    ADD r5, r2
+    ADDI r5, FB
+    LDB r6, r5
+    CMPI r6, 0
+    JZ  p1_clear
+    LDW r6, r14, S0
+    ADDI r6, 1
+    STW r14, r6, S0
+    CALL arena_reset
+    JMP end_frame
+p1_clear:
+    LDI r6, 3
+    STB r5, r6
+    STW r14, r2, X1
+    STW r14, r3, Y1
+
+end_frame:
+    LDW r2, r14, S0       ; tone tracks the score totals
+    LDW r3, r14, S1
+    ADD r2, r3
+    OUT 4, r2
+    HALT
+    JMP frame
+
+; ---- advance (r2=x r3=y r4=dir) — one step in direction ------------------
+advance:
+    CMPI r4, 0
+    JNZ adv_not_up
+    SUBI r3, 1
+    RET
+adv_not_up:
+    CMPI r4, 1
+    JNZ adv_not_down
+    ADDI r3, 1
+    RET
+adv_not_down:
+    CMPI r4, 2
+    JNZ adv_not_left
+    SUBI r2, 1
+    RET
+adv_not_left:
+    ADDI r2, 1
+    RET
+
+; ---- arena_reset: clear, draw walls, respawn cycles -----------------------
+arena_reset:
+    LDI r4, FB
+    LDI r5, 3072
+    LDI r6, 0
+ar_clear:
+    STB r4, r6
+    ADDI r4, 1
+    SUBI r5, 1
+    JNZ ar_clear
+
+    LDI r4, FB            ; top + bottom walls
+    LDI r5, FB + 3008
+    LDI r6, 64
+    LDI r7, 1
+ar_rows:
+    STB r4, r7
+    STB r5, r7
+    ADDI r4, 1
+    ADDI r5, 1
+    SUBI r6, 1
+    JNZ ar_rows
+
+    LDI r4, FB            ; left + right walls
+    LDI r5, FB + 63
+    LDI r6, 48
+ar_cols:
+    STB r4, r7
+    STB r5, r7
+    ADDI r4, 64
+    ADDI r5, 64
+    SUBI r6, 1
+    JNZ ar_cols
+
+    LDI r2, 10            ; player 0 spawns left, heading right
+    STW r14, r2, X0
+    LDI r2, 24
+    STW r14, r2, Y0
+    LDI r2, 3
+    STW r14, r2, D0
+    LDI r2, 53            ; player 1 spawns right, heading left
+    STW r14, r2, X1
+    LDI r2, 24
+    STW r14, r2, Y1
+    LDI r2, 2
+    STW r14, r2, D1
+
+    ; seed trail pixels at the spawn cells
+    LDI r4, FB + 24 * 64 + 10
+    LDI r6, 2
+    STB r4, r6
+    LDI r4, FB + 24 * 64 + 53
+    LDI r6, 3
+    STB r4, r6
+    RET
+)asm";
+}  // namespace
+
+const emu::Rom& tron_rom() {
+  static const emu::Rom rom = detail::build_rom("tron", kSource);
+  return rom;
+}
+
+}  // namespace rtct::games

@@ -1,0 +1,57 @@
+#include "src/net/netem.h"
+
+#include <algorithm>
+
+namespace rtct::net {
+
+Time NetemModel::departure_time(Time now, std::size_t size) {
+  if (cfg_.rate_bps <= 0) return now;
+  const Dur serialization =
+      static_cast<Dur>(static_cast<__int128>(size) * 8 * kSecond / cfg_.rate_bps);
+  const Time start = std::max(now, next_free_);
+  next_free_ = start + serialization;
+  return next_free_;
+}
+
+Dur NetemModel::one_way_delay() {
+  if (cfg_.jitter <= 0) return cfg_.delay;
+  return rng_.jitter(cfg_.delay, cfg_.jitter, 0);
+}
+
+NetemModel::Verdict NetemModel::offer(Time now, std::size_t size) {
+  Verdict v;
+  ++stats_.packets_offered;
+  stats_.bytes_offered += size;
+
+  if (cfg_.queue_limit > 0 && in_flight_ >= cfg_.queue_limit) {
+    ++stats_.dropped_queue;
+    return v;
+  }
+  if (rng_.bernoulli(cfg_.loss)) {
+    ++stats_.dropped_loss;
+    return v;
+  }
+
+  const Time departed = departure_time(now, size);
+  Dur extra = 0;
+  if (cfg_.reorder > 0 && rng_.bernoulli(cfg_.reorder)) {
+    extra = cfg_.reorder_extra;
+    ++stats_.reordered;
+  }
+
+  v.delivered = true;
+  v.arrival = departed + one_way_delay() + extra;
+  ++stats_.packets_delivered;
+  ++in_flight_;
+
+  if (cfg_.duplicate > 0 && rng_.bernoulli(cfg_.duplicate)) {
+    v.duplicate = true;
+    v.dup_arrival = departed + one_way_delay();
+    ++stats_.duplicated;
+    ++stats_.packets_delivered;
+    ++in_flight_;
+  }
+  return v;
+}
+
+}  // namespace rtct::net

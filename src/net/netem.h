@@ -1,0 +1,89 @@
+// Network-emulation model: the in-simulator equivalent of the Linux Netem
+// qdisc the paper placed between its two gaming PCs (§4).
+//
+// Each unidirectional link applies, in order: queue admission (tail drop),
+// rate-based serialization delay, random loss, duplication, base delay +
+// gaussian jitter, and probabilistic reorder hold-back. All randomness is
+// drawn from a per-link deterministic RNG so experiments are reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/random.h"
+#include "src/common/time.h"
+
+namespace rtct::net {
+
+struct NetemConfig {
+  Dur delay = 0;            ///< one-way propagation delay (Netem "delay")
+  Dur jitter = 0;           ///< stddev of gaussian jitter added to `delay`
+  double loss = 0;          ///< drop probability in [0,1] (Netem "loss")
+  double duplicate = 0;     ///< duplication probability (Netem "duplicate")
+  double reorder = 0;       ///< probability a packet is held back extra
+  Dur reorder_extra = 0;    ///< hold-back added to reordered packets
+  std::int64_t rate_bps = 0;  ///< link rate, 0 = infinite (Netem "rate")
+  std::size_t queue_limit = 0;  ///< max in-flight packets, 0 = unlimited ("limit")
+
+  /// Symmetric-path helper: one direction of a link whose round-trip time
+  /// is `rtt` (the paper sweeps RTT, each direction contributing RTT/2).
+  static NetemConfig for_rtt(Dur rtt) {
+    NetemConfig c;
+    c.delay = rtt / 2;
+    return c;
+  }
+};
+
+/// Counters exposed by each link direction.
+struct LinkStats {
+  std::uint64_t packets_offered = 0;
+  std::uint64_t packets_delivered = 0;  ///< includes duplicates
+  std::uint64_t dropped_loss = 0;
+  std::uint64_t dropped_queue = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t bytes_offered = 0;
+};
+
+/// Pure decision logic for one link direction: given "now", computes when
+/// (and whether, and how many times) a packet arrives. IO-free so it can be
+/// unit-tested exhaustively and reused by both the simulated and any future
+/// real-socket shaping layer.
+class NetemModel {
+ public:
+  NetemModel(NetemConfig cfg, Rng rng) : cfg_(cfg), rng_(rng) {}
+
+  struct Verdict {
+    bool delivered = false;
+    Time arrival = 0;        ///< valid when delivered
+    bool duplicate = false;  ///< a second copy arrives at `dup_arrival`
+    Time dup_arrival = 0;
+  };
+
+  /// Decides the fate of a packet of `size` bytes offered at time `now`.
+  Verdict offer(Time now, std::size_t size);
+
+  [[nodiscard]] const LinkStats& stats() const { return stats_; }
+  [[nodiscard]] const NetemConfig& config() const { return cfg_; }
+
+  /// Swaps link conditions mid-run (real networks are not static; the
+  /// dynamic-conditions experiments degrade and restore a path live).
+  /// Stats and in-flight accounting carry over.
+  void set_config(const NetemConfig& cfg) { cfg_ = cfg; }
+  /// Number of packets currently "on the wire" (offered, not yet arrived).
+  /// Maintained by the caller via on_arrival(); used for queue_limit.
+  void on_arrival() {
+    if (in_flight_ > 0) --in_flight_;
+  }
+
+ private:
+  Time departure_time(Time now, std::size_t size);
+  Time one_way_delay();
+
+  NetemConfig cfg_;
+  Rng rng_;
+  LinkStats stats_;
+  Time next_free_ = 0;  ///< when the serializer becomes idle (rate limiting)
+  std::size_t in_flight_ = 0;
+};
+
+}  // namespace rtct::net

@@ -1,0 +1,47 @@
+#include "src/net/sim_network.h"
+
+#include <utility>
+
+namespace rtct::net {
+
+void SimEndpoint::send(std::span<const std::uint8_t> payload) {
+  const auto verdict = tx_->offer(sim_.now(), payload.size());
+  if (!verdict.delivered) return;
+
+  Payload copy(payload.begin(), payload.end());
+  SimEndpoint* peer = peer_;
+  NetemModel* tx = tx_.get();
+  sim_.schedule_at(verdict.arrival, [peer, tx, copy] {
+    tx->on_arrival();
+    peer->deliver(copy);
+  });
+  if (verdict.duplicate) {
+    sim_.schedule_at(verdict.dup_arrival, [peer, tx, copy] {
+      tx->on_arrival();
+      peer->deliver(copy);
+    });
+  }
+}
+
+void SimEndpoint::deliver(Payload payload) {
+  inbox_.push_back(std::move(payload));
+  trigger_.notify_all();
+}
+
+std::optional<Payload> SimEndpoint::try_recv() {
+  if (inbox_.empty()) return std::nullopt;
+  Payload p = std::move(inbox_.front());
+  inbox_.pop_front();
+  return p;
+}
+
+SimDuplexLink::SimDuplexLink(sim::Simulator& sim, NetemConfig a_to_b, NetemConfig b_to_a,
+                             std::uint64_t seed) {
+  Rng root(seed);
+  a_ = std::unique_ptr<SimEndpoint>(new SimEndpoint(sim, a_to_b, root.fork()));
+  b_ = std::unique_ptr<SimEndpoint>(new SimEndpoint(sim, b_to_a, root.fork()));
+  a_->peer_ = b_.get();
+  b_->peer_ = a_.get();
+}
+
+}  // namespace rtct::net

@@ -1,0 +1,31 @@
+// Point-to-point datagram transport abstraction.
+//
+// The sync protocol (src/core) is sans-IO: it only ever asks a transport to
+// ship an opaque datagram to "the peer" and to hand back whatever datagrams
+// have arrived. Two implementations exist — SimEndpoint (virtual time +
+// Netem model) and UdpSocket (real Berkeley sockets) — and the identical
+// protocol bytes flow through both.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace rtct::net {
+
+using Payload = std::vector<std::uint8_t>;
+
+class DatagramTransport {
+ public:
+  virtual ~DatagramTransport() = default;
+
+  /// Fire-and-forget datagram to the connected peer. May be dropped,
+  /// duplicated, delayed or reordered by the path — exactly UDP semantics.
+  virtual void send(std::span<const std::uint8_t> payload) = 0;
+
+  /// Pops the next arrived datagram, or nullopt if none is pending.
+  virtual std::optional<Payload> try_recv() = 0;
+};
+
+}  // namespace rtct::net

@@ -1,0 +1,139 @@
+#include "src/net/udp_socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rtct::net {
+
+namespace {
+constexpr std::size_t kMaxDatagram = 64 * 1024;
+}
+
+std::string UdpAddress::to_string() const {
+  char buf[32];
+  const auto* b = reinterpret_cast<const std::uint8_t*>(&ip);
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u:%u", b[0], b[1], b[2], b[3], ntohs(port));
+  return buf;
+}
+
+UdpSocket::UdpSocket(const std::string& bind_ip, std::uint16_t bind_port) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) {
+    fail("socket");
+    return;
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(bind_port);
+  if (::inet_pton(AF_INET, bind_ip.c_str(), &addr.sin_addr) != 1) {
+    fail("inet_pton(" + bind_ip + ")");
+    return;
+  }
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    fail("bind");
+    return;
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    local_port_ = ntohs(bound.sin_port);
+  }
+
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) != 0) {
+    fail("fcntl(O_NONBLOCK)");
+    return;
+  }
+}
+
+UdpSocket::~UdpSocket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void UdpSocket::fail(const std::string& what) {
+  error_ = what + ": " + std::strerror(errno);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool UdpSocket::connect_peer(const std::string& ip, std::uint16_t port) {
+  if (fd_ < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+    error_ = "inet_pton(" + ip + ") failed";
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    error_ = std::string("connect: ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+void UdpSocket::send(std::span<const std::uint8_t> payload) {
+  if (fd_ < 0) return;
+  // UDP semantics: a failed or EWOULDBLOCK send is simply a lost datagram;
+  // the sync protocol's retransmission absorbs it.
+  const ssize_t n = ::send(fd_, payload.data(), payload.size(), 0);
+  if (n >= 0) ++sent_;
+}
+
+std::optional<Payload> UdpSocket::try_recv() {
+  if (fd_ < 0) return std::nullopt;
+  Payload buf(kMaxDatagram);
+  const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+  if (n < 0) return std::nullopt;
+  buf.resize(static_cast<std::size_t>(n));
+  ++received_;
+  return buf;
+}
+
+void UdpSocket::send_to(const UdpAddress& to, std::span<const std::uint8_t> payload) {
+  if (fd_ < 0) return;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = to.port;
+  addr.sin_addr.s_addr = to.ip;
+  const ssize_t n = ::sendto(fd_, payload.data(), payload.size(), 0,
+                             reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (n >= 0) ++sent_;
+}
+
+std::optional<std::pair<Payload, UdpAddress>> UdpSocket::recv_from() {
+  if (fd_ < 0) return std::nullopt;
+  Payload buf(kMaxDatagram);
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  const ssize_t n =
+      ::recvfrom(fd_, buf.data(), buf.size(), 0, reinterpret_cast<sockaddr*>(&addr), &len);
+  if (n < 0) return std::nullopt;
+  buf.resize(static_cast<std::size_t>(n));
+  ++received_;
+  UdpAddress from;
+  from.ip = addr.sin_addr.s_addr;
+  from.port = addr.sin_port;
+  return std::make_pair(std::move(buf), from);
+}
+
+bool UdpSocket::wait_readable(Dur timeout) {
+  if (fd_ < 0) return false;
+  pollfd pfd{fd_, POLLIN, 0};
+  const int timeout_ms = static_cast<int>(timeout / kMillisecond);
+  const int r = ::poll(&pfd, 1, timeout_ms < 0 ? 0 : timeout_ms);
+  return r > 0 && (pfd.revents & POLLIN) != 0;
+}
+
+}  // namespace rtct::net

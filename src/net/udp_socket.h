@@ -1,0 +1,76 @@
+// Real UDP transport (Berkeley sockets) for running two rtct sites as
+// actual networked processes/threads — the deployment configuration of the
+// paper's system. The netplay_udp example drives two sites over loopback
+// through this transport; the protocol bytes are identical to SimEndpoint's.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/common/time.h"
+#include "src/net/transport.h"
+
+namespace rtct::net {
+
+/// A peer address for unconnected (server-style) sockets.
+struct UdpAddress {
+  std::uint32_t ip = 0;  ///< network byte order
+  std::uint16_t port = 0;
+  bool operator==(const UdpAddress&) const = default;
+  /// "a.b.c.d:port" for logs.
+  [[nodiscard]] std::string to_string() const;
+  /// Stable key for std::map.
+  bool operator<(const UdpAddress& o) const {
+    return ip != o.ip ? ip < o.ip : port < o.port;
+  }
+};
+
+/// A bound UDP socket. Two usage modes:
+///  * connected (connect_peer + send/try_recv) — the point-to-point
+///    DatagramTransport the sync drivers use;
+///  * unconnected (send_to/recv_from) — server-style, used by the
+///    spectator host to serve many observers from one port.
+class UdpSocket final : public DatagramTransport {
+ public:
+  /// Binds to `bind_ip:bind_port` (port 0 = ephemeral). Returns an unusable
+  /// socket (`valid() == false`) on failure; `last_error()` explains.
+  UdpSocket(const std::string& bind_ip, std::uint16_t bind_port);
+  ~UdpSocket() override;
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  /// Fixes the peer address; send()/try_recv() only talk to that peer.
+  bool connect_peer(const std::string& ip, std::uint16_t port);
+
+  void send(std::span<const std::uint8_t> payload) override;
+  std::optional<Payload> try_recv() override;
+
+  /// Unconnected mode: datagram to an explicit peer.
+  void send_to(const UdpAddress& to, std::span<const std::uint8_t> payload);
+  /// Unconnected mode: next datagram + its sender, or nullopt.
+  std::optional<std::pair<Payload, UdpAddress>> recv_from();
+
+  /// Blocks up to `timeout` for the socket to become readable.
+  /// Returns true if readable.
+  bool wait_readable(Dur timeout);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] std::uint16_t local_port() const { return local_port_; }
+  [[nodiscard]] const std::string& last_error() const { return error_; }
+
+  [[nodiscard]] std::uint64_t datagrams_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t datagrams_received() const { return received_; }
+
+ private:
+  void fail(const std::string& what);
+
+  int fd_ = -1;
+  std::uint16_t local_port_ = 0;
+  std::string error_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+};
+
+}  // namespace rtct::net

@@ -1,0 +1,89 @@
+#include "src/sim/simulator.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace rtct::sim {
+
+void Task::promise_type::return_void() noexcept {
+  finished = true;
+  if (sim != nullptr) sim->any_finished_ = true;
+}
+
+void Task::promise_type::unhandled_exception() noexcept {
+  // A simulation process leaking an exception is a programming error: there
+  // is no one above the event loop to handle it meaningfully.
+  std::fprintf(stderr, "rtct::sim: unhandled exception escaping a Task\n");
+  std::abort();
+}
+
+void SleepAwaiter::await_suspend(std::coroutine_handle<> h) {
+  sim.schedule_in(d, [h] { h.resume(); });
+}
+
+Simulator::~Simulator() {
+  // Drop pending events first (they may capture coroutine handles we are
+  // about to destroy), then destroy any still-live coroutine frames.
+  while (!queue_.empty()) queue_.pop();
+  for (auto h : tasks_) h.destroy();
+}
+
+void Simulator::schedule_at(Time t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::spawn(Task task) {
+  auto h = task.h_;
+  task.h_ = nullptr;  // the simulator now owns the frame
+  h.promise().sim = this;
+  tasks_.push_back(h);
+  h.resume();  // run until the first suspension (or completion)
+  if (any_finished_) prune_finished();
+}
+
+void Simulator::run_event(Event& ev) {
+  now_ = ev.t;
+  ev.fn();
+  if (any_finished_) prune_finished();
+}
+
+void Simulator::prune_finished() {
+  std::erase_if(tasks_, [](auto h) {
+    if (!h.promise().finished) return false;
+    h.destroy();
+    return true;
+  });
+  any_finished_ = false;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast (safe: we pop
+  // immediately and never touch the moved-from element again).
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  run_event(ev);
+  return true;
+}
+
+std::size_t Simulator::run() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::size_t Simulator::run_until(Time t) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().t <= t) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    run_event(ev);
+    ++n;
+  }
+  now_ = t;
+  return n;
+}
+
+}  // namespace rtct::sim

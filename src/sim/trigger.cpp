@@ -1,0 +1,47 @@
+#include "src/sim/trigger.h"
+
+#include <algorithm>
+
+namespace rtct::sim {
+
+std::shared_ptr<Trigger::WaitState> Trigger::add_waiter(std::coroutine_handle<> h) {
+  // Lazily drop entries already consumed by a timeout.
+  std::erase_if(waiters_, [](const auto& w) { return w->fired; });
+  auto state = std::make_shared<WaitState>();
+  state->h = h;
+  waiters_.push_back(state);
+  return state;
+}
+
+void Trigger::notify_all() {
+  // Swap out the list first: a resumed waiter may immediately wait again,
+  // and that new registration must not receive this notification.
+  std::vector<std::shared_ptr<WaitState>> pending;
+  pending.swap(waiters_);
+  for (auto& w : pending) {
+    if (w->fired) continue;
+    w->fired = true;
+    w->notified = true;
+    sim_.schedule_at(sim_.now(), [w] { w->h.resume(); });
+  }
+}
+
+std::size_t Trigger::waiter_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(waiters_.begin(), waiters_.end(), [](const auto& w) { return !w->fired; }));
+}
+
+void Trigger::WaitAwaiter::await_suspend(std::coroutine_handle<> h) { trig.add_waiter(h); }
+
+void Trigger::TimedWaitAwaiter::await_suspend(std::coroutine_handle<> h) {
+  state = trig.add_waiter(h);
+  auto s = state;
+  trig.sim_.schedule_at(deadline, [s] {
+    if (s->fired) return;
+    s->fired = true;
+    s->notified = false;
+    s->h.resume();
+  });
+}
+
+}  // namespace rtct::sim

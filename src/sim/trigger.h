@@ -1,0 +1,66 @@
+// Condition-variable analogue for simulation coroutines.
+//
+// A site process blocked in Algorithm 2's receive loop must wake either when
+// a datagram arrives (notify) or when its periodic send timer is due
+// (deadline) — Trigger::wait_until models exactly that race.
+#pragma once
+
+#include <coroutine>
+#include <memory>
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace rtct::sim {
+
+class Trigger {
+ public:
+  explicit Trigger(Simulator& sim) : sim_(sim) {}
+  Trigger(const Trigger&) = delete;
+  Trigger& operator=(const Trigger&) = delete;
+
+  /// Wakes every coroutine currently waiting. Wakeups are scheduled at the
+  /// current virtual time (not resumed inline) so a notifier never runs a
+  /// waiter's code in its own stack frame.
+  void notify_all();
+
+  /// `co_await trigger.wait()` — suspends until the next notify_all().
+  [[nodiscard]] auto wait() { return WaitAwaiter{*this}; }
+
+  /// `bool notified = co_await trigger.wait_until(deadline)` — suspends
+  /// until notify_all() or the virtual-time deadline, whichever first.
+  /// Returns true if notified, false on timeout.
+  [[nodiscard]] auto wait_until(Time deadline) { return TimedWaitAwaiter{*this, deadline, {}}; }
+
+  [[nodiscard]] std::size_t waiter_count() const;
+
+ private:
+  struct WaitState {
+    std::coroutine_handle<> h;
+    bool fired = false;
+    bool notified = false;
+  };
+
+  struct WaitAwaiter {
+    Trigger& trig;
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const noexcept {}
+  };
+
+  struct TimedWaitAwaiter {
+    Trigger& trig;
+    Time deadline;
+    std::shared_ptr<WaitState> state;
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    [[nodiscard]] bool await_resume() const noexcept { return state->notified; }
+  };
+
+  std::shared_ptr<WaitState> add_waiter(std::coroutine_handle<> h);
+
+  Simulator& sim_;
+  std::vector<std::shared_ptr<WaitState>> waiters_;
+};
+
+}  // namespace rtct::sim

@@ -1,0 +1,411 @@
+#include "src/testbed/experiment.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/common/log.h"
+#include "src/core/input_source.h"
+#include "src/core/session.h"
+#include "src/core/spectate.h"
+#include "src/core/wire.h"
+#include "src/emu/machine.h"
+#include "src/games/roms.h"
+#include "src/baseline/tcp_like.h"
+#include "src/net/sim_network.h"
+#include "src/sim/simulator.h"
+#include "src/sim/trigger.h"
+
+namespace rtct::testbed {
+
+namespace {
+
+using core::Message;
+using core::SyncMsg;
+
+struct SharedFlags {
+  bool done[2] = {false, false};
+  [[nodiscard]] bool all_done() const { return done[0] && done[1]; }
+};
+
+/// One simulated gaming PC: machine + sync module + three processes.
+class SimSite {
+  /// Host side of one spectator feed (journal-version observer support).
+  struct ObserverPort {
+    net::DatagramTransport* transport;
+    sim::Trigger* arrival;
+    core::SpectatorHost host;
+  };
+
+ public:
+  SimSite(sim::Simulator& sim, net::DatagramTransport& transport, sim::Trigger& arrival,
+          const ExperimentConfig& cfg, SiteId site,
+          std::unique_ptr<emu::IDeterministicGame> game)
+      : sim_(sim),
+        transport_(transport),
+        arrival_(arrival),
+        cfg_(cfg),
+        site_(site),
+        game_holder_(std::move(game)),
+        game_(*game_holder_),
+        peer_(site, cfg.sync),
+        pacer_(site, cfg.sync, cfg.pacing[site]),
+        session_(site, game_.content_id(), cfg.sync),
+        input_(cfg.input_seed[site], cfg.input_hold_frames),
+        state_changed_(sim) {
+    result_.timeline.reserve(static_cast<std::size_t>(cfg.frames));
+    result_.replay = core::Replay(game_.content_id(), cfg.sync);
+  }
+
+  void launch(SharedFlags& flags) {
+    sim_.spawn(run_main(&flags));
+    sim_.spawn(run_sender(&flags));
+    sim_.spawn(run_receiver());
+    for (auto& port : observer_ports_) sim_.spawn(run_observer_receiver(port.get()));
+  }
+
+  /// Registers a spectator feed toward one observer (host side).
+  void add_observer_port(net::DatagramTransport& transport, sim::Trigger& arrival) {
+    auto port = std::make_unique<ObserverPort>(
+        ObserverPort{&transport, &arrival, core::SpectatorHost(game_.content_id(), cfg_.sync)});
+    observer_ports_.push_back(std::move(port));
+  }
+
+  [[nodiscard]] const SiteResult& result() const { return result_; }
+  SiteResult take_result(const net::LinkStats& tx_stats) {
+    result_.sync_stats = peer_.stats();
+    result_.tx_stats = tx_stats;
+    result_.frames_completed = static_cast<FrameNo>(result_.timeline.size());
+    result_.desync_frame = peer_.desync_frame();
+    if (const auto* arcade = dynamic_cast<const emu::ArcadeMachine*>(game_holder_.get())) {
+      const auto fb = arcade->framebuffer();
+      result_.final_framebuffer.assign(fb.begin(), fb.end());
+    }
+    return std::move(result_);
+  }
+
+ private:
+  void send(const Message& msg) {
+    const auto bytes = core::encode_message(msg);
+    transport_.send(bytes);
+  }
+
+  void drain_and_dispatch() {
+    bool any = false;
+    while (auto payload = transport_.try_recv()) {
+      any = true;
+      const auto msg = core::decode_message(*payload);
+      if (!msg) continue;  // malformed datagram: drop, UDP-style
+      if (const auto* sync = std::get_if<SyncMsg>(&*msg)) {
+        session_.note_sync_traffic(sim_.now());
+        peer_.ingest(*sync, sim_.now());
+      } else {
+        session_.ingest(*msg, sim_.now());
+      }
+    }
+    if (any) state_changed_.notify_all();
+  }
+
+  void finish(SharedFlags* flags) { flags->done[site_] = true; }
+
+  sim::Task run_receiver() {
+    // Drain-first so nothing that arrived before this process started is
+    // missed; every later delivery fires the arrival trigger.
+    for (;;) {
+      drain_and_dispatch();
+      co_await arrival_.wait();
+    }
+  }
+
+  sim::Task run_sender(SharedFlags* flags) {
+    while (!flags->all_done()) {
+      const Time now = sim_.now();
+      // Session messages (handshake) go out unbatched: the game has not
+      // started, so there is no interactivity to protect.
+      if (auto m = session_.poll(now)) send(*m);
+
+      if (session_.running()) {
+        if (auto msg = peer_.make_message(now)) {
+          // The producer/consumer thread handoff of §4.2 (~5 ms mean).
+          if (cfg_.sync.send_dispatch_delay > 0) {
+            co_await sim_.sleep(cfg_.sync.send_dispatch_delay);
+          }
+          send(Message{*msg});
+        }
+      }
+      pump_observer_ports();
+      co_await sim_.sleep(cfg_.sync.send_flush_period);
+    }
+    // Grace period: keep serving observers (snapshot/feed retransmits)
+    // briefly after the match so late joiners can finish catching up.
+    for (int tick = 0; tick < 100 && !observer_ports_.empty(); ++tick) {
+      pump_observer_ports();
+      co_await sim_.sleep(cfg_.sync.send_flush_period);
+    }
+  }
+
+  void pump_observer_ports() {
+    for (auto& port : observer_ports_) {
+      if (port->host.wants_snapshot()) {
+        // Coroutines only interleave at co_await points, so the machine is
+        // always between frames here — a consistent snapshot.
+        port->host.provide_snapshot(game_.frame() - 1, game_.save_state());
+      }
+      if (auto m = port->host.make_message(sim_.now())) {
+        port->transport->send(core::encode_message(*m));
+      }
+    }
+  }
+
+  sim::Task run_observer_receiver(ObserverPort* port) {
+    for (;;) {
+      while (auto payload = port->transport->try_recv()) {
+        if (auto msg = core::decode_message(*payload)) port->host.ingest(*msg);
+      }
+      co_await port->arrival->wait();
+    }
+  }
+
+  sim::Task run_main(SharedFlags* flags) {
+    if (cfg_.site_boot_delay[site_] > 0) co_await sim_.sleep(cfg_.site_boot_delay[site_]);
+    const Dur deadline = cfg_.effective_watchdog();
+
+    // ---- session handshake -------------------------------------------
+    while (!session_.running()) {
+      if (session_.state() == core::SessionState::kFailed) {
+        result_.session_failed = true;
+        result_.failure_reason = session_.failure_reason();
+        finish(flags);
+        co_return;
+      }
+      if (sim_.now() > deadline) {
+        result_.aborted = true;
+        result_.failure_reason = "handshake watchdog expired";
+        finish(flags);
+        co_return;
+      }
+      (void)co_await state_changed_.wait_until(sim_.now() + milliseconds(5));
+    }
+
+    // ---- Algorithm 1: the distributed VM frame loop -------------------
+    for (FrameNo frame = 0; frame < cfg_.frames; ++frame) {
+      core::FrameRecord rec;
+      rec.frame = frame;
+
+      pacer_.begin_frame(sim_.now(), frame, peer_.remote_obs());  // step 5
+      rec.begin_time = sim_.now();
+
+      const InputWord local =
+          site_ == 0 ? make_input(input_.input_for_frame(frame), 0)
+                     : make_input(0, input_.input_for_frame(frame));
+      peer_.submit_local(frame, local);  // step 7, lines 1-5
+
+      const Time sync_start = sim_.now();  // step 7, the blocking loop
+      while (!peer_.ready()) {
+        if (sim_.now() > deadline) {
+          result_.aborted = true;
+          result_.failure_reason = "SyncInput watchdog expired (peer or network gone)";
+          finish(flags);
+          co_return;
+        }
+        (void)co_await state_changed_.wait_until(sim_.now() + milliseconds(5));
+      }
+      rec.stall = sim_.now() - sync_start;
+      rec.input_ready_time = sim_.now();
+
+      const InputWord merged = peer_.pop();
+      game_.step_frame(merged);  // step 8: Transition(I, S)
+      result_.replay.record(merged);
+      rec.state_hash = game_.state_hash();
+      peer_.note_state_hash(frame, rec.state_hash);  // desync tripwire
+      for (auto& port : observer_ports_) port->host.on_frame(frame, merged);
+
+      // Emulation + render cost of this frame.
+      co_await sim_.sleep(cfg_.frame_compute_time);
+
+      const Dur wait = pacer_.end_frame(sim_.now());  // step 10
+      rec.wait = wait;
+      result_.timeline.add(rec);
+      if (wait > 0) co_await sim_.sleep(wait);
+    }
+    finish(flags);
+  }
+
+  sim::Simulator& sim_;
+  net::DatagramTransport& transport_;
+  sim::Trigger& arrival_;
+  const ExperimentConfig& cfg_;
+  SiteId site_;
+  std::vector<std::unique_ptr<ObserverPort>> observer_ports_;
+  std::unique_ptr<emu::IDeterministicGame> game_holder_;
+  emu::IDeterministicGame& game_;
+  core::SyncPeer peer_;
+  core::FramePacer pacer_;
+  core::SessionControl session_;
+  core::MasherInput input_;
+  sim::Trigger state_changed_;
+  SiteResult result_;
+};
+
+/// A late-joining observer: its own replica machine + SpectatorClient,
+/// talking to site 0 over its own simulated link.
+class SimObserver {
+ public:
+  SimObserver(sim::Simulator& sim, net::SimEndpoint& ep, const ExperimentConfig& cfg,
+              std::unique_ptr<emu::IDeterministicGame> game)
+      : sim_(sim), ep_(ep), cfg_(cfg), game_holder_(std::move(game)), game_(*game_holder_),
+        client_(game_, cfg.sync) {}
+
+  void launch(SharedFlags& flags) { sim_.spawn(run(&flags)); }
+
+  ObserverResult take_result() { return std::move(result_); }
+
+ private:
+  sim::Task run(SharedFlags* flags) {
+    co_await sim_.sleep(cfg_.observer_join_delay);
+    Time done_at = -1;
+    for (;;) {
+      const Time now = sim_.now();
+      if (flags->all_done()) {
+        if (done_at < 0) done_at = now;
+        if (now - done_at > seconds(1)) break;  // grace to finish catching up
+      }
+      if (auto m = client_.make_message(now)) ep_.send(core::encode_message(*m));
+      while (auto payload = ep_.try_recv()) {
+        if (auto msg = core::decode_message(*payload)) {
+          const bool was_joined = client_.joined();
+          client_.ingest(*msg);
+          if (!was_joined && client_.joined()) {
+            result_.joined = true;
+            result_.snapshot_frame = client_.applied_frame();
+          }
+        }
+      }
+      while (client_.step_one()) {
+        result_.hashes.emplace_back(client_.applied_frame(), game_.state_hash());
+      }
+      result_.last_applied = client_.applied_frame();
+      (void)co_await ep_.arrival_trigger().wait_until(now + cfg_.sync.send_flush_period);
+    }
+  }
+
+  sim::Simulator& sim_;
+  net::SimEndpoint& ep_;
+  const ExperimentConfig& cfg_;
+  std::unique_ptr<emu::IDeterministicGame> game_holder_;
+  emu::IDeterministicGame& game_;
+  core::SpectatorClient client_;
+  ObserverResult result_;
+};
+
+}  // namespace
+
+bool ExperimentResult::converged() const {
+  for (const auto& s : site) {
+    if (s.aborted || s.session_failed) return false;
+  }
+  return site[0].frames_completed == site[1].frames_completed && first_divergence() == -1;
+}
+
+FrameNo ExperimentResult::first_divergence() const {
+  return core::first_divergence(site[0].timeline, site[1].timeline);
+}
+
+double ExperimentResult::avg_frame_time_ms(int site_idx) const {
+  return site[site_idx].timeline.frame_times().summarize().mean;
+}
+
+double ExperimentResult::frame_time_deviation_ms(int site_idx) const {
+  return site[site_idx].timeline.frame_times().summarize().mean_abs_deviation;
+}
+
+double ExperimentResult::synchrony_ms() const {
+  return core::synchrony_differences(site[0].timeline, site[1].timeline)
+      .summarize()
+      .mean_abs;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  ExperimentResult out;
+  auto factory = cfg.game_factory;
+  if (!factory) {
+    const emu::Rom* rom = games::rom_by_name(cfg.game);
+    if (rom == nullptr) {
+      for (auto& s : out.site) {
+        s.session_failed = true;
+        s.failure_reason = "unknown game '" + cfg.game + "'";
+      }
+      return out;
+    }
+    factory = [rom] { return std::make_unique<emu::ArcadeMachine>(*rom); };
+  }
+
+  sim::Simulator sim;
+  net::SimDuplexLink link(sim, cfg.net_a_to_b, cfg.net_b_to_a, cfg.net_seed);
+
+  // Optional TCP-like reliable in-order layer (ablation_transport).
+  std::unique_ptr<baseline::TcpLikeEndpoint> tcp_a;
+  std::unique_ptr<baseline::TcpLikeEndpoint> tcp_b;
+  net::DatagramTransport* transport[2] = {&link.a(), &link.b()};
+  sim::Trigger* arrival[2] = {&link.a().arrival_trigger(), &link.b().arrival_trigger()};
+  if (cfg.transport == ExperimentConfig::Transport::kTcpLike) {
+    Dur rto = cfg.tcp_rto;
+    if (rto <= 0) {
+      rto = 2 * std::max(cfg.net_a_to_b.delay, cfg.net_b_to_a.delay) + milliseconds(20);
+    }
+    tcp_a = std::make_unique<baseline::TcpLikeEndpoint>(sim, link.a(), rto);
+    tcp_b = std::make_unique<baseline::TcpLikeEndpoint>(sim, link.b(), rto);
+    transport[0] = tcp_a.get();
+    transport[1] = tcp_b.get();
+    arrival[0] = &tcp_a->deliverable_trigger();
+    arrival[1] = &tcp_b->deliverable_trigger();
+  }
+
+  SharedFlags flags;
+  SimSite site0(sim, *transport[0], *arrival[0], cfg, 0, factory());
+  SimSite site1(sim, *transport[1], *arrival[1], cfg, 1, factory());
+
+  // Late-join observers, each on its own link to site 0.
+  std::vector<std::unique_ptr<net::SimDuplexLink>> observer_links;
+  std::vector<std::unique_ptr<SimObserver>> observers;
+  for (int i = 0; i < cfg.observers; ++i) {
+    observer_links.push_back(std::make_unique<net::SimDuplexLink>(
+        sim, cfg.observer_net, cfg.net_seed + 1000 + static_cast<std::uint64_t>(i)));
+    auto& obs_link = *observer_links.back();
+    site0.add_observer_port(obs_link.a(), obs_link.a().arrival_trigger());
+    observers.push_back(std::make_unique<SimObserver>(sim, obs_link.b(), cfg, factory()));
+  }
+
+  for (const auto& ev : cfg.net_events) {
+    sim.schedule_at(ev.at, [&link, ev] {
+      link.a().set_tx_config(ev.config);
+      if (ev.both_directions) link.b().set_tx_config(ev.config);
+    });
+  }
+
+  site0.launch(flags);
+  site1.launch(flags);
+  for (auto& obs : observers) obs->launch(flags);
+  sim.run();
+
+  out.site[0] = site0.take_result(link.a().tx_stats());
+  out.site[1] = site1.take_result(link.b().tx_stats());
+  for (auto& obs : observers) out.observers.push_back(obs->take_result());
+  return out;
+}
+
+bool ExperimentResult::observers_consistent() const {
+  for (const auto& obs : observers) {
+    if (!obs.joined) return false;
+    // Caught up to within a handful of frames of the session's end.
+    if (obs.last_applied < site[0].frames_completed - 5) return false;
+    for (const auto& [frame, hash] : obs.hashes) {
+      if (frame < 0 || frame >= static_cast<FrameNo>(site[0].timeline.size())) return false;
+      if (site[0].timeline.records()[static_cast<std::size_t>(frame)].state_hash != hash) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace rtct::testbed

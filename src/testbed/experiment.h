@@ -1,0 +1,160 @@
+// Two-site experiment harness — the paper's §4 testbed in virtual time.
+//
+// Physical setup being modelled: two gaming PCs bridged through a Netem
+// box, plus a LAN time server recording each site's frame begin times.
+// Here both sites run as coroutine processes on one discrete-event
+// simulator; the "time server" is the (exact) global virtual clock.
+//
+// Each site runs three processes, mirroring the paper's threaded
+// implementation (§4.2):
+//   * the frame loop  — Algorithm 1 with the three sync steps;
+//   * a sender        — flushes SyncPeer messages every send_flush_period
+//                       (the 20 ms outbound buffering) after an extra
+//                       send_dispatch_delay (the ~5 ms thread handoff);
+//   * a receiver      — ingests datagrams the moment they arrive.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/common/types.h"
+#include "src/emu/game.h"
+#include "src/core/config.h"
+#include "src/core/metrics.h"
+#include "src/core/pacer.h"
+#include "src/core/replay.h"
+#include "src/core/sync_peer.h"
+#include "src/net/netem.h"
+
+namespace rtct::testbed {
+
+struct ExperimentConfig {
+  std::string game = "duel";  ///< which bundled ROM both sites load
+  /// When set, overrides `game`: produces each site's replica. Any
+  /// IDeterministicGame works — including native C++ games with no
+  /// emulator underneath (see games::make_cellwars), which is the
+  /// transparency claim made concrete.
+  std::function<std::unique_ptr<emu::IDeterministicGame>()> game_factory;
+  int frames = 3600;          ///< per the paper: one minute at 60 FPS
+
+  core::SyncConfig sync;                   ///< BufFrame, flush period, ...
+  core::PacingPolicy pacing[2] = {core::PacingPolicy::kFull, core::PacingPolicy::kFull};
+
+  net::NetemConfig net_a_to_b;  ///< site0 -> site1 path
+  net::NetemConfig net_b_to_a;  ///< site1 -> site0 path
+
+  /// Boot-time offsets: the paper's "two sites cannot begin at exactly the
+  /// same time" (§3.2). The handshake bounds the *start* skew regardless.
+  Dur site_boot_delay[2] = {0, 0};
+
+  /// Virtual CPU cost of Transition + render per frame (must be < 1/CFPS).
+  Dur frame_compute_time = milliseconds(2);
+
+  /// Seeds for the two synthetic players (MasherInput).
+  std::uint64_t input_seed[2] = {101, 202};
+  /// Frames a masher holds each random button byte.
+  int input_hold_frames = 6;
+
+  /// Network RNG seed.
+  std::uint64_t net_seed = 1;
+
+  /// Transport under the sync protocol: the paper's UDP (+ the protocol's
+  /// own reliability) or the TCP-like in-order baseline of §3.1's
+  /// discussion (bench/ablation_transport).
+  enum class Transport { kUdp, kTcpLike };
+  Transport transport = Transport::kUdp;
+  /// TCP-like retransmission timeout; 0 = auto (2 × one-way delay + 20 ms).
+  Dur tcp_rto = 0;
+
+  /// Scheduled mid-run link reconfigurations (virtual time): model a path
+  /// that degrades and recovers during the match. Applied to both
+  /// directions when `both_directions`, else only site0 -> site1.
+  struct NetEvent {
+    Dur at = 0;
+    net::NetemConfig config;
+    bool both_directions = true;
+  };
+  std::vector<NetEvent> net_events;
+
+  /// Late-joining observers (journal-version extension): each observer
+  /// connects to site 0 over its own link, requests a snapshot at its join
+  /// time, and replays the input feed on its own replica.
+  int observers = 0;
+  /// When each observer boots and starts join-requesting.
+  Dur observer_join_delay = milliseconds(800);
+  /// Path between site 0 and each observer (symmetric).
+  net::NetemConfig observer_net = net::NetemConfig::for_rtt(milliseconds(40));
+
+  /// Abort a site that is still running at this virtual time (network/peer
+  /// failure => Algorithm 2 freezes forever by design; the experiment must
+  /// still terminate). Default: scaled from `frames`.
+  Dur watchdog = 0;
+
+  /// Convenience: symmetric path with the given RTT (each direction RTT/2).
+  void set_rtt(Dur rtt) {
+    net_a_to_b = net::NetemConfig::for_rtt(rtt);
+    net_b_to_a = net::NetemConfig::for_rtt(rtt);
+  }
+
+  [[nodiscard]] Dur effective_watchdog() const {
+    if (watchdog > 0) return watchdog;
+    return seconds(10) + frames * sync.frame_period() * 5;
+  }
+};
+
+struct SiteResult {
+  core::FrameTimeline timeline;
+  core::SyncPeerStats sync_stats;
+  net::LinkStats tx_stats;      ///< this site's outgoing path counters
+  FrameNo frames_completed = 0;
+  bool aborted = false;         ///< watchdog fired (peer/network failure)
+  bool session_failed = false;
+  std::string failure_reason;
+  /// Frame at which the in-protocol hash exchange flagged divergence
+  /// (-1 = never; must always be -1 for a deterministic game).
+  FrameNo desync_frame = -1;
+  /// The site's screen after its last frame (64x48 palette indices) — lets
+  /// callers *see* that both replicas rendered the same game.
+  std::vector<std::uint8_t> final_framebuffer;
+  /// Merged-input recording of the session as this site executed it
+  /// (identical across sites; replayable via core::Replay::apply).
+  core::Replay replay;
+};
+
+struct ObserverResult {
+  bool joined = false;
+  FrameNo snapshot_frame = -1;  ///< session frame the snapshot was taken at
+  FrameNo last_applied = -1;    ///< last session frame replayed
+  /// (frame, state hash) for every replayed frame — comparable 1:1 with
+  /// the playing sites' timelines.
+  std::vector<std::pair<FrameNo, std::uint64_t>> hashes;
+};
+
+struct ExperimentResult {
+  SiteResult site[2];
+  std::vector<ObserverResult> observers;
+
+  /// True when every observer joined, caught up to (nearly) the end of the
+  /// session, and every replayed frame's hash matches site 0's.
+  [[nodiscard]] bool observers_consistent() const;
+
+  /// Both sites ran to completion with converged state hashes.
+  [[nodiscard]] bool converged() const;
+  /// First diverged frame (-1 = never) — must be -1 in every experiment.
+  [[nodiscard]] FrameNo first_divergence() const;
+
+  // Paper metrics.
+  /// Figure 1, left axis: average frame time of a site, ms.
+  [[nodiscard]] double avg_frame_time_ms(int site_idx) const;
+  /// Figure 1, right axis: average absolute deviation of frame times, ms.
+  [[nodiscard]] double frame_time_deviation_ms(int site_idx) const;
+  /// Figure 2: absolute average of per-frame inter-site differences, ms.
+  [[nodiscard]] double synchrony_ms() const;
+};
+
+/// Runs one complete two-site experiment. Deterministic for a given config.
+ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+}  // namespace rtct::testbed

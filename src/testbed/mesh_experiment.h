@@ -1,0 +1,68 @@
+// N-site mesh experiment harness — the journal-version "multiple players"
+// extension, run on the same virtual-time substrate as the two-site
+// testbed of §4.
+//
+// N sites (2, 4 or 8 — each owning an equal span of the input word) are
+// joined by a full mesh of independently-seeded Netem links. There is no
+// handshake: lockstep itself is the rendezvous — no site can execute frame
+// BufFrame until every other site's input for it has arrived, so staggered
+// boots are absorbed exactly like the paper's start deviation, with
+// Algorithm 4 rate-locking every slave to site 0.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/core/config.h"
+#include "src/core/metrics.h"
+#include "src/core/sync_peer.h"
+#include "src/net/netem.h"
+
+namespace rtct::testbed {
+
+struct MeshExperimentConfig {
+  std::string game = "quadtron";
+  int num_sites = 4;  ///< must divide 16 (2, 4, 8)
+  int frames = 600;
+
+  core::SyncConfig sync;
+  net::NetemConfig net;  ///< applied to every link direction
+  /// Site i boots at i * boot_stagger (tests the rendezvous-by-lockstep).
+  Dur boot_stagger = milliseconds(20);
+  Dur frame_compute_time = milliseconds(2);
+  std::uint64_t input_seed_base = 500;
+  int input_hold_frames = 6;
+  std::uint64_t net_seed = 1;
+  Dur watchdog = 0;
+
+  [[nodiscard]] Dur effective_watchdog() const {
+    if (watchdog > 0) return watchdog;
+    return seconds(10) + frames * sync.frame_period() * 5;
+  }
+};
+
+struct MeshSiteResult {
+  core::FrameTimeline timeline;
+  core::SyncPeerStats sync_stats;
+  FrameNo frames_completed = 0;
+  bool aborted = false;
+  std::string failure_reason;
+};
+
+struct MeshExperimentResult {
+  std::vector<MeshSiteResult> sites;
+
+  [[nodiscard]] bool converged() const;
+  /// First frame at which any site's hash differs from site 0's (-1 never).
+  [[nodiscard]] FrameNo first_divergence() const;
+  [[nodiscard]] double avg_frame_time_ms(int site) const;
+  [[nodiscard]] double frame_time_deviation_ms(int site) const;
+  /// Worst pairwise mean-absolute begin-time difference.
+  [[nodiscard]] double worst_synchrony_ms() const;
+};
+
+MeshExperimentResult run_mesh_experiment(const MeshExperimentConfig& cfg);
+
+}  // namespace rtct::testbed

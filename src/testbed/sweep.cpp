@@ -1,0 +1,68 @@
+#include "src/testbed/sweep.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rtct::testbed {
+
+std::vector<Dur> paper_rtt_sweep() {
+  std::vector<Dur> rtts;
+  for (int ms = 0; ms <= 200; ms += 10) rtts.push_back(milliseconds(ms));
+  for (int ms = 250; ms <= 400; ms += 50) rtts.push_back(milliseconds(ms));
+  return rtts;
+}
+
+std::vector<Dur> quick_rtt_sweep() {
+  return {milliseconds(0), milliseconds(40), milliseconds(80),  milliseconds(120),
+          milliseconds(140), milliseconds(160), milliseconds(200), milliseconds(300)};
+}
+
+std::vector<SweepPoint> sweep_rtt(ExperimentConfig base, const std::vector<Dur>& rtts,
+                                  const std::function<void(ExperimentConfig&, Dur)>& mutate) {
+  std::vector<SweepPoint> out;
+  out.reserve(rtts.size());
+  for (Dur rtt : rtts) {
+    ExperimentConfig cfg = base;
+    cfg.set_rtt(rtt);
+    if (mutate) mutate(cfg, rtt);
+    out.push_back({rtt, run_experiment(cfg)});
+  }
+  return out;
+}
+
+void print_paper_table(const std::vector<SweepPoint>& points) {
+  std::printf("%8s | %12s %12s | %12s %12s | %10s | %s\n", "RTT(ms)", "avgFT0(ms)", "avgFT1(ms)",
+              "devFT0(ms)", "devFT1(ms)", "sync(ms)", "consistent");
+  std::printf("---------+---------------------------+---------------------------+------------+"
+              "-----------\n");
+  for (const auto& p : points) {
+    const auto& r = p.result;
+    std::printf("%8.0f | %12.3f %12.3f | %12.3f %12.3f | %10.3f | %s\n", to_ms(p.rtt),
+                r.avg_frame_time_ms(0), r.avg_frame_time_ms(1), r.frame_time_deviation_ms(0),
+                r.frame_time_deviation_ms(1), r.synchrony_ms(),
+                r.converged() ? "yes" : "NO");
+  }
+}
+
+Dur find_threshold_rtt(const std::vector<SweepPoint>& points, int cfps, double tolerance_ms) {
+  // Walk the grid in ascending RTT and stop at the first point that falls
+  // below full speed; the threshold is the last full-speed point before it
+  // (the paper's "we identify the threshold RTT as around 140ms").
+  std::vector<const SweepPoint*> sorted;
+  sorted.reserve(points.size());
+  for (const auto& p : points) sorted.push_back(&p);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SweepPoint* a, const SweepPoint* b) { return a->rtt < b->rtt; });
+
+  const double nominal = 1000.0 / cfps;
+  Dur threshold = -1;
+  for (const SweepPoint* p : sorted) {
+    const double worst =
+        std::max(p->result.avg_frame_time_ms(0), p->result.avg_frame_time_ms(1));
+    if (worst > nominal + tolerance_ms) break;
+    threshold = p->rtt;
+  }
+  return threshold;
+}
+
+}  // namespace rtct::testbed

@@ -1,0 +1,40 @@
+// RTT sweep helpers shared by the figure-reproduction benches.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/testbed/experiment.h"
+
+namespace rtct::testbed {
+
+/// The paper's sweep grid (§4.1.1): RTT 0→200 ms in 10 ms steps, then
+/// 250→400 ms in 50 ms steps.
+std::vector<Dur> paper_rtt_sweep();
+
+/// A smaller grid for unit tests and smoke runs.
+std::vector<Dur> quick_rtt_sweep();
+
+struct SweepPoint {
+  Dur rtt = 0;
+  ExperimentResult result;
+};
+
+/// Runs `base` once per RTT value (symmetric path). `mutate` may further
+/// adjust the config per point (e.g. add loss).
+std::vector<SweepPoint> sweep_rtt(
+    ExperimentConfig base, const std::vector<Dur>& rtts,
+    const std::function<void(ExperimentConfig&, Dur)>& mutate = nullptr);
+
+/// Prints the Figure 1 + Figure 2 table: one row per RTT with average
+/// frame time, frame-time deviation (both sites) and inter-site synchrony.
+void print_paper_table(const std::vector<SweepPoint>& points);
+
+/// Locates the paper's "threshold RTT": the largest swept RTT at which the
+/// game still runs at full speed (avg frame time within `tolerance_ms` of
+/// nominal 1000/cfps). Returns -1 if none qualifies.
+Dur find_threshold_rtt(const std::vector<SweepPoint>& points, int cfps,
+                       double tolerance_ms = 1.0);
+
+}  // namespace rtct::testbed

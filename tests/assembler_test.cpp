@@ -1,0 +1,211 @@
+// Unit tests for the two-pass AC16 assembler: syntax, directives,
+// expressions, labels, and error reporting.
+#include <gtest/gtest.h>
+
+#include "src/emu/assembler.h"
+#include "src/emu/isa.h"
+
+namespace rtct::emu {
+namespace {
+
+Instr instr_at(const Rom& rom, std::size_t index) {
+  return decode(rom.image.data() + index * kInstrBytes);
+}
+
+TEST(AssemblerTest, EmptyAndCommentOnlySourceIsValidButEmpty) {
+  auto r = assemble("; nothing here\n# or here\n\n   \n");
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.rom.image.empty());
+}
+
+TEST(AssemblerTest, EncodesSimpleProgram) {
+  auto r = assemble("    LDI r3, 0x1234\n    HALT\n");
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  ASSERT_EQ(r.rom.image.size(), 8u);
+  const Instr i0 = instr_at(r.rom, 0);
+  EXPECT_EQ(i0.op, Op::kLdi);
+  EXPECT_EQ(i0.a, 3);
+  EXPECT_EQ(i0.imm(), 0x1234);
+  EXPECT_EQ(instr_at(r.rom, 1).op, Op::kHalt);
+}
+
+TEST(AssemblerTest, MnemonicsAndRegistersAreCaseInsensitive) {
+  auto r = assemble("    ldi R5, 10\n    hAlT\n");
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  EXPECT_EQ(instr_at(r.rom, 0).op, Op::kLdi);
+  EXPECT_EQ(instr_at(r.rom, 0).a, 5);
+}
+
+TEST(AssemblerTest, ForwardLabelResolves) {
+  auto r = assemble(R"(
+    JMP target
+    NOP
+target:
+    HALT
+)");
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  EXPECT_EQ(instr_at(r.rom, 0).imm(), 8);  // two instructions in = byte 8
+}
+
+TEST(AssemblerTest, LabelOnSameLineAsInstruction) {
+  auto r = assemble("start: LDI r0, 1\n    JMP start\n");
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  EXPECT_EQ(instr_at(r.rom, 1).imm(), 0);
+}
+
+TEST(AssemblerTest, EquAndExpressions) {
+  auto r = assemble(R"(
+.equ BASE, 0x1000
+.equ SIZE, 16
+    LDI r0, BASE + SIZE * 2 - 1
+    LDI r1, (BASE + SIZE) * 2
+    LDI r2, BASE / 16 % 7
+    LDI r3, -4
+)");
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  EXPECT_EQ(instr_at(r.rom, 0).imm(), 0x1000 + 31);
+  EXPECT_EQ(instr_at(r.rom, 1).imm(), (0x1000 + 16) * 2);
+  EXPECT_EQ(instr_at(r.rom, 2).imm(), (0x1000 / 16) % 7);
+  EXPECT_EQ(instr_at(r.rom, 3).imm(), 0xFFFC);
+}
+
+TEST(AssemblerTest, NumberBases) {
+  auto r = assemble("    LDI r0, 0x10\n    LDI r1, 0b101\n    LDI r2, 42\n    LDI r3, 'A'\n");
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  EXPECT_EQ(instr_at(r.rom, 0).imm(), 16);
+  EXPECT_EQ(instr_at(r.rom, 1).imm(), 5);
+  EXPECT_EQ(instr_at(r.rom, 2).imm(), 42);
+  EXPECT_EQ(instr_at(r.rom, 3).imm(), 'A');
+}
+
+TEST(AssemblerTest, ByteWordStringSpaceDirectives) {
+  auto r = assemble(R"(
+.byte 1, 2, 0xFF
+.word 0x1234, 7
+.byte "AB", 0
+.space 3
+.byte 9
+)");
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  const auto& img = r.rom.image;
+  ASSERT_EQ(img.size(), 3 + 4 + 3 + 3 + 1u);
+  EXPECT_EQ(img[0], 1);
+  EXPECT_EQ(img[2], 0xFF);
+  EXPECT_EQ(img[3], 0x34);  // little-endian word
+  EXPECT_EQ(img[4], 0x12);
+  EXPECT_EQ(img[7], 'A');
+  EXPECT_EQ(img[9], 0);
+  EXPECT_EQ(img[10], 0);  // .space zeros
+  EXPECT_EQ(img[13], 9);
+}
+
+TEST(AssemblerTest, OrgMovesOrigin) {
+  auto r = assemble(".org 0x100\nentry_here:\n    HALT\n.entry entry_here\n");
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  EXPECT_EQ(r.rom.entry, 0x100);
+  ASSERT_GE(r.rom.image.size(), 0x104u);
+  EXPECT_EQ(r.rom.image[0x100], static_cast<std::uint8_t>(Op::kHalt));
+}
+
+TEST(AssemblerTest, EntryDefaultsToZero) {
+  auto r = assemble("    NOP\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.rom.entry, 0);
+}
+
+TEST(AssemblerTest, MemoryOperandsWithAndWithoutOffset) {
+  auto r = assemble("    LDB r1, r2\n    LDW r3, r4, 10\n    STW r5, r6, 255\n");
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  EXPECT_EQ(instr_at(r.rom, 0).c, 0);
+  EXPECT_EQ(instr_at(r.rom, 1).c, 10);
+  EXPECT_EQ(instr_at(r.rom, 2).c, 255);
+}
+
+TEST(AssemblerTest, InOutOperands) {
+  auto r = assemble("    IN r3, 2\n    OUT 4, r7\n");
+  ASSERT_TRUE(r.ok()) << r.error_text();
+  EXPECT_EQ(instr_at(r.rom, 0).a, 3);
+  EXPECT_EQ(instr_at(r.rom, 0).b, 2);
+  EXPECT_EQ(instr_at(r.rom, 1).a, 4);
+  EXPECT_EQ(instr_at(r.rom, 1).b, 7);
+}
+
+// ---- errors ------------------------------------------------------------------
+
+TEST(AssemblerErrors, UnknownMnemonicReportsLine) {
+  auto r = assemble("    NOP\n    FROB r1\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.errors[0].line, 2);
+  EXPECT_NE(r.errors[0].message.find("FROB"), std::string::npos);
+}
+
+TEST(AssemblerErrors, UndefinedSymbol) {
+  auto r = assemble("    JMP nowhere\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].message.find("nowhere"), std::string::npos);
+}
+
+TEST(AssemblerErrors, DuplicateLabel) {
+  auto r = assemble("dup:\n    NOP\ndup:\n    NOP\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].message.find("duplicate"), std::string::npos);
+}
+
+TEST(AssemblerErrors, ImmediateOutOfRange) {
+  auto r = assemble("    LDI r0, 0x10000\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].message.find("range"), std::string::npos);
+}
+
+TEST(AssemblerErrors, MemoryOffsetOutOfRange) {
+  auto r = assemble("    LDB r0, r1, 256\n");
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(AssemblerErrors, MissingOperand) {
+  auto r = assemble("    MOV r1\n");
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(AssemblerErrors, TrailingGarbage) {
+  auto r = assemble("    NOP r1\n");
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(AssemblerErrors, BadRegisterName) {
+  auto r = assemble("    MOV r1, r16\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].message.find("register"), std::string::npos);
+}
+
+TEST(AssemblerErrors, DivisionByZeroInExpression) {
+  auto r = assemble("    LDI r0, 5 / 0\n");
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(AssemblerErrors, UnterminatedString) {
+  auto r = assemble(".byte \"oops\n");
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(AssemblerErrors, MultipleErrorsAllReported) {
+  auto r = assemble("    FROB\n    NOP\n    BLORT\n");
+  ASSERT_EQ(r.errors.size(), 2u);
+  EXPECT_EQ(r.errors[0].line, 1);
+  EXPECT_EQ(r.errors[1].line, 3);
+  EXPECT_FALSE(r.error_text().empty());
+}
+
+TEST(AssemblerErrors, RomOverflowDetected) {
+  auto r = assemble(".org 0x7FFE\n.word 1, 2, 3\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error_text().find("overflow"), std::string::npos);
+}
+
+TEST(AssemblerErrors, UnknownDirective) {
+  auto r = assemble(".bogus 1\n");
+  ASSERT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace rtct::emu

@@ -1,0 +1,334 @@
+// Unit tests for the AC16 ISA encoding and CPU execution semantics.
+// Programs are built through the assembler (itself covered in
+// assembler_test.cpp) and run on a real ArcadeMachine, then registers and
+// flags are inspected.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/emu/assembler.h"
+#include "src/emu/disassembler.h"
+#include "src/emu/machine.h"
+
+namespace rtct::emu {
+namespace {
+
+// Assembles a fragment, runs one frame, returns the machine for inspection.
+ArcadeMachine run_fragment(const std::string& body) {
+  const std::string src = ".entry main\nmain:\n" + body + "\n    HALT\n";
+  auto result = assemble(src, "fragment");
+  EXPECT_TRUE(result.ok()) << result.error_text();
+  ArcadeMachine m(result.rom);
+  m.step_frame(0);
+  return m;
+}
+
+// ---- encode/decode ----------------------------------------------------------
+
+TEST(IsaTest, EncodeDecodeRoundTrip) {
+  for (int op = 0; op < 256; ++op) {
+    if (!is_valid_opcode(static_cast<std::uint8_t>(op))) continue;
+    Instr in;
+    in.op = static_cast<Op>(op);
+    in.a = 0x5;
+    in.b = 0xA3 & 0xFF;
+    in.c = 0x7F;
+    std::uint8_t buf[4];
+    encode(in, buf);
+    const Instr out = decode(buf);
+    EXPECT_EQ(out.op, in.op);
+    EXPECT_EQ(out.a, in.a);
+    EXPECT_EQ(out.b, in.b);
+    EXPECT_EQ(out.c, in.c);
+  }
+}
+
+TEST(IsaTest, ImmediateAssemblesLittleEndian) {
+  Instr in;
+  in.b = 0x34;
+  in.c = 0x12;
+  EXPECT_EQ(in.imm(), 0x1234);
+}
+
+TEST(IsaTest, InvalidOpcodesRejected) {
+  EXPECT_FALSE(is_valid_opcode(0xFF));
+  EXPECT_FALSE(is_valid_opcode(0x03));
+  EXPECT_FALSE(is_valid_opcode(0x60));
+  EXPECT_TRUE(is_valid_opcode(0x00));
+  EXPECT_TRUE(is_valid_opcode(0x51));
+}
+
+TEST(IsaTest, EveryOpcodeHasMnemonicAndCost) {
+  for (int op = 0; op < 256; ++op) {
+    if (!is_valid_opcode(static_cast<std::uint8_t>(op))) continue;
+    EXPECT_NE(mnemonic(static_cast<Op>(op)), "???");
+    EXPECT_GE(cycle_cost(static_cast<Op>(op)), 1);
+  }
+}
+
+// ---- data movement ----------------------------------------------------------
+
+TEST(CpuTest, LdiMov) {
+  auto m = run_fragment(R"(
+    LDI r1, 0xBEEF
+    MOV r2, r1
+  )");
+  EXPECT_EQ(m.cpu().reg(1), 0xBEEF);
+  EXPECT_EQ(m.cpu().reg(2), 0xBEEF);
+}
+
+TEST(CpuTest, StoreThenLoadByteAndWord) {
+  auto m = run_fragment(R"(
+    LDI r1, 0x8000
+    LDI r2, 0x1234
+    STW r1, r2          ; mem16[0x8000] = 0x1234
+    LDB r3, r1          ; low byte
+    LDB r4, r1, 1       ; high byte
+    LDW r5, r1
+  )");
+  EXPECT_EQ(m.cpu().reg(3), 0x34);
+  EXPECT_EQ(m.cpu().reg(4), 0x12);
+  EXPECT_EQ(m.cpu().reg(5), 0x1234);
+  EXPECT_EQ(m.peek16(0x8000), 0x1234);
+}
+
+TEST(CpuTest, StbWritesOnlyLowByte) {
+  auto m = run_fragment(R"(
+    LDI r1, 0x8000
+    LDI r2, 0xAB12
+    STB r1, r2
+  )");
+  EXPECT_EQ(m.peek(0x8000), 0x12);
+  EXPECT_EQ(m.peek(0x8001), 0x00);
+}
+
+TEST(CpuTest, MemoryOffsetAddressing) {
+  auto m = run_fragment(R"(
+    LDI r1, 0x8010
+    LDI r2, 77
+    STB r1, r2, 5       ; mem8[0x8015] = 77
+  )");
+  EXPECT_EQ(m.peek(0x8015), 77);
+}
+
+// ---- arithmetic and flags -----------------------------------------------------
+
+TEST(CpuTest, AddSetsCarryOnOverflow) {
+  auto m = run_fragment(R"(
+    LDI r1, 0xFFFF
+    LDI r2, 2
+    ADD r1, r2
+  )");
+  EXPECT_EQ(m.cpu().reg(1), 1);
+  EXPECT_TRUE(m.cpu().flag_c());
+  EXPECT_FALSE(m.cpu().flag_z());
+}
+
+TEST(CpuTest, SubSetsBorrowAndNegative) {
+  auto m = run_fragment(R"(
+    LDI r1, 3
+    SUBI r1, 5
+  )");
+  EXPECT_EQ(m.cpu().reg(1), 0xFFFE);  // wraps
+  EXPECT_TRUE(m.cpu().flag_c());      // borrow
+  EXPECT_TRUE(m.cpu().flag_n());
+}
+
+TEST(CpuTest, ZeroFlag) {
+  auto m = run_fragment(R"(
+    LDI r1, 7
+    SUBI r1, 7
+  )");
+  EXPECT_TRUE(m.cpu().flag_z());
+  EXPECT_FALSE(m.cpu().flag_c());
+}
+
+TEST(CpuTest, MulWrapsLow16) {
+  auto m = run_fragment(R"(
+    LDI r1, 300
+    MULI r1, 300
+  )");
+  EXPECT_EQ(m.cpu().reg(1), 90000 & 0xFFFF);
+}
+
+TEST(CpuTest, LogicalOps) {
+  auto m = run_fragment(R"(
+    LDI r1, 0b1100
+    LDI r2, 0b1010
+    MOV r3, r1
+    AND r3, r2
+    MOV r4, r1
+    OR  r4, r2
+    MOV r5, r1
+    XOR r5, r2
+    MOV r6, r1
+    NOT r6
+    MOV r7, r1
+    NEG r7
+  )");
+  EXPECT_EQ(m.cpu().reg(3), 0b1000);
+  EXPECT_EQ(m.cpu().reg(4), 0b1110);
+  EXPECT_EQ(m.cpu().reg(5), 0b0110);
+  EXPECT_EQ(m.cpu().reg(6), 0xFFF3);
+  EXPECT_EQ(m.cpu().reg(7), static_cast<std::uint16_t>(-12));
+}
+
+TEST(CpuTest, ShiftsAndCarryOut) {
+  auto m = run_fragment(R"(
+    LDI r1, 0x8001
+    MOV r2, r1
+    SHLI r2, 1          ; C = old bit15
+    MOV r3, r1
+    SHRI r3, 1          ; C = old bit0
+  )");
+  EXPECT_EQ(m.cpu().reg(2), 0x0002);
+  EXPECT_EQ(m.cpu().reg(3), 0x4000);
+  EXPECT_TRUE(m.cpu().flag_c());
+}
+
+TEST(CpuTest, ShiftByZeroIsIdentity) {
+  auto m = run_fragment(R"(
+    LDI r1, 0x1234
+    SHLI r1, 0
+  )");
+  EXPECT_EQ(m.cpu().reg(1), 0x1234);
+}
+
+// ---- control flow -------------------------------------------------------------
+
+TEST(CpuTest, ConditionalBranchesFollowFlags) {
+  auto m = run_fragment(R"(
+    LDI r1, 5
+    CMPI r1, 5
+    JZ  equal
+    LDI r2, 111         ; skipped
+equal:
+    LDI r3, 222
+    CMPI r1, 9
+    JC  less            ; 5 < 9 unsigned
+    LDI r4, 333         ; skipped
+less:
+    LDI r5, 444
+  )");
+  EXPECT_EQ(m.cpu().reg(2), 0);
+  EXPECT_EQ(m.cpu().reg(3), 222);
+  EXPECT_EQ(m.cpu().reg(4), 0);
+  EXPECT_EQ(m.cpu().reg(5), 444);
+}
+
+TEST(CpuTest, CallRetAndStack) {
+  auto m = run_fragment(R"(
+    LDI r1, 1
+    CALL sub
+    ADDI r1, 100        ; runs after RET
+    JMP done
+sub:
+    ADDI r1, 10
+    RET
+done:
+    NOP
+  )");
+  EXPECT_EQ(m.cpu().reg(1), 111);
+  EXPECT_EQ(m.cpu().reg(kSpReg), kInitialSp);  // stack balanced
+}
+
+TEST(CpuTest, PushPopLifo) {
+  auto m = run_fragment(R"(
+    LDI r1, 11
+    LDI r2, 22
+    PUSH r1
+    PUSH r2
+    POP r3
+    POP r4
+  )");
+  EXPECT_EQ(m.cpu().reg(3), 22);
+  EXPECT_EQ(m.cpu().reg(4), 11);
+}
+
+TEST(CpuTest, NestedCallsPreserveReturnPath) {
+  auto m = run_fragment(R"(
+    LDI r1, 0
+    CALL a
+    JMP done
+a:
+    ADDI r1, 1
+    CALL b
+    ADDI r1, 100
+    RET
+b:
+    ADDI r1, 10
+    RET
+done:
+    NOP
+  )");
+  EXPECT_EQ(m.cpu().reg(1), 111);
+}
+
+// ---- faults --------------------------------------------------------------------
+
+TEST(CpuTest, RomWriteFaults) {
+  auto m = run_fragment(R"(
+    LDI r1, 0x0100      ; inside ROM
+    LDI r2, 1
+    STB r1, r2
+  )");
+  EXPECT_EQ(m.fault(), Fault::kRomWrite);
+}
+
+TEST(CpuTest, BrkFaults) {
+  auto m = run_fragment("    BRK");
+  EXPECT_EQ(m.fault(), Fault::kBrk);
+}
+
+TEST(CpuTest, InfiniteLoopExhaustsBudget) {
+  auto result = assemble(".entry main\nmain:\n    JMP main\n", "spin");
+  ASSERT_TRUE(result.ok());
+  ArcadeMachine m(result.rom);
+  m.step_frame(0);
+  EXPECT_EQ(m.fault(), Fault::kBudgetExceeded);
+}
+
+TEST(CpuTest, InvalidOpcodeFaults) {
+  Rom rom;
+  rom.title = "bad";
+  rom.image = {0xEE, 0, 0, 0};  // not an opcode
+  ArcadeMachine m(rom);
+  m.step_frame(0);
+  EXPECT_EQ(m.fault(), Fault::kBadOpcode);
+}
+
+TEST(CpuTest, FaultedMachineStopsExecuting) {
+  auto m = run_fragment("    BRK");
+  const auto hash = m.state_hash();
+  m.step_frame(0xFFFF);
+  EXPECT_EQ(m.state_hash(), hash);  // frozen, even the frame counter
+}
+
+// ---- disassembler ---------------------------------------------------------------
+
+TEST(DisasmTest, FormatsRepresentativeInstructions) {
+  auto check = [](std::uint8_t op, std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                  const std::string& expect) {
+    const std::uint8_t buf[4] = {op, a, b, c};
+    EXPECT_EQ(disassemble_instr(decode(buf)), expect);
+  };
+  check(0x10, 3, 0x34, 0x12, "LDI r3, 0x1234");
+  check(0x11, 1, 2, 0, "MOV r1, r2");
+  check(0x12, 4, 5, 7, "LDB r4, r5, 7");
+  check(0x40, 0, 0x00, 0x02, "JMP 0x0200");
+  check(0x01, 0, 0, 0, "HALT");
+  check(0x50, 2, 1, 0, "IN r2, 1");
+  check(0x51, 4, 3, 0, "OUT 4, r3");
+}
+
+TEST(DisasmTest, RoundTripsThroughAssembler) {
+  const std::string src = ".entry main\nmain:\n    LDI r1, 0x00FF\n    ADDI r1, 1\n    HALT\n";
+  auto rom = assemble(src, "rt").rom;
+  const auto listing = disassemble({rom.image.data(), rom.image.size()});
+  EXPECT_NE(listing.find("LDI r1, 0x00FF"), std::string::npos);
+  EXPECT_NE(listing.find("ADDI r1, 0x0001"), std::string::npos);
+  EXPECT_NE(listing.find("HALT"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtct::emu

@@ -1,0 +1,99 @@
+// Unit tests for InputBuffer (Algorithm 2's IBuf).
+#include <gtest/gtest.h>
+
+#include "src/core/input_buffer.h"
+
+namespace rtct::core {
+namespace {
+
+TEST(InputBufferTest, MergedRequiresBothSites) {
+  InputBuffer buf;
+  EXPECT_FALSE(buf.merged(5).has_value());
+  EXPECT_TRUE(buf.put(0, 5, make_input(0x11, 0)));
+  EXPECT_FALSE(buf.merged(5).has_value());
+  EXPECT_TRUE(buf.put(1, 5, make_input(0, 0x22)));
+  ASSERT_TRUE(buf.merged(5).has_value());
+  EXPECT_EQ(*buf.merged(5), make_input(0x11, 0x22));
+}
+
+TEST(InputBufferTest, PutMasksForeignBits) {
+  // A site can only contribute its own SET[k] bits (the paper's bit
+  // partition); anything else it claims is discarded.
+  InputBuffer buf;
+  buf.put(0, 0, 0xFFFF);  // site 0 tries to set player 1's bits too
+  buf.put(1, 0, 0x0000);
+  EXPECT_EQ(*buf.merged(0), site_input_mask(0));
+}
+
+TEST(InputBufferTest, DuplicatesIgnored) {
+  // §3.1: "only one copy of them will be kept in the buffer".
+  InputBuffer buf;
+  EXPECT_TRUE(buf.put(0, 3, make_input(0xAA, 0)));
+  EXPECT_FALSE(buf.put(0, 3, make_input(0xBB, 0)));  // retransmit differs? keep first
+  buf.put(1, 3, 0);
+  EXPECT_EQ(player_byte(*buf.merged(3), 0), 0xAA);
+}
+
+TEST(InputBufferTest, HasAndPartialQueries) {
+  InputBuffer buf;
+  buf.put(1, 7, make_input(0, 0x5C));
+  EXPECT_TRUE(buf.has(1, 7));
+  EXPECT_FALSE(buf.has(0, 7));
+  EXPECT_FALSE(buf.has(1, 8));
+  EXPECT_EQ(buf.partial(1, 7), make_input(0, 0x5C));
+  EXPECT_EQ(buf.partial(0, 7), 0);  // absent reads as the empty input
+}
+
+TEST(InputBufferTest, SparseFramesGrowOnDemand) {
+  InputBuffer buf;
+  buf.put(0, 1000, make_input(1, 0));
+  EXPECT_TRUE(buf.has(0, 1000));
+  EXPECT_FALSE(buf.has(0, 999));
+  EXPECT_GE(buf.entries_in_memory(), 1000u);
+}
+
+TEST(InputBufferTest, TrimReclaimsAndRejectsStale) {
+  InputBuffer buf;
+  for (FrameNo f = 0; f < 100; ++f) {
+    buf.put(0, f, 0);
+    buf.put(1, f, 0);
+  }
+  buf.trim_below(50);
+  EXPECT_EQ(buf.base(), 50);
+  EXPECT_EQ(buf.entries_in_memory(), 50u);
+  EXPECT_FALSE(buf.has(0, 49));
+  EXPECT_FALSE(buf.put(0, 10, 0));  // stale retransmission counts as dup
+  EXPECT_TRUE(buf.has(0, 50));
+}
+
+TEST(InputBufferTest, TrimPastEndAdvancesBase) {
+  InputBuffer buf;
+  buf.put(0, 0, 0);
+  buf.trim_below(10);
+  EXPECT_EQ(buf.base(), 10);
+  EXPECT_EQ(buf.entries_in_memory(), 0u);
+  EXPECT_TRUE(buf.put(0, 10, 0));
+}
+
+TEST(InputBufferTest, InvalidSitesRejected) {
+  InputBuffer buf(2);
+  EXPECT_FALSE(buf.put(-1, 0, 1));
+  EXPECT_FALSE(buf.put(2, 0, 1));
+  EXPECT_FALSE(buf.has(7, 0));
+  EXPECT_EQ(buf.partial(-1, 0), 0);
+}
+
+TEST(InputBufferTest, MemoryStaysBoundedUnderSteadyState) {
+  // The in-flight window pattern of the protocol: put a frame, consume an
+  // older one, trim. Memory must not grow with total frames processed.
+  InputBuffer buf;
+  for (FrameNo f = 0; f < 10000; ++f) {
+    buf.put(0, f, 0);
+    buf.put(1, f, 0);
+    if (f >= 6) buf.trim_below(f - 6);
+  }
+  EXPECT_LE(buf.entries_in_memory(), 8u);
+}
+
+}  // namespace
+}  // namespace rtct::core

@@ -1,0 +1,233 @@
+// Unit tests for ArcadeMachine: memory map, IO ports, frame stepping,
+// save states and state hashing — the determinism contract of §3.
+#include <gtest/gtest.h>
+
+#include "src/emu/assembler.h"
+#include "src/emu/machine.h"
+#include "src/emu/rom_io.h"
+
+namespace rtct::emu {
+namespace {
+
+Rom make_rom(const std::string& body) {
+  auto r = assemble(".entry main\nmain:\n" + body, "test");
+  EXPECT_TRUE(r.ok()) << r.error_text();
+  return r.rom;
+}
+
+// ROM that copies both input ports and the frame counter into RAM and
+// loops, one frame per HALT.
+const char* kEchoBody = R"(
+    LDI r14, 0x8000
+frame:
+    IN  r0, 0
+    STW r14, r0, 0
+    IN  r1, 1
+    STW r14, r1, 2
+    IN  r2, 2
+    STW r14, r2, 4
+    OUT 4, r0
+    HALT
+    JMP frame
+)";
+
+TEST(MachineTest, InputPortsLatchPerFrame) {
+  ArcadeMachine m(make_rom(kEchoBody));
+  m.step_frame(make_input(0x12, 0x34));
+  EXPECT_EQ(m.peek16(0x8000), 0x12);
+  EXPECT_EQ(m.peek16(0x8002), 0x34);
+  m.step_frame(make_input(0x56, 0x78));
+  EXPECT_EQ(m.peek16(0x8000), 0x56);
+  EXPECT_EQ(m.peek16(0x8002), 0x78);
+}
+
+TEST(MachineTest, FrameCounterPortAdvances) {
+  ArcadeMachine m(make_rom(kEchoBody));
+  m.step_frame(0);
+  EXPECT_EQ(m.peek16(0x8004), 0);  // counter read during frame 0
+  m.step_frame(0);
+  EXPECT_EQ(m.peek16(0x8004), 1);
+  EXPECT_EQ(m.frame(), 2);
+}
+
+TEST(MachineTest, TonePortVisible) {
+  ArcadeMachine m(make_rom(kEchoBody));
+  m.step_frame(make_input(0x42, 0));
+  EXPECT_EQ(m.tone(), 0x42);
+}
+
+TEST(MachineTest, UndefinedPortsReadZeroAndIgnoreWrites) {
+  ArcadeMachine m(make_rom(R"(
+    IN  r0, 99
+    LDI r14, 0x8000
+    STW r14, r0, 0
+    OUT 99, r0
+    HALT
+)"));
+  m.step_frame(0xFFFF);
+  EXPECT_FALSE(m.faulted());
+  EXPECT_EQ(m.peek16(0x8000), 0);
+}
+
+TEST(MachineTest, DebugPortLogsWithoutAffectingHash) {
+  ArcadeMachine a(make_rom("    LDI r0, 7\n    OUT 5, r0\n    HALT\n"));
+  ArcadeMachine b(make_rom("    LDI r0, 7\n    NOP\n    HALT\n"));
+  a.step_frame(0);
+  b.step_frame(0);
+  ASSERT_EQ(a.debug_log().size(), 1u);
+  EXPECT_EQ(a.debug_log()[0], 7);
+  EXPECT_TRUE(b.debug_log().empty());
+  EXPECT_EQ(a.state_hash(), b.state_hash());  // debug traffic is not state
+}
+
+TEST(MachineTest, FramebufferIsMemoryMapped) {
+  ArcadeMachine m(make_rom(R"(
+    LDI r1, 0xA000
+    LDI r2, 9
+    STB r1, r2, 5
+    HALT
+)"));
+  m.step_frame(0);
+  EXPECT_EQ(m.framebuffer()[5], 9);
+  EXPECT_EQ(m.framebuffer().size(), kFbSize);
+}
+
+TEST(MachineTest, RomIsVisibleButNotWritable) {
+  auto rom = make_rom("    HALT\n");
+  ArcadeMachine m(rom);
+  EXPECT_EQ(m.peek(0), rom.image[0]);
+  m.step_frame(0);
+  EXPECT_FALSE(m.faulted());
+}
+
+TEST(MachineTest, HashChangesWithRamVideoAndRegisters) {
+  ArcadeMachine m(make_rom(kEchoBody));
+  const auto h0 = m.state_hash();
+  m.step_frame(make_input(1, 0));
+  const auto h1 = m.state_hash();
+  m.step_frame(make_input(2, 0));
+  EXPECT_NE(h0, h1);
+  EXPECT_NE(h1, m.state_hash());
+}
+
+TEST(MachineTest, SaveStateIsVersionChecked) {
+  ArcadeMachine m(make_rom(kEchoBody));
+  m.step_frame(0);
+  auto snap = m.save_state();
+  snap[0] = 99;  // wrong version byte
+  EXPECT_FALSE(m.load_state(snap));
+}
+
+TEST(MachineTest, TruncatedSnapshotRejected) {
+  ArcadeMachine m(make_rom(kEchoBody));
+  m.step_frame(0);
+  auto snap = m.save_state();
+  snap.resize(snap.size() / 2);
+  EXPECT_FALSE(m.load_state(snap));
+}
+
+TEST(MachineTest, OversizedSnapshotRejected) {
+  ArcadeMachine m(make_rom(kEchoBody));
+  m.step_frame(0);
+  auto snap = m.save_state();
+  snap.push_back(0);
+  EXPECT_FALSE(m.load_state(snap));
+}
+
+TEST(MachineTest, SnapshotRestoresFrameCounterAndTone) {
+  ArcadeMachine m(make_rom(kEchoBody));
+  for (int i = 0; i < 10; ++i) m.step_frame(make_input(static_cast<std::uint8_t>(i), 0));
+  const auto snap = m.save_state();
+  const auto frame = m.frame();
+  const auto tone = m.tone();
+  for (int i = 0; i < 5; ++i) m.step_frame(0xFFFF);
+  ASSERT_TRUE(m.load_state(snap));
+  EXPECT_EQ(m.frame(), frame);
+  EXPECT_EQ(m.tone(), tone);
+}
+
+TEST(MachineTest, CyclesPerFrameConfigurable) {
+  MachineConfig tight;
+  tight.cycles_per_frame = 8;  // too small for the echo loop
+  ArcadeMachine m(make_rom(kEchoBody), tight);
+  m.step_frame(0);
+  EXPECT_EQ(m.fault(), Fault::kBudgetExceeded);
+}
+
+TEST(MachineTest, LastFrameCyclesReported) {
+  ArcadeMachine m(make_rom("    NOP\n    NOP\n    HALT\n"));
+  m.step_frame(0);
+  EXPECT_EQ(m.last_frame_cycles(), 3);  // NOP + NOP + HALT, 1 cycle each
+}
+
+TEST(MachineTest, ContentIdMatchesRomChecksum) {
+  auto rom = make_rom(kEchoBody);
+  ArcadeMachine m(rom);
+  EXPECT_EQ(m.content_id(), rom.checksum());
+  EXPECT_NE(m.content_id(), 0u);
+}
+
+TEST(MachineTest, RomChecksumCoversEntryPoint) {
+  Rom a;
+  a.image = {0, 1, 2, 3};
+  a.entry = 0;
+  Rom b = a;
+  b.entry = 4;
+  EXPECT_NE(a.checksum(), b.checksum());
+}
+
+// ---- .rom container format -------------------------------------------------
+
+TEST(RomIoTest, SerializeParseRoundTrip) {
+  auto rom = make_rom(kEchoBody);
+  rom.title = "echo test";
+  const auto bytes = serialize_rom(rom);
+  const auto back = parse_rom(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->title, "echo test");
+  EXPECT_EQ(back->entry, rom.entry);
+  EXPECT_EQ(back->image, rom.image);
+  EXPECT_EQ(back->checksum(), rom.checksum());
+}
+
+TEST(RomIoTest, BadMagicRejected) {
+  auto rom = make_rom(kEchoBody);
+  auto bytes = serialize_rom(rom);
+  bytes[0] = 'X';
+  EXPECT_FALSE(parse_rom(bytes).has_value());
+}
+
+TEST(RomIoTest, AnyBitFlipRejectedByCrc) {
+  auto rom = make_rom(kEchoBody);
+  const auto bytes = serialize_rom(rom);
+  for (std::size_t i = 8; i < bytes.size(); i += 13) {  // sample positions
+    auto copy = bytes;
+    copy[i] ^= 0x40;
+    EXPECT_FALSE(parse_rom(copy).has_value()) << "offset " << i;
+  }
+}
+
+TEST(RomIoTest, TruncationRejected) {
+  auto rom = make_rom(kEchoBody);
+  auto bytes = serialize_rom(rom);
+  bytes.resize(bytes.size() - 5);
+  EXPECT_FALSE(parse_rom(bytes).has_value());
+  EXPECT_FALSE(parse_rom({}).has_value());
+}
+
+TEST(RomIoTest, FileRoundTrip) {
+  auto rom = make_rom(kEchoBody);
+  const std::string path = ::testing::TempDir() + "/rtct_rom_io_test.rom";
+  ASSERT_TRUE(save_rom_file(rom, path));
+  const auto back = load_rom_file(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->image, rom.image);
+  std::remove(path.c_str());
+}
+
+TEST(RomIoTest, MissingFileIsNullopt) {
+  EXPECT_FALSE(load_rom_file("/nonexistent/definitely/not.rom").has_value());
+}
+
+}  // namespace
+}  // namespace rtct::emu

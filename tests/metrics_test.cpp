@@ -1,0 +1,83 @@
+// Unit tests for the frame timeline metrics (§4's measurements).
+#include <gtest/gtest.h>
+
+#include "src/core/metrics.h"
+
+namespace rtct::core {
+namespace {
+
+FrameRecord rec(FrameNo f, Time begin, std::uint64_t hash, Dur stall = 0) {
+  FrameRecord r;
+  r.frame = f;
+  r.begin_time = begin;
+  r.state_hash = hash;
+  r.stall = stall;
+  return r;
+}
+
+TEST(MetricsTest, FrameTimesAreConsecutiveDeltas) {
+  FrameTimeline t;
+  t.add(rec(0, 0, 1));
+  t.add(rec(1, milliseconds(17), 2));
+  t.add(rec(2, milliseconds(33), 3));
+  const auto s = t.frame_times();
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.samples()[0], 17.0);
+  EXPECT_DOUBLE_EQ(s.samples()[1], 16.0);
+}
+
+TEST(MetricsTest, BeginTimesInMs) {
+  FrameTimeline t;
+  t.add(rec(0, milliseconds(5), 1));
+  EXPECT_DOUBLE_EQ(t.begin_times_ms()[0], 5.0);
+}
+
+TEST(MetricsTest, StallAccounting) {
+  FrameTimeline t;
+  t.add(rec(0, 0, 1));
+  t.add(rec(1, milliseconds(17), 2, milliseconds(4)));
+  t.add(rec(2, milliseconds(40), 3, milliseconds(9)));
+  EXPECT_EQ(t.stalled_frames(), 2u);
+  EXPECT_DOUBLE_EQ(t.stalls().summarize().max, 9.0);
+}
+
+TEST(MetricsTest, SynchronyIsSignedDifferenceSeries) {
+  FrameTimeline a, b;
+  a.add(rec(0, milliseconds(10), 1));
+  a.add(rec(1, milliseconds(30), 2));
+  b.add(rec(0, milliseconds(12), 1));
+  b.add(rec(1, milliseconds(25), 2));
+  const auto s = synchrony_differences(a, b);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.samples()[0], -2.0);
+  EXPECT_DOUBLE_EQ(s.samples()[1], 5.0);
+  EXPECT_DOUBLE_EQ(s.summarize().mean_abs, 3.5);  // footnote 11 metric
+}
+
+TEST(MetricsTest, SynchronyUsesCommonPrefix) {
+  FrameTimeline a, b;
+  a.add(rec(0, 0, 1));
+  a.add(rec(1, milliseconds(17), 2));
+  b.add(rec(0, milliseconds(1), 1));
+  EXPECT_EQ(synchrony_differences(a, b).size(), 1u);
+}
+
+TEST(MetricsTest, FirstDivergenceFindsHashMismatch) {
+  FrameTimeline a, b;
+  for (int i = 0; i < 5; ++i) {
+    a.add(rec(i, i * 17, 100 + i));
+    b.add(rec(i, i * 17 + 1, i == 3 ? 999u : 100 + i));
+  }
+  EXPECT_EQ(first_divergence(a, b), 3);
+}
+
+TEST(MetricsTest, NoDivergenceIsMinusOne) {
+  FrameTimeline a, b;
+  a.add(rec(0, 0, 42));
+  b.add(rec(0, 5, 42));
+  EXPECT_EQ(first_divergence(a, b), -1);
+  EXPECT_EQ(first_divergence(FrameTimeline{}, FrameTimeline{}), -1);
+}
+
+}  // namespace
+}  // namespace rtct::core

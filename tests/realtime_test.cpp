@@ -1,0 +1,190 @@
+// Integration tests for the wall-clock driver over real loopback UDP —
+// two complete sites in one process, two threads. Kept short (a few
+// seconds of 60 FPS play) since these consume real time.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "src/core/input_source.h"
+#include "src/core/realtime.h"
+#include "src/core/spectate.h"
+#include "src/core/wire.h"
+#include "src/games/roms.h"
+#include "src/net/udp_socket.h"
+
+namespace rtct::core {
+namespace {
+
+struct Pair {
+  net::UdpSocket s0{"127.0.0.1", 0};
+  net::UdpSocket s1{"127.0.0.1", 0};
+  Pair() {
+    EXPECT_TRUE(s0.valid());
+    EXPECT_TRUE(s1.valid());
+    EXPECT_TRUE(s0.connect_peer("127.0.0.1", s1.local_port()));
+    EXPECT_TRUE(s1.connect_peer("127.0.0.1", s0.local_port()));
+  }
+};
+
+TEST(RealtimeTest, TwoSitesOverLoopbackStayConsistent) {
+  auto m0 = games::make_machine("torture");  // maximal divergence sensitivity
+  auto m1 = games::make_machine("torture");
+  Pair sockets;
+  MasherInput p0(5), p1(6);
+
+  RealtimeConfig cfg;
+  cfg.frames = 120;  // two seconds
+  RealtimeSession a(0, *m0, p0, sockets.s0, cfg);
+  RealtimeSession b(1, *m1, p1, sockets.s1, cfg);
+
+  std::string e0, e1;
+  bool ok1 = false;
+  std::thread t([&] { ok1 = b.run(&e1); });
+  const bool ok0 = a.run(&e0);
+  t.join();
+
+  ASSERT_TRUE(ok0) << e0;
+  ASSERT_TRUE(ok1) << e1;
+  EXPECT_EQ(a.timeline().size(), 120u);
+  EXPECT_EQ(b.timeline().size(), 120u);
+  EXPECT_EQ(first_divergence(a.timeline(), b.timeline()), -1);
+  EXPECT_EQ(m0->state_hash(), m1->state_hash());
+  // Wall-clock pacing: roughly 60 FPS (very generous bounds; CI machines
+  // have noisy schedulers).
+  const double avg_ft = a.timeline().frame_times().summarize().mean;
+  EXPECT_GT(avg_ft, 12.0);
+  EXPECT_LT(avg_ft, 25.0);
+}
+
+TEST(RealtimeTest, MismatchedRomsRefuseToPair) {
+  auto m0 = games::make_machine("pong");
+  auto m1 = games::make_machine("duel");
+  Pair sockets;
+  IdleInput idle;
+
+  RealtimeConfig cfg;
+  cfg.frames = 30;
+  cfg.handshake_timeout = seconds(2);
+  RealtimeSession a(0, *m0, idle, sockets.s0, cfg);
+  RealtimeSession b(1, *m1, idle, sockets.s1, cfg);
+
+  std::string e0, e1;
+  bool ok1 = true;
+  std::thread t([&] { ok1 = b.run(&e1); });
+  const bool ok0 = a.run(&e0);
+  t.join();
+
+  EXPECT_FALSE(ok0);
+  EXPECT_NE(e0.find("image"), std::string::npos) << e0;
+  EXPECT_FALSE(ok1);  // slave times out or fails symmetric check
+}
+
+TEST(RealtimeTest, MissingPeerTimesOut) {
+  auto m = games::make_machine("pong");
+  net::UdpSocket sock("127.0.0.1", 0);
+  ASSERT_TRUE(sock.connect_peer("127.0.0.1", 1));  // nobody listens on port 1
+  IdleInput idle;
+  RealtimeConfig cfg;
+  cfg.handshake_timeout = milliseconds(300);
+  RealtimeSession s(0, *m, idle, sock, cfg);
+  std::string err;
+  EXPECT_FALSE(s.run(&err));
+  EXPECT_NE(err.find("timeout"), std::string::npos) << err;
+}
+
+TEST(RealtimeTest, PeerDeathStallsThenFails) {
+  auto m0 = games::make_machine("pong");
+  auto m1 = games::make_machine("pong");
+  Pair sockets;
+  IdleInput idle0;
+  MasherInput p1(9);
+
+  RealtimeConfig short_cfg;
+  short_cfg.frames = 20;  // peer plays only 20 frames then leaves
+  RealtimeConfig long_cfg;
+  long_cfg.frames = 600;
+  long_cfg.stall_timeout = milliseconds(700);
+
+  RealtimeSession quitter(1, *m1, p1, sockets.s1, short_cfg);
+  RealtimeSession stayer(0, *m0, idle0, sockets.s0, long_cfg);
+
+  std::string e0, e1;
+  std::thread t([&] { quitter.run(&e1); });
+  const bool ok0 = stayer.run(&e0);
+  t.join();
+
+  EXPECT_FALSE(ok0);
+  EXPECT_NE(e0.find("stall"), std::string::npos) << e0;
+  // The paper's semantics: freeze, never desync — whatever frames both
+  // executed are identical.
+  EXPECT_EQ(first_divergence(stayer.timeline(), quitter.timeline()), -1);
+}
+
+TEST(RealtimeTest, UdpSpectatorReplaysLive) {
+  auto m0 = games::make_machine("pong");
+  auto m1 = games::make_machine("pong");
+  auto replica = games::make_machine("pong");
+  Pair sockets;
+  MasherInput p0(1), p1(2);
+
+  net::UdpSocket spectator_port("127.0.0.1", 0);
+  ASSERT_TRUE(spectator_port.valid());
+  net::UdpSocket watcher("127.0.0.1", 0);
+  ASSERT_TRUE(watcher.connect_peer("127.0.0.1", spectator_port.local_port()));
+
+  RealtimeConfig cfg;
+  cfg.frames = 180;
+  RealtimeSession a(0, *m0, p0, sockets.s0, cfg);
+  RealtimeSession b(1, *m1, p1, sockets.s1, cfg);
+  a.serve_spectators(&spectator_port);
+
+  std::string e0, e1;
+  bool ok0 = false, ok1 = false;
+  std::thread t0([&] { ok0 = a.run(&e0); });
+  std::thread t1([&] { ok1 = b.run(&e1); });
+
+  SpectatorClient client(*replica, SyncConfig{});
+  const auto start = std::chrono::steady_clock::now();
+  Time fake_now = 0;
+  while (client.applied_frame() < cfg.frames - 1 &&
+         std::chrono::steady_clock::now() - start < std::chrono::seconds(15)) {
+    if (auto m = client.make_message(fake_now)) watcher.send(encode_message(*m));
+    watcher.wait_readable(milliseconds(10));
+    while (auto payload = watcher.try_recv()) {
+      if (auto msg = decode_message(*payload)) client.ingest(*msg);
+    }
+    client.step_available();
+    fake_now += milliseconds(10);
+  }
+  t0.join();
+  t1.join();
+
+  ASSERT_TRUE(ok0) << e0;
+  ASSERT_TRUE(ok1) << e1;
+  EXPECT_TRUE(client.joined());
+  EXPECT_EQ(client.applied_frame(), cfg.frames - 1);
+  EXPECT_EQ(replica->state_hash(), m0->state_hash());
+  EXPECT_EQ(a.spectators_joined(), 1u);
+}
+
+TEST(RealtimeTest, RequestStopInterruptsHandshake) {
+  auto m = games::make_machine("pong");
+  net::UdpSocket sock("127.0.0.1", 0);
+  ASSERT_TRUE(sock.connect_peer("127.0.0.1", 1));
+  IdleInput idle;
+  RealtimeConfig cfg;
+  cfg.handshake_timeout = seconds(30);
+  RealtimeSession s(0, *m, idle, sock, cfg);
+  std::thread stopper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    s.request_stop();
+  });
+  std::string err;
+  EXPECT_FALSE(s.run(&err));
+  stopper.join();
+  EXPECT_NE(err.find("stopped"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtct::core

@@ -1,0 +1,108 @@
+// Tests for the ASCII renderer and the synthetic input sources.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/input_source.h"
+#include "src/emu/render_text.h"
+
+namespace rtct {
+namespace {
+
+// ---- render_ascii -----------------------------------------------------------
+
+std::vector<std::uint8_t> blank_fb(int cols = 64, int rows = 48) {
+  return std::vector<std::uint8_t>(static_cast<std::size_t>(cols * rows), 0);
+}
+
+TEST(RenderTest, BlankScreenIsSpacesAndNewlines) {
+  const auto fb = blank_fb();
+  const auto out = emu::render_ascii(fb, 64, 48);
+  EXPECT_EQ(out.size(), (64u + 1) * 24);  // rows halved, newline per row
+  for (char ch : out) EXPECT_TRUE(ch == ' ' || ch == '\n');
+}
+
+TEST(RenderTest, PixelAppearsAtRightSpot) {
+  auto fb = blank_fb();
+  fb[5 * 64 + 10] = 9;  // row 5 -> output row 2, column 10
+  const auto out = emu::render_ascii(fb, 64, 48);
+  const std::size_t idx = 2 * 65 + 10;
+  EXPECT_EQ(out[idx], '@');  // palette 9 = brightest ramp char
+}
+
+TEST(RenderTest, BrighterOfThePairWins) {
+  auto fb = blank_fb();
+  fb[0] = 2;        // row 0, col 0
+  fb[64] = 7;       // row 1, col 0 — same output cell, brighter
+  const auto out = emu::render_ascii(fb, 64, 48);
+  EXPECT_EQ(out[0], '#');  // ramp[7]
+}
+
+TEST(RenderTest, OutOfRangePaletteClamps) {
+  auto fb = blank_fb();
+  fb[0] = 255;
+  const auto out = emu::render_ascii(fb, 64, 48);
+  EXPECT_EQ(out[0], '@');
+}
+
+TEST(RenderTest, PairPutsGutterBetweenScreens) {
+  auto left = blank_fb();
+  auto right = blank_fb();
+  left[0] = 9;
+  right[0] = 9;
+  const auto out = emu::render_ascii_pair(left, right, 64, 48);
+  const auto first_line = out.substr(0, out.find('\n'));
+  EXPECT_EQ(first_line.size(), 64 + 5 + 64u);
+  EXPECT_EQ(first_line[0], '@');
+  EXPECT_EQ(first_line[64 + 5], '@');
+  EXPECT_NE(first_line.find(" | "), std::string::npos);
+}
+
+// ---- input sources -----------------------------------------------------------
+
+TEST(InputSourceTest, IdleIsAlwaysZero) {
+  core::IdleInput idle;
+  for (FrameNo f = 0; f < 100; ++f) EXPECT_EQ(idle.input_for_frame(f), 0);
+}
+
+TEST(InputSourceTest, ScriptedReplaysThenGoesQuiet) {
+  core::ScriptedInput s({10, 20, 30});
+  EXPECT_EQ(s.input_for_frame(0), 10);
+  EXPECT_EQ(s.input_for_frame(1), 20);
+  EXPECT_EQ(s.input_for_frame(2), 30);
+  EXPECT_EQ(s.input_for_frame(3), 0);
+  EXPECT_EQ(s.input_for_frame(1000), 0);
+}
+
+TEST(InputSourceTest, MasherIsDeterministicPerSeed) {
+  core::MasherInput a(42), b(42), c(43);
+  bool any_diff = false;
+  for (FrameNo f = 0; f < 200; ++f) {
+    const auto va = a.input_for_frame(f);
+    EXPECT_EQ(va, b.input_for_frame(f));
+    any_diff = any_diff || va != c.input_for_frame(f);
+  }
+  EXPECT_TRUE(any_diff) << "different seeds produced identical mashing";
+}
+
+TEST(InputSourceTest, MasherHoldsButtons) {
+  core::MasherInput m(7, /*hold_frames=*/10);
+  int changes = 0;
+  std::uint8_t prev = m.input_for_frame(0);
+  for (FrameNo f = 1; f < 100; ++f) {
+    const auto v = m.input_for_frame(f);
+    changes += v != prev;
+    prev = v;
+  }
+  EXPECT_LE(changes, 10);  // at most one change per hold period
+}
+
+TEST(InputSourceTest, MaterializeMatchesLiveSource) {
+  core::MasherInput live(99), probe(99);
+  const auto script = core::materialize_script(probe, 50);
+  ASSERT_EQ(script.size(), 50u);
+  for (FrameNo f = 0; f < 50; ++f) EXPECT_EQ(script[f], live.input_for_frame(f));
+}
+
+}  // namespace
+}  // namespace rtct

@@ -1,0 +1,145 @@
+// Unit tests for SessionControl — the startup handshake of §3.2.
+#include <gtest/gtest.h>
+
+#include "src/core/session.h"
+
+namespace rtct::core {
+namespace {
+
+constexpr std::uint64_t kRom = 0xABCDEF;
+
+SyncConfig cfg() { return SyncConfig{}; }
+
+// Delivers a poll()ed message from one side into the other.
+bool relay(SessionControl& from, SessionControl& to, Time now) {
+  if (auto m = from.poll(now)) {
+    to.ingest(*m, now);
+    return true;
+  }
+  return false;
+}
+
+TEST(SessionTest, HappyPathHandshake) {
+  SessionControl master(0, kRom, cfg());
+  SessionControl slave(1, kRom, cfg());
+
+  relay(slave, master, 0);  // slave HELLO reaches the master
+  EXPECT_TRUE(master.running());  // master starts on compatible HELLO
+  EXPECT_FALSE(slave.running());
+
+  relay(master, slave, milliseconds(10));  // START reaches the slave
+  EXPECT_TRUE(slave.running());
+  EXPECT_EQ(slave.start_time(), milliseconds(10));
+}
+
+TEST(SessionTest, HelloRetransmitsOnInterval) {
+  SessionControl s(1, kRom, cfg(), milliseconds(50));
+  EXPECT_TRUE(s.poll(0).has_value());
+  EXPECT_FALSE(s.poll(milliseconds(10)).has_value());  // not due yet
+  EXPECT_TRUE(s.poll(milliseconds(50)).has_value());
+  EXPECT_TRUE(s.poll(milliseconds(120)).has_value());
+}
+
+TEST(SessionTest, LostStartIsRepairedByReHello) {
+  SessionControl master(0, kRom, cfg(), milliseconds(50));
+  SessionControl slave(1, kRom, cfg(), milliseconds(50));
+
+  relay(slave, master, 0);
+  auto lost_start = master.poll(0);  // START produced...
+  ASSERT_TRUE(lost_start.has_value());
+  // ...but never delivered (packet lost). Slave re-HELLOs later:
+  relay(slave, master, milliseconds(60));
+  // Master answers every HELLO with a fresh START even while running.
+  auto retry = master.poll(milliseconds(60));
+  ASSERT_TRUE(retry.has_value());
+  EXPECT_TRUE(std::holds_alternative<StartMsg>(*retry));
+  slave.ingest(*retry, milliseconds(61));
+  EXPECT_TRUE(slave.running());
+}
+
+TEST(SessionTest, SlaveStartsOnSyncTrafficToo) {
+  // A slave whose START was lost but who already sees game traffic knows
+  // the session is live.
+  SessionControl slave(1, kRom, cfg());
+  slave.note_sync_traffic(milliseconds(70));
+  EXPECT_TRUE(slave.running());
+}
+
+TEST(SessionTest, MasterIgnoresSyncTrafficShortcut) {
+  SessionControl master(0, kRom, cfg());
+  master.note_sync_traffic(0);
+  EXPECT_FALSE(master.running());  // master must see a HELLO first
+}
+
+TEST(SessionTest, ChecksumMismatchFails) {
+  SessionControl master(0, kRom, cfg());
+  SessionControl slave(1, kRom + 1, cfg());  // different game image
+  relay(slave, master, 0);
+  EXPECT_EQ(master.state(), SessionState::kFailed);
+  EXPECT_NE(master.failure_reason().find("image"), std::string::npos);
+  EXPECT_FALSE(master.poll(milliseconds(100)).has_value());  // goes silent
+}
+
+TEST(SessionTest, VersionMismatchFails) {
+  SessionControl master(0, kRom, cfg());
+  HelloMsg h;
+  h.site = 1;
+  h.protocol_version = kProtocolVersion + 1;
+  h.rom_checksum = kRom;
+  h.cfps = 60;
+  h.buf_frames = 6;
+  master.ingest(Message{h}, 0);
+  EXPECT_EQ(master.state(), SessionState::kFailed);
+  EXPECT_NE(master.failure_reason().find("version"), std::string::npos);
+}
+
+TEST(SessionTest, SyncParameterMismatchFails) {
+  SyncConfig other = cfg();
+  other.buf_frames = 3;  // different local lag => different game timing
+  SessionControl master(0, kRom, cfg());
+  SessionControl slave(1, kRom, other);
+  relay(slave, master, 0);
+  EXPECT_EQ(master.state(), SessionState::kFailed);
+}
+
+TEST(SessionTest, SelfMessagesIgnored) {
+  SessionControl master(0, kRom, cfg());
+  auto own_hello = master.poll(0);
+  ASSERT_TRUE(own_hello.has_value());
+  master.ingest(*own_hello, 0);  // reflected back (e.g. broadcast echo)
+  EXPECT_FALSE(master.running());
+  master.ingest(Message{StartMsg{0}}, 0);  // own START echoed
+  EXPECT_FALSE(master.running());
+}
+
+TEST(SessionTest, SlaveDoesNotStartOnHello) {
+  SessionControl slave(1, kRom, cfg());
+  HelloMsg h;
+  h.site = 0;
+  h.protocol_version = kProtocolVersion;
+  h.rom_checksum = kRom;
+  h.cfps = 60;
+  h.buf_frames = 6;
+  slave.ingest(Message{h}, 0);
+  EXPECT_FALSE(slave.running());  // needs START, not just HELLO
+}
+
+TEST(SessionTest, StartSkewBoundedByOneRelayStep) {
+  // The §3.2 claim: "at most one round-trip time deviation" — in this
+  // design the skew is exactly the START's one-way flight time.
+  SessionControl master(0, kRom, cfg());
+  SessionControl slave(1, kRom, cfg());
+  const Dur owd = milliseconds(35);
+  Time now = 0;
+  relay(slave, master, now + owd);  // HELLO lands at owd
+  ASSERT_TRUE(master.running());
+  const Time master_start = master.start_time();
+  auto start = master.poll(now + owd);
+  ASSERT_TRUE(start.has_value());
+  slave.ingest(*start, now + 2 * owd);
+  ASSERT_TRUE(slave.running());
+  EXPECT_EQ(slave.start_time() - master_start, owd);
+}
+
+}  // namespace
+}  // namespace rtct::core

@@ -1,0 +1,188 @@
+// Tests for the spectator / late-join extension (journal-version feature).
+//
+// A "session" machine plays torture (maximally divergence-sensitive) while
+// a SpectatorHost records its merged inputs; a SpectatorClient joins late
+// across a hand-rolled lossy channel and must converge to bit-identical
+// state.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "src/common/random.h"
+#include "src/core/spectate.h"
+#include "src/games/roms.h"
+
+namespace rtct::core {
+namespace {
+
+struct Rig {
+  std::unique_ptr<emu::ArcadeMachine> session = games::make_machine("torture");
+  std::unique_ptr<emu::ArcadeMachine> replica = games::make_machine("torture");
+  SpectatorHost host{session->content_id(), SyncConfig{}};
+  SpectatorClient client{*replica, SyncConfig{}};
+  Rng rng{77};
+  FrameNo frame = 0;
+
+  InputWord play_one_frame() {
+    const auto input = static_cast<InputWord>(rng.next_u64() & 0xFFFF);
+    session->step_frame(input);
+    host.on_frame(frame, input);
+    ++frame;
+    return input;
+  }
+
+  void serve_snapshot_if_needed() {
+    if (host.wants_snapshot()) {
+      host.provide_snapshot(session->frame() - 1, session->save_state());
+    }
+  }
+
+  /// One message in each direction, with optional loss.
+  void exchange(Time now, bool drop_host_to_client = false, bool drop_client_to_host = false) {
+    if (auto m = client.make_message(now); m && !drop_client_to_host) host.ingest(*m);
+    serve_snapshot_if_needed();
+    if (auto m = host.make_message(now); m && !drop_host_to_client) client.ingest(*m);
+    client.step_available();
+  }
+};
+
+TEST(SpectateTest, LateJoinerConvergesOnPerfectChannel) {
+  Rig rig;
+  for (int i = 0; i < 100; ++i) rig.play_one_frame();  // session well underway
+
+  Time now = 0;
+  rig.exchange(now);  // join request -> snapshot taken and delivered
+  EXPECT_TRUE(rig.client.joined());
+  EXPECT_EQ(rig.client.applied_frame(), 99);
+  EXPECT_EQ(rig.replica->state_hash(), rig.session->state_hash());
+
+  // Keep playing; feed flows every "flush".
+  for (int i = 0; i < 50; ++i) {
+    rig.play_one_frame();
+    now += milliseconds(20);
+    rig.exchange(now);
+  }
+  EXPECT_EQ(rig.client.applied_frame(), rig.frame - 1);
+  EXPECT_EQ(rig.replica->state_hash(), rig.session->state_hash());
+}
+
+TEST(SpectateTest, JoinBeforeFirstFrameWorks) {
+  Rig rig;
+  rig.exchange(0);  // joins at frame -1 boundary (fresh snapshot)
+  EXPECT_TRUE(rig.client.joined());
+  for (int i = 0; i < 30; ++i) {
+    rig.play_one_frame();
+    rig.exchange(milliseconds(20 * (i + 1)));
+  }
+  EXPECT_EQ(rig.replica->state_hash(), rig.session->state_hash());
+}
+
+TEST(SpectateTest, SnapshotLossIsRepairedByResend) {
+  Rig rig;
+  for (int i = 0; i < 20; ++i) rig.play_one_frame();
+  rig.exchange(0, /*drop_host_to_client=*/true);  // snapshot lost
+  EXPECT_FALSE(rig.client.joined());
+  rig.exchange(milliseconds(60));  // host still holds it; resend succeeds
+  EXPECT_TRUE(rig.client.joined());
+  EXPECT_EQ(rig.replica->state_hash(), rig.session->state_hash());
+}
+
+TEST(SpectateTest, FeedLossIsRepairedByGoBackN) {
+  Rig rig;
+  for (int i = 0; i < 10; ++i) rig.play_one_frame();
+  Time now = 0;
+  rig.exchange(now);
+  ASSERT_TRUE(rig.client.joined());
+
+  // Drop several consecutive feed messages, then let one through.
+  for (int i = 0; i < 5; ++i) {
+    rig.play_one_frame();
+    now += milliseconds(20);
+    rig.exchange(now, /*drop_host_to_client=*/true);
+  }
+  EXPECT_LT(rig.client.applied_frame(), rig.frame - 1);
+  now += milliseconds(20);
+  rig.exchange(now);  // the full unacked window arrives at once
+  EXPECT_EQ(rig.client.applied_frame(), rig.frame - 1);
+  EXPECT_EQ(rig.replica->state_hash(), rig.session->state_hash());
+}
+
+TEST(SpectateTest, AckLossOnlyCausesDuplicates) {
+  Rig rig;
+  for (int i = 0; i < 10; ++i) rig.play_one_frame();
+  Time now = 0;
+  rig.exchange(now);
+  ASSERT_TRUE(rig.client.joined());
+  for (int i = 0; i < 10; ++i) {
+    rig.play_one_frame();
+    now += milliseconds(20);
+    rig.exchange(now, false, /*drop_client_to_host=*/i % 2 == 0);
+  }
+  EXPECT_EQ(rig.client.applied_frame(), rig.frame - 1);
+  EXPECT_EQ(rig.replica->state_hash(), rig.session->state_hash());
+}
+
+TEST(SpectateTest, BacklogTrimsOnAck) {
+  Rig rig;
+  for (int i = 0; i < 10; ++i) rig.play_one_frame();
+  Time now = 0;
+  rig.exchange(now);
+  for (int i = 0; i < 20; ++i) {
+    rig.play_one_frame();
+    now += milliseconds(20);
+    rig.exchange(now);
+    now += milliseconds(20);
+    rig.exchange(now);  // second round lets the ack land
+  }
+  EXPECT_LE(rig.host.backlog_size(), 2u);  // everything acked and trimmed
+}
+
+TEST(SpectateTest, WrongGameJoinIgnored) {
+  Rig rig;
+  rig.host.ingest(Message{JoinRequestMsg{rig.session->content_id() + 1}});
+  EXPECT_FALSE(rig.host.wants_snapshot());
+}
+
+TEST(SpectateTest, CorruptSnapshotRejectedAndRetried) {
+  Rig rig;
+  for (int i = 0; i < 5; ++i) rig.play_one_frame();
+  // Deliver a truncated snapshot by hand.
+  auto state = rig.session->save_state();
+  state.resize(state.size() / 2);
+  SnapshotMsg bad;
+  bad.frame = rig.frame - 1;
+  bad.state = state;
+  rig.client.ingest(Message{bad});
+  EXPECT_FALSE(rig.client.joined());
+  // The genuine exchange still succeeds afterwards.
+  rig.exchange(milliseconds(60));
+  EXPECT_TRUE(rig.client.joined());
+}
+
+TEST(SpectateTest, HostlessClientKeepsRequesting) {
+  auto replica = games::make_machine("pong");
+  SpectatorClient client(*replica, SyncConfig{});
+  EXPECT_TRUE(client.make_message(0).has_value());
+  EXPECT_FALSE(client.make_message(milliseconds(10)).has_value());  // rate-limited
+  EXPECT_TRUE(client.make_message(milliseconds(60)).has_value());
+  EXPECT_FALSE(client.joined());
+}
+
+TEST(SpectateTest, RandomizedLossyChannelProperty) {
+  for (std::uint64_t seed : {3u, 17u, 99u}) {
+    Rig rig;
+    Rng net(seed);
+    Time now = 0;
+    for (int i = 0; i < 30; ++i) rig.play_one_frame();
+    for (int round = 0; round < 400 && rig.client.applied_frame() < rig.frame - 1; ++round) {
+      if (round % 3 == 0) rig.play_one_frame();
+      now += milliseconds(20);
+      rig.exchange(now, net.bernoulli(0.3), net.bernoulli(0.3));
+    }
+    ASSERT_EQ(rig.client.applied_frame(), rig.frame - 1) << "seed " << seed;
+    ASSERT_EQ(rig.replica->state_hash(), rig.session->state_hash()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace rtct::core

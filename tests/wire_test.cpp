@@ -1,0 +1,140 @@
+// Unit tests for the wire codec: round trips and hostile-input handling.
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/common/bytes.h"
+#include "src/core/config.h"
+#include "src/core/wire.h"
+
+namespace rtct::core {
+namespace {
+
+TEST(WireTest, SyncMsgRoundTrip) {
+  SyncMsg m;
+  m.site = 1;
+  m.ack_frame = 123;
+  m.first_frame = 100;
+  m.inputs = {0x0001, 0x1200, 0xFFFF};
+  m.send_time = milliseconds(4567);
+  m.echo_time = milliseconds(4500);
+  m.echo_hold = milliseconds(3);
+
+  const auto bytes = encode_message(Message{m});
+  const auto decoded = decode_message(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  const auto* out = std::get_if<SyncMsg>(&*decoded);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->site, 1);
+  EXPECT_EQ(out->ack_frame, 123);
+  EXPECT_EQ(out->first_frame, 100);
+  EXPECT_EQ(out->inputs, m.inputs);
+  EXPECT_EQ(out->last_frame(), 102);
+  EXPECT_EQ(out->send_time, m.send_time);
+  EXPECT_EQ(out->echo_time, m.echo_time);
+  EXPECT_EQ(out->echo_hold, m.echo_hold);
+}
+
+TEST(WireTest, EmptyInputsSyncMsgIsPureAck) {
+  SyncMsg m;
+  m.site = 0;
+  m.ack_frame = 50;
+  m.first_frame = 51;
+  const auto decoded = decode_message(encode_message(Message{m}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(std::get<SyncMsg>(*decoded).inputs.empty());
+}
+
+TEST(WireTest, HelloRoundTrip) {
+  HelloMsg h;
+  h.site = 1;
+  h.protocol_version = kProtocolVersion;
+  h.rom_checksum = 0xDEADBEEFCAFEF00Dull;
+  h.cfps = 60;
+  h.buf_frames = 6;
+  const auto decoded = decode_message(encode_message(Message{h}));
+  ASSERT_TRUE(decoded.has_value());
+  const auto& out = std::get<HelloMsg>(*decoded);
+  EXPECT_EQ(out.rom_checksum, h.rom_checksum);
+  EXPECT_EQ(out.cfps, 60);
+  EXPECT_EQ(out.buf_frames, 6);
+}
+
+TEST(WireTest, StartRoundTrip) {
+  const auto decoded = decode_message(encode_message(Message{StartMsg{0}}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<StartMsg>(*decoded).site, 0);
+}
+
+TEST(WireTest, NegativeFramesSurvive) {
+  // LastAckFrame starts at BufFrame-1; with BufFrame=0 frames could be -1.
+  SyncMsg m;
+  m.ack_frame = -1;
+  m.first_frame = 0;
+  m.echo_time = -1;
+  const auto decoded = decode_message(encode_message(Message{m}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<SyncMsg>(*decoded).ack_frame, -1);
+  EXPECT_EQ(std::get<SyncMsg>(*decoded).echo_time, -1);
+}
+
+// ---- hostile input -----------------------------------------------------------
+
+TEST(WireTest, EmptyAndUnknownTypeRejected) {
+  EXPECT_FALSE(decode_message({}).has_value());
+  const std::uint8_t junk[] = {0x7F, 1, 2, 3};
+  EXPECT_FALSE(decode_message(junk).has_value());
+}
+
+TEST(WireTest, TruncationAtEveryPrefixRejected) {
+  SyncMsg m;
+  m.site = 1;
+  m.inputs = {1, 2, 3, 4};
+  const auto bytes = encode_message(Message{m});
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    EXPECT_FALSE(decode_message({bytes.data(), n}).has_value()) << "prefix " << n;
+  }
+}
+
+TEST(WireTest, TrailingGarbageRejected) {
+  auto bytes = encode_message(Message{StartMsg{0}});
+  bytes.push_back(0xAA);
+  EXPECT_FALSE(decode_message(bytes).has_value());
+}
+
+TEST(WireTest, AbsurdInputCountRejected) {
+  // Hand-craft a sync header claiming 2^31 inputs; must fail fast, not OOM.
+  ByteWriter w;
+  w.u8(3);  // kSync
+  w.i32(0);
+  w.i64(0);
+  w.i64(0);
+  w.u32(0x80000000u);
+  const auto data = w.take();
+  EXPECT_FALSE(decode_message(data).has_value());
+}
+
+TEST(WireTest, RandomBytesNeverCrash) {
+  Rng rng(99);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> noise(rng.uniform(0, 64));
+    for (auto& b : noise) b = static_cast<std::uint8_t>(rng.next_u64());
+    (void)decode_message(noise);  // must not crash or throw
+  }
+}
+
+TEST(WireTest, BitFlippedMessagesNeverCrash) {
+  SyncMsg m;
+  m.site = 0;
+  m.inputs = {7, 8, 9};
+  const auto bytes = encode_message(Message{m});
+  Rng rng(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto copy = bytes;
+    copy[rng.uniform(0, static_cast<std::int64_t>(copy.size()) - 1)] ^=
+        static_cast<std::uint8_t>(1u << rng.uniform(0, 7));
+    (void)decode_message(copy);
+  }
+}
+
+}  // namespace
+}  // namespace rtct::core

@@ -1,0 +1,95 @@
+// rtct_asm — the AC16 assembler as a command-line tool.
+//
+//   rtct_asm game.asm [-o game.rom] [--listing] [--title NAME]
+//
+// Assembles AC16 source to a .rom container. With --listing, prints the
+// disassembly of the produced image. Exit code 0 on success, 1 on
+// assembly errors (printed with line numbers, compiler-style).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/emu/assembler.h"
+#include "src/emu/disassembler.h"
+#include "src/emu/rom_io.h"
+
+namespace {
+void usage() {
+  std::fprintf(stderr,
+               "usage: rtct_asm <source.asm> [-o out.rom] [--listing] [--title NAME]\n");
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string source_path, out_path, title;
+  bool listing = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--listing") {
+      listing = true;
+    } else if (arg == "--title" && i + 1 < argc) {
+      title = argv[++i];
+    } else if (arg == "-h" || arg == "--help") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] != '-' && source_path.empty()) {
+      source_path = arg;
+    } else {
+      usage();
+      return 1;
+    }
+  }
+  if (source_path.empty()) {
+    usage();
+    return 1;
+  }
+
+  std::ifstream in(source_path);
+  if (!in) {
+    std::fprintf(stderr, "rtct_asm: cannot open '%s'\n", source_path.c_str());
+    return 1;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+
+  if (title.empty()) {
+    // Derive from the filename: "games/pong.asm" -> "pong".
+    title = source_path;
+    if (const auto slash = title.find_last_of('/'); slash != std::string::npos) {
+      title = title.substr(slash + 1);
+    }
+    if (const auto dot = title.find_last_of('.'); dot != std::string::npos) {
+      title = title.substr(0, dot);
+    }
+  }
+  if (out_path.empty()) out_path = title + ".rom";
+
+  auto result = rtct::emu::assemble(ss.str(), title);
+  if (!result.ok()) {
+    for (const auto& e : result.errors) {
+      std::fprintf(stderr, "%s:%d: error: %s\n", source_path.c_str(), e.line,
+                   e.message.c_str());
+    }
+    return 1;
+  }
+
+  if (!rtct::emu::save_rom_file(result.rom, out_path)) {
+    std::fprintf(stderr, "rtct_asm: cannot write '%s'\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("%s: %zu bytes, entry 0x%04X, checksum %016llx -> %s\n", title.c_str(),
+              result.rom.image.size(), result.rom.entry,
+              static_cast<unsigned long long>(result.rom.checksum()), out_path.c_str());
+
+  if (listing) {
+    std::printf("\n%s", rtct::emu::disassemble(
+                            {result.rom.image.data(), result.rom.image.size()})
+                            .c_str());
+  }
+  return 0;
+}

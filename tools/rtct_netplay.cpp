@@ -1,0 +1,176 @@
+// rtct_netplay — the paper's system as a usable command-line application:
+// share a legacy game between two machines over UDP.
+//
+// On machine A (becomes the master / site 0):
+//   rtct_netplay --site 0 --game duel --bind 7000 --peer <B-ip>:7000
+// On machine B (site 1):
+//   rtct_netplay --site 1 --game duel --bind 7000 --peer <A-ip>:7000
+//
+// Each side runs the full stack: ArcadeMachine replica, session handshake
+// (refuses mismatched ROMs), SyncInput lockstep with 100 ms local lag over
+// UDP, master/slave frame pacing, and in-protocol desync detection.
+// Inputs come from a deterministic synthetic player by default (so the
+// tool is self-contained and scriptable); the final state hash printed on
+// both machines must match.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/core/input_source.h"
+#include "src/core/realtime.h"
+#include "src/emu/machine.h"
+#include "src/emu/render_text.h"
+#include "src/emu/rom_io.h"
+#include "src/games/roms.h"
+#include "src/net/udp_socket.h"
+
+namespace {
+void usage() {
+  std::fprintf(stderr,
+               "usage: rtct_netplay --site 0|1 --peer IP:PORT [--game NAME | --rom FILE]\n"
+               "                    [--bind PORT] [--frames N] [--seed S] [--quiet]\n"
+               "                    [--record FILE.rpl] [--spectator-port PORT]\n");
+}
+
+bool split_host_port(const std::string& s, std::string* host, std::uint16_t* port) {
+  const auto colon = s.find_last_of(':');
+  if (colon == std::string::npos) return false;
+  *host = s.substr(0, colon);
+  const long p = std::strtol(s.c_str() + colon + 1, nullptr, 10);
+  if (p <= 0 || p > 65535) return false;
+  *port = static_cast<std::uint16_t>(p);
+  return true;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rtct;
+
+  int site = -1;
+  std::string game = "duel", rom_file, peer;
+  std::uint16_t bind_port = 0;
+  int frames = 3600;
+  std::uint64_t seed = 0;
+  bool quiet = false;
+  std::string record_path;
+  std::uint16_t spectator_port = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "rtct_netplay: %s needs a value\n", what);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--site") site = std::atoi(next("--site"));
+    else if (arg == "--game") game = next("--game");
+    else if (arg == "--rom") rom_file = next("--rom");
+    else if (arg == "--peer") peer = next("--peer");
+    else if (arg == "--bind") bind_port = static_cast<std::uint16_t>(std::atoi(next("--bind")));
+    else if (arg == "--frames") frames = std::atoi(next("--frames"));
+    else if (arg == "--seed") seed = std::strtoull(next("--seed"), nullptr, 10);
+    else if (arg == "--record") record_path = next("--record");
+    else if (arg == "--spectator-port") {
+      spectator_port = static_cast<std::uint16_t>(std::atoi(next("--spectator-port")));
+    }
+    else if (arg == "--quiet") quiet = true;
+    else {
+      usage();
+      return arg == "-h" || arg == "--help" ? 0 : 1;
+    }
+  }
+  if ((site != 0 && site != 1) || peer.empty()) {
+    usage();
+    return 1;
+  }
+
+  std::unique_ptr<emu::ArcadeMachine> machine;
+  if (!rom_file.empty()) {
+    auto rom = emu::load_rom_file(rom_file);
+    if (!rom) {
+      std::fprintf(stderr, "rtct_netplay: cannot load ROM '%s'\n", rom_file.c_str());
+      return 1;
+    }
+    machine = std::make_unique<emu::ArcadeMachine>(*rom);
+  } else {
+    machine = games::make_machine(game);
+    if (!machine) {
+      std::fprintf(stderr, "rtct_netplay: unknown game '%s'\n", game.c_str());
+      return 1;
+    }
+  }
+
+  std::string peer_host;
+  std::uint16_t peer_port = 0;
+  if (!split_host_port(peer, &peer_host, &peer_port)) {
+    std::fprintf(stderr, "rtct_netplay: bad --peer '%s' (want IP:PORT)\n", peer.c_str());
+    return 1;
+  }
+
+  net::UdpSocket socket("0.0.0.0", bind_port);
+  if (!socket.valid() || !socket.connect_peer(peer_host, peer_port)) {
+    std::fprintf(stderr, "rtct_netplay: socket: %s\n", socket.last_error().c_str());
+    return 1;
+  }
+  std::printf("site %d on udp/%u -> %s, game '%s', %d frames\n", site, socket.local_port(),
+              peer.c_str(), machine->rom().title.c_str(), frames);
+
+  core::MasherInput player(seed != 0 ? seed : 1000 + static_cast<std::uint64_t>(site));
+  core::RealtimeConfig cfg;
+  cfg.frames = frames;
+  cfg.handshake_timeout = seconds(30);
+
+  core::RealtimeSession session(site, *machine, player, socket, cfg);
+  std::unique_ptr<net::UdpSocket> spectator_socket;
+  if (spectator_port != 0) {
+    spectator_socket = std::make_unique<net::UdpSocket>("0.0.0.0", spectator_port);
+    if (!spectator_socket->valid()) {
+      std::fprintf(stderr, "rtct_netplay: spectator socket: %s\n",
+                   spectator_socket->last_error().c_str());
+      return 1;
+    }
+    session.serve_spectators(spectator_socket.get());
+    std::printf("serving spectators on udp/%u (rtct_watch --host <me>:%u)\n",
+                spectator_socket->local_port(), spectator_socket->local_port());
+  }
+  if (!quiet) {
+    session.set_frame_hook([](const emu::IDeterministicGame& g, const core::FrameRecord& r) {
+      if (r.frame % 300 != 150) return;
+      const auto& m = dynamic_cast<const emu::ArcadeMachine&>(g);
+      std::printf("\n--- frame %lld (hash %016llx) ---\n%s",
+                  static_cast<long long>(r.frame),
+                  static_cast<unsigned long long>(r.state_hash),
+                  emu::render_ascii(m.framebuffer(), emu::kFbCols, emu::kFbRows).c_str());
+    });
+  }
+
+  std::string error;
+  if (!session.run(&error)) {
+    std::fprintf(stderr, "rtct_netplay: session failed: %s\n", error.c_str());
+    return 1;
+  }
+
+  const auto ft = session.timeline().frame_times().summarize();
+  std::printf("\ncompleted %zu frames: avg %.3f ms/frame (dev %.3f ms), RTT %.3f ms, "
+              "%zu stalled frames\n",
+              session.timeline().size(), ft.mean, ft.mean_abs_deviation, to_ms(session.rtt()),
+              session.timeline().stalled_frames());
+  std::printf("final state hash: %016llx  (must match the peer's)\n",
+              static_cast<unsigned long long>(machine->state_hash()));
+
+  if (!record_path.empty()) {
+    if (session.replay().save_file(record_path)) {
+      std::printf("recorded %lld frames to %s (replay with: rtct_play --replay %s)\n",
+                  static_cast<long long>(session.replay().frames()), record_path.c_str(),
+                  record_path.c_str());
+    } else {
+      std::fprintf(stderr, "rtct_netplay: failed to write '%s'\n", record_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
