@@ -1,0 +1,58 @@
+// ADAPT-LAG — RTT sweep of the fixed paper lag (BufFrame = 6, ~100 ms of
+// input latency at 60 FPS) against the v2 handshake-negotiated lag
+// (BufFrame = ceil(RTT/2 / frame_period) + margin, clamped to [2, 30]).
+//
+// What to look for:
+//   * short RTTs: the negotiated depth drops below 6 — less input latency
+//     with no smoothness penalty (the fixed 6 wastes lag budget);
+//   * RTT ≈ 100 ms: negotiation lands back on ~6, reproducing the paper's
+//     operating point (Figure 1's threshold);
+//   * long RTTs: the fixed lag stops covering the one-way delay and every
+//     frame blocks in SyncInput, while the negotiated depth keeps the
+//     deviation near zero at the price of more input latency.
+//
+// Both sites must agree on the negotiated depth and stay consistent in
+// every cell (exit code enforces it).
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/testbed/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace rtct;
+  using namespace rtct::testbed;
+
+  const int frames = argc > 1 ? std::atoi(argv[1]) : 900;
+
+  std::printf("=== ADAPT-LAG: fixed BufFrame=6 vs RTT-negotiated local lag (%d frames) ===\n\n",
+              frames);
+  std::printf("%7s | %-20s | %-26s\n", "", "fixed (paper)", "negotiated (v2 handshake)");
+  std::printf("%7s | %9s %9s | %4s %9s %9s | %s\n", "RTT(ms)", "dev(ms)", "sync(ms)", "buf",
+              "dev(ms)", "sync(ms)", "consistent");
+  std::printf("--------+----------------------+---------------------------+-----------\n");
+
+  bool ok = true;
+  for (int rtt_ms : {10, 40, 80, 100, 140, 200, 300, 500}) {
+    ExperimentConfig fixed;
+    fixed.frames = frames;
+    fixed.set_rtt(milliseconds(rtt_ms));
+    const auto rf = run_experiment(fixed);
+
+    ExperimentConfig adaptive = fixed;
+    adaptive.sync.adaptive_lag = true;
+    const auto ra = run_experiment(adaptive);
+
+    const bool consistent = rf.converged() && ra.converged() &&
+                            ra.site[0].buf_frames == ra.site[1].buf_frames;
+    ok = ok && consistent;
+    std::printf("%7d | %9.3f %9.3f | %4d %9.3f %9.3f | %s\n", rtt_ms,
+                std::max(rf.frame_time_deviation_ms(0), rf.frame_time_deviation_ms(1)),
+                rf.synchrony_ms(), ra.site[0].buf_frames,
+                std::max(ra.frame_time_deviation_ms(0), ra.frame_time_deviation_ms(1)),
+                ra.synchrony_ms(), consistent ? "yes" : "NO");
+  }
+
+  std::printf("\nboth sites agreed on the negotiated lag and stayed consistent: %s\n",
+              ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

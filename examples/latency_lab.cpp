@@ -1,12 +1,17 @@
 // Latency lab: explore how network conditions affect a shared game —
 // the paper's §4 experiments as an interactive tool.
 //
-//   ./build/examples/latency_lab [game] [frames] [loss%] [jitter_ms]
+//   ./build/examples/latency_lab [game] [frames] [loss%] [jitter_ms] [adaptive]
 //
 // Sweeps the RTT grid, prints the Figure 1 / Figure 2 table, and reports
 // the threshold RTT (the paper found ~140 ms with its overheads; with this
 // library's default model parameters the same budget arithmetic lands
 // slightly higher — see EXPERIMENTS.md).
+//
+// A truthy 5th argument switches both sites to the v2 adaptive transport:
+// RTT-negotiated local lag, RTO-timed retransmission instead of go-back-N,
+// and a 2-flush redundancy tail (see docs/PROTOCOL.md). At long RTTs the
+// negotiated lag keeps frames smooth where the fixed paper lag stalls.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -22,10 +27,22 @@ int main(int argc, char** argv) {
   base.frames = argc > 2 ? std::atoi(argv[2]) : 600;
   const double loss = (argc > 3 ? std::atof(argv[3]) : 0.0) / 100.0;
   const long jitter_ms = argc > 4 ? std::strtol(argv[4], nullptr, 10) : 0;
+  const bool adaptive = argc > 5 && std::atoi(argv[5]) != 0;
+  if (adaptive) {
+    base.sync.adaptive_lag = true;
+    base.sync.adaptive_resend = true;
+    base.sync.redundant_inputs = 2;
+  }
 
-  std::printf("game=%s frames=%d loss=%.1f%% jitter=%ld ms  (local lag %.0f ms, flush %.0f ms)\n\n",
-              base.game.c_str(), base.frames, loss * 100, jitter_ms,
-              to_ms(base.sync.local_lag()), to_ms(base.sync.send_flush_period));
+  char lag[48];
+  if (adaptive) {
+    std::snprintf(lag, sizeof lag, "RTT-negotiated local lag");
+  } else {
+    std::snprintf(lag, sizeof lag, "local lag %.0f ms", to_ms(base.sync.local_lag()));
+  }
+  std::printf("game=%s frames=%d loss=%.1f%% jitter=%ld ms  (%s, flush %.0f ms)\n\n",
+              base.game.c_str(), base.frames, loss * 100, jitter_ms, lag,
+              to_ms(base.sync.send_flush_period));
 
   const auto points = sweep_rtt(base, quick_rtt_sweep(), [&](ExperimentConfig& cfg, Dur) {
     cfg.net_a_to_b.loss = loss;

@@ -48,12 +48,55 @@ struct SyncConfig {
   /// interval of bandwidth.
   int hash_interval = 60;
 
+  // ---- adaptive sync transport (all off by default: the paper's fixed-
+  // parameter behaviour is the reference policy and the Figure 1/2
+  // reproductions depend on it) -------------------------------------------
+
+  /// RTT-negotiated local lag: during the v2 handshake the sites exchange
+  /// measured RTT and the master picks BufFrame =
+  /// ceil(RTT/2 / frame_period) + adaptive_lag_margin, clamped to
+  /// [min_buf_frames, max_buf_frames], announced in START. Requires both
+  /// sites to opt in; otherwise the fixed `buf_frames` must match exactly.
+  bool adaptive_lag = false;
+  int adaptive_lag_margin = 2;
+  int min_buf_frames = 2;
+  int max_buf_frames = 30;
+
+  /// RTO-driven retransmission instead of the paper's blind go-back-N
+  /// (which re-sends the whole unacked window every flush): messages carry
+  /// only new inputs plus a `redundant_inputs` tail, and the full window is
+  /// resent only when the per-peer retransmission timer (SRTT + 4·RTTVAR,
+  /// exponential backoff) fires.
+  bool adaptive_resend = false;
+  /// K: how many already-sent-but-unacked inputs each message re-carries
+  /// even when the retransmit timer has not fired, so a single lost
+  /// datagram is usually repaired by the next flush instead of a full RTO.
+  int redundant_inputs = 0;
+  /// Retransmission timeout before any RTT sample exists.
+  Dur initial_rto = milliseconds(100);
+  /// Clamp on the estimator-derived RTO (before backoff).
+  Dur min_rto = milliseconds(10);
+  Dur max_rto = seconds(2);
+
   [[nodiscard]] Dur frame_period() const { return rtct::frame_period(cfps); }
   /// The local-lag duration: how long a player waits to see her own input.
   [[nodiscard]] Dur local_lag() const { return buf_frames * frame_period(); }
+
+  /// The adaptive-lag policy: BufFrame sized to cover one-way delay plus a
+  /// margin for the flush/dispatch overheads (§4.2's budget arithmetic).
+  [[nodiscard]] int buf_frames_for_rtt(Dur rtt) const {
+    const Dur tpf = frame_period();
+    const Dur one_way = rtt < 0 ? 0 : rtt / 2;
+    const auto needed = static_cast<int>((one_way + tpf - 1) / tpf) + adaptive_lag_margin;
+    return needed < min_buf_frames ? min_buf_frames
+           : needed > max_buf_frames ? max_buf_frames
+                                     : needed;
+  }
 };
 
-/// Wire protocol version (checked in the session handshake).
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// Wire protocol version (checked in the session handshake). v2 added the
+/// RTT advert / adaptive-lag negotiation fields to HELLO and START; v1
+/// peers are rejected (the lag semantics are not compatible).
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 }  // namespace rtct::core

@@ -106,7 +106,7 @@ void MeshSyncPeer::ingest(const SyncMsg& msg, Time recv_time) {
   if (msg.echo_time >= 0) {
     const Dur sample = recv_time - msg.echo_time - msg.echo_hold;
     if (sample >= 0) {
-      ps.rtt = ps.rtt == 0 ? sample : (ps.rtt * 7 + sample) / 8;
+      ps.rtt.sample(sample);
       ++stats_.rtt_samples;
     }
   }
@@ -164,7 +164,8 @@ SyncPeer::RemoteObs MeshSyncPeer::master_obs() const {
   obs.valid = seen_master_ && my_site_ != kMasterSite;
   obs.last_rcv_frame = last_rcv_[kMasterSite];
   obs.rcv_time = master_advance_time_;
-  obs.rtt = my_site_ == kMasterSite ? 0 : peers_[kMasterSite].rtt;
+  obs.rtt = my_site_ == kMasterSite ? 0 : peers_[kMasterSite].rtt.srtt();
+  obs.rtt_valid = my_site_ != kMasterSite && peers_[kMasterSite].rtt.has_sample();
   return obs;
 }
 

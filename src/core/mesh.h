@@ -28,6 +28,7 @@
 #include "src/common/types.h"
 #include "src/core/config.h"
 #include "src/core/input_buffer.h"
+#include "src/core/rtt.h"
 #include "src/core/sync_peer.h"
 #include "src/core/wire.h"
 
@@ -65,7 +66,7 @@ class MeshSyncPeer {
   // Observability.
   [[nodiscard]] FrameNo pointer() const { return pointer_; }
   [[nodiscard]] FrameNo last_rcv_frame(SiteId site) const { return last_rcv_[site]; }
-  [[nodiscard]] Dur rtt(SiteId peer) const { return peers_[peer].rtt; }
+  [[nodiscard]] Dur rtt(SiteId peer) const { return peers_[peer].rtt.srtt(); }
   [[nodiscard]] SyncPeer::RemoteObs master_obs() const;
   [[nodiscard]] const SyncPeerStats& stats() const { return stats_; }
   [[nodiscard]] int num_sites() const { return num_sites_; }
@@ -78,7 +79,7 @@ class MeshSyncPeer {
     FrameNo highest_sent = -1;
     Time last_send_time = -1;  ///< their newest send_time (for echoes)
     Time last_recv_time = 0;
-    Dur rtt = 0;
+    RttEstimator rtt;  ///< explicit has-sample state (no zero sentinel)
   };
 
   FrameNo min_acked() const;  ///< lowest ack across peers (window trim)

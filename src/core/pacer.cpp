@@ -6,8 +6,12 @@ void FramePacer::begin_frame(Time now, FrameNo current_frame, const SyncPeer::Re
   frame_start_ = now;  // line 2
 
   Dur sync_adjust = 0;
-  if (policy_ == PacingPolicy::kFull && my_site_ != kMasterSite &&
-      obs.valid) {  // lines 5-8 (slave only)
+  // Lines 5-8 (slave only). Rate sync is additionally gated on a real RTT
+  // sample: before one exists, `obs.rtt` would read 0 and `master_sent`
+  // below would be overestimated by RTT/2, so the slave would chase a
+  // master estimate that is half a round trip stale during startup.
+  if (policy_ == PacingPolicy::kFull && my_site_ != kMasterSite && obs.valid &&
+      obs.rtt_valid) {
     const Dur tpf = cfg_.frame_period();
     // MasterFrame = LastRcvFrame[0] - BufFrame: the received frame number
     // already includes the local-lag offset (line 6).

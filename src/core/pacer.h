@@ -36,6 +36,10 @@ class FramePacer {
   FramePacer(SiteId my_site, SyncConfig cfg, PacingPolicy policy = PacingPolicy::kFull)
       : my_site_(my_site), cfg_(cfg), policy_(policy) {}
 
+  /// Adopts a handshake-negotiated local-lag depth (v2 adaptive lag); must
+  /// mirror the SyncPeer it paces, before frame 0.
+  void set_buf_frames(int buf_frames) { cfg_.buf_frames = buf_frames; }
+
   /// Algorithm 4 (BeginFrameTiming). `current_frame` is Algorithm 1's
   /// Frame; `obs` is the slave's freshest view of the master (ignored on
   /// the master, where SyncAdjustTimeDelta is defined to be zero).

@@ -37,10 +37,29 @@ void RealtimeSession::drain() {
     if (!msg) continue;
     if (const auto* sync = std::get_if<SyncMsg>(&*msg)) {
       session_.note_sync_traffic(now());
-      peer_.ingest(*sync, now());
+      // Drop sync traffic until the handshake settles: the negotiated lag
+      // must be applied before the first ingest (the peer's reliability
+      // layer re-delivers anything dropped here).
+      if (session_.running()) {
+        apply_negotiated_lag();
+        peer_.ingest(*sync, now());
+      }
     } else {
       session_.ingest(*msg, now());
     }
+  }
+}
+
+void RealtimeSession::apply_negotiated_lag() {
+  if (lag_applied_) return;
+  lag_applied_ = true;
+  const int buf = session_.effective_buf_frames();
+  if (buf != cfg_.sync.buf_frames) {
+    peer_.set_buf_frames(buf);
+    pacer_.set_buf_frames(buf);
+    SyncConfig eff = cfg_.sync;
+    eff.buf_frames = buf;
+    replay_ = Replay(game_.content_id(), eff);
   }
 }
 
@@ -103,6 +122,7 @@ bool RealtimeSession::run(std::string* error) {
     return false;
   }
   if (!handshake(error)) return false;
+  apply_negotiated_lag();
 
   for (FrameNo frame = 0; frame < cfg_.frames; ++frame) {
     if (stop_.load(std::memory_order_relaxed)) {

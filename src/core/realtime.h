@@ -85,6 +85,9 @@ class RealtimeSession {
   void drain();
   void pump_spectators();
   bool handshake(std::string* error);
+  /// Once running, adopt the handshake's negotiated local lag (v2
+  /// adaptive mode) before the first sync ingest. Idempotent.
+  void apply_negotiated_lag();
 
   SiteId site_;
   emu::IDeterministicGame& game_;
@@ -100,6 +103,7 @@ class RealtimeSession {
   FrameHook hook_;
   Time epoch_ = 0;
   Time next_flush_ = 0;
+  bool lag_applied_ = false;
   std::atomic<bool> stop_{false};
 
   net::UdpSocket* spectator_socket_ = nullptr;

@@ -1,0 +1,65 @@
+// RttEstimator — Jacobson/Karels smoothed round-trip estimation (SRTT +
+// RTTVAR, RFC 6298 style) with a derived retransmission timeout.
+//
+// Replaces the seed's bare EWMA, which used `rtt == 0` as its "no sample
+// yet" sentinel — a latent bug: on a loopback/zero-delay link every valid
+// 0 ns sample looked like "unseeded" and re-seeded the filter forever,
+// and callers could not distinguish "unmeasured" from "measured as ~0".
+// Here the has-sample state is explicit, so a 0 ns RTT is a first-class
+// measurement and consumers (Algorithm 4's rate sync, the adaptive
+// retransmission timer, the lag negotiation) can gate on `has_sample()`.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "src/common/time.h"
+
+namespace rtct::core {
+
+class RttEstimator {
+ public:
+  /// `min_rto`/`max_rto` clamp the derived retransmission timeout.
+  explicit RttEstimator(Dur min_rto = milliseconds(10), Dur max_rto = seconds(2))
+      : min_rto_(min_rto), max_rto_(max_rto) {}
+
+  /// Feeds one round-trip measurement (>= 0). First sample seeds
+  /// SRTT = sample, RTTVAR = sample / 2 (RFC 6298 §2.2); later samples run
+  /// the standard gains RTTVAR = 3/4·RTTVAR + 1/4·|SRTT − sample|,
+  /// SRTT = 7/8·SRTT + 1/8·sample.
+  void sample(Dur rtt) {
+    if (rtt < 0) return;
+    if (count_ == 0) {
+      srtt_ = rtt;
+      rttvar_ = rtt / 2;
+    } else {
+      const Dur err = srtt_ > rtt ? srtt_ - rtt : rtt - srtt_;
+      rttvar_ = (rttvar_ * 3 + err) / 4;
+      srtt_ = (srtt_ * 7 + rtt) / 8;
+    }
+    ++count_;
+  }
+
+  [[nodiscard]] bool has_sample() const { return count_ > 0; }
+  [[nodiscard]] std::uint64_t sample_count() const { return count_; }
+
+  /// Smoothed RTT; 0 until the first sample (check has_sample()).
+  [[nodiscard]] Dur srtt() const { return srtt_; }
+  [[nodiscard]] Dur rttvar() const { return rttvar_; }
+
+  /// SRTT + 4·RTTVAR clamped to [min_rto, max_rto]. Meaningless before the
+  /// first sample; callers use their configured initial RTO until then.
+  [[nodiscard]] Dur rto() const {
+    const Dur raw = srtt_ + 4 * rttvar_;
+    return raw < min_rto_ ? min_rto_ : raw > max_rto_ ? max_rto_ : raw;
+  }
+
+ private:
+  Dur min_rto_;
+  Dur max_rto_;
+  Dur srtt_ = 0;
+  Dur rttvar_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace rtct::core

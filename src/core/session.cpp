@@ -1,33 +1,53 @@
 #include "src/core/session.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace rtct::core {
+
+namespace {
+/// How long the master keeps HELLO-probing for an RTT sample before giving
+/// up and starting with the configured fixed lag (adaptive mode only).
+/// Expressed in hello intervals so slow rendezvous keeps proportions.
+constexpr int kAdaptiveProbeHellos = 10;
+}  // namespace
 
 SessionControl::SessionControl(SiteId my_site, std::uint64_t rom_checksum, SyncConfig cfg,
                                Dur hello_interval)
     : my_site_(my_site), rom_checksum_(rom_checksum), cfg_(cfg),
       hello_interval_(hello_interval) {}
 
-HelloMsg SessionControl::my_hello() const {
+HelloMsg SessionControl::my_hello(Time now) const {
   HelloMsg h;
   h.site = my_site_;
   h.protocol_version = kProtocolVersion;
   h.rom_checksum = rom_checksum_;
   h.cfps = static_cast<std::uint16_t>(cfg_.cfps);
   h.buf_frames = static_cast<std::uint16_t>(cfg_.buf_frames);
+  h.hello_time = now;
+  if (peer_hello_time_ >= 0) {
+    h.echo_time = peer_hello_time_;
+    h.echo_hold = now - peer_hello_rcv_;
+  }
+  h.adv_rtt = measured_rtt();
+  if (cfg_.adaptive_lag) h.flags |= kHelloFlagAdaptiveLag;
+  h.redundancy = static_cast<std::uint16_t>(std::max(0, cfg_.redundant_inputs));
   return h;
 }
 
 bool SessionControl::hello_compatible(const HelloMsg& h) {
+  const bool both_adaptive = cfg_.adaptive_lag && (h.flags & kHelloFlagAdaptiveLag) != 0;
   std::ostringstream why;
   if (h.protocol_version != kProtocolVersion) {
     why << "protocol version mismatch: peer " << h.protocol_version << " vs " << kProtocolVersion;
   } else if (h.rom_checksum != rom_checksum_) {
     why << "game image mismatch: the sites loaded different ROMs";
-  } else if (h.cfps != static_cast<std::uint16_t>(cfg_.cfps) ||
-             h.buf_frames != static_cast<std::uint16_t>(cfg_.buf_frames)) {
-    why << "sync parameter mismatch (cfps/buf_frames)";
+  } else if (h.cfps != static_cast<std::uint16_t>(cfg_.cfps)) {
+    why << "sync parameter mismatch (cfps)";
+  } else if (!both_adaptive && h.buf_frames != static_cast<std::uint16_t>(cfg_.buf_frames)) {
+    // Fixed policy: the lag must match exactly, as in v1. When both sites
+    // opted into adaptive lag the master negotiates it instead.
+    why << "sync parameter mismatch (buf_frames)";
   } else {
     return true;
   }
@@ -40,11 +60,14 @@ std::optional<Message> SessionControl::poll(Time now) {
 
   if (start_pending_) {  // master answers every HELLO with a START
     start_pending_ = false;
-    return Message{StartMsg{my_site_}};
+    StartMsg s;
+    s.site = my_site_;
+    s.buf_frames = static_cast<std::uint16_t>(negotiated_buf_);
+    return Message{s};
   }
   if (state_ == SessionState::kConnecting && now >= next_hello_) {
     next_hello_ = now + hello_interval_;
-    return Message{my_hello()};
+    return Message{my_hello(now)};
   }
   return std::nullopt;
 }
@@ -56,7 +79,33 @@ void SessionControl::ingest(const Message& msg, Time now) {
     if (hello->site == my_site_) return;  // self-echo, ignore
     if (!hello_compatible(*hello)) return;
     peer_seen_ = true;
+    peer_adaptive_ = (hello->flags & kHelloFlagAdaptiveLag) != 0;
+    peer_adv_rtt_ = std::max(peer_adv_rtt_, hello->adv_rtt);
+    if (first_compat_hello_ < 0) first_compat_hello_ = now;
+
+    // RTT probe: the peer echoed one of our hello_times.
+    if (hello->echo_time >= 0) {
+      const Dur sample = now - hello->echo_time - hello->echo_hold;
+      if (sample >= 0) rtt_.sample(sample);
+    }
+    if (hello->hello_time > peer_hello_time_) {
+      peer_hello_time_ = hello->hello_time;
+      peer_hello_rcv_ = now;
+    }
+
     if (my_site_ == kMasterSite) {
+      if (adaptive_agreed() && negotiated_buf_ == 0) {
+        const Dur best = std::max(measured_rtt(), peer_adv_rtt_);
+        if (best < 0) {
+          // No measurement yet from either side. Keep HELLO-probing (the
+          // next HELLO exchange yields an echo) for a bounded time, then
+          // fall back to the configured fixed lag rather than stalling.
+          if (now - first_compat_hello_ < kAdaptiveProbeHellos * hello_interval_) return;
+          negotiated_buf_ = cfg_.buf_frames;
+        } else {
+          negotiated_buf_ = cfg_.buf_frames_for_rtt(best);
+        }
+      }
       // Master: announce the start (and re-announce on every later HELLO —
       // the slave only re-HELLOs if it missed the START).
       start_pending_ = true;
@@ -66,12 +115,20 @@ void SessionControl::ingest(const Message& msg, Time now) {
   }
   if (const auto* start = std::get_if<StartMsg>(&msg)) {
     if (start->site == my_site_) return;
-    if (my_site_ != kMasterSite) enter_running(now);
+    if (my_site_ != kMasterSite) {
+      if (start->buf_frames > 0) negotiated_buf_ = start->buf_frames;
+      enter_running(now);
+    }
     return;
   }
 }
 
 void SessionControl::note_sync_traffic(Time now) {
+  // With adaptive lag the negotiated BufFrame travels only in START; a
+  // slave must not start on bare sync traffic or it would run the wrong
+  // lag depth and break the merged-input agreement. The master keeps
+  // answering its HELLOs with fresh STARTs, so this stays live.
+  if (cfg_.adaptive_lag && negotiated_buf_ == 0) return;
   if (my_site_ != kMasterSite) enter_running(now);
 }
 

@@ -11,6 +11,15 @@
 //
 // The handshake also enforces the §2 preconditions: same game image
 // (checksum), same protocol version, and same sync parameters.
+//
+// Protocol v2 additions: every HELLO carries an echoed-timestamp RTT probe
+// (hello_time / echo_time / echo_hold, same scheme as SyncMsg) plus the
+// sender's smoothed-RTT advert. When BOTH sites set cfg.adaptive_lag the
+// master sizes the local lag from the larger of the two measurements —
+// BufFrame = ceil(RTT/2 / frame_period) + margin, clamped — and announces
+// the agreed value in START; drivers then apply effective_buf_frames() to
+// their SyncPeer/FramePacer before frame 0. With adaptive lag off (the
+// default) the fixed configured value must match exactly, as in v1.
 #pragma once
 
 #include <optional>
@@ -19,6 +28,7 @@
 #include "src/common/time.h"
 #include "src/common/types.h"
 #include "src/core/config.h"
+#include "src/core/rtt.h"
 #include "src/core/wire.h"
 
 namespace rtct::core {
@@ -40,6 +50,8 @@ class SessionControl {
 
   /// A sync message arrived: the peer is definitely running (covers a
   /// slave whose START was lost but whose peer is already streaming).
+  /// With adaptive lag enabled this shortcut is ignored until the
+  /// negotiated BufFrame is known (only START carries it).
   void note_sync_traffic(Time now);
 
   [[nodiscard]] SessionState state() const { return state_; }
@@ -47,6 +59,20 @@ class SessionControl {
   [[nodiscard]] const std::string& failure_reason() const { return failure_; }
   /// Local time at which this site entered kRunning.
   [[nodiscard]] Time start_time() const { return start_time_; }
+
+  /// The local-lag depth the session must run with: the negotiated value
+  /// when adaptive lag agreed on one, else the configured fixed value.
+  /// Drivers apply it to SyncPeer/FramePacer once running() turns true.
+  [[nodiscard]] int effective_buf_frames() const {
+    return negotiated_buf_ > 0 ? negotiated_buf_ : cfg_.buf_frames;
+  }
+  /// True when effective_buf_frames() came from the v2 RTT negotiation.
+  [[nodiscard]] bool lag_negotiated() const { return negotiated_buf_ > 0; }
+
+  /// Handshake-time RTT estimate from the HELLO probe (-1 = no sample).
+  [[nodiscard]] Dur measured_rtt() const {
+    return rtt_.has_sample() ? rtt_.srtt() : -1;
+  }
 
  private:
   void fail(const std::string& why) {
@@ -59,8 +85,9 @@ class SessionControl {
       start_time_ = now;
     }
   }
-  [[nodiscard]] HelloMsg my_hello() const;
+  [[nodiscard]] HelloMsg my_hello(Time now) const;
   bool hello_compatible(const HelloMsg& h);
+  [[nodiscard]] bool adaptive_agreed() const { return cfg_.adaptive_lag && peer_adaptive_; }
 
   SiteId my_site_;
   std::uint64_t rom_checksum_;
@@ -73,6 +100,15 @@ class SessionControl {
   Time next_hello_ = 0;
   bool peer_seen_ = false;
   bool start_pending_ = false;  ///< master owes the slave a START
+
+  // v2: HELLO RTT probe + adaptive-lag negotiation.
+  RttEstimator rtt_;
+  Time peer_hello_time_ = -1;  ///< newest hello_time seen from the peer
+  Time peer_hello_rcv_ = 0;    ///< when we received it (for echo_hold)
+  bool peer_adaptive_ = false;
+  Dur peer_adv_rtt_ = -1;
+  Time first_compat_hello_ = -1;  ///< when negotiation probing started
+  int negotiated_buf_ = 0;        ///< 0 = fixed policy
 };
 
 }  // namespace rtct::core

@@ -17,19 +17,28 @@
 // ingest on datagram arrival until ready() — identical protocol behaviour
 // in both runtimes, and every branch unit-testable without IO.
 //
-// Reliability over UDP (§3.1): inputs are re-sent in every message until
-// cumulatively acked (go-back-N), duplicates are absorbed by the
-// InputBuffer, and disorder is harmless because each input is addressed by
-// absolute frame number.
+// Reliability over UDP (§3.1): in the paper's policy (the default) inputs
+// are re-sent in every message until cumulatively acked (go-back-N),
+// duplicates are absorbed by the InputBuffer, and disorder is harmless
+// because each input is addressed by absolute frame number.
+//
+// With cfg.adaptive_resend the transport instead behaves like a modern
+// reliable-datagram layer: messages carry only new inputs plus a
+// redundancy tail re-carrying every unacked input first sent within the
+// last `redundant_inputs` flushes, and the full unacked window is resent
+// only when the per-peer retransmission timer (SRTT + 4·RTTVAR with
+// exponential backoff, see RttEstimator) fires.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 
 #include "src/common/time.h"
 #include "src/common/types.h"
 #include "src/core/config.h"
 #include "src/core/input_buffer.h"
+#include "src/core/rtt.h"
 #include "src/core/wire.h"
 
 namespace rtct::core {
@@ -42,12 +51,20 @@ struct SyncPeerStats {
   std::uint64_t inputs_retransmitted = 0; ///< entries sent more than once
   std::uint64_t duplicate_inputs_rcvd = 0;
   std::uint64_t stale_messages = 0;       ///< wrong-site or malformed drops
-  std::uint64_t rtt_samples = 0;
+  std::uint64_t rtt_samples = 0;          ///< RttEstimator::sample_count()
+  std::uint64_t rto_fires = 0;            ///< adaptive retransmit-timer expiries
+  std::uint64_t redundant_inputs_sent = 0;  ///< K-tail entries (adaptive mode)
 };
 
 class SyncPeer {
  public:
   SyncPeer(SiteId my_site, SyncConfig cfg);
+
+  /// Re-initializes the local-lag depth to a handshake-negotiated value
+  /// (v2 adaptive lag). Only legal before any input was submitted, popped
+  /// or sent — i.e. between SessionControl reaching kRunning and frame 0.
+  /// Returns false (and changes nothing) if the protocol already moved.
+  bool set_buf_frames(int buf_frames);
 
   // ---- Algorithm 2, lines 1-5 ------------------------------------------
   /// Buffers the local partial input for display frame `frame + BufFrame`.
@@ -94,17 +111,25 @@ class SyncPeer {
   }
   [[nodiscard]] FrameNo last_ack_frame() const { return last_ack_frame_; }
 
-  /// Estimated round-trip time; 0 until the first sample (§3.2's RTT).
-  [[nodiscard]] Dur rtt() const { return rtt_; }
+  /// Smoothed round-trip time; 0 until the first sample (§3.2's RTT).
+  /// `has_rtt_sample()` distinguishes "unmeasured" from "measured ~0"
+  /// (a loopback link legitimately reports 0 ns).
+  [[nodiscard]] Dur rtt() const { return rtt_.srtt(); }
+  [[nodiscard]] bool has_rtt_sample() const { return rtt_.has_sample(); }
+  [[nodiscard]] const RttEstimator& rtt_estimator() const { return rtt_; }
+  /// Current retransmission timeout (backoff applied; adaptive mode).
+  [[nodiscard]] Dur current_rto() const;
 
   /// Observation of the remote site's progress for Algorithm 4:
   /// LastRcvFrame[remote] and the local arrival time of the message that
-  /// advanced it ("MasterRcvTime").
+  /// advanced it ("MasterRcvTime"). `rtt` is only meaningful when
+  /// `rtt_valid`; consumers must not treat 0 as "no delay" otherwise.
   struct RemoteObs {
     bool valid = false;
     FrameNo last_rcv_frame = 0;
     Time rcv_time = 0;
     Dur rtt = 0;
+    bool rtt_valid = false;
   };
   [[nodiscard]] RemoteObs remote_obs() const;
 
@@ -131,7 +156,18 @@ class SyncPeer {
   // RTT estimation (echoed timestamps).
   Time last_peer_send_time_ = -1;  ///< newest send_time seen from the peer
   Time last_peer_recv_time_ = 0;   ///< when we received it (for echo_hold)
-  Dur rtt_ = 0;
+  RttEstimator rtt_;
+
+  // Adaptive retransmission timer (cfg_.adaptive_resend only). Armed while
+  // unacked inputs are outstanding; an expiry triggers a full go-back-N
+  // window resend and doubles the backoff until the next ack progress.
+  Time rto_deadline_ = -1;
+  int rto_backoff_ = 1;
+  static constexpr int kMaxRtoBackoff = 16;
+  /// Pre-flush `highest_sent_` for each of the last K flushes: the
+  /// redundancy tail starts just above the oldest entry, so every input
+  /// is re-carried for K flushes after its first send (burst-safe).
+  std::deque<FrameNo> sent_watermarks_;
 
   // Algorithm 4 inputs.
   Time remote_advance_time_ = 0;

@@ -30,9 +30,16 @@ std::vector<std::uint8_t> encode_message(const Message& msg) {
     w.u64(hello->rom_checksum);
     w.u16(hello->cfps);
     w.u16(hello->buf_frames);
+    w.i64(hello->hello_time);
+    w.i64(hello->echo_time);
+    w.i64(hello->echo_hold);
+    w.i64(hello->adv_rtt);
+    w.u8(hello->flags);
+    w.u16(hello->redundancy);
   } else if (const auto* start = std::get_if<StartMsg>(&msg)) {
     w.u8(static_cast<std::uint8_t>(MsgType::kStart));
     w.i32(start->site);
+    w.u16(start->buf_frames);
   } else if (const auto* sync = std::get_if<SyncMsg>(&msg)) {
     w.u8(static_cast<std::uint8_t>(MsgType::kSync));
     w.i32(sync->site);
@@ -76,12 +83,19 @@ std::optional<Message> decode_message(std::span<const std::uint8_t> data) {
       m.rom_checksum = r.u64();
       m.cfps = r.u16();
       m.buf_frames = r.u16();
+      m.hello_time = r.i64();
+      m.echo_time = r.i64();
+      m.echo_hold = r.i64();
+      m.adv_rtt = r.i64();
+      m.flags = r.u8();
+      m.redundancy = r.u16();
       if (!r.ok() || !r.at_end()) return std::nullopt;
       return m;
     }
     case MsgType::kStart: {
       StartMsg m;
       m.site = r.i32();
+      m.buf_frames = r.u16();
       if (!r.ok() || !r.at_end()) return std::nullopt;
       return m;
     }
@@ -91,7 +105,11 @@ std::optional<Message> decode_message(std::span<const std::uint8_t> data) {
       m.ack_frame = r.i64();
       m.first_frame = r.i64();
       const std::uint32_t n = r.u32();
-      if (n > kMaxWireInputs) return std::nullopt;
+      // Bound the claimed count by both the protocol cap and the bytes the
+      // reader actually holds (2 per input) BEFORE reserving: a 16-byte
+      // forged datagram claiming n = 4096 must not cost an 8 KiB
+      // allocation per packet.
+      if (n > kMaxWireInputs || n > r.remaining() / 2) return std::nullopt;
       m.inputs.reserve(n);
       for (std::uint32_t i = 0; i < n; ++i) m.inputs.push_back(r.u16());
       m.send_time = r.i64();
@@ -112,7 +130,7 @@ std::optional<Message> decode_message(std::span<const std::uint8_t> data) {
       SnapshotMsg m;
       m.frame = r.i64();
       const std::uint32_t n = r.u32();
-      if (n > kMaxSnapshot) return std::nullopt;
+      if (n > kMaxSnapshot || n > r.remaining()) return std::nullopt;
       const auto body = r.bytes(n);
       if (!r.ok() || !r.at_end()) return std::nullopt;
       m.state.assign(body.begin(), body.end());
@@ -122,7 +140,7 @@ std::optional<Message> decode_message(std::span<const std::uint8_t> data) {
       InputFeedMsg m;
       m.first_frame = r.i64();
       const std::uint32_t n = r.u32();
-      if (n > kMaxWireInputs) return std::nullopt;
+      if (n > kMaxWireInputs || n > r.remaining() / 2) return std::nullopt;
       m.inputs.reserve(n);
       for (std::uint32_t i = 0; i < n; ++i) m.inputs.push_back(r.u16());
       if (!r.ok() || !r.at_end()) return std::nullopt;

@@ -23,20 +23,36 @@
 
 namespace rtct::core {
 
+/// HelloMsg::flags bits (v2 capability negotiation).
+inline constexpr std::uint8_t kHelloFlagAdaptiveLag = 1u << 0;
+
 /// Session handshake: "I am here, running this game image with these
-/// parameters" (§2 rendezvous + same-image requirement).
+/// parameters" (§2 rendezvous + same-image requirement). v2 extends it
+/// with an echoed-timestamp RTT probe (same scheme as SyncMsg) and the
+/// sender's measured-RTT advert, feeding the adaptive-lag negotiation.
 struct HelloMsg {
   SiteId site = 0;
   std::uint32_t protocol_version = 0;
   std::uint64_t rom_checksum = 0;
   std::uint16_t cfps = 0;
   std::uint16_t buf_frames = 0;
+
+  // v2: RTT probe + adaptive negotiation.
+  Time hello_time = 0;   ///< sender's clock when this HELLO was sent
+  Time echo_time = -1;   ///< newest hello_time seen from the peer (-1 none)
+  Dur echo_hold = 0;     ///< how long that echo was held before now
+  Dur adv_rtt = -1;      ///< sender's smoothed RTT estimate (-1 unmeasured)
+  std::uint8_t flags = 0;        ///< kHelloFlag* capability bits
+  std::uint16_t redundancy = 0;  ///< sender's redundant-input tail K (FYI)
 };
 
 /// Master's go signal; the slave starts on receipt, giving at most one
-/// one-way delay of start skew (§3.2).
+/// one-way delay of start skew (§3.2). v2: when the sites negotiated an
+/// RTT-adaptive local lag, `buf_frames` carries the agreed value (0 means
+/// "use the configured fixed value").
 struct StartMsg {
   SiteId site = 0;
+  std::uint16_t buf_frames = 0;
 };
 
 /// One flush of the sync module (Algorithm 2 lines 7-11).

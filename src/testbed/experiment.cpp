@@ -74,6 +74,7 @@ class SimSite {
   SiteResult take_result(const net::LinkStats& tx_stats) {
     result_.sync_stats = peer_.stats();
     result_.tx_stats = tx_stats;
+    if (result_.buf_frames == 0) result_.buf_frames = cfg_.sync.buf_frames;
     result_.frames_completed = static_cast<FrameNo>(result_.timeline.size());
     result_.desync_frame = peer_.desync_frame();
     if (const auto* arcade = dynamic_cast<const emu::ArcadeMachine*>(game_holder_.get())) {
@@ -97,12 +98,36 @@ class SimSite {
       if (!msg) continue;  // malformed datagram: drop, UDP-style
       if (const auto* sync = std::get_if<SyncMsg>(&*msg)) {
         session_.note_sync_traffic(sim_.now());
-        peer_.ingest(*sync, sim_.now());
+        // Sync traffic arriving before the handshake settled (e.g. the
+        // peer is already running but our START is in flight) is dropped:
+        // the negotiated lag must be locked in before the first ingest.
+        // Reliability above re-delivers whatever was in the message.
+        if (session_.running()) {
+          apply_negotiated_lag();
+          peer_.ingest(*sync, sim_.now());
+        }
       } else {
         session_.ingest(*msg, sim_.now());
       }
     }
     if (any) state_changed_.notify_all();
+  }
+
+  /// Locks the handshake-negotiated local lag into the sync/pacing state.
+  /// Idempotent; must run after running() turns true and before the first
+  /// submit/ingest/flush. With the fixed paper policy it is a no-op.
+  void apply_negotiated_lag() {
+    if (lag_applied_) return;
+    lag_applied_ = true;
+    const int buf = session_.effective_buf_frames();
+    result_.buf_frames = buf;
+    if (buf != cfg_.sync.buf_frames) {
+      peer_.set_buf_frames(buf);
+      pacer_.set_buf_frames(buf);
+      core::SyncConfig eff = cfg_.sync;
+      eff.buf_frames = buf;
+      result_.replay = core::Replay(game_.content_id(), eff);
+    }
   }
 
   void finish(SharedFlags* flags) { flags->done[site_] = true; }
@@ -124,6 +149,7 @@ class SimSite {
       if (auto m = session_.poll(now)) send(*m);
 
       if (session_.running()) {
+        apply_negotiated_lag();
         if (auto msg = peer_.make_message(now)) {
           // The producer/consumer thread handoff of §4.2 (~5 ms mean).
           if (cfg_.sync.send_dispatch_delay > 0) {
@@ -185,6 +211,7 @@ class SimSite {
       }
       (void)co_await state_changed_.wait_until(sim_.now() + milliseconds(5));
     }
+    apply_negotiated_lag();
 
     // ---- Algorithm 1: the distributed VM frame loop -------------------
     for (FrameNo frame = 0; frame < cfg_.frames; ++frame) {
@@ -235,6 +262,7 @@ class SimSite {
   sim::Trigger& arrival_;
   const ExperimentConfig& cfg_;
   SiteId site_;
+  bool lag_applied_ = false;
   std::vector<std::unique_ptr<ObserverPort>> observer_ports_;
   std::unique_ptr<emu::IDeterministicGame> game_holder_;
   emu::IDeterministicGame& game_;

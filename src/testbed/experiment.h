@@ -108,6 +108,9 @@ struct SiteResult {
   core::FrameTimeline timeline;
   core::SyncPeerStats sync_stats;
   net::LinkStats tx_stats;      ///< this site's outgoing path counters
+  /// Local-lag depth the session actually ran with (differs from the
+  /// configured value when the v2 adaptive-lag negotiation picked one).
+  int buf_frames = 0;
   FrameNo frames_completed = 0;
   bool aborted = false;         ///< watchdog fired (peer/network failure)
   bool session_failed = false;

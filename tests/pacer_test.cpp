@@ -83,6 +83,7 @@ SyncPeer::RemoteObs obs(FrameNo last_rcv, Time rcv_time, Dur rtt) {
   o.last_rcv_frame = last_rcv;
   o.rcv_time = rcv_time;
   o.rtt = rtt;
+  o.rtt_valid = true;
   return o;
 }
 
@@ -167,6 +168,27 @@ TEST(PacerAlg4Test, DeadbandSwallowsNoise) {
   // Raw skew of +30 ms: outside, applied.
   p.begin_frame(now - milliseconds(30), 30, obs(30, milliseconds(500), 0));
   EXPECT_EQ(p.last_sync_adjust(), milliseconds(30));
+}
+
+TEST(PacerAlg4Test, NoRateSyncBeforeFirstRttSample) {
+  // Regression: Algorithm 4 extrapolates the master's position with RTT/2,
+  // but at startup obs.rtt used to read 0 from the estimator before any
+  // sample existed — the slave then treated a stale observation as fresh
+  // and over-corrected. With rtt_valid=false the correction must be
+  // skipped entirely, even though the observation itself is valid.
+  const SyncConfig cfg = cfg60();
+  const Dur tpf = cfg.frame_period();
+  FramePacer p(kSlaveSite, cfg);
+  const Time now = milliseconds(500) + 6 * tpf;
+  SyncPeer::RemoteObs o = obs(30, milliseconds(500), 0);
+  o.rtt_valid = false;
+  p.begin_frame(now, 33, o);  // 3 frames of apparent skew...
+  EXPECT_EQ(p.last_sync_adjust(), 0);  // ...ignored until RTT is known
+  EXPECT_EQ(p.adjust_time_delta(), 0);
+
+  // The same observation with a measured RTT applies normally.
+  p.begin_frame(now, 33, obs(30, milliseconds(500), 0));
+  EXPECT_EQ(p.last_sync_adjust(), 3 * tpf);
 }
 
 TEST(PacerAlg4Test, ConvergenceFromStartupSkew) {

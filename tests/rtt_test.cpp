@@ -1,0 +1,91 @@
+// Unit tests for RttEstimator — Jacobson/Karels SRTT+RTTVAR and the
+// derived retransmission timeout (RFC 6298 arithmetic, integer Dur).
+#include <gtest/gtest.h>
+
+#include "src/core/rtt.h"
+
+namespace rtct::core {
+namespace {
+
+TEST(RttEstimatorTest, StartsUnsampled) {
+  RttEstimator e;
+  EXPECT_FALSE(e.has_sample());
+  EXPECT_EQ(e.sample_count(), 0u);
+  EXPECT_EQ(e.srtt(), 0);
+  EXPECT_EQ(e.rttvar(), 0);
+}
+
+TEST(RttEstimatorTest, FirstSampleSeeds) {
+  RttEstimator e;
+  e.sample(milliseconds(100));
+  EXPECT_TRUE(e.has_sample());
+  EXPECT_EQ(e.sample_count(), 1u);
+  EXPECT_EQ(e.srtt(), milliseconds(100));
+  EXPECT_EQ(e.rttvar(), milliseconds(50));           // sample / 2
+  EXPECT_EQ(e.rto(), milliseconds(300));             // srtt + 4*rttvar
+}
+
+TEST(RttEstimatorTest, ZeroIsARealSample) {
+  // The regression this class exists for: 0 ns (loopback) must count as a
+  // measurement, not as "unseeded".
+  RttEstimator e;
+  e.sample(0);
+  EXPECT_TRUE(e.has_sample());
+  EXPECT_EQ(e.srtt(), 0);
+  // A later spike is smoothed with the 1/8 gain, not adopted as a seed.
+  e.sample(milliseconds(80));
+  EXPECT_EQ(e.sample_count(), 2u);
+  EXPECT_EQ(e.srtt(), milliseconds(80) / 8);
+}
+
+TEST(RttEstimatorTest, NegativeSamplesIgnored) {
+  RttEstimator e;
+  e.sample(-milliseconds(5));
+  EXPECT_FALSE(e.has_sample());
+  e.sample(milliseconds(20));
+  e.sample(-1);
+  EXPECT_EQ(e.sample_count(), 1u);
+  EXPECT_EQ(e.srtt(), milliseconds(20));
+}
+
+TEST(RttEstimatorTest, JacobsonGains) {
+  RttEstimator e;
+  e.sample(milliseconds(100));  // seed: srtt=100, rttvar=50
+  e.sample(milliseconds(60));
+  // rttvar = (3*50 + |100-60|) / 4 = 47.5 ms; srtt = (7*100 + 60)/8 = 95 ms
+  EXPECT_EQ(e.rttvar(), (milliseconds(150) + milliseconds(40)) / 4);
+  EXPECT_EQ(e.srtt(), (milliseconds(700) + milliseconds(60)) / 8);
+}
+
+TEST(RttEstimatorTest, ConvergesOnSteadyInput) {
+  RttEstimator e;
+  for (int i = 0; i < 200; ++i) e.sample(milliseconds(40));
+  EXPECT_NEAR(to_ms(e.srtt()), 40.0, 0.5);
+  EXPECT_LT(e.rttvar(), milliseconds(1));  // variance decays to ~0
+}
+
+TEST(RttEstimatorTest, RtoClampedToMin) {
+  RttEstimator e(milliseconds(10), seconds(2));
+  for (int i = 0; i < 200; ++i) e.sample(microseconds(100));
+  EXPECT_LT(e.srtt() + 4 * e.rttvar(), milliseconds(10));
+  EXPECT_EQ(e.rto(), milliseconds(10));  // floor: never retransmit too eagerly
+}
+
+TEST(RttEstimatorTest, RtoClampedToMax) {
+  RttEstimator e(milliseconds(10), seconds(2));
+  e.sample(seconds(5));  // satellite link from hell
+  EXPECT_EQ(e.rto(), seconds(2));
+}
+
+TEST(RttEstimatorTest, VarianceTracksJitter) {
+  // Alternating 20/60 ms samples: srtt settles near 40 ms and rttvar stays
+  // well above zero, pushing the RTO safely past the worst sample.
+  RttEstimator e;
+  for (int i = 0; i < 200; ++i) e.sample(milliseconds(i % 2 == 0 ? 20 : 60));
+  EXPECT_NEAR(to_ms(e.srtt()), 40.0, 8.0);
+  EXPECT_GT(e.rttvar(), milliseconds(10));
+  EXPECT_GT(e.rto(), milliseconds(60));
+}
+
+}  // namespace
+}  // namespace rtct::core

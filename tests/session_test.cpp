@@ -141,5 +141,156 @@ TEST(SessionTest, StartSkewBoundedByOneRelayStep) {
   EXPECT_EQ(slave.start_time() - master_start, owd);
 }
 
+// ---- v2 adaptive-lag negotiation ---------------------------------------------
+
+SyncConfig adaptive_cfg() {
+  SyncConfig c;
+  c.adaptive_lag = true;
+  return c;
+}
+
+/// Runs a full HELLO/START exchange between two SessionControls over a
+/// symmetric link with one-way delay `owd`. Deterministic virtual time.
+struct HandshakeResult {
+  bool both_running = false;
+  int master_buf = 0;
+  int slave_buf = 0;
+  bool master_negotiated = false;
+  bool slave_negotiated = false;
+};
+
+HandshakeResult run_handshake(SyncConfig master_cfg, SyncConfig slave_cfg, Dur owd) {
+  SessionControl master(0, kRom, master_cfg);
+  SessionControl slave(1, kRom, slave_cfg);
+  struct Pkt {
+    Time at;
+    Message msg;
+  };
+  std::vector<Pkt> to_master, to_slave;
+  for (Time now = 0; now <= seconds(5); now += milliseconds(5)) {
+    for (auto& q : {&to_master, &to_slave}) {
+      auto& dst = q == &to_master ? master : slave;
+      for (auto it = q->begin(); it != q->end();) {
+        if (it->at <= now) {
+          // Ingest with the true arrival time so the RTT probe measures the
+          // link, not this harness's polling grid.
+          dst.ingest(it->msg, it->at);
+          it = q->erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    // poll() can yield a HELLO and then an owed START in the same tick.
+    while (auto m = master.poll(now)) to_slave.push_back({now + owd, *m});
+    while (auto m = slave.poll(now)) to_master.push_back({now + owd, *m});
+    if (master.running() && slave.running() && to_master.empty() && to_slave.empty()) break;
+  }
+  HandshakeResult r;
+  r.both_running = master.running() && slave.running();
+  r.master_buf = master.effective_buf_frames();
+  r.slave_buf = slave.effective_buf_frames();
+  r.master_negotiated = master.lag_negotiated();
+  r.slave_negotiated = slave.lag_negotiated();
+  return r;
+}
+
+TEST(SessionAdaptiveTest, NegotiatesLagFromMeasuredRtt) {
+  const Dur owd = milliseconds(30);  // RTT 60 ms
+  const auto r = run_handshake(adaptive_cfg(), adaptive_cfg(), owd);
+  ASSERT_TRUE(r.both_running);
+  EXPECT_TRUE(r.master_negotiated);
+  EXPECT_TRUE(r.slave_negotiated);
+  EXPECT_EQ(r.master_buf, r.slave_buf);
+  // The HELLO probe measures exactly 2*owd on this deterministic link.
+  EXPECT_EQ(r.master_buf, adaptive_cfg().buf_frames_for_rtt(2 * owd));
+  EXPECT_NE(r.master_buf, adaptive_cfg().buf_frames);  // actually adapted
+}
+
+TEST(SessionAdaptiveTest, FixedLagWhenOnlyOneSiteOptsIn) {
+  // Both-opt-in semantics: a lone adaptive site behaves exactly like v2
+  // fixed policy (buf_frames must still match, nothing is negotiated).
+  const auto r = run_handshake(adaptive_cfg(), SyncConfig{}, milliseconds(30));
+  ASSERT_TRUE(r.both_running);
+  EXPECT_FALSE(r.master_negotiated);
+  EXPECT_FALSE(r.slave_negotiated);
+  EXPECT_EQ(r.master_buf, SyncConfig{}.buf_frames);
+  EXPECT_EQ(r.slave_buf, SyncConfig{}.buf_frames);
+}
+
+TEST(SessionAdaptiveTest, MismatchedFixedBufFramesAllowedWhenBothAdaptive) {
+  // With both sites adaptive the configured fixed values are irrelevant
+  // (the negotiated depth replaces them), so they need not match.
+  SyncConfig a = adaptive_cfg();
+  a.buf_frames = 4;
+  SyncConfig b = adaptive_cfg();
+  b.buf_frames = 9;
+  const auto r = run_handshake(a, b, milliseconds(40));
+  ASSERT_TRUE(r.both_running);
+  EXPECT_EQ(r.master_buf, r.slave_buf);
+  EXPECT_TRUE(r.master_negotiated);
+}
+
+TEST(SessionAdaptiveTest, FallsBackToFixedLagWithoutRttSamples) {
+  // A peer that claims the adaptive capability but never yields an RTT
+  // measurement must not stall the handshake forever: after the bounded
+  // probe window the master starts with the configured fixed lag.
+  SessionControl master(0, kRom, adaptive_cfg(), milliseconds(50));
+  HelloMsg h;
+  h.site = 1;
+  h.protocol_version = kProtocolVersion;
+  h.rom_checksum = kRom;
+  h.cfps = 60;
+  h.buf_frames = 6;
+  h.flags = kHelloFlagAdaptiveLag;  // echo_time = -1, adv_rtt = -1: no probe
+  master.ingest(Message{h}, 0);
+  EXPECT_FALSE(master.running());  // probing, not started yet
+  master.ingest(Message{h}, seconds(1));  // far beyond the probe window
+  EXPECT_TRUE(master.running());
+  EXPECT_EQ(master.effective_buf_frames(), adaptive_cfg().buf_frames);
+  const auto start = master.poll(seconds(1));
+  ASSERT_TRUE(start.has_value());
+  ASSERT_TRUE(std::holds_alternative<StartMsg>(*start));
+  EXPECT_EQ(std::get<StartMsg>(*start).buf_frames, adaptive_cfg().buf_frames);
+}
+
+TEST(SessionAdaptiveTest, SlaveIgnoresSyncTrafficUntilLagKnown) {
+  // With adaptive lag the negotiated depth travels only in START: bare
+  // sync traffic must NOT start the slave (it would run the wrong lag and
+  // break the merged-input agreement).
+  SessionControl slave(1, kRom, adaptive_cfg());
+  slave.note_sync_traffic(milliseconds(70));
+  EXPECT_FALSE(slave.running());
+  StartMsg s;
+  s.site = 0;
+  s.buf_frames = 8;
+  slave.ingest(Message{s}, milliseconds(80));
+  EXPECT_TRUE(slave.running());
+  EXPECT_EQ(slave.effective_buf_frames(), 8);
+  slave.note_sync_traffic(milliseconds(90));  // now harmless
+  EXPECT_TRUE(slave.running());
+}
+
+// Property: across a sweep of link RTTs the negotiated depth round-trips
+// through the v2 handshake — both sites agree, the value matches the
+// ceil(RTT/2 / frame_period) + margin formula, and it stays in bounds.
+class SessionNegotiationPropertyTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(RttMs, SessionNegotiationPropertyTest,
+                         ::testing::Values(0, 5, 20, 50, 80, 120, 200, 400, 1000));
+
+TEST_P(SessionNegotiationPropertyTest, NegotiatedBufFramesRoundTrips) {
+  const Dur owd = milliseconds(GetParam()) / 2;
+  const SyncConfig c = adaptive_cfg();
+  const auto r = run_handshake(c, c, owd);
+  ASSERT_TRUE(r.both_running) << "handshake stalled at RTT " << GetParam() << " ms";
+  EXPECT_EQ(r.master_buf, r.slave_buf);
+  EXPECT_TRUE(r.master_negotiated);
+  EXPECT_TRUE(r.slave_negotiated);
+  EXPECT_GE(r.master_buf, c.min_buf_frames);
+  EXPECT_LE(r.master_buf, c.max_buf_frames);
+  EXPECT_EQ(r.master_buf, c.buf_frames_for_rtt(2 * owd));
+}
+
 }  // namespace
 }  // namespace rtct::core

@@ -210,6 +210,181 @@ TEST(SyncPeerTest, RemoteObsTracksMasterProgress) {
   EXPECT_EQ(obs.rcv_time, milliseconds(33));
 }
 
+TEST(SyncPeerTest, ZeroRttLoopbackIsARealSample) {
+  // Regression: the estimator used `rtt_ == 0` as its "no sample yet"
+  // sentinel, so a loopback link (true RTT ~0) re-seeded on every echo and
+  // `rtt_samples` never reflected reality. A 0 ns sample must count.
+  SyncPeer a(0, test_config());
+  SyncPeer b(1, test_config());
+  EXPECT_FALSE(a.has_rtt_sample());
+  Time now = 0;
+  for (FrameNo f = 0; f < 10; ++f) {
+    a.submit_local(f, 0);
+    b.submit_local(f, 0);
+    if (auto m = a.make_message(now)) b.ingest(*m, now);  // zero delay
+    if (auto m = b.make_message(now)) a.ingest(*m, now);
+    now += milliseconds(20);
+  }
+  EXPECT_TRUE(a.has_rtt_sample());
+  EXPECT_EQ(a.rtt(), 0);  // measured ~0, NOT "unmeasured"
+  EXPECT_GE(a.stats().rtt_samples, 3u);
+  EXPECT_EQ(a.stats().rtt_samples, a.rtt_estimator().sample_count());
+}
+
+TEST(SyncPeerTest, ZeroRttDoesNotReseedTheEstimator) {
+  // With the old sentinel, srtt==0 meant the NEXT sample re-seeded the
+  // estimator wholesale. Now a later spike must be smoothed (1/8 gain),
+  // not adopted outright.
+  SyncPeer a(0, test_config());
+  SyncPeer b(1, test_config());
+  a.submit_local(0, 0);
+  b.ingest(*a.make_message(0), 0);
+  a.ingest(*b.make_message(0), 0);  // echo round-trip: 0 ns sample
+  ASSERT_TRUE(a.has_rtt_sample());
+  ASSERT_EQ(a.rtt(), 0);
+  // Second round-trip suddenly takes 40 ms.
+  a.submit_local(1, 0);
+  b.ingest(*a.make_message(milliseconds(20)), milliseconds(20));
+  a.ingest(*b.make_message(milliseconds(20)), milliseconds(60));
+  EXPECT_EQ(a.stats().rtt_samples, 2u);
+  EXPECT_EQ(a.rtt(), milliseconds(40) / 8);  // smoothed, not re-seeded
+}
+
+// ---- adaptive retransmission (RTO timer + redundancy tail) -------------------
+
+SyncConfig adaptive_config(int redundancy = 0) {
+  SyncConfig cfg;
+  cfg.adaptive_resend = true;
+  cfg.redundant_inputs = redundancy;
+  cfg.initial_rto = milliseconds(100);
+  return cfg;
+}
+
+TEST(SyncPeerAdaptiveTest, NoBlindResendBeforeRtoFires) {
+  SyncPeer a(0, adaptive_config());
+  a.submit_local(0, make_input(7, 0));
+  const auto m1 = a.make_message(0);
+  ASSERT_TRUE(m1);
+  EXPECT_EQ(m1->inputs.size(), 1u);
+  // Flush ticks before the 100 ms RTO: nothing new => silence, where the
+  // paper policy would re-send the window every 20 ms.
+  EXPECT_FALSE(a.make_message(milliseconds(20)).has_value());
+  EXPECT_FALSE(a.make_message(milliseconds(40)).has_value());
+  EXPECT_EQ(a.stats().inputs_retransmitted, 0u);
+  EXPECT_EQ(a.stats().rto_fires, 0u);
+}
+
+TEST(SyncPeerAdaptiveTest, RtoFireResendsWindowAndBacksOff) {
+  SyncPeer a(0, adaptive_config());
+  a.submit_local(0, make_input(7, 0));
+  ASSERT_TRUE(a.make_message(0).has_value());  // arms the timer (RTO 100 ms)
+  const auto r1 = a.make_message(milliseconds(100));
+  ASSERT_TRUE(r1.has_value());  // timer fired: full window resend
+  EXPECT_EQ(r1->inputs.size(), 1u);
+  EXPECT_EQ(a.stats().rto_fires, 1u);
+  EXPECT_EQ(a.stats().inputs_retransmitted, 1u);
+  // Backoff doubled: next fire no earlier than 100+200 ms.
+  EXPECT_FALSE(a.make_message(milliseconds(200)).has_value());
+  const auto r2 = a.make_message(milliseconds(300));
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(a.stats().rto_fires, 2u);
+}
+
+TEST(SyncPeerAdaptiveTest, AckProgressResetsBackoff) {
+  SyncPeer a(0, adaptive_config());
+  SyncPeer b(1, adaptive_config());
+  a.submit_local(0, make_input(7, 0));
+  ASSERT_TRUE(a.make_message(0).has_value());
+  ASSERT_TRUE(a.make_message(milliseconds(100)).has_value());  // RTO fire #1
+  EXPECT_EQ(a.current_rto(), milliseconds(200));               // backed off 2x
+  // The peer finally acks everything.
+  b.ingest(*a.make_message(milliseconds(300)), milliseconds(300));
+  a.ingest(*b.make_message(milliseconds(300)), milliseconds(300));
+  EXPECT_EQ(a.last_ack_frame(), 6);
+  EXPECT_EQ(a.current_rto(), a.rtt_estimator().rto());  // backoff reset
+}
+
+TEST(SyncPeerAdaptiveTest, RedundantTailRecarriesLastKFlushes) {
+  // The tail is measured in flushes, not entries: everything first sent
+  // within the last K flushes rides along, so a whole catch-up burst is
+  // re-carried K times (a newest-K-entries tail could never refill a
+  // lost burst and would stall out a full RTO).
+  SyncPeer a(0, adaptive_config(/*redundancy=*/2));
+  for (FrameNo f = 0; f < 3; ++f) a.submit_local(f, make_input(static_cast<std::uint8_t>(f), 0));
+  const auto m1 = a.make_message(0);
+  ASSERT_TRUE(m1);
+  EXPECT_EQ(m1->inputs.size(), 3u);  // frames 6..8, all new
+  EXPECT_EQ(a.stats().redundant_inputs_sent, 0u);
+  // Next flush: the 3-input burst from flush 1 is still inside the
+  // 2-flush protection window and is re-carried whole with the new input.
+  a.submit_local(3, make_input(3, 0));
+  const auto m2 = a.make_message(milliseconds(20));
+  ASSERT_TRUE(m2);
+  EXPECT_EQ(m2->first_frame, 6);
+  EXPECT_EQ(m2->inputs.size(), 4u);
+  EXPECT_EQ(a.stats().redundant_inputs_sent, 3u);
+  EXPECT_EQ(a.stats().inputs_retransmitted, 3u);
+  // Third flush: the burst is still covered (sent at flush 1, re-sent at
+  // flushes 2 and 3 = K re-sends)...
+  a.submit_local(4, make_input(4, 0));
+  const auto m3 = a.make_message(milliseconds(40));
+  ASSERT_TRUE(m3);
+  EXPECT_EQ(m3->first_frame, 6);
+  EXPECT_EQ(m3->inputs.size(), 5u);
+  // ...and ages out of the tail on the fourth.
+  a.submit_local(5, make_input(5, 0));
+  const auto m4 = a.make_message(milliseconds(60));
+  ASSERT_TRUE(m4);
+  EXPECT_EQ(m4->first_frame, 9);  // flush-1 frames 6..8 no longer carried
+  EXPECT_EQ(m4->inputs.size(), 3u);
+}
+
+TEST(SyncPeerAdaptiveTest, RedundancyTailNeverCrossesTheAck) {
+  // Tail is clamped at the unacked boundary: acked inputs are never resent.
+  SyncPeer a(0, adaptive_config(/*redundancy=*/4));
+  SyncPeer b(1, adaptive_config(/*redundancy=*/4));
+  a.submit_local(0, 0);
+  b.ingest(*a.make_message(0), 0);
+  a.ingest(*b.make_message(0), 0);  // acks frame 6
+  a.submit_local(1, make_input(1, 0));
+  const auto m = a.make_message(milliseconds(20));
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->first_frame, 7);  // tail cannot reach the acked frame 6
+  EXPECT_EQ(m->inputs.size(), 1u);
+}
+
+// ---- negotiated local lag (set_buf_frames) -----------------------------------
+
+TEST(SyncPeerTest, SetBufFramesReinitializesTheWindow) {
+  SyncPeer a(0, test_config());
+  ASSERT_TRUE(a.set_buf_frames(12));
+  EXPECT_EQ(a.config().buf_frames, 12);
+  EXPECT_EQ(a.last_ack_frame(), 11);
+  for (FrameNo f = 0; f < 12; ++f) {
+    a.submit_local(f, make_input(0xFF, 0));
+    ASSERT_TRUE(a.ready()) << "frame " << f;
+    EXPECT_EQ(a.pop(), 0);
+  }
+  EXPECT_FALSE(a.ready());  // frame 12 needs the remote input
+}
+
+TEST(SyncPeerTest, SetBufFramesRefusedOnceProtocolMoved) {
+  SyncPeer a(0, test_config());
+  a.submit_local(0, make_input(1, 0));
+  EXPECT_FALSE(a.set_buf_frames(12));  // local input already buffered
+  EXPECT_EQ(a.config().buf_frames, test_config().buf_frames);
+
+  SyncPeer b(1, test_config());
+  SyncPeer c(0, test_config());
+  c.submit_local(0, 0);
+  b.ingest(*c.make_message(0), 0);
+  EXPECT_FALSE(b.set_buf_frames(12));  // remote input already merged
+
+  SyncPeer d(0, test_config());
+  (void)d.pop();
+  EXPECT_FALSE(d.set_buf_frames(12));  // pointer already advanced
+}
+
 // ---- desync detection ----------------------------------------------------------
 
 TEST(SyncPeerDesyncTest, AgreementKeepsQuiet) {

@@ -57,12 +57,49 @@ TEST(WireTest, HelloRoundTrip) {
   EXPECT_EQ(out.rom_checksum, h.rom_checksum);
   EXPECT_EQ(out.cfps, 60);
   EXPECT_EQ(out.buf_frames, 6);
+  // v2 fields keep their "unset" defaults through the codec.
+  EXPECT_EQ(out.hello_time, 0);
+  EXPECT_EQ(out.echo_time, -1);
+  EXPECT_EQ(out.adv_rtt, -1);
+  EXPECT_EQ(out.flags, 0);
+  EXPECT_EQ(out.redundancy, 0);
+}
+
+TEST(WireTest, HelloV2FieldsRoundTrip) {
+  HelloMsg h;
+  h.site = 0;
+  h.protocol_version = kProtocolVersion;
+  h.hello_time = milliseconds(150);
+  h.echo_time = milliseconds(100);
+  h.echo_hold = milliseconds(7);
+  h.adv_rtt = milliseconds(42);
+  h.flags = kHelloFlagAdaptiveLag;
+  h.redundancy = 2;
+  const auto decoded = decode_message(encode_message(Message{h}));
+  ASSERT_TRUE(decoded.has_value());
+  const auto& out = std::get<HelloMsg>(*decoded);
+  EXPECT_EQ(out.hello_time, milliseconds(150));
+  EXPECT_EQ(out.echo_time, milliseconds(100));
+  EXPECT_EQ(out.echo_hold, milliseconds(7));
+  EXPECT_EQ(out.adv_rtt, milliseconds(42));
+  EXPECT_EQ(out.flags, kHelloFlagAdaptiveLag);
+  EXPECT_EQ(out.redundancy, 2);
 }
 
 TEST(WireTest, StartRoundTrip) {
   const auto decoded = decode_message(encode_message(Message{StartMsg{0}}));
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(std::get<StartMsg>(*decoded).site, 0);
+  EXPECT_EQ(std::get<StartMsg>(*decoded).buf_frames, 0);  // 0 = fixed lag
+}
+
+TEST(WireTest, StartCarriesNegotiatedBufFrames) {
+  StartMsg s;
+  s.site = 0;
+  s.buf_frames = 17;
+  const auto decoded = decode_message(encode_message(Message{s}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<StartMsg>(*decoded).buf_frames, 17);
 }
 
 TEST(WireTest, NegativeFramesSurvive) {
@@ -111,6 +148,40 @@ TEST(WireTest, AbsurdInputCountRejected) {
   w.u32(0x80000000u);
   const auto data = w.take();
   EXPECT_FALSE(decode_message(data).has_value());
+}
+
+TEST(WireTest, ForgedCountBeyondPayloadRejected) {
+  // Regression: decode used to reserve() for the claimed count BEFORE
+  // checking the reader held 2 bytes per input — a short forged datagram
+  // claiming n = kMaxWireInputs (4096) cost an 8 KiB allocation per packet
+  // before the bounds check failed. The count must be validated against
+  // the bytes actually present first.
+  {
+    ByteWriter w;  // 16-byte kSync datagram claiming 4096 inputs
+    w.u8(3);       // kSync
+    w.i32(1);      // site
+    w.i64(0);      // ack_frame
+    w.i64(0);      // first_frame
+    w.u32(4096);   // forged count, zero payload behind it
+    const auto data = w.take();
+    EXPECT_FALSE(decode_message(data).has_value());
+  }
+  {
+    ByteWriter w;  // kInputFeed: same forgery
+    w.u8(6);
+    w.i64(0);      // first_frame
+    w.u32(4096);
+    const auto data = w.take();
+    EXPECT_FALSE(decode_message(data).has_value());
+  }
+  {
+    ByteWriter w;  // kSnapshot claiming a 1 MiB body it does not carry
+    w.u8(5);
+    w.i64(0);      // frame
+    w.u32(1u << 20);
+    const auto data = w.take();
+    EXPECT_FALSE(decode_message(data).has_value());
+  }
 }
 
 TEST(WireTest, RandomBytesNeverCrash) {
