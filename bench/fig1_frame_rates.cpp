@@ -17,6 +17,8 @@
 // bench/budget_threshold for the arithmetic).
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "src/testbed/sweep.h"
 
@@ -26,7 +28,14 @@ int main(int argc, char** argv) {
 
   ExperimentConfig base;
   base.game = "duel";
-  base.frames = argc > 1 ? std::atoi(argv[1]) : 3600;
+  std::string json_path = "BENCH_fig1_frame_rates.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      base.frames = std::atoi(argv[i]);
+    }
+  }
 
   std::printf("=== FIG1: frame rates and smoothness vs RTT (%d frames/point) ===\n\n",
               base.frames);
@@ -65,5 +74,16 @@ int main(int argc, char** argv) {
   bool all_consistent = true;
   for (const auto& p : points) all_consistent = all_consistent && p.result.converged();
   std::printf("logical consistency at every RTT: %s\n", all_consistent ? "yes" : "NO");
+
+  if (!json_path.empty()) {
+    const std::map<std::string, std::string> meta = {
+        {"game", base.game}, {"frames", std::to_string(base.frames)}};
+    if (write_bench_json(json_path, "fig1_frame_rates", points, base.sync.cfps, meta)) {
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::printf("FAILED to write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
   return all_consistent ? 0 : 1;
 }

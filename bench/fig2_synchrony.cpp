@@ -10,6 +10,8 @@
 // ~15 ms at the threshold, rising quickly beyond it.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "src/testbed/sweep.h"
 
@@ -19,7 +21,14 @@ int main(int argc, char** argv) {
 
   ExperimentConfig base;
   base.game = "duel";
-  base.frames = argc > 1 ? std::atoi(argv[1]) : 3600;
+  std::string json_path = "BENCH_fig2_synchrony.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      base.frames = std::atoi(argv[i]);
+    }
+  }
 
   std::printf("=== FIG2: inter-site synchrony vs RTT (%d frames/point) ===\n\n", base.frames);
   std::printf("%8s | %14s %14s %14s | %s\n", "RTT(ms)", "sync-avg(ms)", "sync-p95(ms)",
@@ -45,5 +54,16 @@ int main(int argc, char** argv) {
   std::printf("\nlargest average synchrony deviation at RTT <= 130 ms: %.3f ms "
               "(paper: < 10 ms)\n",
               below_threshold_max);
+
+  if (!json_path.empty()) {
+    const std::map<std::string, std::string> meta = {
+        {"game", base.game}, {"frames", std::to_string(base.frames)}};
+    if (write_bench_json(json_path, "fig2_synchrony", points, base.sync.cfps, meta)) {
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::printf("FAILED to write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

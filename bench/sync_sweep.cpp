@@ -1,0 +1,52 @@
+// SYNC_SWEEP — the CI-sized observability sweep: runs the quick RTT grid
+// and emits BENCH_sync_sweep.json ("rtct.bench.v1"), which ctest then
+// validates with `rtct_trace --check`. This keeps the metrics-export path
+// exercised end to end on every test run — a schema regression or an
+// experiment that stops converging fails CI, not a later plotting session.
+//
+// Usage: sync_sweep [frames] [--json PATH]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/testbed/sweep.h"
+
+int main(int argc, char** argv) {
+  using namespace rtct;
+  using namespace rtct::testbed;
+
+  ExperimentConfig base;
+  base.game = "duel";
+  base.frames = 600;  // CI-sized; pass 3600 for paper-length points
+  std::string json_path = "BENCH_sync_sweep.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      base.frames = std::atoi(argv[i]);
+    }
+  }
+
+  std::printf("=== SYNC_SWEEP: quick RTT grid (%d frames/point) ===\n\n", base.frames);
+  const auto points = sweep_rtt(base, quick_rtt_sweep());
+  print_paper_table(points);
+
+  const Dur threshold = find_threshold_rtt(points, base.sync.cfps);
+  std::printf("\nfull-speed threshold RTT: %.0f ms\n", to_ms(threshold));
+
+  bool all_consistent = true;
+  for (const auto& p : points) all_consistent = all_consistent && p.result.converged();
+
+  const std::map<std::string, std::string> meta = {
+      {"game", base.game},
+      {"frames", std::to_string(base.frames)},
+      {"grid", "quick_rtt_sweep"}};
+  if (!write_bench_json(json_path, "sync_sweep", points, base.sync.cfps, meta)) {
+    std::printf("FAILED to write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+  std::printf("logical consistency at every RTT: %s\n", all_consistent ? "yes" : "NO");
+  return all_consistent ? 0 : 1;
+}

@@ -1,0 +1,294 @@
+#include "src/common/json.h"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace rtct {
+
+// ---- JsonWriter -------------------------------------------------------------
+
+void JsonWriter::separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // the ':' already separates key from value
+  }
+  if (!first_.empty()) {
+    if (!first_.back()) out_.push_back(',');
+    first_.back() = false;
+  }
+}
+
+JsonWriter& JsonWriter::open(char c) {
+  separate();
+  out_.push_back(c);
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::close(char c) {
+  assert(!first_.empty());
+  first_.pop_back();
+  out_.push_back(c);
+  return *this;
+}
+
+namespace {
+void append_escaped(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out.push_back('"');
+}
+}  // namespace
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  separate();
+  append_escaped(out_, name);
+  out_.push_back(':');
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  separate();
+  append_escaped(out_, s);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double d) {
+  separate();
+  if (!std::isfinite(d)) {  // NaN/Inf are not JSON; metrics treat them as absent
+    out_ += "null";
+    return *this;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, d);
+  out_.append(buf, res.ptr);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t i) {
+  separate();
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof buf, i);
+  out_.append(buf, res.ptr);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t u) {
+  separate();
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof buf, u);
+  out_.append(buf, res.ptr);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  separate();
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  separate();
+  out_ += "null";
+  return *this;
+}
+
+// ---- parser -----------------------------------------------------------------
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  const Object* obj = object();
+  if (obj == nullptr) return nullptr;
+  const auto it = obj->find(std::string(key));
+  return it == obj->end() ? nullptr : &it->second;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse() {
+    auto v = parse_value(0);
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  bool consume(char c) {
+    if (at_end() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  std::optional<JsonValue> parse_value(int depth) {
+    if (depth > kMaxDepth) return std::nullopt;
+    skip_ws();
+    if (at_end()) return std::nullopt;
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': {
+        auto s = parse_string();
+        if (!s) return std::nullopt;
+        return JsonValue(JsonValue::Storage(std::move(*s)));
+      }
+      case 't':
+        return consume_literal("true") ? std::optional(JsonValue(JsonValue::Storage(true)))
+                                       : std::nullopt;
+      case 'f':
+        return consume_literal("false") ? std::optional(JsonValue(JsonValue::Storage(false)))
+                                        : std::nullopt;
+      case 'n':
+        return consume_literal("null") ? std::optional(JsonValue(JsonValue::Storage(nullptr)))
+                                       : std::nullopt;
+      default: return parse_number();
+    }
+  }
+
+  std::optional<JsonValue> parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (!at_end() && ((peek() >= '0' && peek() <= '9') || peek() == '.' || peek() == 'e' ||
+                         peek() == 'E' || peek() == '+' || peek() == '-')) {
+      ++pos_;
+    }
+    double d = 0;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    const auto res = std::from_chars(first, last, d);
+    if (res.ec != std::errc() || res.ptr != last || first == last) return std::nullopt;
+    return JsonValue(JsonValue::Storage(d));
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (!at_end()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (at_end()) return std::nullopt;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return std::nullopt;
+          unsigned cp = 0;
+          const auto res = std::from_chars(text_.data() + pos_, text_.data() + pos_ + 4, cp, 16);
+          if (res.ec != std::errc() || res.ptr != text_.data() + pos_ + 4) return std::nullopt;
+          pos_ += 4;
+          // Encode the BMP code point as UTF-8 (surrogate pairs are not
+          // needed by any rtct schema; a lone surrogate encodes as-is).
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default: return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<JsonValue> parse_array(int depth) {
+    if (!consume('[')) return std::nullopt;
+    JsonValue::Array arr;
+    skip_ws();
+    if (consume(']')) return JsonValue(JsonValue::Storage(std::move(arr)));
+    for (;;) {
+      auto v = parse_value(depth + 1);
+      if (!v) return std::nullopt;
+      arr.push_back(std::move(*v));
+      skip_ws();
+      if (consume(']')) return JsonValue(JsonValue::Storage(std::move(arr)));
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> parse_object(int depth) {
+    if (!consume('{')) return std::nullopt;
+    JsonValue::Object obj;
+    skip_ws();
+    if (consume('}')) return JsonValue(JsonValue::Storage(std::move(obj)));
+    for (;;) {
+      skip_ws();
+      auto k = parse_string();
+      if (!k) return std::nullopt;
+      skip_ws();
+      if (!consume(':')) return std::nullopt;
+      auto v = parse_value(depth + 1);
+      if (!v) return std::nullopt;
+      obj.insert_or_assign(std::move(*k), std::move(*v));
+      skip_ws();
+      if (consume('}')) return JsonValue(JsonValue::Storage(std::move(obj)));
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> parse_json(std::string_view text) { return Parser(text).parse(); }
+
+}  // namespace rtct

@@ -1,0 +1,90 @@
+// Minimal dependency-free JSON support for the observability layer: a
+// streaming writer (metrics snapshots, timeline/bench exports) and a small
+// recursive-descent reader (the rtct_trace CLI loads those exports back).
+//
+// Deliberately small: UTF-8 pass-through strings, numbers as double or
+// i64/u64 on the writer side, objects parsed into std::map (key order is
+// not preserved — none of our schemas depend on it).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace rtct {
+
+/// Streaming JSON emitter producing compact (single-line) output. The
+/// caller is responsible for well-formed nesting; violations (e.g. a value
+/// with no pending key inside an object) are caught by assertions in
+/// debug builds and produce invalid JSON rather than UB otherwise.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  /// Emits `"name":` — must be followed by exactly one value/container.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double d);
+  JsonWriter& value(std::int64_t i);
+  JsonWriter& value(std::uint64_t u);
+  JsonWriter& value(int i) { return value(static_cast<std::int64_t>(i)); }
+  JsonWriter& value(bool b);
+  JsonWriter& null();
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  JsonWriter& open(char c);
+  JsonWriter& close(char c);
+  void separate();  ///< emit ',' between siblings
+
+  std::string out_;
+  std::vector<bool> first_;  ///< per nesting level: no sibling emitted yet
+  bool after_key_ = false;
+};
+
+/// Parsed JSON document node.
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+  using Storage = std::variant<std::nullptr_t, bool, double, std::string, Array, Object>;
+
+  JsonValue() : v_(nullptr) {}
+  explicit JsonValue(Storage v) : v_(std::move(v)) {}
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(v_); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(v_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  [[nodiscard]] double number_or(double fallback) const {
+    const double* d = std::get_if<double>(&v_);
+    return d != nullptr ? *d : fallback;
+  }
+  [[nodiscard]] const std::string* string() const { return std::get_if<std::string>(&v_); }
+  [[nodiscard]] const Array* array() const { return std::get_if<Array>(&v_); }
+  [[nodiscard]] const Object* object() const { return std::get_if<Object>(&v_); }
+
+  /// Object member lookup; nullptr when not an object or key absent.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  Storage v_;
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed, trailing
+/// garbage is an error). Returns nullopt on any syntax error.
+std::optional<JsonValue> parse_json(std::string_view text);
+
+}  // namespace rtct

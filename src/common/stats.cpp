@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/json.h"
+
 namespace rtct {
 
 Summary Series::summarize() const {
@@ -46,6 +48,21 @@ double percentile(std::vector<double> xs, double p) {
   const auto hi = std::min(lo + 1, xs.size() - 1);
   const double frac = rank - static_cast<double>(lo);
   return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+void write_summary_json(JsonWriter& w, const Summary& s) {
+  w.begin_object();
+  w.key("count").value(static_cast<std::uint64_t>(s.count));
+  w.key("mean").value(s.mean);
+  w.key("mean_abs_deviation").value(s.mean_abs_deviation);
+  w.key("mean_abs").value(s.mean_abs);
+  w.key("stddev").value(s.stddev);
+  w.key("min").value(s.min);
+  w.key("max").value(s.max);
+  w.key("p50").value(s.p50);
+  w.key("p95").value(s.p95);
+  w.key("p99").value(s.p99);
+  w.end_object();
 }
 
 std::vector<double> consecutive_deltas(const std::vector<double>& xs) {

@@ -53,4 +53,11 @@ double percentile(std::vector<double> xs, double p);
 /// frame *times*, exactly how §4.1.1 post-processes its recordings.
 std::vector<double> consecutive_deltas(const std::vector<double>& xs);
 
+class JsonWriter;  // src/common/json.h
+
+/// Emits a Summary as a JSON object (the Figure-1/Figure-2 statistics plus
+/// the usual descriptives) — the shared shape of every timeline and bench
+/// export.
+void write_summary_json(JsonWriter& w, const Summary& s);
+
 }  // namespace rtct

@@ -1,0 +1,94 @@
+#include "src/common/telemetry.h"
+
+#include <cmath>
+#include <limits>
+
+namespace rtct {
+
+void Histogram::observe(double x) {
+  if (!std::isfinite(x)) return;
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++count_;
+  sum_ += x;
+  int i = 0;
+  double bound = 0.25;
+  while (i < kBuckets - 1 && x > bound) {
+    bound *= 2;
+    ++i;
+  }
+  ++buckets_[static_cast<std::size_t>(i)];
+}
+
+double Histogram::bucket_bound(int i) {
+  if (i >= kBuckets - 1) return std::numeric_limits<double>::infinity();
+  return 0.25 * std::pow(2.0, i);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.emplace(std::string(name), Gauge{}).first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(std::string(name), Histogram{}).first->second;
+}
+
+std::optional<double> MetricsRegistry::value(std::string_view name) const {
+  if (const auto it = counters_.find(name); it != counters_.end()) {
+    return static_cast<double>(it->second.value());
+  }
+  if (const auto it = gauges_.find(name); it != gauges_.end()) return it->second.value();
+  return std::nullopt;
+}
+
+void MetricsRegistry::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("schema").value("rtct.metrics.v1");
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) w.key(name).value(c.value());
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) w.key(name).value(g.value());
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name).begin_object();
+    w.key("count").value(h.count());
+    w.key("sum").value(h.sum());
+    w.key("min").value(h.min());
+    w.key("max").value(h.max());
+    w.key("mean").value(h.mean());
+    w.key("bucket_bounds_ms").begin_array();
+    // The overflow bucket's +inf bound is implied by the shorter array.
+    for (int i = 0; i < Histogram::kBuckets - 1; ++i) w.value(Histogram::bucket_bound(i));
+    w.end_array();
+    w.key("bucket_counts").begin_array();
+    for (const auto n : h.buckets()) w.value(n);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string MetricsRegistry::to_json() const {
+  JsonWriter w;
+  write_json(w);
+  return w.take();
+}
+
+}  // namespace rtct

@@ -1,0 +1,113 @@
+// Counter/gauge/histogram registry — the process-local metrics surface the
+// whole stack exports into (the paper's evaluation is a telemetry exercise:
+// per-frame begin times shipped to a time server; this generalizes that to
+// every protocol counter the reproduction keeps).
+//
+// Design: snapshot-style. Protocol objects keep their own cheap Stats
+// structs on the hot path (no atomic, no locking, no string lookups per
+// event) and export them into a MetricsRegistry on demand via their
+// `export_metrics()` methods; the registry then serializes to JSON
+// ("rtct.metrics.v1") or answers point lookups for the live --stats HUD.
+// Instruments live behind stable dotted names (documented in README.md
+// "Observability") so dashboards and the bench trajectory survive
+// refactors of the structs behind them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/common/json.h"
+
+namespace rtct {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t d = 1) { v_ += d; }
+  void set(std::uint64_t v) { v_ = v; }  ///< snapshot-style export
+  [[nodiscard]] std::uint64_t value() const { return v_; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+/// Point-in-time measurement.
+class Gauge {
+ public:
+  void set(double v) { v_ = v; }
+  [[nodiscard]] double value() const { return v_; }
+
+ private:
+  double v_ = 0;
+};
+
+/// Power-of-two bucketed distribution, sized for millisecond-scale
+/// durations: bucket i counts samples <= 0.25 * 2^i ms (i < kBuckets-1),
+/// the last bucket is the overflow. Keeps count/sum/min/max exactly; the
+/// buckets give shape without retaining samples (Series keeps samples when
+/// exact percentiles matter — 3 600-frame experiments are tiny; a
+/// million-user ingest path is not).
+class Histogram {
+ public:
+  static constexpr int kBuckets = 18;  ///< 0.25 ms .. 16.4 s, then +inf
+
+  void observe(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] double max() const { return count_ == 0 ? 0 : max_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0 : sum_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] const std::array<std::uint64_t, kBuckets>& buckets() const { return buckets_; }
+  /// Upper bound of bucket `i` in ms (+inf for the last).
+  static double bucket_bound(int i);
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
+/// Named instrument store. Instruments are created on first access and
+/// live for the registry's lifetime (references stay valid — std::map
+/// nodes are stable). Iteration order is lexicographic, which makes the
+/// JSON output diffable.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Numeric lookup across counters and gauges (HUD / tests); nullopt when
+  /// the name names neither.
+  [[nodiscard]] std::optional<double> value(std::string_view name) const;
+
+  [[nodiscard]] const std::map<std::string, Counter, std::less<>>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge, std::less<>>& gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram, std::less<>>& histograms() const {
+    return histograms_;
+  }
+
+  /// Serializes the whole registry as a "rtct.metrics.v1" object.
+  void write_json(JsonWriter& w) const;
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace rtct

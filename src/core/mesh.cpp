@@ -1,6 +1,9 @@
 #include "src/core/mesh.h"
 
 #include <algorithm>
+#include <string>
+
+#include "src/common/telemetry.h"
 
 namespace rtct::core {
 
@@ -90,11 +93,20 @@ void MeshSyncPeer::ingest(const SyncMsg& msg, Time recv_time) {
     if (f < 0) continue;
     if (!ibuf_.put(from, f, msg.inputs[i])) ++stats_.duplicate_inputs_rcvd;
   }
-  if (!msg.inputs.empty() && msg.last_frame() > last_rcv_[from]) {
-    last_rcv_[from] = msg.last_frame();
-    if (from == kMasterSite) {
-      master_advance_time_ = recv_time;
-      seen_master_ = true;
+  if (!msg.inputs.empty()) {
+    // LastRcvFrame is a contiguity watermark: advance only over frames
+    // actually present in the buffer. A reordered message whose window
+    // starts above a loss-created gap must not drag the watermark past
+    // frames we never received — ready() would then deliver incomplete
+    // merged inputs and silently desync the replicas.
+    FrameNo advanced = last_rcv_[from];
+    while (ibuf_.has(from, advanced + 1)) ++advanced;
+    if (advanced > last_rcv_[from]) {
+      last_rcv_[from] = advanced;
+      if (from == kMasterSite) {
+        master_advance_time_ = recv_time;
+        seen_master_ = true;
+      }
     }
   }
 
@@ -167,6 +179,22 @@ SyncPeer::RemoteObs MeshSyncPeer::master_obs() const {
   obs.rtt = my_site_ == kMasterSite ? 0 : peers_[kMasterSite].rtt.srtt();
   obs.rtt_valid = my_site_ != kMasterSite && peers_[kMasterSite].rtt.has_sample();
   return obs;
+}
+
+void MeshSyncPeer::export_metrics(MetricsRegistry& reg) const {
+  export_sync_stats(reg, stats_);
+  reg.gauge("sync.pointer_frame").set(static_cast<double>(pointer_));
+  reg.gauge("sync.desync_frame").set(static_cast<double>(desync_frame_));
+  reg.gauge("mesh.num_sites").set(num_sites_);
+  reg.gauge("mesh.straggler_site").set(static_cast<double>(straggler()));
+  for (SiteId s = 0; s < num_sites_; ++s) {
+    if (s == my_site_) continue;
+    const std::string prefix = "mesh.peer." + std::to_string(s) + ".";
+    reg.gauge(prefix + "last_rcv_frame").set(static_cast<double>(last_rcv_[s]));
+    reg.gauge(prefix + "last_ack_frame").set(static_cast<double>(peers_[s].last_ack));
+    const auto& rtt = peers_[s].rtt;
+    reg.gauge(prefix + "rtt_ms").set(rtt.has_sample() ? to_ms(rtt.srtt()) : 0.0);
+  }
 }
 
 }  // namespace rtct::core

@@ -72,6 +72,10 @@ class MeshSyncPeer {
   [[nodiscard]] int num_sites() const { return num_sites_; }
   [[nodiscard]] SiteId site() const { return my_site_; }
 
+  /// Snapshots counters into the registry: the shared "sync.*" names plus
+  /// mesh topology gauges ("mesh.*", per-peer "mesh.peer.<i>.*").
+  void export_metrics(MetricsRegistry& reg) const;
+
  private:
   struct PeerState {
     FrameNo last_ack = 0;   ///< their cumulative ack of my inputs

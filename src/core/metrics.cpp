@@ -1,6 +1,11 @@
 #include "src/core/metrics.h"
 
 #include <algorithm>
+#include <charconv>
+#include <cstdio>
+
+#include "src/common/json.h"
+#include "src/common/telemetry.h"
 
 namespace rtct::core {
 
@@ -25,12 +30,48 @@ Series FrameTimeline::stalls() const {
   return s;
 }
 
+Series FrameTimeline::computes() const {
+  Series s;
+  for (const auto& r : records_) s.add_dur(r.compute);
+  return s;
+}
+
+Series FrameTimeline::waits() const {
+  Series s;
+  for (const auto& r : records_) s.add_dur(r.wait);
+  return s;
+}
+
 std::size_t FrameTimeline::stalled_frames() const {
   // Threshold at 1 ms: under a real-time clock even an instantly-ready
   // SyncInput measures a few microseconds, which is not a stall.
   return static_cast<std::size_t>(
       std::count_if(records_.begin(), records_.end(),
                     [](const FrameRecord& r) { return r.stall >= kMillisecond; }));
+}
+
+LatencyBreakdown FrameTimeline::latency_breakdown() const {
+  LatencyBreakdown b;
+  if (records_.empty()) return b;
+  b.frame_ms = frame_times().summarize().mean;
+  b.stall_ms = stalls().summarize().mean;
+  b.compute_ms = computes().summarize().mean;
+  b.sleep_ms = waits().summarize().mean;
+  b.other_ms = b.frame_ms - b.stall_ms - b.compute_ms - b.sleep_ms;
+  return b;
+}
+
+void FrameTimeline::export_metrics(MetricsRegistry& reg) const {
+  reg.counter("timeline.frames").set(records_.size());
+  reg.counter("timeline.stalled_frames").set(stalled_frames());
+  auto fill = [&reg](std::string_view name, const Series& s) {
+    Histogram& h = reg.histogram(name);
+    for (double x : s.samples()) h.observe(x);
+  };
+  fill("timeline.frame_time_ms", frame_times());
+  fill("timeline.stall_ms", stalls());
+  fill("timeline.compute_ms", computes());
+  fill("timeline.wait_ms", waits());
 }
 
 Series synchrony_differences(const FrameTimeline& a, const FrameTimeline& b) {
@@ -50,6 +91,126 @@ FrameNo first_divergence(const FrameTimeline& a, const FrameTimeline& b) {
     }
   }
   return -1;
+}
+
+namespace {
+
+std::string hash_hex(std::uint64_t h) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(h));
+  return std::string(buf, 16);
+}
+
+std::optional<std::uint64_t> hash_from_hex(const std::string& s) {
+  std::uint64_t h = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), h, 16);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return h;
+}
+
+}  // namespace
+
+std::string timeline_to_json(const FrameTimeline& t, std::string_view name, int cfps) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("rtct.timeline.v1");
+  w.key("name").value(name);
+  w.key("cfps").value(cfps);
+  w.key("frames").value(static_cast<std::uint64_t>(t.size()));
+
+  // Column-oriented per-frame records: exact int64 nanoseconds (doubles hold
+  // them losslessly far beyond any session length) and 16-hex state hashes.
+  w.key("columns").begin_object();
+  auto ns_column = [&w, &t](const char* key, auto proj) {
+    w.key(key).begin_array();
+    for (const auto& r : t.records()) w.value(static_cast<std::int64_t>(proj(r)));
+    w.end_array();
+  };
+  ns_column("frame", [](const FrameRecord& r) { return r.frame; });
+  ns_column("begin_ns", [](const FrameRecord& r) { return r.begin_time; });
+  ns_column("ready_ns", [](const FrameRecord& r) { return r.input_ready_time; });
+  ns_column("stall_ns", [](const FrameRecord& r) { return r.stall; });
+  ns_column("compute_ns", [](const FrameRecord& r) { return r.compute; });
+  ns_column("wait_ns", [](const FrameRecord& r) { return r.wait; });
+  w.key("state_hash").begin_array();
+  for (const auto& r : t.records()) w.value(hash_hex(r.state_hash));
+  w.end_array();
+  w.end_object();
+
+  // The Figure-1 statistics and the §4.2 budget split, precomputed so the
+  // export is plottable without re-deriving anything.
+  w.key("summary").begin_object();
+  w.key("frame_time_ms");
+  write_summary_json(w, t.frame_times().summarize());
+  w.key("stall_ms");
+  write_summary_json(w, t.stalls().summarize());
+  w.key("compute_ms");
+  write_summary_json(w, t.computes().summarize());
+  w.key("wait_ms");
+  write_summary_json(w, t.waits().summarize());
+  w.key("stalled_frames").value(static_cast<std::uint64_t>(t.stalled_frames()));
+  const LatencyBreakdown b = t.latency_breakdown();
+  w.key("latency_breakdown_ms").begin_object();
+  w.key("frame").value(b.frame_ms);
+  w.key("stall").value(b.stall_ms);
+  w.key("compute").value(b.compute_ms);
+  w.key("sleep").value(b.sleep_ms);
+  w.key("other").value(b.other_ms);
+  w.end_object();
+  w.end_object();
+
+  w.end_object();
+  return w.take();
+}
+
+std::optional<FrameTimeline> timeline_from_json(const JsonValue& doc) {
+  const JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || schema->string() == nullptr ||
+      *schema->string() != "rtct.timeline.v1") {
+    return std::nullopt;
+  }
+  const JsonValue* cols = doc.find("columns");
+  if (cols == nullptr || !cols->is_object()) return std::nullopt;
+
+  auto column = [cols](const char* key) -> const JsonValue::Array* {
+    const JsonValue* c = cols->find(key);
+    return c != nullptr ? c->array() : nullptr;
+  };
+  const auto* frame = column("frame");
+  const auto* begin = column("begin_ns");
+  const auto* ready = column("ready_ns");
+  const auto* stall = column("stall_ns");
+  const auto* compute = column("compute_ns");
+  const auto* wait = column("wait_ns");
+  const auto* hash = column("state_hash");
+  if (frame == nullptr || begin == nullptr || ready == nullptr || stall == nullptr ||
+      compute == nullptr || wait == nullptr || hash == nullptr) {
+    return std::nullopt;
+  }
+  const std::size_t n = frame->size();
+  if (begin->size() != n || ready->size() != n || stall->size() != n ||
+      compute->size() != n || wait->size() != n || hash->size() != n) {
+    return std::nullopt;
+  }
+
+  FrameTimeline t;
+  t.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    FrameRecord r;
+    r.frame = static_cast<FrameNo>((*frame)[i].number_or(0));
+    r.begin_time = static_cast<Time>((*begin)[i].number_or(0));
+    r.input_ready_time = static_cast<Time>((*ready)[i].number_or(0));
+    r.stall = static_cast<Dur>((*stall)[i].number_or(0));
+    r.compute = static_cast<Dur>((*compute)[i].number_or(0));
+    r.wait = static_cast<Dur>((*wait)[i].number_or(0));
+    const std::string* hex = (*hash)[i].string();
+    if (hex == nullptr) return std::nullopt;
+    const auto h = hash_from_hex(*hex);
+    if (!h) return std::nullopt;
+    r.state_hash = *h;
+    t.add(r);
+  }
+  return t;
 }
 
 }  // namespace rtct::core

@@ -1,5 +1,7 @@
 #include "src/core/pacer.h"
 
+#include "src/common/telemetry.h"
+
 namespace rtct::core {
 
 void FramePacer::begin_frame(Time now, FrameNo current_frame, const SyncPeer::RemoteObs& obs) {
@@ -31,21 +33,37 @@ void FramePacer::begin_frame(Time now, FrameNo current_frame, const SyncPeer::Re
 }
 
 Dur FramePacer::end_frame(Time now) {
+  ++frames_;
   if (policy_ == PacingPolicy::kNaive) {
     // §3.2's strawman: block until the end of the nominal frame slot and
     // carry nothing forward. Works on one host, oscillates over a network.
     adjust_ = 0;
     const Time frame_end = frame_start_ + cfg_.frame_period();
-    return frame_end < now ? 0 : frame_end - now;
+    if (frame_end < now) {
+      ++overruns_;
+      return 0;
+    }
+    total_wait_ += frame_end - now;
+    return frame_end - now;
   }
   // Line 1: when this frame *should* end.
   const Time frame_end = frame_start_ + cfg_.frame_period() + adjust_;
   if (frame_end < now) {  // lines 3-4: overran — carry the deficit forward
     adjust_ = frame_end - now;
+    ++overruns_;
     return 0;
   }
   adjust_ = 0;  // lines 6-7: on time — absorb the remainder by waiting
+  total_wait_ += frame_end - now;
   return frame_end - now;
+}
+
+void FramePacer::export_metrics(MetricsRegistry& reg) const {
+  reg.counter("pacer.frames").set(frames_);
+  reg.counter("pacer.overruns").set(overruns_);
+  reg.gauge("pacer.adjust_ms").set(to_ms(adjust_));
+  reg.gauge("pacer.last_sync_adjust_ms").set(to_ms(last_sync_adjust_));
+  reg.gauge("pacer.total_wait_ms").set(to_ms(total_wait_));
 }
 
 }  // namespace rtct::core

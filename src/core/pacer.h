@@ -56,6 +56,15 @@ class FramePacer {
 
   [[nodiscard]] PacingPolicy policy() const { return policy_; }
 
+  /// Frames paced (end_frame calls), frames that overran their slot, and
+  /// total sleep granted — the pacer's contribution to the §4.2 budget.
+  [[nodiscard]] std::uint64_t frames() const { return frames_; }
+  [[nodiscard]] std::uint64_t overruns() const { return overruns_; }
+  [[nodiscard]] Dur total_wait() const { return total_wait_; }
+
+  /// Snapshots pacing state into the registry ("pacer.*").
+  void export_metrics(MetricsRegistry& reg) const;
+
  private:
   SiteId my_site_;
   SyncConfig cfg_;
@@ -63,6 +72,9 @@ class FramePacer {
   Time frame_start_ = 0;      ///< CurrFrameStart
   Dur adjust_ = 0;            ///< AdjustTimeDelta
   Dur last_sync_adjust_ = 0;  ///< most recent SyncAdjustTimeDelta (telemetry)
+  std::uint64_t frames_ = 0;
+  std::uint64_t overruns_ = 0;  ///< frames whose slot ended in the past
+  Dur total_wait_ = 0;          ///< sum of sleeps granted by end_frame
 };
 
 }  // namespace rtct::core

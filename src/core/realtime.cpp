@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "src/common/telemetry.h"
 #include "src/core/wire.h"
 
 namespace rtct::core {
@@ -25,7 +26,8 @@ RealtimeSession::RealtimeSession(SiteId site, emu::IDeterministicGame& game, Inp
       peer_(site, cfg.sync),
       pacer_(site, cfg.sync, cfg.pacing),
       session_(site, game.content_id(), cfg.sync),
-      replay_(game.content_id(), cfg.sync) {
+      replay_(game.content_id(), cfg.sync),
+      flush_clock_(cfg.sync.send_flush_period) {
   epoch_ = steady_now();
 }
 
@@ -64,9 +66,11 @@ void RealtimeSession::apply_negotiated_lag() {
 }
 
 void RealtimeSession::flush_if_due() {
+  // Catch-up scheduling (FlushClock): `next += period` keeps the flush
+  // cadence anchored instead of drifting later by the caller's check
+  // latency every period, which under-delivered the redundancy tail.
   const Time t = now();
-  if (t < next_flush_) return;
-  next_flush_ = t + cfg_.sync.send_flush_period;
+  if (!flush_clock_.due(t)) return;
   if (auto msg = peer_.make_message(t)) {
     const auto bytes = encode_message(Message{*msg});
     socket_.send(bytes);
@@ -84,7 +88,13 @@ void RealtimeSession::pump_spectators() {
     it->second.ingest(*msg);
   }
   for (auto& [addr, host] : spectators_) {
-    if (host.wants_snapshot()) {
+    // Serve the snapshot only once frame 0 has executed. An observer who
+    // joins during the handshake would otherwise get a snapshot labeled
+    // frame -1, captured while the session can still renegotiate its lag
+    // and before the first Transition — a frame this site never executed
+    // or recorded. The join request stays pending; the next pump after
+    // frame 0 answers it.
+    if (host.wants_snapshot() && game_.frame() > 0) {
       // Called from the frame loop between Transitions: consistent state.
       host.provide_snapshot(game_.frame() - 1, game_.save_state());
     }
@@ -110,6 +120,10 @@ bool RealtimeSession::handshake(std::string* error) {
       return false;
     }
     if (auto m = session_.poll(now())) socket_.send(encode_message(*m));
+    // Answer observers that show up before the match starts (their
+    // snapshot is deferred until frame 0 has executed, but join requests
+    // must not be dropped on the floor).
+    pump_spectators();
     socket_.wait_readable(milliseconds(5));
     drain();
   }
@@ -147,7 +161,7 @@ bool RealtimeSession::run(std::string* error) {
         return false;
       }
       flush_if_due();
-      const Dur until_flush = next_flush_ - now();
+      const Dur until_flush = flush_clock_.next() - now();
       socket_.wait_readable(std::min<Dur>(std::max<Dur>(until_flush, 0), milliseconds(5)));
       drain();
     }
@@ -168,6 +182,7 @@ bool RealtimeSession::run(std::string* error) {
       return false;
     }
     if (hook_) hook_(game_, rec);
+    rec.compute = now() - rec.input_ready_time;
 
     const Dur wait = pacer_.end_frame(now());  // step 10
     rec.wait = wait;
@@ -207,6 +222,39 @@ bool RealtimeSession::run(std::string* error) {
     }
   }
   return true;
+}
+
+void RealtimeSession::export_metrics(MetricsRegistry& reg) const {
+  peer_.export_metrics(reg);
+  pacer_.export_metrics(reg);
+  session_.export_metrics(reg);
+  timeline_.export_metrics(reg);
+  socket_.export_metrics(reg);
+  reg.counter("session.flushes").set(flush_clock_.fires());
+  reg.counter("session.flush_reanchors").set(flush_clock_.reanchors());
+  reg.gauge("spectator.host.count").set(static_cast<double>(spectators_.size()));
+  // Aggregate the per-observer hosts: their counters sum; joined counts
+  // observers whose snapshot was delivered.
+  SpectatorHostStats agg;
+  std::uint64_t joined = 0;
+  std::uint64_t backlog = 0;
+  for (const auto& [addr, host] : spectators_) {
+    const auto& s = host.stats();
+    agg.join_requests_rcvd += s.join_requests_rcvd;
+    agg.snapshots_sent += s.snapshots_sent;
+    agg.feed_messages_sent += s.feed_messages_sent;
+    agg.inputs_fed += s.inputs_fed;
+    agg.acks_rcvd += s.acks_rcvd;
+    if (host.observer_joined()) ++joined;
+    backlog += host.backlog_size();
+  }
+  reg.counter("spectator.host.join_requests_rcvd").set(agg.join_requests_rcvd);
+  reg.counter("spectator.host.snapshots_sent").set(agg.snapshots_sent);
+  reg.counter("spectator.host.feed_messages_sent").set(agg.feed_messages_sent);
+  reg.counter("spectator.host.inputs_fed").set(agg.inputs_fed);
+  reg.counter("spectator.host.acks_rcvd").set(agg.acks_rcvd);
+  reg.gauge("spectator.host.joined").set(static_cast<double>(joined));
+  reg.gauge("spectator.host.backlog").set(static_cast<double>(backlog));
 }
 
 }  // namespace rtct::core

@@ -20,6 +20,7 @@
 
 #include "src/common/types.h"
 #include "src/core/config.h"
+#include "src/core/flush_clock.h"
 #include "src/core/input_source.h"
 #include "src/core/metrics.h"
 #include "src/core/pacer.h"
@@ -79,6 +80,12 @@ class RealtimeSession {
   void serve_spectators(net::UdpSocket* socket) { spectator_socket_ = socket; }
   [[nodiscard]] std::size_t spectators_joined() const { return spectators_.size(); }
 
+  /// Snapshots every subsystem's state into the registry: "sync.*",
+  /// "pacer.*", "session.*", "timeline.*", "net.udp.*", "spectator.host.*"
+  /// (aggregated across observers), "session.flushes"/"flush_reanchors".
+  /// Call between frames (from a frame hook) or after run().
+  void export_metrics(MetricsRegistry& reg) const;
+
  private:
   [[nodiscard]] Time now() const;
   void flush_if_due();
@@ -102,7 +109,7 @@ class RealtimeSession {
   Replay replay_;
   FrameHook hook_;
   Time epoch_ = 0;
-  Time next_flush_ = 0;
+  FlushClock flush_clock_;  ///< catch-up scheduled send-flush cadence
   bool lag_applied_ = false;
   std::atomic<bool> stop_{false};
 

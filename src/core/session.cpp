@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "src/common/telemetry.h"
+
 namespace rtct::core {
 
 namespace {
@@ -63,10 +65,12 @@ std::optional<Message> SessionControl::poll(Time now) {
     StartMsg s;
     s.site = my_site_;
     s.buf_frames = static_cast<std::uint16_t>(negotiated_buf_);
+    ++starts_sent_;
     return Message{s};
   }
   if (state_ == SessionState::kConnecting && now >= next_hello_) {
     next_hello_ = now + hello_interval_;
+    ++hellos_sent_;
     return Message{my_hello(now)};
   }
   return std::nullopt;
@@ -77,6 +81,7 @@ void SessionControl::ingest(const Message& msg, Time now) {
 
   if (const auto* hello = std::get_if<HelloMsg>(&msg)) {
     if (hello->site == my_site_) return;  // self-echo, ignore
+    ++hellos_rcvd_;
     if (!hello_compatible(*hello)) return;
     peer_seen_ = true;
     peer_adaptive_ = (hello->flags & kHelloFlagAdaptiveLag) != 0;
@@ -115,6 +120,7 @@ void SessionControl::ingest(const Message& msg, Time now) {
   }
   if (const auto* start = std::get_if<StartMsg>(&msg)) {
     if (start->site == my_site_) return;
+    ++starts_rcvd_;
     if (my_site_ != kMasterSite) {
       if (start->buf_frames > 0) negotiated_buf_ = start->buf_frames;
       enter_running(now);
@@ -130,6 +136,18 @@ void SessionControl::note_sync_traffic(Time now) {
   // answering its HELLOs with fresh STARTs, so this stays live.
   if (cfg_.adaptive_lag && negotiated_buf_ == 0) return;
   if (my_site_ != kMasterSite) enter_running(now);
+}
+
+void SessionControl::export_metrics(MetricsRegistry& reg) const {
+  reg.gauge("session.state").set(static_cast<double>(static_cast<int>(state_)));
+  reg.gauge("session.buf_frames").set(effective_buf_frames());
+  reg.gauge("session.lag_negotiated").set(lag_negotiated() ? 1 : 0);
+  reg.gauge("session.measured_rtt_ms")
+      .set(rtt_.has_sample() ? to_ms(rtt_.srtt()) : 0.0);
+  reg.counter("session.hellos_sent").set(hellos_sent_);
+  reg.counter("session.hellos_rcvd").set(hellos_rcvd_);
+  reg.counter("session.starts_sent").set(starts_sent_);
+  reg.counter("session.starts_rcvd").set(starts_rcvd_);
 }
 
 }  // namespace rtct::core

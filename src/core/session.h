@@ -22,6 +22,7 @@
 // default) the fixed configured value must match exactly, as in v1.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -30,6 +31,10 @@
 #include "src/core/config.h"
 #include "src/core/rtt.h"
 #include "src/core/wire.h"
+
+namespace rtct {
+class MetricsRegistry;  // src/common/telemetry.h
+}  // namespace rtct
 
 namespace rtct::core {
 
@@ -74,6 +79,10 @@ class SessionControl {
     return rtt_.has_sample() ? rtt_.srtt() : -1;
   }
 
+  /// Snapshots handshake state into the registry ("session.*"): state as
+  /// 0=connecting/1=running/2=failed, message counters, negotiated lag.
+  void export_metrics(MetricsRegistry& reg) const;
+
  private:
   void fail(const std::string& why) {
     state_ = SessionState::kFailed;
@@ -109,6 +118,12 @@ class SessionControl {
   Dur peer_adv_rtt_ = -1;
   Time first_compat_hello_ = -1;  ///< when negotiation probing started
   int negotiated_buf_ = 0;        ///< 0 = fixed policy
+
+  // Handshake traffic counters (export_metrics).
+  std::uint64_t hellos_sent_ = 0;
+  std::uint64_t starts_sent_ = 0;
+  std::uint64_t hellos_rcvd_ = 0;
+  std::uint64_t starts_rcvd_ = 0;
 };
 
 }  // namespace rtct::core

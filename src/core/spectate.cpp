@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/common/telemetry.h"
+
 namespace rtct::core {
 
 // ---- SpectatorHost ----------------------------------------------------------
@@ -20,12 +22,14 @@ void SpectatorHost::on_frame(FrameNo frame, InputWord merged) {
 void SpectatorHost::ingest(const Message& msg) {
   if (const auto* join = std::get_if<JoinRequestMsg>(&msg)) {
     if (join->content_id != content_id_) return;  // wrong game, not ours
+    ++stats_.join_requests_rcvd;
     if (!snapshot_.has_value()) wants_snapshot_ = true;
     // A re-request while we already hold a snapshot just means our
     // snapshot datagram was lost; make_message keeps resending it.
     return;
   }
   if (const auto* ack = std::get_if<FeedAckMsg>(&msg)) {
+    ++stats_.acks_rcvd;
     if (ack->frame <= acked_frame_) return;
     acked_frame_ = ack->frame;
     if (snapshot_.has_value() && acked_frame_ >= snapshot_->frame) snapshot_acked_ = true;
@@ -49,7 +53,10 @@ void SpectatorHost::provide_snapshot(FrameNo frame, std::vector<std::uint8_t> st
 
 std::optional<Message> SpectatorHost::make_message(Time /*now*/) {
   if (!snapshot_.has_value()) return std::nullopt;
-  if (!snapshot_acked_) return Message{*snapshot_};  // resend until acked
+  if (!snapshot_acked_) {
+    ++stats_.snapshots_sent;
+    return Message{*snapshot_};  // resend until acked
+  }
 
   if (backlog_.empty()) return std::nullopt;
   InputFeedMsg feed;
@@ -57,7 +64,20 @@ std::optional<Message> SpectatorHost::make_message(Time /*now*/) {
   const auto count =
       std::min<std::size_t>(backlog_.size(), static_cast<std::size_t>(cfg_.max_inputs_per_message));
   feed.inputs.assign(backlog_.begin(), backlog_.begin() + static_cast<std::ptrdiff_t>(count));
+  ++stats_.feed_messages_sent;
+  stats_.inputs_fed += feed.inputs.size();
   return Message{feed};
+}
+
+void SpectatorHost::export_metrics(MetricsRegistry& reg) const {
+  reg.counter("spectator.host.join_requests_rcvd").set(stats_.join_requests_rcvd);
+  reg.counter("spectator.host.snapshots_sent").set(stats_.snapshots_sent);
+  reg.counter("spectator.host.feed_messages_sent").set(stats_.feed_messages_sent);
+  reg.counter("spectator.host.inputs_fed").set(stats_.inputs_fed);
+  reg.counter("spectator.host.acks_rcvd").set(stats_.acks_rcvd);
+  reg.gauge("spectator.host.joined").set(observer_joined() ? 1 : 0);
+  reg.gauge("spectator.host.acked_frame").set(static_cast<double>(acked_frame_));
+  reg.gauge("spectator.host.backlog").set(static_cast<double>(backlog_.size()));
 }
 
 // ---- SpectatorClient ---------------------------------------------------------
@@ -66,10 +86,12 @@ std::optional<Message> SpectatorClient::make_message(Time now) {
   if (!joined_) {
     if (now < next_join_) return std::nullopt;
     next_join_ = now + milliseconds(50);
+    ++stats_.join_requests_sent;
     return Message{JoinRequestMsg{game_.content_id()}};
   }
   if (ack_dirty_) {
     ack_dirty_ = false;
+    ++stats_.acks_sent;
     return Message{FeedAckMsg{applied_frame_}};
   }
   return std::nullopt;
@@ -77,6 +99,7 @@ std::optional<Message> SpectatorClient::make_message(Time now) {
 
 void SpectatorClient::ingest(const Message& msg) {
   if (const auto* snap = std::get_if<SnapshotMsg>(&msg)) {
+    ++stats_.snapshots_rcvd;
     if (joined_) {
       // Duplicate snapshot (our ack was lost): just re-ack.
       ack_dirty_ = true;
@@ -92,10 +115,12 @@ void SpectatorClient::ingest(const Message& msg) {
   }
   if (const auto* feed = std::get_if<InputFeedMsg>(&msg)) {
     if (!joined_) return;  // retransmission will come after the snapshot
+    ++stats_.feed_messages_rcvd;
     for (std::size_t i = 0; i < feed->inputs.size(); ++i) {
       const FrameNo f = feed->first_frame + static_cast<FrameNo>(i);
       const FrameNo idx = f - pending_base_;
       if (idx < 0) {
+        ++stats_.stale_inputs_rcvd;
         ack_dirty_ = true;  // stale retransmission: re-ack so the host trims
         continue;
       }
@@ -121,6 +146,17 @@ int SpectatorClient::step_available() {
   int advanced = 0;
   while (step_one()) ++advanced;
   return advanced;
+}
+
+void SpectatorClient::export_metrics(MetricsRegistry& reg) const {
+  reg.counter("spectator.client.join_requests_sent").set(stats_.join_requests_sent);
+  reg.counter("spectator.client.snapshots_rcvd").set(stats_.snapshots_rcvd);
+  reg.counter("spectator.client.feed_messages_rcvd").set(stats_.feed_messages_rcvd);
+  reg.counter("spectator.client.stale_inputs_rcvd").set(stats_.stale_inputs_rcvd);
+  reg.counter("spectator.client.acks_sent").set(stats_.acks_sent);
+  reg.gauge("spectator.client.joined").set(joined_ ? 1 : 0);
+  reg.gauge("spectator.client.applied_frame").set(static_cast<double>(applied_frame_));
+  reg.gauge("spectator.client.pending").set(static_cast<double>(pending_.size()));
 }
 
 }  // namespace rtct::core

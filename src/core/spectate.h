@@ -25,7 +25,29 @@
 #include "src/core/wire.h"
 #include "src/emu/game.h"
 
+namespace rtct {
+class MetricsRegistry;  // src/common/telemetry.h
+}  // namespace rtct
+
 namespace rtct::core {
+
+/// Feed-protocol counters, host side.
+struct SpectatorHostStats {
+  std::uint64_t join_requests_rcvd = 0;
+  std::uint64_t snapshots_sent = 0;
+  std::uint64_t feed_messages_sent = 0;
+  std::uint64_t inputs_fed = 0;  ///< input entries across all feed messages
+  std::uint64_t acks_rcvd = 0;
+};
+
+/// Feed-protocol counters, observer side.
+struct SpectatorClientStats {
+  std::uint64_t join_requests_sent = 0;
+  std::uint64_t snapshots_rcvd = 0;
+  std::uint64_t feed_messages_rcvd = 0;
+  std::uint64_t stale_inputs_rcvd = 0;  ///< entries at/below applied_frame
+  std::uint64_t acks_sent = 0;
+};
 
 /// Runs beside a playing site (typically the master). Records every
 /// executed frame's merged input; serves one or more observers.
@@ -58,6 +80,10 @@ class SpectatorHost {
   [[nodiscard]] bool observer_joined() const { return snapshot_.has_value(); }
   [[nodiscard]] FrameNo acked_frame() const { return acked_frame_; }
   [[nodiscard]] std::size_t backlog_size() const { return backlog_.size(); }
+  [[nodiscard]] const SpectatorHostStats& stats() const { return stats_; }
+
+  /// Snapshots feed-serving state into the registry ("spectator.host.*").
+  void export_metrics(MetricsRegistry& reg) const;
 
  private:
   std::uint64_t content_id_;
@@ -73,6 +99,7 @@ class SpectatorHost {
   /// pre-game snapshot is taken at frame -1 and its ack must still count.
   FrameNo acked_frame_ = -2;
   FrameNo last_executed_ = -1;
+  SpectatorHostStats stats_;
 };
 
 /// The observing side: owns (a reference to) its own replica machine.
@@ -102,6 +129,10 @@ class SpectatorClient {
   [[nodiscard]] bool joined() const { return joined_; }
   /// Last frame applied to the replica (-1 before the snapshot loads).
   [[nodiscard]] FrameNo applied_frame() const { return applied_frame_; }
+  [[nodiscard]] const SpectatorClientStats& stats() const { return stats_; }
+
+  /// Snapshots replay state into the registry ("spectator.client.*").
+  void export_metrics(MetricsRegistry& reg) const;
 
  private:
   emu::IDeterministicGame& game_;
@@ -113,6 +144,7 @@ class SpectatorClient {
   FrameNo applied_frame_ = -1;
   FrameNo pending_base_ = 0;
   std::deque<std::optional<InputWord>> pending_;  ///< inputs after applied_frame_
+  SpectatorClientStats stats_;
 };
 
 }  // namespace rtct::core

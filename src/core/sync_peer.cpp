@@ -2,7 +2,21 @@
 
 #include <algorithm>
 
+#include "src/common/telemetry.h"
+
 namespace rtct::core {
+
+void export_sync_stats(MetricsRegistry& reg, const SyncPeerStats& s) {
+  reg.counter("sync.messages_made").set(s.messages_made);
+  reg.counter("sync.messages_ingested").set(s.messages_ingested);
+  reg.counter("sync.inputs_sent").set(s.inputs_sent);
+  reg.counter("sync.inputs_retransmitted").set(s.inputs_retransmitted);
+  reg.counter("sync.redundant_inputs_sent").set(s.redundant_inputs_sent);
+  reg.counter("sync.duplicate_inputs_rcvd").set(s.duplicate_inputs_rcvd);
+  reg.counter("sync.stale_messages").set(s.stale_messages);
+  reg.counter("sync.rtt_samples").set(s.rtt_samples);
+  reg.counter("sync.rto_fires").set(s.rto_fires);
+}
 
 SyncPeer::SyncPeer(SiteId my_site, SyncConfig cfg)
     : my_site_(my_site), rm_site_(1 - my_site), cfg_(cfg), ibuf_(2),
@@ -246,6 +260,16 @@ SyncPeer::RemoteObs SyncPeer::remote_obs() const {
   obs.rtt = rtt_.srtt();
   obs.rtt_valid = rtt_.has_sample();
   return obs;
+}
+
+void SyncPeer::export_metrics(MetricsRegistry& reg) const {
+  export_sync_stats(reg, stats_);
+  reg.gauge("sync.pointer_frame").set(static_cast<double>(pointer_));
+  reg.gauge("sync.last_rcv_frame").set(static_cast<double>(last_rcv_frame_[rm_site_]));
+  reg.gauge("sync.last_ack_frame").set(static_cast<double>(last_ack_frame_));
+  reg.gauge("sync.rtt_ms").set(rtt_.has_sample() ? to_ms(rtt_.srtt()) : 0.0);
+  reg.gauge("sync.rto_ms").set(to_ms(current_rto()));
+  reg.gauge("sync.desync_frame").set(static_cast<double>(desync_frame_));
 }
 
 }  // namespace rtct::core

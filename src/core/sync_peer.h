@@ -41,6 +41,10 @@
 #include "src/core/rtt.h"
 #include "src/core/wire.h"
 
+namespace rtct {
+class MetricsRegistry;  // src/common/telemetry.h
+}  // namespace rtct
+
 namespace rtct::core {
 
 /// Counters for instrumentation and the loss-robustness benches.
@@ -55,6 +59,11 @@ struct SyncPeerStats {
   std::uint64_t rto_fires = 0;            ///< adaptive retransmit-timer expiries
   std::uint64_t redundant_inputs_sent = 0;  ///< K-tail entries (adaptive mode)
 };
+
+/// Snapshots a SyncPeerStats into the registry under the stable "sync.*"
+/// counter names (shared between SyncPeer and MeshSyncPeer so two-site and
+/// mesh sessions export identically; see README.md "Observability").
+void export_sync_stats(MetricsRegistry& reg, const SyncPeerStats& s);
 
 class SyncPeer {
  public:
@@ -136,6 +145,9 @@ class SyncPeer {
   [[nodiscard]] const SyncPeerStats& stats() const { return stats_; }
   [[nodiscard]] const SyncConfig& config() const { return cfg_; }
   [[nodiscard]] SiteId site() const { return my_site_; }
+
+  /// Snapshots counters and protocol gauges into the registry ("sync.*").
+  void export_metrics(MetricsRegistry& reg) const;
 
  private:
   SiteId my_site_;

@@ -1,6 +1,9 @@
 #include "src/net/netem.h"
 
 #include <algorithm>
+#include <string>
+
+#include "src/common/telemetry.h"
 
 namespace rtct::net {
 
@@ -52,6 +55,18 @@ NetemModel::Verdict NetemModel::offer(Time now, std::size_t size) {
     ++in_flight_;
   }
   return v;
+}
+
+void export_link_metrics(MetricsRegistry& reg, std::string_view prefix,
+                         const LinkStats& s) {
+  const std::string p(prefix);
+  reg.counter(p + "packets_offered").set(s.packets_offered);
+  reg.counter(p + "packets_delivered").set(s.packets_delivered);
+  reg.counter(p + "dropped_loss").set(s.dropped_loss);
+  reg.counter(p + "dropped_queue").set(s.dropped_queue);
+  reg.counter(p + "duplicated").set(s.duplicated);
+  reg.counter(p + "reordered").set(s.reordered);
+  reg.counter(p + "bytes_offered").set(s.bytes_offered);
 }
 
 }  // namespace rtct::net

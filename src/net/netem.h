@@ -8,9 +8,14 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "src/common/random.h"
 #include "src/common/time.h"
+
+namespace rtct {
+class MetricsRegistry;  // src/common/telemetry.h
+}  // namespace rtct
 
 namespace rtct::net {
 
@@ -43,6 +48,13 @@ struct LinkStats {
   std::uint64_t reordered = 0;
   std::uint64_t bytes_offered = 0;
 };
+
+/// Snapshots LinkStats into the registry under `prefix` + counter name
+/// (e.g. prefix "net.link.a_to_b." → "net.link.a_to_b.dropped_loss"). The
+/// prefix names the direction so both halves of a duplex link export
+/// side by side.
+void export_link_metrics(MetricsRegistry& reg, std::string_view prefix,
+                         const LinkStats& s);
 
 /// Pure decision logic for one link direction: given "now", computes when
 /// (and whether, and how many times) a packet arrives. IO-free so it can be

@@ -10,6 +10,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "src/common/telemetry.h"
+
 namespace rtct::net {
 
 namespace {
@@ -134,6 +136,11 @@ bool UdpSocket::wait_readable(Dur timeout) {
   const int timeout_ms = static_cast<int>(timeout / kMillisecond);
   const int r = ::poll(&pfd, 1, timeout_ms < 0 ? 0 : timeout_ms);
   return r > 0 && (pfd.revents & POLLIN) != 0;
+}
+
+void UdpSocket::export_metrics(MetricsRegistry& reg) const {
+  reg.counter("net.udp.datagrams_sent").set(sent_);
+  reg.counter("net.udp.datagrams_received").set(received_);
 }
 
 }  // namespace rtct::net

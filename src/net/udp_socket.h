@@ -12,6 +12,10 @@
 #include "src/common/time.h"
 #include "src/net/transport.h"
 
+namespace rtct {
+class MetricsRegistry;  // src/common/telemetry.h
+}  // namespace rtct
+
 namespace rtct::net {
 
 /// A peer address for unconnected (server-style) sockets.
@@ -62,6 +66,9 @@ class UdpSocket final : public DatagramTransport {
 
   [[nodiscard]] std::uint64_t datagrams_sent() const { return sent_; }
   [[nodiscard]] std::uint64_t datagrams_received() const { return received_; }
+
+  /// Snapshots socket counters into the registry ("net.udp.*").
+  void export_metrics(MetricsRegistry& reg) const;
 
  private:
   void fail(const std::string& what);

@@ -171,7 +171,9 @@ class SimSite {
 
   void pump_observer_ports() {
     for (auto& port : observer_ports_) {
-      if (port->host.wants_snapshot()) {
+      // Same gate as RealtimeSession::pump_spectators: never serve a
+      // "frame -1" snapshot — defer joins until frame 0 has executed.
+      if (port->host.wants_snapshot() && game_.frame() > 0) {
         // Coroutines only interleave at co_await points, so the machine is
         // always between frames here — a consistent snapshot.
         port->host.provide_snapshot(game_.frame() - 1, game_.save_state());
@@ -247,6 +249,7 @@ class SimSite {
       for (auto& port : observer_ports_) port->host.on_frame(frame, merged);
 
       // Emulation + render cost of this frame.
+      rec.compute = cfg_.frame_compute_time;
       co_await sim_.sleep(cfg_.frame_compute_time);
 
       const Dur wait = pacer_.end_frame(sim_.now());  // step 10

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
+
+#include "src/common/json.h"
 
 namespace rtct::testbed {
 
@@ -63,6 +66,60 @@ Dur find_threshold_rtt(const std::vector<SweepPoint>& points, int cfps, double t
     threshold = p->rtt;
   }
   return threshold;
+}
+
+std::string sweep_to_json(const std::string& name, const std::vector<SweepPoint>& points,
+                          int cfps, const std::map<std::string, std::string>& meta) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("rtct.bench.v1");
+  w.key("name").value(name);
+  w.key("cfps").value(cfps);
+  w.key("points").value(static_cast<std::uint64_t>(points.size()));
+  w.key("meta").begin_object();
+  for (const auto& [k, v] : meta) w.key(k).value(v);
+  w.end_object();
+
+  // Parallel series, one entry per sweep point, keyed by rtt_ms — the
+  // columnar layout plotters want and rtct_trace --check validates.
+  w.key("series").begin_object();
+  auto series = [&w, &points](const char* key, auto proj) {
+    w.key(key).begin_array();
+    for (const auto& p : points) w.value(proj(p));
+    w.end_array();
+  };
+  series("rtt_ms", [](const SweepPoint& p) { return to_ms(p.rtt); });
+  series("avg_frame_time_ms_site0",
+         [](const SweepPoint& p) { return p.result.avg_frame_time_ms(0); });
+  series("avg_frame_time_ms_site1",
+         [](const SweepPoint& p) { return p.result.avg_frame_time_ms(1); });
+  series("frame_time_deviation_ms_site0",
+         [](const SweepPoint& p) { return p.result.frame_time_deviation_ms(0); });
+  series("frame_time_deviation_ms_site1",
+         [](const SweepPoint& p) { return p.result.frame_time_deviation_ms(1); });
+  series("synchrony_ms", [](const SweepPoint& p) { return p.result.synchrony_ms(); });
+  series("stalled_frames_site0", [](const SweepPoint& p) {
+    return static_cast<std::uint64_t>(p.result.site[0].timeline.stalled_frames());
+  });
+  series("stalled_frames_site1", [](const SweepPoint& p) {
+    return static_cast<std::uint64_t>(p.result.site[1].timeline.stalled_frames());
+  });
+  series("consistent", [](const SweepPoint& p) { return p.result.converged(); });
+  w.end_object();
+
+  const Dur threshold = find_threshold_rtt(points, cfps);
+  w.key("threshold_rtt_ms").value(threshold < 0 ? -1.0 : to_ms(threshold));
+  w.end_object();
+  return w.take();
+}
+
+bool write_bench_json(const std::string& path, const std::string& name,
+                      const std::vector<SweepPoint>& points, int cfps,
+                      const std::map<std::string, std::string>& meta) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << sweep_to_json(name, points, cfps, meta) << '\n';
+  return static_cast<bool>(out);
 }
 
 }  // namespace rtct::testbed

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -36,5 +37,18 @@ void print_paper_table(const std::vector<SweepPoint>& points);
 /// nominal 1000/cfps). Returns -1 if none qualifies.
 Dur find_threshold_rtt(const std::vector<SweepPoint>& points, int cfps,
                        double tolerance_ms = 1.0);
+
+/// Serializes a sweep as "rtct.bench.v1": parallel series keyed by RTT
+/// (the Figure-1 statistics per site, Figure-2 synchrony, stall counts,
+/// consistency flags) plus the derived threshold RTT and free-form `meta`
+/// key/value annotations (frame counts, config knobs).
+std::string sweep_to_json(const std::string& name, const std::vector<SweepPoint>& points,
+                          int cfps, const std::map<std::string, std::string>& meta = {});
+
+/// Writes sweep_to_json() to `path` ("BENCH_<name>.json" by convention).
+/// Returns false when the file cannot be written.
+bool write_bench_json(const std::string& path, const std::string& name,
+                      const std::vector<SweepPoint>& points, int cfps,
+                      const std::map<std::string, std::string>& meta = {});
 
 }  // namespace rtct::testbed

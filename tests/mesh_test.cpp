@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/common/random.h"
+#include "src/common/telemetry.h"
 #include "src/core/mesh.h"
 #include "src/testbed/mesh_experiment.h"
 
@@ -61,6 +62,80 @@ TEST(MeshPeerTest, NotReadyUntilEveryPeerArrives) {
   EXPECT_EQ(a.straggler(), 3);  // the silent site is identified
   if (auto m = others[2].make_message(0, 0)) a.ingest(*m, 0);
   EXPECT_TRUE(a.ready());
+}
+
+TEST(MeshPeerTest, ReorderedGappedWindowDoesNotAdvanceWatermark) {
+  MeshSyncPeer a(0, 4, cfgm());
+  // Initial contiguity watermark = buf_frames - 1 = 5 for every site.
+  ASSERT_EQ(a.last_rcv_frame(1), 5);
+
+  // A message whose input window starts above a loss-created gap (frames
+  // 6-7 dropped, 8-9 arrive — go-back-N retransmission windows slide, so
+  // a reordered older message can start past the gap). The watermark must
+  // NOT jump to last_frame(): frames 6-7 are still missing, and ready()
+  // would otherwise deliver an incomplete merged input and desync the
+  // replicas.
+  SyncMsg gapped;
+  gapped.site = 1;
+  gapped.ack_frame = 5;
+  gapped.first_frame = 8;
+  gapped.inputs = {0x1, 0x2};
+  a.ingest(gapped, 0);
+  EXPECT_EQ(a.last_rcv_frame(1), 5);
+
+  // The retransmission that fills the gap rolls the watermark over the
+  // whole buffered run in one step.
+  SyncMsg fill;
+  fill.site = 1;
+  fill.ack_frame = 5;
+  fill.first_frame = 6;
+  fill.inputs = {0x3, 0x4};
+  a.ingest(fill, 0);
+  EXPECT_EQ(a.last_rcv_frame(1), 9);
+}
+
+TEST(MeshPeerTest, GappedMasterWindowDoesNotMarkMasterSeen) {
+  // Same hazard on the Algorithm-4 side: a gapped window from the master
+  // must not refresh master_advance_time_/seen_master_ either, or the
+  // slave's rate sync would extrapolate from a frame it never received.
+  MeshSyncPeer slave(1, 4, cfgm());
+  SyncMsg gapped;
+  gapped.site = 0;  // master
+  gapped.ack_frame = 5;
+  gapped.first_frame = 9;
+  gapped.inputs = {0x7};
+  slave.ingest(gapped, milliseconds(100));
+  EXPECT_FALSE(slave.master_obs().valid);
+  EXPECT_EQ(slave.last_rcv_frame(0), 5);
+
+  SyncMsg fill;
+  fill.site = 0;
+  fill.ack_frame = 5;
+  fill.first_frame = 6;
+  fill.inputs = {0x1, 0x2, 0x3};
+  slave.ingest(fill, milliseconds(120));
+  EXPECT_TRUE(slave.master_obs().valid);
+  EXPECT_EQ(slave.last_rcv_frame(0), 9);
+  EXPECT_EQ(slave.master_obs().rcv_time, milliseconds(120));
+}
+
+TEST(MeshPeerTest, ExportMetricsPublishesSyncAndPeerGauges) {
+  MeshSyncPeer a(0, 4, cfgm());
+  for (FrameNo f = 0; f < 3; ++f) a.submit_local(f, 0);
+  SyncMsg m;
+  m.site = 2;
+  m.ack_frame = 5;
+  m.first_frame = 6;
+  m.inputs = {0x1};
+  a.ingest(m, 0);
+
+  MetricsRegistry reg;
+  a.export_metrics(reg);
+  EXPECT_EQ(reg.value("sync.messages_ingested"), 1.0);
+  EXPECT_EQ(reg.value("mesh.num_sites"), 4.0);
+  EXPECT_EQ(reg.value("mesh.peer.2.last_rcv_frame"), 6.0);
+  EXPECT_TRUE(reg.value("mesh.peer.1.rtt_ms").has_value());
+  EXPECT_FALSE(reg.value("mesh.peer.0.last_rcv_frame").has_value());  // self
 }
 
 TEST(MeshPeerTest, PerPeerAcksTrimIndependently) {

@@ -1,6 +1,9 @@
-// Unit tests for the frame timeline metrics (§4's measurements).
+// Unit tests for the frame timeline metrics (§4's measurements) and the
+// rtct.timeline.v1 JSON round trip.
 #include <gtest/gtest.h>
 
+#include "src/common/json.h"
+#include "src/common/telemetry.h"
 #include "src/core/metrics.h"
 
 namespace rtct::core {
@@ -77,6 +80,91 @@ TEST(MetricsTest, NoDivergenceIsMinusOne) {
   b.add(rec(0, 5, 42));
   EXPECT_EQ(first_divergence(a, b), -1);
   EXPECT_EQ(first_divergence(FrameTimeline{}, FrameTimeline{}), -1);
+}
+
+// ---- rtct.timeline.v1 JSON ----------------------------------------------------
+
+FrameRecord full_rec(FrameNo f) {
+  FrameRecord r;
+  r.frame = f;
+  r.begin_time = f * milliseconds(17) + 123;  // odd ns: must survive exactly
+  r.input_ready_time = r.begin_time + milliseconds(2) + 7;
+  r.compute = milliseconds(5) + 1;
+  r.wait = milliseconds(9);
+  r.stall = f == 2 ? milliseconds(2) : Dur{0};
+  r.state_hash = 0xf234'5678'9abc'def0ull + static_cast<std::uint64_t>(f);
+  return r;
+}
+
+TEST(MetricsTest, TimelineJsonRoundTripIsExact) {
+  FrameTimeline t;
+  for (FrameNo f = 0; f < 5; ++f) t.add(full_rec(f));
+
+  const std::string json = timeline_to_json(t, "unit/pong", 60);
+  const auto doc = parse_json(json);
+  ASSERT_TRUE(doc.has_value()) << json;
+  const auto back = timeline_from_json(*doc);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const auto& a = t.records()[i];
+    const auto& b = back->records()[i];
+    EXPECT_EQ(a.frame, b.frame);
+    EXPECT_EQ(a.begin_time, b.begin_time);  // ns-exact (hash of top bits too)
+    EXPECT_EQ(a.input_ready_time, b.input_ready_time);
+    EXPECT_EQ(a.compute, b.compute);
+    EXPECT_EQ(a.wait, b.wait);
+    EXPECT_EQ(a.stall, b.stall);
+    EXPECT_EQ(a.state_hash, b.state_hash);  // full 64-bit, via hex strings
+  }
+}
+
+TEST(MetricsTest, TimelineFromJsonRejectsWrongSchemaAndRaggedColumns) {
+  FrameTimeline t;
+  t.add(full_rec(0));
+  const std::string json = timeline_to_json(t, "x", 60);
+
+  auto doc = parse_json(json);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_TRUE(timeline_from_json(*doc).has_value());
+
+  std::string wrong = json;
+  const auto pos = wrong.find("rtct.timeline.v1");
+  ASSERT_NE(pos, std::string::npos);
+  wrong.replace(pos, 16, "rtct.metrics.v97");
+  auto bad = parse_json(wrong);
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_FALSE(timeline_from_json(*bad).has_value());
+}
+
+TEST(MetricsTest, LatencyBreakdownSumsToFrameTime) {
+  FrameTimeline t;
+  for (FrameNo f = 0; f < 4; ++f) {
+    FrameRecord r;
+    r.frame = f;
+    r.begin_time = f * milliseconds(17);
+    r.stall = milliseconds(2);
+    r.compute = milliseconds(5);
+    r.wait = milliseconds(9);
+    t.add(r);
+  }
+  const LatencyBreakdown b = t.latency_breakdown();
+  EXPECT_DOUBLE_EQ(b.frame_ms, 17.0);
+  EXPECT_DOUBLE_EQ(b.stall_ms, 2.0);
+  EXPECT_DOUBLE_EQ(b.compute_ms, 5.0);
+  EXPECT_DOUBLE_EQ(b.sleep_ms, 9.0);
+  EXPECT_NEAR(b.other_ms, 1.0, 1e-9);  // budget closes: 17 = 2 + 5 + 9 + 1
+}
+
+TEST(MetricsTest, ExportMetricsPublishesTimelineInstruments) {
+  FrameTimeline t;
+  for (FrameNo f = 0; f < 3; ++f) t.add(full_rec(f));
+  MetricsRegistry reg;
+  t.export_metrics(reg);
+  EXPECT_EQ(reg.value("timeline.frames"), 3.0);
+  EXPECT_EQ(reg.value("timeline.stalled_frames"), 1.0);  // full_rec stalls f==2
+  EXPECT_EQ(reg.histogram("timeline.frame_time_ms").count(), 2u);  // deltas
+  EXPECT_EQ(reg.histogram("timeline.compute_ms").count(), 3u);
 }
 
 }  // namespace

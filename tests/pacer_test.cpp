@@ -1,6 +1,8 @@
-// Unit tests for FramePacer — the paper's Algorithms 3 & 4.
+// Unit tests for FramePacer — the paper's Algorithms 3 & 4 — and for
+// FlushClock, the drift-free send-flush scheduler.
 #include <gtest/gtest.h>
 
+#include "src/core/flush_clock.h"
 #include "src/core/pacer.h"
 
 namespace rtct::core {
@@ -213,6 +215,57 @@ TEST(PacerAlg4Test, ConvergenceFromStartupSkew) {
   // After convergence the slave's frame index matches wall time.
   const auto expected_frame = static_cast<FrameNo>(slave_now / tpf);
   EXPECT_NEAR(static_cast<double>(frame), static_cast<double>(expected_frame), 1.5);
+}
+
+// ---- FlushClock ----------------------------------------------------------------
+
+TEST(FlushClockTest, FlushCountMatchesElapsedOverPeriod) {
+  // Regression: the old scheduler re-anchored `next = now + period` on every
+  // fire, so each tick drifted late by however long the poll loop overslept
+  // and the effective flush rate fell below 1/period. The clock must average
+  // one fire per period even when due() is polled at sloppy times.
+  const Dur period = milliseconds(10);
+  FlushClock clock(period);
+  // Poll every 7 ms — never aligned with the period — over one second.
+  std::uint64_t fires = 0;
+  for (Time t = 0; t <= seconds(1); t += milliseconds(7)) {
+    if (clock.due(t)) ++fires;
+  }
+  // 1 s / 10 ms = 100 flushes (+1 for the immediate first fire). The old
+  // `now + period` anchoring yields ~72 here (one per 14 ms: every other
+  // 7 ms poll), starving the go-back-N resend path.
+  EXPECT_GE(fires, 99u);
+  EXPECT_LE(fires, 101u);
+  EXPECT_EQ(clock.reanchors(), 0u);
+}
+
+TEST(FlushClockTest, StallReanchorsInsteadOfBursting) {
+  const Dur period = milliseconds(10);
+  FlushClock clock(period);
+  EXPECT_TRUE(clock.due(0));  // first call fires and anchors
+  EXPECT_TRUE(clock.due(milliseconds(10)));
+  // A 500 ms stall (e.g. the handshake blocking, or the OS descheduling
+  // us): on resume we want ONE catch-up fire and a fresh anchor, not a
+  // burst of 50 back-to-back flushes.
+  EXPECT_TRUE(clock.due(milliseconds(510)));
+  EXPECT_EQ(clock.reanchors(), 1u);
+  EXPECT_FALSE(clock.due(milliseconds(511)));
+  EXPECT_FALSE(clock.due(milliseconds(519)));
+  EXPECT_TRUE(clock.due(milliseconds(520)));
+  EXPECT_EQ(clock.fires(), 4u);
+}
+
+TEST(FlushClockTest, SmallOversleepCatchesUpWithoutReanchor) {
+  const Dur period = milliseconds(10);
+  FlushClock clock(period);
+  EXPECT_TRUE(clock.due(0));
+  // Fire 3 ms late: the next deadline stays on the original grid (t=20),
+  // so the late fire is absorbed instead of compounding.
+  EXPECT_TRUE(clock.due(milliseconds(13)));
+  EXPECT_FALSE(clock.due(milliseconds(19)));
+  EXPECT_TRUE(clock.due(milliseconds(20)));
+  EXPECT_EQ(clock.reanchors(), 0u);
+  EXPECT_EQ(clock.next(), milliseconds(30));
 }
 
 }  // namespace

@@ -5,6 +5,8 @@
 
 #include <string>
 #include <thread>
+#include <variant>
+#include <vector>
 
 #include "src/core/input_source.h"
 #include "src/core/realtime.h"
@@ -166,6 +168,70 @@ TEST(RealtimeTest, UdpSpectatorReplaysLive) {
   EXPECT_EQ(client.applied_frame(), cfg.frames - 1);
   EXPECT_EQ(replica->state_hash(), m0->state_hash());
   EXPECT_EQ(a.spectators_joined(), 1u);
+}
+
+TEST(RealtimeTest, SpectatorJoiningDuringHandshakeNeverGetsPreGameSnapshot) {
+  // Regression: a JoinRequest read while the host is still at frame 0 (the
+  // handshake pumps the spectator socket) used to be answered immediately
+  // with a snapshot labeled frame -1 — a state captured before the first
+  // Transition, from a frame the host never executed or recorded. The host
+  // must defer the snapshot until frame 0 has run; every snapshot frame on
+  // the wire must be >= 0 and the late-joiner must still converge.
+  auto m0 = games::make_machine("pong");
+  auto m1 = games::make_machine("pong");
+  auto replica = games::make_machine("pong");
+  Pair sockets;
+  MasherInput p0(3), p1(4);
+
+  net::UdpSocket spectator_port("127.0.0.1", 0);
+  ASSERT_TRUE(spectator_port.valid());
+  net::UdpSocket watcher("127.0.0.1", 0);
+  ASSERT_TRUE(watcher.connect_peer("127.0.0.1", spectator_port.local_port()));
+
+  RealtimeConfig cfg;
+  cfg.frames = 120;
+  RealtimeSession a(0, *m0, p0, sockets.s0, cfg);
+  RealtimeSession b(1, *m1, p1, sockets.s1, cfg);
+  a.serve_spectators(&spectator_port);
+
+  SpectatorClient client(*replica, SyncConfig{});
+  // Queue the JoinRequest before either site starts: the host reads it
+  // from the socket during its handshake loop, while game_.frame() == 0.
+  Time fake_now = 0;
+  if (auto m = client.make_message(fake_now)) watcher.send(encode_message(*m));
+
+  std::string e0, e1;
+  bool ok0 = false, ok1 = false;
+  std::thread t0([&] { ok0 = a.run(&e0); });
+  std::thread t1([&] { ok1 = b.run(&e1); });
+
+  std::vector<FrameNo> snapshot_frames;
+  const auto start = std::chrono::steady_clock::now();
+  while (client.applied_frame() < cfg.frames - 1 &&
+         std::chrono::steady_clock::now() - start < std::chrono::seconds(15)) {
+    if (auto m = client.make_message(fake_now)) watcher.send(encode_message(*m));
+    watcher.wait_readable(milliseconds(10));
+    while (auto payload = watcher.try_recv()) {
+      if (auto msg = decode_message(*payload)) {
+        if (const auto* snap = std::get_if<SnapshotMsg>(&*msg)) {
+          snapshot_frames.push_back(snap->frame);
+        }
+        client.ingest(*msg);
+      }
+    }
+    client.step_available();
+    fake_now += milliseconds(10);
+  }
+  t0.join();
+  t1.join();
+
+  ASSERT_TRUE(ok0) << e0;
+  ASSERT_TRUE(ok1) << e1;
+  EXPECT_TRUE(client.joined());
+  ASSERT_FALSE(snapshot_frames.empty());
+  for (const FrameNo f : snapshot_frames) EXPECT_GE(f, 0) << "pre-game snapshot served";
+  EXPECT_EQ(client.applied_frame(), cfg.frames - 1);
+  EXPECT_EQ(replica->state_hash(), m0->state_hash());
 }
 
 TEST(RealtimeTest, RequestStopInterruptsHandshake) {

@@ -1,0 +1,140 @@
+// Unit tests for the metrics registry (counter/gauge/histogram) and its
+// rtct.metrics.v1 JSON serialization, plus the JSON reader it feeds.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/json.h"
+#include "src/common/telemetry.h"
+
+namespace rtct {
+namespace {
+
+TEST(TelemetryTest, CounterAccumulatesAndSnapshots) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.set(7);  // snapshot-style export overwrites
+  EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(TelemetryTest, HistogramTracksExactMoments) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0);
+  h.observe(1.0);
+  h.observe(3.0);
+  h.observe(17.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 21.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 17.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 7.0);
+}
+
+TEST(TelemetryTest, HistogramBucketBoundsArePowerOfTwoQuarters) {
+  // bucket i counts samples <= 0.25 * 2^i ms; last bucket is overflow.
+  EXPECT_DOUBLE_EQ(Histogram::bucket_bound(0), 0.25);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_bound(1), 0.5);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_bound(6), 16.0);
+
+  Histogram h;
+  h.observe(0.2);    // bucket 0 (<= 0.25)
+  h.observe(0.25);   // bucket 0 (inclusive upper bound)
+  h.observe(0.3);    // bucket 1
+  h.observe(16.0);   // bucket 6
+  h.observe(1e9);    // overflow bucket
+  const auto& b = h.buckets();
+  EXPECT_EQ(b[0], 2u);
+  EXPECT_EQ(b[1], 1u);
+  EXPECT_EQ(b[6], 1u);
+  EXPECT_EQ(b[Histogram::kBuckets - 1], 1u);
+  std::uint64_t total = 0;
+  for (const auto n : b) total += n;
+  EXPECT_EQ(total, h.count());  // every sample lands in exactly one bucket
+}
+
+TEST(TelemetryTest, RegistryValueLooksUpCountersAndGauges) {
+  MetricsRegistry reg;
+  reg.counter("sync.inputs_sent").add(3);
+  reg.gauge("sync.rtt_ms").set(41.5);
+  reg.histogram("timeline.frame_time_ms").observe(16.7);
+
+  EXPECT_EQ(reg.value("sync.inputs_sent"), 3.0);
+  EXPECT_EQ(reg.value("sync.rtt_ms"), 41.5);
+  EXPECT_FALSE(reg.value("timeline.frame_time_ms").has_value());  // histogram
+  EXPECT_FALSE(reg.value("no.such.metric").has_value());
+
+  // Instrument references are stable across later insertions (std::map).
+  Counter& c = reg.counter("a.first");
+  reg.counter("z.later");
+  c.add();
+  EXPECT_EQ(reg.value("a.first"), 1.0);
+}
+
+TEST(TelemetryTest, RegistryJsonRoundTripsThroughTheReader) {
+  MetricsRegistry reg;
+  reg.counter("net.udp.datagrams_sent").add(120);
+  reg.gauge("session.lag_negotiated").set(6);
+  auto& h = reg.histogram("pacer.wait_ms");
+  h.observe(9.5);
+  h.observe(10.5);
+
+  const auto doc = parse_json(reg.to_json());
+  ASSERT_TRUE(doc.has_value()) << reg.to_json();
+  const auto* schema = doc->find("schema");
+  ASSERT_NE(schema, nullptr);
+  ASSERT_NE(schema->string(), nullptr);
+  EXPECT_EQ(*schema->string(), "rtct.metrics.v1");
+
+  const auto* counters = doc->find("counters");
+  ASSERT_NE(counters, nullptr);
+  const auto* sent = counters->find("net.udp.datagrams_sent");
+  ASSERT_NE(sent, nullptr);
+  EXPECT_DOUBLE_EQ(sent->number_or(-1), 120.0);
+
+  const auto* gauges = doc->find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->find("session.lag_negotiated")->number_or(-1), 6.0);
+
+  const auto* hists = doc->find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const auto* wait = hists->find("pacer.wait_ms");
+  ASSERT_NE(wait, nullptr);
+  ASSERT_NE(wait->find("count"), nullptr);
+  EXPECT_DOUBLE_EQ(wait->find("count")->number_or(-1), 2.0);
+  ASSERT_NE(wait->find("sum"), nullptr);
+  EXPECT_DOUBLE_EQ(wait->find("sum")->number_or(-1), 20.0);
+  const auto* buckets = wait->find("bucket_counts");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_TRUE(buckets->is_array());
+  EXPECT_EQ(buckets->array()->size(), static_cast<std::size_t>(Histogram::kBuckets));
+  const auto* bounds = wait->find("bucket_bounds_ms");
+  ASSERT_NE(bounds, nullptr);
+  ASSERT_TRUE(bounds->is_array());
+  EXPECT_EQ(bounds->array()->size(), static_cast<std::size_t>(Histogram::kBuckets - 1));
+}
+
+TEST(TelemetryTest, JsonReaderHandlesEscapesNestingAndRejectsGarbage) {
+  const auto ok = parse_json(R"({"a":[1,2.5,-3e2,true,false,null],"s":"q\"\\\nA"})");
+  ASSERT_TRUE(ok.has_value());
+  const auto* arr = ok->find("a");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_TRUE(arr->is_array());
+  EXPECT_EQ(arr->array()->size(), 6u);
+  EXPECT_DOUBLE_EQ((*arr->array())[2].number_or(0), -300.0);
+  const auto* s = ok->find("s");
+  ASSERT_NE(s, nullptr);
+  ASSERT_NE(s->string(), nullptr);
+  EXPECT_EQ(*s->string(), "q\"\\\nA");
+
+  EXPECT_FALSE(parse_json("{").has_value());
+  EXPECT_FALSE(parse_json("[1,]").has_value());
+  EXPECT_FALSE(parse_json("{\"a\":1} trailing").has_value());
+  EXPECT_FALSE(parse_json("nul").has_value());
+}
+
+}  // namespace
+}  // namespace rtct

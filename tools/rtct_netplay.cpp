@@ -15,9 +15,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 
+#include "src/common/telemetry.h"
 #include "src/core/input_source.h"
 #include "src/core/realtime.h"
 #include "src/emu/machine.h"
@@ -31,7 +33,9 @@ void usage() {
   std::fprintf(stderr,
                "usage: rtct_netplay --site 0|1 --peer IP:PORT [--game NAME | --rom FILE]\n"
                "                    [--bind PORT] [--frames N] [--seed S] [--quiet]\n"
-               "                    [--record FILE.rpl] [--spectator-port PORT]\n");
+               "                    [--record FILE.rpl] [--spectator-port PORT]\n"
+               "                    [--stats] [--metrics-out FILE.json]\n"
+               "                    [--timeline-out FILE.json]\n");
 }
 
 bool split_host_port(const std::string& s, std::string* host, std::uint16_t* port) {
@@ -54,7 +58,8 @@ int main(int argc, char** argv) {
   int frames = 3600;
   std::uint64_t seed = 0;
   bool quiet = false;
-  std::string record_path;
+  bool stats = false;
+  std::string record_path, metrics_out, timeline_out;
   std::uint16_t spectator_port = 0;
 
   for (int i = 1; i < argc; ++i) {
@@ -77,6 +82,9 @@ int main(int argc, char** argv) {
     else if (arg == "--spectator-port") {
       spectator_port = static_cast<std::uint16_t>(std::atoi(next("--spectator-port")));
     }
+    else if (arg == "--stats") stats = true;
+    else if (arg == "--metrics-out") metrics_out = next("--metrics-out");
+    else if (arg == "--timeline-out") timeline_out = next("--timeline-out");
     else if (arg == "--quiet") quiet = true;
     else {
       usage();
@@ -137,7 +145,29 @@ int main(int argc, char** argv) {
     std::printf("serving spectators on udp/%u (rtct_watch --host <me>:%u)\n",
                 spectator_socket->local_port(), spectator_socket->local_port());
   }
-  if (!quiet) {
+  if (stats) {
+    // Live one-line HUD driven by the metrics registry: a fresh snapshot
+    // roughly once a second (60 frames) — the human-facing face of the
+    // same export --metrics-out serializes.
+    session.set_frame_hook([&session](const emu::IDeterministicGame&,
+                                      const core::FrameRecord& r) {
+      if (r.frame % 60 != 59) return;
+      MetricsRegistry reg;
+      session.export_metrics(reg);
+      const auto val = [&reg](const char* name) { return reg.value(name).value_or(0); };
+      std::printf("[stats] f=%-6lld ft=%6.2fms stall=%5.2fms rtt=%6.2fms "
+                  "tx=%llu rx=%llu retx=%llu overruns=%llu spect=%.0f\n",
+                  static_cast<long long>(r.frame),
+                  reg.histogram("timeline.frame_time_ms").mean(),
+                  reg.histogram("timeline.stall_ms").mean(), val("sync.rtt_ms"),
+                  static_cast<unsigned long long>(val("net.udp.datagrams_sent")),
+                  static_cast<unsigned long long>(val("net.udp.datagrams_received")),
+                  static_cast<unsigned long long>(val("sync.inputs_retransmitted")),
+                  static_cast<unsigned long long>(val("pacer.overruns")),
+                  val("spectator.host.joined"));
+      std::fflush(stdout);
+    });
+  } else if (!quiet) {
     session.set_frame_hook([](const emu::IDeterministicGame& g, const core::FrameRecord& r) {
       if (r.frame % 300 != 150) return;
       const auto& m = dynamic_cast<const emu::ArcadeMachine&>(g);
@@ -161,6 +191,32 @@ int main(int argc, char** argv) {
               session.timeline().stalled_frames());
   std::printf("final state hash: %016llx  (must match the peer's)\n",
               static_cast<unsigned long long>(machine->state_hash()));
+
+  if (!metrics_out.empty()) {
+    MetricsRegistry reg;
+    session.export_metrics(reg);
+    std::ofstream out(metrics_out, std::ios::binary | std::ios::trunc);
+    out << reg.to_json() << '\n';
+    if (out) {
+      std::printf("metrics snapshot written to %s (rtct_trace show %s)\n",
+                  metrics_out.c_str(), metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "rtct_netplay: failed to write '%s'\n", metrics_out.c_str());
+      return 1;
+    }
+  }
+  if (!timeline_out.empty()) {
+    const std::string name = "site" + std::to_string(site) + "/" + game;
+    std::ofstream out(timeline_out, std::ios::binary | std::ios::trunc);
+    out << core::timeline_to_json(session.timeline(), name, cfg.sync.cfps) << '\n';
+    if (out) {
+      std::printf("timeline written to %s (diff against the peer's with rtct_trace)\n",
+                  timeline_out.c_str());
+    } else {
+      std::fprintf(stderr, "rtct_netplay: failed to write '%s'\n", timeline_out.c_str());
+      return 1;
+    }
+  }
 
   if (!record_path.empty()) {
     if (session.replay().save_file(record_path)) {

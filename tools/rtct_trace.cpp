@@ -1,0 +1,281 @@
+// rtct_trace — offline analysis of the observability exports:
+//
+//   rtct_trace diff A.json B.json    two "rtct.timeline.v1" files: first
+//                                    state-hash divergence + Figure-1/2
+//                                    statistics over the common prefix.
+//                                    Exit 0 = consistent, 2 = diverged.
+//   rtct_trace show FILE.json        pretty-print a "rtct.metrics.v1"
+//                                    snapshot or a timeline summary.
+//   rtct_trace --check FILE...       validate exports: known schema, well
+//                                    formed, non-empty equal-length series.
+//                                    Exit 0 = all valid (CI gate).
+//
+// This is the paper's evaluation pipeline turned into a tool: the authors
+// shipped per-frame begin times to a time server and post-processed them
+// into Figures 1 and 2; here any two archived sessions can be compared
+// the same way after the fact.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/json.h"
+#include "src/common/stats.h"
+#include "src/core/metrics.h"
+
+namespace {
+
+using rtct::JsonValue;
+using rtct::Summary;
+using rtct::core::FrameTimeline;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: rtct_trace diff A.json B.json   (timeline compare)\n"
+               "       rtct_trace show FILE.json       (metrics/timeline snapshot)\n"
+               "       rtct_trace --check FILE...      (validate exports)\n");
+  return 1;
+}
+
+std::optional<JsonValue> load_json(const std::string& path, std::string* why) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *why = "cannot open file";
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto doc = rtct::parse_json(buf.str());
+  if (!doc) {
+    *why = "not valid JSON";
+    return std::nullopt;
+  }
+  return doc;
+}
+
+const std::string* schema_of(const JsonValue& doc) {
+  const JsonValue* s = doc.find("schema");
+  return s != nullptr ? s->string() : nullptr;
+}
+
+void print_summary(const char* label, const Summary& s) {
+  std::printf("  %-18s mean %8.3f  dev %7.3f  |avg| %7.3f  min %8.3f  max %8.3f  "
+              "p95 %8.3f  (n=%zu)\n",
+              label, s.mean, s.mean_abs_deviation, s.mean_abs, s.min, s.max, s.p95, s.count);
+}
+
+// ---- diff -------------------------------------------------------------------
+
+int cmd_diff(const std::string& path_a, const std::string& path_b) {
+  std::string why;
+  const auto doc_a = load_json(path_a, &why);
+  if (!doc_a) {
+    std::fprintf(stderr, "rtct_trace: %s: %s\n", path_a.c_str(), why.c_str());
+    return 1;
+  }
+  const auto doc_b = load_json(path_b, &why);
+  if (!doc_b) {
+    std::fprintf(stderr, "rtct_trace: %s: %s\n", path_b.c_str(), why.c_str());
+    return 1;
+  }
+  const auto tl_a = rtct::core::timeline_from_json(*doc_a);
+  const auto tl_b = rtct::core::timeline_from_json(*doc_b);
+  if (!tl_a || !tl_b) {
+    std::fprintf(stderr, "rtct_trace: diff needs two rtct.timeline.v1 files\n");
+    return 1;
+  }
+
+  const std::size_t common = std::min(tl_a->size(), tl_b->size());
+  std::printf("A: %s (%zu frames)\nB: %s (%zu frames)\ncommon prefix: %zu frames\n\n",
+              path_a.c_str(), tl_a->size(), path_b.c_str(), tl_b->size(), common);
+  if (common == 0) {
+    std::printf("nothing to compare\n");
+    return 1;
+  }
+
+  std::printf("frame times (Figure 1, ms):\n");
+  print_summary("A", tl_a->frame_times().summarize());
+  print_summary("B", tl_b->frame_times().summarize());
+  std::printf("synchrony A-B (Figure 2, ms):\n");
+  print_summary("begin-time diff", rtct::core::synchrony_differences(*tl_a, *tl_b).summarize());
+  std::printf("stalled frames: A %zu, B %zu\n", tl_a->stalled_frames(), tl_b->stalled_frames());
+
+  const rtct::FrameNo div = rtct::core::first_divergence(*tl_a, *tl_b);
+  if (div < 0) {
+    std::printf("\nlogical consistency: IDENTICAL over the common prefix "
+                "(all %zu state hashes match)\n", common);
+    return 0;
+  }
+  const auto& ra = tl_a->records()[static_cast<std::size_t>(div)];
+  const auto& rb = tl_b->records()[static_cast<std::size_t>(div)];
+  std::printf("\nlogical consistency: DIVERGED at frame %lld\n"
+              "  A hash %016llx\n  B hash %016llx\n",
+              static_cast<long long>(div), static_cast<unsigned long long>(ra.state_hash),
+              static_cast<unsigned long long>(rb.state_hash));
+  return 2;
+}
+
+// ---- show -------------------------------------------------------------------
+
+void show_metrics(const JsonValue& doc) {
+  if (const JsonValue* counters = doc.find("counters"); counters && counters->object()) {
+    std::printf("counters:\n");
+    for (const auto& [name, v] : *counters->object()) {
+      std::printf("  %-40s %12.0f\n", name.c_str(), v.number_or(0));
+    }
+  }
+  if (const JsonValue* gauges = doc.find("gauges"); gauges && gauges->object()) {
+    std::printf("gauges:\n");
+    for (const auto& [name, v] : *gauges->object()) {
+      std::printf("  %-40s %12.3f\n", name.c_str(), v.number_or(0));
+    }
+  }
+  if (const JsonValue* hists = doc.find("histograms"); hists && hists->object()) {
+    std::printf("histograms:\n");
+    for (const auto& [name, h] : *hists->object()) {
+      const auto num = [&h](const char* k) {
+        const JsonValue* v = h.find(k);
+        return v != nullptr ? v->number_or(0) : 0.0;
+      };
+      std::printf("  %-40s n=%-8.0f mean %8.3f  min %8.3f  max %8.3f\n", name.c_str(),
+                  num("count"), num("mean"), num("min"), num("max"));
+    }
+  }
+}
+
+int cmd_show(const std::string& path) {
+  std::string why;
+  const auto doc = load_json(path, &why);
+  if (!doc) {
+    std::fprintf(stderr, "rtct_trace: %s: %s\n", path.c_str(), why.c_str());
+    return 1;
+  }
+  const std::string* schema = schema_of(*doc);
+  if (schema == nullptr) {
+    std::fprintf(stderr, "rtct_trace: %s: no schema tag\n", path.c_str());
+    return 1;
+  }
+  std::printf("%s: %s\n", path.c_str(), schema->c_str());
+  if (*schema == "rtct.metrics.v1") {
+    show_metrics(*doc);
+    return 0;
+  }
+  if (*schema == "rtct.timeline.v1") {
+    const auto tl = rtct::core::timeline_from_json(*doc);
+    if (!tl) {
+      std::fprintf(stderr, "rtct_trace: %s: malformed timeline\n", path.c_str());
+      return 1;
+    }
+    std::printf("%zu frames, %zu stalled\n", tl->size(), tl->stalled_frames());
+    print_summary("frame_time_ms", tl->frame_times().summarize());
+    print_summary("stall_ms", tl->stalls().summarize());
+    print_summary("compute_ms", tl->computes().summarize());
+    print_summary("wait_ms", tl->waits().summarize());
+    const auto b = tl->latency_breakdown();
+    std::printf("latency breakdown (mean ms/frame): frame %.3f = stall %.3f + compute %.3f "
+                "+ sleep %.3f + other %.3f\n",
+                b.frame_ms, b.stall_ms, b.compute_ms, b.sleep_ms, b.other_ms);
+    return 0;
+  }
+  std::fprintf(stderr, "rtct_trace: show does not handle schema '%s'\n", schema->c_str());
+  return 1;
+}
+
+// ---- check ------------------------------------------------------------------
+
+/// All members of `obj` that are arrays must be non-empty and equally long.
+bool series_well_formed(const JsonValue& obj, std::string* why) {
+  const auto* members = obj.object();
+  if (members == nullptr) {
+    *why = "series/columns is not an object";
+    return false;
+  }
+  std::size_t len = 0;
+  bool first = true;
+  for (const auto& [name, v] : *members) {
+    const auto* arr = v.array();
+    if (arr == nullptr) {
+      *why = "series '" + name + "' is not an array";
+      return false;
+    }
+    if (arr->empty()) {
+      *why = "series '" + name + "' is empty";
+      return false;
+    }
+    if (first) {
+      len = arr->size();
+      first = false;
+    } else if (arr->size() != len) {
+      *why = "series '" + name + "' length mismatch";
+      return false;
+    }
+  }
+  if (first) {
+    *why = "no series present";
+    return false;
+  }
+  return true;
+}
+
+bool check_one(const std::string& path, std::string* why) {
+  const auto doc = load_json(path, why);
+  if (!doc) return false;
+  const std::string* schema = schema_of(*doc);
+  if (schema == nullptr) {
+    *why = "no schema tag";
+    return false;
+  }
+  if (*schema == "rtct.metrics.v1") {
+    if (doc->find("counters") == nullptr || doc->find("gauges") == nullptr) {
+      *why = "metrics snapshot missing counters/gauges";
+      return false;
+    }
+    return true;
+  }
+  if (*schema == "rtct.timeline.v1") {
+    const JsonValue* cols = doc->find("columns");
+    if (cols == nullptr || !series_well_formed(*cols, why)) return false;
+    if (!rtct::core::timeline_from_json(*doc)) {
+      *why = "columns present but timeline does not decode";
+      return false;
+    }
+    return true;
+  }
+  if (*schema == "rtct.bench.v1") {
+    const JsonValue* series = doc->find("series");
+    return series != nullptr && series_well_formed(*series, why);
+  }
+  *why = "unknown schema '" + *schema + "'";
+  return false;
+}
+
+int cmd_check(const std::vector<std::string>& paths) {
+  if (paths.empty()) return usage();
+  bool all_ok = true;
+  for (const auto& path : paths) {
+    std::string why;
+    if (check_one(path, &why)) {
+      std::printf("%s: OK\n", path.c_str());
+    } else {
+      std::printf("%s: FAIL (%s)\n", path.c_str(), why.c_str());
+      all_ok = false;
+    }
+  }
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "diff" && argc == 4) return cmd_diff(argv[2], argv[3]);
+  if (cmd == "show" && argc == 3) return cmd_show(argv[2]);
+  if (cmd == "--check" || cmd == "check") {
+    return cmd_check(std::vector<std::string>(argv + 2, argv + argc));
+  }
+  return usage();
+}

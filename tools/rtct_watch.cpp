@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 
+#include "src/common/telemetry.h"
 #include "src/core/spectate.h"
 #include "src/emu/machine.h"
 #include "src/emu/render_text.h"
@@ -36,6 +37,7 @@ int main(int argc, char** argv) {
   std::string host, game = "duel", rom_file;
   int frames = 600;
   int render_every = 60;
+  bool stats = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -51,9 +53,10 @@ int main(int argc, char** argv) {
     else if (arg == "--rom") rom_file = next("--rom");
     else if (arg == "--frames") frames = std::atoi(next("--frames"));
     else if (arg == "--render-every") render_every = std::atoi(next("--render-every"));
+    else if (arg == "--stats") stats = true;
     else {
       std::fprintf(stderr, "usage: rtct_watch --host IP:PORT [--game NAME | --rom FILE] "
-                           "[--frames N] [--render-every K]\n");
+                           "[--frames N] [--render-every K] [--stats]\n");
       return arg == "-h" || arg == "--help" ? 0 : 1;
     }
   }
@@ -103,6 +106,20 @@ int main(int argc, char** argv) {
     while (client.step_one()) {
       last_progress = steady_now();
       const FrameNo f = client.applied_frame();
+      if (stats && f % 60 == 59) {
+        MetricsRegistry reg;
+        client.export_metrics(reg);
+        socket.export_metrics(reg);
+        const auto val = [&reg](const char* name) { return reg.value(name).value_or(0); };
+        std::printf("[stats] f=%-6lld pending=%-4.0f feeds=%llu stale=%llu "
+                    "tx=%llu rx=%llu\n",
+                    static_cast<long long>(f), val("spectator.client.pending"),
+                    static_cast<unsigned long long>(val("spectator.client.feed_messages_rcvd")),
+                    static_cast<unsigned long long>(val("spectator.client.stale_inputs_rcvd")),
+                    static_cast<unsigned long long>(val("net.udp.datagrams_sent")),
+                    static_cast<unsigned long long>(val("net.udp.datagrams_received")));
+        std::fflush(stdout);
+      }
       if (render_every > 0 && f % render_every == render_every - 1) {
         std::printf("\n--- frame %lld (hash %016llx) ---\n%s",
                     static_cast<long long>(f),
