@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Full local gate: everything CI would hold a change to.
+#
+#   1. build the sanitize preset (ASan+UBSan, RelWithDebInfo);
+#   2. run the complete test suite under the sanitizers (includes the
+#      chaos soak and the fuzz corpus; use `ctest -LE slow` manually if
+#      you only want the quick tier);
+#   3. re-run the fuzz label explicitly — decoder fuzzing is the suite
+#      the sanitizers exist for, so its result is surfaced on its own;
+#   4. produce a bench export and validate it with `rtct_trace --check`,
+#      so the observability schema cannot silently rot.
+#
+# Usage: scripts/check.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> configure + build (sanitize preset)"
+cmake --preset sanitize
+cmake --build --preset sanitize -j "$(nproc)"
+
+echo "==> full test suite under ASan/UBSan"
+ctest --preset sanitize -j "$(nproc)" "$@"
+
+echo "==> fuzz label (decoder corpus + random fuzz)"
+ctest --preset sanitize -L fuzz --output-on-failure
+
+echo "==> bench export + schema check"
+out="build-asan/BENCH_check_sweep.json"
+./build-asan/bench/sync_sweep 120 --json "$out"
+./build-asan/tools/rtct_trace --check "$out"
+
+echo "==> all checks passed"

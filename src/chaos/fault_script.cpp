@@ -1,0 +1,302 @@
+#include "src/chaos/fault_script.h"
+
+#include <charconv>
+
+#include "src/common/json.h"
+#include "src/common/random.h"
+
+namespace rtct::chaos {
+
+namespace {
+
+// Distinct Rng streams per topology so one seed exercises three different
+// schedules rather than the same schedule on three shapes.
+constexpr std::uint64_t topology_salt(Topology t) {
+  switch (t) {
+    case Topology::kTwoSite: return 0x2517e5171ull;
+    case Topology::kMesh: return 0x3e5851735ull;
+    case Topology::kSpectator: return 0x5bec7a70full;
+  }
+  return 0;
+}
+
+Dur uniform_dur(Rng& rng, Dur lo, Dur hi) {
+  return rng.uniform(lo, hi);
+}
+
+}  // namespace
+
+std::string_view topology_name(Topology t) {
+  switch (t) {
+    case Topology::kTwoSite: return "two_site";
+    case Topology::kMesh: return "mesh";
+    case Topology::kSpectator: return "spectator";
+  }
+  return "?";
+}
+
+std::optional<Topology> topology_from_name(std::string_view name) {
+  if (name == "two_site") return Topology::kTwoSite;
+  if (name == "mesh") return Topology::kMesh;
+  if (name == "spectator") return Topology::kSpectator;
+  return std::nullopt;
+}
+
+std::string_view fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kLossBurst: return "loss_burst";
+    case FaultKind::kReorderStorm: return "reorder_storm";
+    case FaultKind::kDuplication: return "duplication";
+    case FaultKind::kLatencySpike: return "latency_spike";
+    case FaultKind::kAsymFlip: return "asym_flip";
+    case FaultKind::kConfigFlap: return "config_flap";
+    case FaultKind::kSiteStall: return "site_stall";
+  }
+  return "?";
+}
+
+std::optional<FaultKind> fault_kind_from_name(std::string_view name) {
+  for (int k = 0; k <= static_cast<int>(FaultKind::kSiteStall); ++k) {
+    if (fault_kind_name(static_cast<FaultKind>(k)) == name) {
+      return static_cast<FaultKind>(k);
+    }
+  }
+  return std::nullopt;
+}
+
+FaultScript generate_fault_script(std::uint64_t seed, Topology topology) {
+  Rng rng(seed ^ topology_salt(topology));
+  FaultScript s;
+  s.seed = seed;
+  s.topology = topology;
+  // The two-site shapes sweep the paper's full CFPS-holding range. The
+  // mesh stays at RTT <= 40 ms: past that an N-site mesh is bistable — a
+  // fault can flip it into a stall/burst limit cycle that takes tens of
+  // seconds to damp (or never does at 8 sites), so "pacer re-converges
+  // after faults clear" is only the system's promise in the low-RTT
+  // regime (the paper's Figure-1 boundary). See EXPERIMENTS.md CHAOS.
+  s.base_rtt = milliseconds(
+      rng.uniform(20, topology == Topology::kMesh ? 40 : 120));
+  s.base_loss = static_cast<double>(rng.uniform(0, 20)) / 1000.0;  // 0-2%
+  s.boot_skew = milliseconds(rng.uniform(0, 60));
+  s.adaptive_transport = rng.bernoulli(0.5);
+
+  switch (topology) {
+    case Topology::kTwoSite:
+      // 10 s: at ~90 ms RTT a stacked stall/flip pile-up needs ~3.5 s to
+      // re-smooth, and the pacer tail wants clean runway beyond that.
+      s.frames = 600;
+      break;
+    case Topology::kMesh: {
+      // 20 s sessions: measured mesh re-convergence after a fault burst
+      // takes 10-15 s (the N-site stall/burst coupling damps slowly), so
+      // the pacer invariant needs a long fault-free runway before the tail.
+      s.frames = 1200;
+      const int choices[] = {2, 4, 8};
+      s.num_sites = choices[rng.uniform(0, 2)];
+      break;
+    }
+    case Topology::kSpectator: {
+      s.frames = 600;
+      s.observers = static_cast<int>(rng.uniform(2, 3));
+      for (int i = 0; i < s.observers; ++i) {
+        // The first observer joins during the handshake half the time —
+        // the deferred-snapshot gate (never serve pre-frame-0 state) is
+        // exactly the race this exercises.
+        const bool handshake_join = i == 0 && rng.bernoulli(0.5);
+        s.observer_join_delays.push_back(
+            handshake_join ? 0 : uniform_dur(rng, milliseconds(200), milliseconds(3000)));
+        s.observer_leave_after.push_back(
+            rng.bernoulli(0.5) ? uniform_dur(rng, milliseconds(500), milliseconds(3000)) : 0);
+      }
+      break;
+    }
+  }
+
+  // Fault windows live in [0.5 s, end - margin]: the session must open
+  // cleanly enough to handshake and must end with a fault-free tail for
+  // the pacer-convergence invariant. The mesh gets a wider margin (and
+  // shorter outages below) because N-site go-back-N recovery after a
+  // burst takes several times the outage length.
+  const Dur lo = milliseconds(500);
+  const Dur margin =
+      topology == Topology::kMesh ? milliseconds(12000) : milliseconds(5000);
+  const Dur hi = s.session_length() - margin;
+  const Dur max_fault =
+      topology == Topology::kMesh ? milliseconds(400) : milliseconds(700);
+  const int n_faults = static_cast<int>(rng.uniform(2, 5));
+  for (int i = 0; i < n_faults; ++i) {
+    Fault f;
+    // Mesh links are reconfigured mesh-wide, so direction- and
+    // site-specific kinds only exist on the two-site shapes.
+    const int max_kind = topology == Topology::kMesh
+                             ? static_cast<int>(FaultKind::kConfigFlap)
+                             : static_cast<int>(FaultKind::kSiteStall);
+    f.kind = static_cast<FaultKind>(rng.uniform(0, max_kind));
+    if (topology == Topology::kMesh && f.kind == FaultKind::kAsymFlip) {
+      f.kind = FaultKind::kLossBurst;
+    }
+    f.at = uniform_dur(rng, lo, hi);
+    f.duration = uniform_dur(rng, milliseconds(100), max_fault);
+    if (f.at + f.duration > hi) f.duration = hi - f.at;
+    f.site = static_cast<int>(rng.uniform(0, 1));
+    switch (f.kind) {
+      case FaultKind::kLossBurst:
+        f.magnitude = 0.3 + 0.6 * rng.next_double();
+        break;
+      case FaultKind::kReorderStorm:
+        f.magnitude = 0.3 + 0.4 * rng.next_double();
+        f.extra = milliseconds(rng.uniform(20, 80));
+        break;
+      case FaultKind::kDuplication:
+        f.magnitude = 0.3 + 0.5 * rng.next_double();
+        break;
+      case FaultKind::kLatencySpike:
+        f.magnitude = static_cast<double>(rng.uniform(2, 6));
+        f.extra = milliseconds(rng.uniform(5, 20));
+        break;
+      case FaultKind::kAsymFlip:
+        f.magnitude = 0.4 + 0.5 * rng.next_double();  // loss on the flipped path
+        break;
+      case FaultKind::kConfigFlap:
+        f.magnitude = static_cast<double>(rng.uniform(2, 5));
+        break;
+      case FaultKind::kSiteStall:
+        f.duration = uniform_dur(rng, milliseconds(100), milliseconds(500));
+        break;
+    }
+    s.faults.push_back(f);
+  }
+  return s;
+}
+
+std::string script_to_json(const FaultScript& s) {
+  JsonWriter w;
+  write_script(w, s);
+  return w.take();
+}
+
+void write_script(JsonWriter& w, const FaultScript& s) {
+  w.begin_object();
+  w.key("schema").value("rtct.chaos.script.v1");
+  w.key("seed").value(std::to_string(s.seed));
+  w.key("topology").value(topology_name(s.topology));
+  w.key("frames").value(s.frames);
+  w.key("num_sites").value(s.num_sites);
+  w.key("observers").value(s.observers);
+  w.key("base_rtt_ns").value(static_cast<std::int64_t>(s.base_rtt));
+  w.key("base_loss").value(s.base_loss);
+  w.key("boot_skew_ns").value(static_cast<std::int64_t>(s.boot_skew));
+  w.key("adaptive_transport").value(s.adaptive_transport);
+  w.key("faults").begin_array();
+  for (const Fault& f : s.faults) {
+    w.begin_object();
+    w.key("kind").value(fault_kind_name(f.kind));
+    w.key("at_ns").value(static_cast<std::int64_t>(f.at));
+    w.key("duration_ns").value(static_cast<std::int64_t>(f.duration));
+    w.key("site").value(f.site);
+    w.key("magnitude").value(f.magnitude);
+    w.key("extra_ns").value(static_cast<std::int64_t>(f.extra));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("observer_join_delays_ns").begin_array();
+  for (Dur d : s.observer_join_delays) w.value(static_cast<std::int64_t>(d));
+  w.end_array();
+  w.key("observer_leave_after_ns").begin_array();
+  for (Dur d : s.observer_leave_after) w.value(static_cast<std::int64_t>(d));
+  w.end_array();
+  w.end_object();
+}
+
+namespace {
+
+bool read_i64(const JsonValue& obj, std::string_view key, std::int64_t* out) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) return false;
+  *out = static_cast<std::int64_t>(v->number_or(0));
+  return true;
+}
+
+bool read_durs(const JsonValue& obj, std::string_view key, std::vector<Dur>* out) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || !v->is_array()) return false;
+  for (const JsonValue& e : *v->array()) {
+    if (!e.is_number()) return false;
+    out->push_back(static_cast<Dur>(e.number_or(0)));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<FaultScript> script_from_json(const JsonValue& doc) {
+  const JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || schema->string() == nullptr ||
+      *schema->string() != "rtct.chaos.script.v1") {
+    return std::nullopt;
+  }
+  FaultScript s;
+  const JsonValue* seed = doc.find("seed");
+  if (seed == nullptr || seed->string() == nullptr) return std::nullopt;
+  {
+    const std::string& str = *seed->string();
+    const auto res = std::from_chars(str.data(), str.data() + str.size(), s.seed);
+    if (res.ec != std::errc() || res.ptr != str.data() + str.size()) return std::nullopt;
+  }
+  const JsonValue* topo = doc.find("topology");
+  if (topo == nullptr || topo->string() == nullptr) return std::nullopt;
+  const auto t = topology_from_name(*topo->string());
+  if (!t) return std::nullopt;
+  s.topology = *t;
+
+  std::int64_t i = 0;
+  if (!read_i64(doc, "frames", &i) || i < 1) return std::nullopt;
+  s.frames = static_cast<int>(i);
+  if (!read_i64(doc, "num_sites", &i)) return std::nullopt;
+  s.num_sites = static_cast<int>(i);
+  if (!read_i64(doc, "observers", &i)) return std::nullopt;
+  s.observers = static_cast<int>(i);
+  if (!read_i64(doc, "base_rtt_ns", &i)) return std::nullopt;
+  s.base_rtt = i;
+  const JsonValue* loss = doc.find("base_loss");
+  if (loss == nullptr || !loss->is_number()) return std::nullopt;
+  s.base_loss = loss->number_or(0);
+  if (!read_i64(doc, "boot_skew_ns", &i)) return std::nullopt;
+  s.boot_skew = i;
+  const JsonValue* adaptive = doc.find("adaptive_transport");
+  if (adaptive != nullptr) {
+    const bool* b = std::get_if<bool>(&adaptive->v_);
+    if (b == nullptr) return std::nullopt;
+    s.adaptive_transport = *b;
+  }
+
+  const JsonValue* faults = doc.find("faults");
+  if (faults == nullptr || !faults->is_array()) return std::nullopt;
+  for (const JsonValue& fv : *faults->array()) {
+    if (!fv.is_object()) return std::nullopt;
+    Fault f;
+    const JsonValue* kind = fv.find("kind");
+    if (kind == nullptr || kind->string() == nullptr) return std::nullopt;
+    const auto k = fault_kind_from_name(*kind->string());
+    if (!k) return std::nullopt;
+    f.kind = *k;
+    if (!read_i64(fv, "at_ns", &i)) return std::nullopt;
+    f.at = i;
+    if (!read_i64(fv, "duration_ns", &i)) return std::nullopt;
+    f.duration = i;
+    if (!read_i64(fv, "site", &i)) return std::nullopt;
+    f.site = static_cast<int>(i);
+    const JsonValue* mag = fv.find("magnitude");
+    if (mag == nullptr || !mag->is_number()) return std::nullopt;
+    f.magnitude = mag->number_or(0);
+    if (!read_i64(fv, "extra_ns", &i)) return std::nullopt;
+    f.extra = i;
+    s.faults.push_back(f);
+  }
+  if (!read_durs(doc, "observer_join_delays_ns", &s.observer_join_delays)) return std::nullopt;
+  if (!read_durs(doc, "observer_leave_after_ns", &s.observer_leave_after)) return std::nullopt;
+  return s;
+}
+
+}  // namespace rtct::chaos

@@ -1,0 +1,108 @@
+// Seeded fault schedules for the chaos harness.
+//
+// A FaultScript is the complete, self-contained description of one
+// adversarial session: topology, session length, baseline path shape, and
+// a list of timed faults. Scripts are *generated* from a single 64-bit
+// seed (every parameter is drawn from one Rng stream, so a seed is a full
+// repro token), *serialized* to JSON ("rtct.chaos.script.v1") so a failing
+// case can be archived, hand-minimized and replayed, and *lowered* onto
+// the existing testbed configs (src/chaos/soak.h) — the chaos layer adds
+// no new simulation machinery, only adversarial composition of what the
+// testbed already models.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace rtct {
+class JsonValue;   // src/common/json.h
+class JsonWriter;  // src/common/json.h
+}  // namespace rtct
+
+namespace rtct::chaos {
+
+/// Which session shape the script drives.
+enum class Topology {
+  kTwoSite,    ///< the paper's §4 two-player setup
+  kMesh,       ///< N-site full mesh (journal extension)
+  kSpectator,  ///< two players + late-joining/leaving observers
+};
+
+[[nodiscard]] std::string_view topology_name(Topology t);
+std::optional<Topology> topology_from_name(std::string_view name);
+
+/// One timed adversity. `kind` selects how the generic fields are read:
+///   kLossBurst     magnitude = drop probability
+///   kReorderStorm  magnitude = reorder probability, extra = hold-back
+///   kDuplication   magnitude = duplication probability
+///   kLatencySpike  magnitude = one-way delay multiplier, extra = jitter
+///   kAsymFlip      site = direction degraded first (0 = a->b); the other
+///                  direction takes over halfway through `duration`
+///   kConfigFlap    rapid alternation degraded/base every duration/4,
+///                  magnitude = delay multiplier of the degraded shape
+///   kSiteStall     site's frame loop freezes for `duration` (two-site
+///                  and spectator topologies only)
+enum class FaultKind {
+  kLossBurst,
+  kReorderStorm,
+  kDuplication,
+  kLatencySpike,
+  kAsymFlip,
+  kConfigFlap,
+  kSiteStall,
+};
+
+[[nodiscard]] std::string_view fault_kind_name(FaultKind k);
+std::optional<FaultKind> fault_kind_from_name(std::string_view name);
+
+struct Fault {
+  FaultKind kind = FaultKind::kLossBurst;
+  Dur at = 0;        ///< virtual time the fault starts
+  Dur duration = 0;  ///< how long until the path is restored
+  int site = 0;      ///< stalled site / first flipped direction
+  double magnitude = 0;
+  Dur extra = 0;
+};
+
+struct FaultScript {
+  std::uint64_t seed = 0;
+  Topology topology = Topology::kTwoSite;
+  int frames = 420;
+  int num_sites = 2;   ///< mesh only (2, 4 or 8)
+  int observers = 0;   ///< spectator only
+  Dur base_rtt = milliseconds(40);
+  double base_loss = 0;       ///< background random loss on every path
+  Dur boot_skew = 0;          ///< site 1 boots this much after site 0
+  bool adaptive_transport = false;  ///< v2 adaptive lag + RTO resend path
+  std::vector<Fault> faults;
+  /// Spectator churn (spectator topology): per-observer join delay (0 =
+  /// join during the session handshake) and watch duration (0 = stays).
+  std::vector<Dur> observer_join_delays;
+  std::vector<Dur> observer_leave_after;
+
+  [[nodiscard]] Dur session_length() const {
+    return frames * frame_period(60);
+  }
+};
+
+/// Derives a complete adversarial script from (seed, topology). Pure: the
+/// same pair always yields the same script, on every platform. Fault
+/// windows are clamped so the final ~2.5 s of the session are fault-free —
+/// the invariant set requires the pacer to re-converge once conditions
+/// clear, which needs a clean tail to measure.
+FaultScript generate_fault_script(std::uint64_t seed, Topology topology);
+
+/// "rtct.chaos.script.v1". The seed is serialized as a decimal *string*:
+/// JSON numbers round-trip through double (53-bit mantissa) and would
+/// silently corrupt high seeds.
+std::string script_to_json(const FaultScript& script);
+/// Emits the script object into an in-progress document (the repro format
+/// embeds the script under its "script" key).
+void write_script(JsonWriter& w, const FaultScript& script);
+std::optional<FaultScript> script_from_json(const JsonValue& doc);
+
+}  // namespace rtct::chaos

@@ -1,0 +1,457 @@
+#include "src/chaos/fuzz.h"
+
+#include <cstring>
+#include <limits>
+
+#include "src/common/bytes.h"
+#include "src/common/random.h"
+#include "src/core/session.h"
+#include "src/core/spectate.h"
+#include "src/core/sync_peer.h"
+#include "src/core/wire.h"
+#include "src/games/cellwars.h"
+
+namespace rtct::chaos {
+
+namespace {
+
+using core::FeedAckMsg;
+using core::HelloMsg;
+using core::InputFeedMsg;
+using core::JoinRequestMsg;
+using core::Message;
+using core::SnapshotMsg;
+using core::StartMsg;
+using core::SyncMsg;
+
+// Mirror of wire.cpp's decode bounds (documented in docs/PROTOCOL.md):
+// anything decode accepts must satisfy these, so the fuzzer checks them
+// independently rather than trusting the implementation it is testing.
+constexpr FrameNo kMaxWireFrame = FrameNo{1} << 48;
+constexpr std::size_t kMaxWireInputs = 4096;
+constexpr std::size_t kMaxSnapshot = 1 << 20;
+
+bool frame_ok(FrameNo f, FrameNo floor) { return f >= floor && f < kMaxWireFrame; }
+bool time_ok(Time t, Time floor) { return t >= floor; }
+
+/// Checks an accepted message against the documented field ranges.
+std::optional<std::string> validate_accepted(const Message& m) {
+  if (const auto* h = std::get_if<HelloMsg>(&m)) {
+    if (!time_ok(h->hello_time, 0) || !time_ok(h->echo_time, -1) ||
+        !time_ok(h->echo_hold, 0) || !time_ok(h->adv_rtt, -1)) {
+      return "accepted HELLO with out-of-range timestamps";
+    }
+  } else if (const auto* s = std::get_if<SyncMsg>(&m)) {
+    if (!frame_ok(s->first_frame, 0) || !frame_ok(s->ack_frame, -1) ||
+        !frame_ok(s->hash_frame, -1)) {
+      return "accepted SYNC with out-of-range frames";
+    }
+    if (!time_ok(s->send_time, 0) || !time_ok(s->echo_time, -1) ||
+        !time_ok(s->echo_hold, 0)) {
+      return "accepted SYNC with out-of-range timestamps";
+    }
+    if (s->inputs.size() > kMaxWireInputs) return "accepted SYNC over the input cap";
+  } else if (const auto* snap = std::get_if<SnapshotMsg>(&m)) {
+    if (!frame_ok(snap->frame, 0)) return "accepted SNAPSHOT with out-of-range frame";
+    if (snap->state.size() > kMaxSnapshot) return "accepted SNAPSHOT over the size cap";
+  } else if (const auto* f = std::get_if<InputFeedMsg>(&m)) {
+    if (!frame_ok(f->first_frame, 0)) return "accepted FEED with out-of-range frame";
+    if (f->inputs.size() > kMaxWireInputs) return "accepted FEED over the input cap";
+  } else if (const auto* a = std::get_if<FeedAckMsg>(&m)) {
+    if (!frame_ok(a->frame, -1)) return "accepted ACK with out-of-range frame";
+  }
+  return std::nullopt;
+}
+
+/// Edge-biased 64-bit value: boundaries of the decode ranges plus noise.
+std::int64_t interesting_i64(Rng& rng) {
+  switch (rng.uniform(0, 8)) {
+    case 0: return 0;
+    case 1: return 1;
+    case 2: return -1;
+    case 3: return -2;
+    case 4: return (std::int64_t{1} << 48) - 1;
+    case 5: return std::int64_t{1} << 48;
+    case 6: return std::numeric_limits<std::int64_t>::max();
+    case 7: return std::numeric_limits<std::int64_t>::min();
+    default: return static_cast<std::int64_t>(rng.next_u64());
+  }
+}
+
+/// A random message with edge-biased fields, encoded. Most are hostile
+/// (fields outside the accepted ranges) — the decoder must reject them.
+std::vector<std::uint8_t> random_encoded(Rng& rng) {
+  Message m;
+  switch (rng.uniform(0, 6)) {
+    case 0: {
+      HelloMsg h;
+      h.site = static_cast<SiteId>(rng.uniform(-1, 2));
+      h.protocol_version = static_cast<std::uint32_t>(rng.uniform(0, 3));
+      h.rom_checksum = rng.next_u64();
+      h.cfps = static_cast<std::uint16_t>(rng.uniform(0, 240));
+      h.buf_frames = static_cast<std::uint16_t>(rng.uniform(0, 64));
+      h.hello_time = interesting_i64(rng);
+      h.echo_time = interesting_i64(rng);
+      h.echo_hold = interesting_i64(rng);
+      h.adv_rtt = interesting_i64(rng);
+      h.flags = static_cast<std::uint8_t>(rng.uniform(0, 255));
+      h.redundancy = static_cast<std::uint16_t>(rng.uniform(0, 16));
+      m = h;
+      break;
+    }
+    case 1: {
+      StartMsg s;
+      s.site = static_cast<SiteId>(rng.uniform(-1, 2));
+      s.buf_frames = static_cast<std::uint16_t>(rng.uniform(0, 64));
+      m = s;
+      break;
+    }
+    case 2: {
+      SyncMsg s;
+      s.site = static_cast<SiteId>(rng.uniform(-2, 3));
+      s.ack_frame = interesting_i64(rng);
+      s.first_frame = interesting_i64(rng);
+      const auto n = static_cast<std::size_t>(
+          rng.bernoulli(0.05) ? rng.uniform(0, 4096) : rng.uniform(0, 12));
+      for (std::size_t i = 0; i < n; ++i) {
+        s.inputs.push_back(static_cast<InputWord>(rng.next_u64()));
+      }
+      s.send_time = interesting_i64(rng);
+      s.echo_time = interesting_i64(rng);
+      s.echo_hold = interesting_i64(rng);
+      s.hash_frame = interesting_i64(rng);
+      s.state_hash = rng.next_u64();
+      m = s;
+      break;
+    }
+    case 3: {
+      JoinRequestMsg j;
+      j.content_id = rng.bernoulli(0.5) ? 0xCE113A125ull : rng.next_u64();
+      m = j;
+      break;
+    }
+    case 4: {
+      SnapshotMsg s;
+      s.frame = interesting_i64(rng);
+      const auto n = static_cast<std::size_t>(
+          rng.bernoulli(0.05) ? rng.uniform(0, 4096) : rng.uniform(0, 80));
+      s.state.resize(n);
+      for (auto& b : s.state) b = static_cast<std::uint8_t>(rng.next_u64());
+      m = s;
+      break;
+    }
+    case 5: {
+      InputFeedMsg f;
+      f.first_frame = interesting_i64(rng);
+      const auto n = static_cast<std::size_t>(rng.uniform(0, 12));
+      for (std::size_t i = 0; i < n; ++i) {
+        f.inputs.push_back(static_cast<InputWord>(rng.next_u64()));
+      }
+      m = f;
+      break;
+    }
+    default: {
+      FeedAckMsg a;
+      a.frame = interesting_i64(rng);
+      m = a;
+      break;
+    }
+  }
+  return core::encode_message(m);
+}
+
+/// Mutates a buffer in place: truncation, extension, byte flips, or a
+/// count-field rewrite (the classic length-confusion attack).
+void mutate(Rng& rng, std::vector<std::uint8_t>* buf) {
+  switch (rng.uniform(0, 4)) {
+    case 0:  // truncate
+      if (!buf->empty()) {
+        buf->resize(static_cast<std::size_t>(
+            rng.uniform(0, static_cast<std::int64_t>(buf->size()) - 1)));
+      }
+      break;
+    case 1: {  // extend with noise
+      const auto extra = static_cast<std::size_t>(rng.uniform(1, 16));
+      for (std::size_t i = 0; i < extra; ++i) {
+        buf->push_back(static_cast<std::uint8_t>(rng.next_u64()));
+      }
+      break;
+    }
+    case 2: {  // flip a few bytes
+      const auto flips = static_cast<std::size_t>(rng.uniform(1, 8));
+      for (std::size_t i = 0; i < flips && !buf->empty(); ++i) {
+        const auto pos = static_cast<std::size_t>(
+            rng.uniform(0, static_cast<std::int64_t>(buf->size()) - 1));
+        (*buf)[pos] = static_cast<std::uint8_t>(rng.next_u64());
+      }
+      break;
+    }
+    case 3: {  // overwrite 4 bytes with an inflated u32 (count confusion)
+      if (buf->size() >= 5) {
+        const auto pos = static_cast<std::size_t>(
+            rng.uniform(1, static_cast<std::int64_t>(buf->size()) - 4));
+        const std::uint32_t v =
+            rng.bernoulli(0.5) ? 0xFFFFFFFFu : static_cast<std::uint32_t>(rng.uniform(0, 1 << 21));
+        std::memcpy(buf->data() + pos, &v, 4);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void append_raw(ByteWriter& w, const std::vector<std::uint8_t>& extra) {
+  for (std::uint8_t b : extra) w.u8(b);
+}
+
+}  // namespace
+
+std::optional<std::string> check_decoder(std::span<const std::uint8_t> bytes) {
+  const auto decoded = core::decode_message(bytes);
+  if (!decoded) return std::nullopt;  // rejection is correct for hostile input
+  if (auto bad = validate_accepted(*decoded)) return bad;
+  // Canonical round-trip: an accepted message re-encodes to bytes that
+  // decode to the same message (encode ∘ decode idempotent past one hop).
+  const auto once = core::encode_message(*decoded);
+  const auto again = core::decode_message(once);
+  if (!again) return "re-encoded accepted message no longer decodes";
+  if (core::encode_message(*again) != once) {
+    return "decode/encode round-trip is not canonical";
+  }
+  return std::nullopt;
+}
+
+std::vector<CorpusEntry> build_corpus() {
+  std::vector<CorpusEntry> out;
+  const auto add = [&out](std::string name, std::vector<std::uint8_t> bytes,
+                          bool expect_reject) {
+    out.push_back({std::move(name) + ".bin", std::move(bytes), expect_reject});
+  };
+  const auto valid = [&add](std::string name, const Message& m) {
+    add(std::move(name), core::encode_message(m), false);
+  };
+
+  // --- valid edge cases: every type, every sentinel --------------------
+  HelloMsg hello;
+  hello.site = 1;
+  hello.protocol_version = 2;
+  hello.rom_checksum = 0x1234'5678'9abc'def0ull;
+  hello.cfps = 60;
+  hello.buf_frames = 6;
+  hello.hello_time = 123456789;
+  hello.echo_time = -1;  // "no echo yet" sentinel
+  hello.adv_rtt = -1;    // "unmeasured" sentinel
+  valid("hello_valid", hello);
+
+  valid("start_valid", StartMsg{0, 6});
+
+  SyncMsg sync;
+  sync.site = 1;
+  sync.ack_frame = -1;  // nothing received yet
+  sync.first_frame = 0;
+  sync.inputs = {1, 2, 3, 0xFFFF};
+  sync.send_time = 1'000'000;
+  sync.echo_time = -1;
+  sync.hash_frame = -1;
+  valid("sync_first_flush", sync);
+  sync.ack_frame = 41;
+  sync.first_frame = 42;
+  sync.send_time = 2'000'000'000;
+  sync.echo_time = 1'999'000'000;
+  sync.echo_hold = 5'000'000;
+  sync.hash_frame = 40;
+  sync.state_hash = 0xfeedface;
+  valid("sync_steady_state", sync);
+  sync.inputs.clear();
+  valid("sync_ack_only", sync);
+  sync.first_frame = kMaxWireFrame - 1;
+  sync.ack_frame = kMaxWireFrame - 1;
+  sync.hash_frame = kMaxWireFrame - 1;
+  sync.inputs = {7};
+  valid("sync_max_frame", sync);
+
+  valid("join_valid", JoinRequestMsg{0xCE113A125ull});
+  valid("snapshot_frame_zero", SnapshotMsg{0, {0x01, 0x02, 0x03}});
+  valid("snapshot_empty_state", SnapshotMsg{10, {}});
+  valid("feed_valid", InputFeedMsg{0, {9, 8, 7}});
+  valid("feedack_pregame", FeedAckMsg{-1});
+  valid("feedack_valid", FeedAckMsg{599});
+
+  // --- hostile shapes the decoder must reject --------------------------
+  add("empty", {}, true);
+  add("unknown_type_0", {0x00}, true);
+  add("unknown_type_8", {0x08, 0x01, 0x02}, true);
+  add("unknown_type_255", {0xFF}, true);
+
+  const auto truncations = [&add](const std::string& base, const Message& m) {
+    const auto full = core::encode_message(m);
+    add(base + "_trunc_1", {full.begin(), full.begin() + 1}, true);
+    add(base + "_trunc_half",
+        {full.begin(), full.begin() + static_cast<std::ptrdiff_t>(full.size() / 2)}, true);
+    add(base + "_trunc_tail", {full.begin(), full.end() - 1}, true);
+    auto trailing = full;
+    trailing.push_back(0x00);
+    add(base + "_trailing_garbage", std::move(trailing), true);
+  };
+  truncations("hello", hello);
+  truncations("sync", sync);
+  truncations("snapshot", SnapshotMsg{3, {1, 2, 3, 4}});
+  truncations("feed", InputFeedMsg{5, {1, 2}});
+
+  {
+    // SYNC claiming 4096 inputs but carrying 2: length confusion.
+    ByteWriter w(64);
+    w.u8(3); w.i32(1); w.i64(0); w.i64(0); w.u32(4096); w.u16(1); w.u16(2);
+    add("sync_count_oversized", w.take(), true);
+  }
+  {
+    // SYNC claiming 2^32-1 inputs: must reject before reserving.
+    ByteWriter w(64);
+    w.u8(3); w.i32(1); w.i64(0); w.i64(0); w.u32(0xFFFFFFFFu);
+    add("sync_count_huge", w.take(), true);
+  }
+  {
+    // SNAPSHOT claiming 2 MiB with a 4-byte body.
+    ByteWriter w(64);
+    w.u8(5); w.i64(0); w.u32(2u << 20); w.u32(0xdeadbeef);
+    add("snapshot_len_oversized", w.take(), true);
+  }
+  {
+    // FEED claiming the exact cap with no body.
+    ByteWriter w(64);
+    w.u8(6); w.i64(0); w.u32(4096);
+    add("feed_count_oversized", w.take(), true);
+  }
+
+  // Out-of-range fields in otherwise well-formed encodings.
+  SyncMsg bad = sync;
+  bad.first_frame = kMaxWireFrame;
+  add("sync_frame_past_cap", core::encode_message(Message{bad}), true);
+  bad = sync;
+  bad.first_frame = -1;
+  add("sync_negative_first_frame", core::encode_message(Message{bad}), true);
+  bad = sync;
+  bad.ack_frame = -2;
+  add("sync_ack_below_sentinel", core::encode_message(Message{bad}), true);
+  bad = sync;
+  bad.send_time = -5;
+  add("sync_negative_send_time", core::encode_message(Message{bad}), true);
+  bad = sync;
+  bad.echo_hold = std::numeric_limits<Dur>::min();
+  add("sync_negative_echo_hold", core::encode_message(Message{bad}), true);
+  bad = sync;
+  bad.hash_frame = std::numeric_limits<FrameNo>::max();
+  add("sync_hash_frame_intmax", core::encode_message(Message{bad}), true);
+
+  HelloMsg bad_hello = hello;
+  bad_hello.hello_time = -1;
+  add("hello_negative_time", core::encode_message(Message{bad_hello}), true);
+  bad_hello = hello;
+  bad_hello.echo_hold = -1'000'000;
+  add("hello_negative_hold", core::encode_message(Message{bad_hello}), true);
+
+  add("snapshot_frame_pregame", core::encode_message(Message{SnapshotMsg{-1, {1}}}), true);
+  add("snapshot_frame_below_sentinel", core::encode_message(Message{SnapshotMsg{-2, {1}}}), true);
+  add("feed_negative_frame", core::encode_message(Message{InputFeedMsg{-1, {1}}}), true);
+  add("feed_huge_frame",
+      core::encode_message(Message{InputFeedMsg{std::numeric_limits<FrameNo>::max() - 3, {1, 2}}}),
+      true);
+  add("feedack_below_sentinel", core::encode_message(Message{FeedAckMsg{-2}}), true);
+
+  {
+    // A SYNC whose input window *ends* past the frame cap (first_frame
+    // in range, first_frame + n out of it) — in range per-field, only the
+    // window arithmetic overflows. Decode accepts it (per-field rules);
+    // ingest must still be safe. Kept in the corpus as a decoder
+    // round-trip case.
+    ByteWriter w(64);
+    w.u8(3); w.i32(1); w.i64(0); w.i64((FrameNo{1} << 48) - 2); w.u32(4);
+    w.u16(1); w.u16(2); w.u16(3); w.u16(4);
+    w.i64(1); w.i64(-1); w.i64(0); w.i64(-1); w.u64(0);
+    add("sync_window_spans_cap", w.take(), false);
+  }
+  {
+    // Raw noise that happens to start with a valid type byte.
+    ByteWriter w(64);
+    w.u8(3);
+    append_raw(w, {0xde, 0xad, 0xbe, 0xef, 0x00, 0x11, 0x22});
+    add("sync_noise_body", w.take(), true);
+  }
+  return out;
+}
+
+std::optional<std::string> fuzz_wire(std::uint64_t seed, int iterations, FuzzStats* stats) {
+  Rng rng(seed);
+  FuzzStats local;
+  for (int i = 0; i < iterations; ++i) {
+    ++local.iterations;
+    std::vector<std::uint8_t> buf;
+    if (rng.bernoulli(0.15)) {
+      // Pure noise.
+      buf.resize(static_cast<std::size_t>(rng.uniform(0, 64)));
+      for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next_u64());
+    } else {
+      buf = random_encoded(rng);
+      if (rng.bernoulli(0.7)) mutate(rng, &buf);
+    }
+    if (core::decode_message(buf)) {
+      ++local.accepted;
+    } else {
+      ++local.rejected;
+    }
+    if (auto fail = check_decoder(buf)) {
+      if (stats != nullptr) *stats = local;
+      return "iteration " + std::to_string(i) + " (seed " + std::to_string(seed) +
+             "): " + *fail;
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return std::nullopt;
+}
+
+std::optional<std::string> fuzz_ingest(std::uint64_t seed, int iterations) {
+  Rng rng(seed);
+  core::SyncConfig cfg;
+  cfg.buf_frames = 4;
+  core::SyncPeer peer(0, cfg);
+  core::SessionControl session(0, /*rom_checksum=*/1, cfg);
+  core::SpectatorHost host(/*content_id=*/7, cfg);
+  games::CellWarsGame replica;
+  core::SpectatorClient client(replica, cfg);
+
+  FrameNo local_frame = 0;
+  Time now = 0;
+  for (int i = 0; i < iterations; ++i) {
+    now += 1'000'000;  // 1 ms per iteration keeps timestamps sane
+    auto buf = random_encoded(rng);
+    if (rng.bernoulli(0.7)) mutate(rng, &buf);
+    const auto decoded = core::decode_message(buf);
+    if (decoded) {
+      // The decoder accepted it, so every state machine must survive it —
+      // this is exactly the deployed trust boundary.
+      session.ingest(*decoded, now);
+      host.ingest(*decoded);
+      client.ingest(*decoded);
+      if (const auto* sync = std::get_if<SyncMsg>(&*decoded)) {
+        peer.ingest(*sync, now);
+      }
+    }
+    // Drive the machines forward so ingested state is consumed, not just
+    // stored: local frames advance, ready inputs pop, messages flush.
+    peer.submit_local(local_frame, static_cast<InputWord>(rng.next_u64()));
+    ++local_frame;
+    while (peer.ready()) peer.pop();
+    (void)peer.make_message(now);
+    if (host.wants_snapshot()) {
+      host.provide_snapshot(static_cast<FrameNo>(i), {0x01, 0x02});
+    }
+    host.on_frame(static_cast<FrameNo>(i), static_cast<InputWord>(rng.next_u64()));
+    (void)host.make_message(now);
+    (void)client.make_message(now);
+    (void)client.step_available();
+  }
+  return std::nullopt;  // sanitizers are the oracle here
+}
+
+}  // namespace rtct::chaos

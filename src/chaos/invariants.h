@@ -1,0 +1,52 @@
+// Machine-readable invariants over completed chaos sessions.
+//
+// The soak engine does not eyeball plots: every run is reduced to a list
+// of Violations, each naming the invariant, the first frame it broke at,
+// and a human-readable detail string. An empty list is the pass
+// condition. The invariant set encodes what lockstep *guarantees* no
+// matter how hostile the path was:
+//
+//   completion        both/all sites ran every frame, no watchdog abort
+//   state-hash        replicas (and observers) agree frame by frame
+//   watermark         each site's timeline is gapless: frames 0..N-1 in
+//                     order (the observable face of the LastRcvFrame
+//                     watermark staying contiguous)
+//   frame-lead        no site outran a peer by more than BufFrame frames:
+//                     input for frame f cannot be ready before the peer
+//                     began frame f - BufFrame (causality of Algorithm 2)
+//   pacer-convergence once faults clear, frame times re-lock to the CFPS
+//                     period (Algorithm 4 actually converges)
+//   telemetry         link/peer counters are mutually consistent (offered
+//                     = delivered + dropped - duplicated, ingested never
+//                     exceeds delivered, no stale-message drops)
+//   spectator         observers never see a pre-frame-0 snapshot and every
+//                     replayed frame hashes identically to the players'
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/testbed/experiment.h"
+#include "src/testbed/mesh_experiment.h"
+
+namespace rtct::chaos {
+
+struct Violation {
+  std::string invariant;  ///< stable identifier, e.g. "state-hash"
+  FrameNo frame = -1;     ///< first offending frame (-1 = not frame-scoped)
+  std::string detail;
+};
+
+std::vector<Violation> check_two_site(const testbed::ExperimentConfig& cfg,
+                                      const testbed::ExperimentResult& r);
+
+/// `pacing_reference` (optional): a fault-free run of the same script.
+/// When given, the pacer invariant asks "did the session return to the
+/// clean system's pace once faults cleared?" instead of holding the mesh
+/// to the nominal period — with N sites and higher RTT even a clean mesh
+/// legitimately paces above CFPS (the paper's Figure-1 regime boundary).
+std::vector<Violation> check_mesh(const testbed::MeshExperimentConfig& cfg,
+                                  const testbed::MeshExperimentResult& r,
+                                  const testbed::MeshExperimentResult* pacing_reference = nullptr);
+
+}  // namespace rtct::chaos

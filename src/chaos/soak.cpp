@@ -1,0 +1,190 @@
+#include "src/chaos/soak.h"
+
+#include "src/common/json.h"
+#include "src/games/cellwars.h"
+
+namespace rtct::chaos {
+
+namespace {
+
+net::NetemConfig base_path(const FaultScript& s) {
+  net::NetemConfig c = net::NetemConfig::for_rtt(s.base_rtt);
+  c.jitter = milliseconds(2);
+  c.loss = s.base_loss;
+  return c;
+}
+
+/// The degraded shape a fault applies while active.
+net::NetemConfig degraded_path(const FaultScript& s, const Fault& f) {
+  net::NetemConfig d = base_path(s);
+  switch (f.kind) {
+    case FaultKind::kLossBurst:
+      d.loss = f.magnitude;
+      break;
+    case FaultKind::kReorderStorm:
+      d.reorder = f.magnitude;
+      d.reorder_extra = f.extra;
+      break;
+    case FaultKind::kDuplication:
+      d.duplicate = f.magnitude;
+      break;
+    case FaultKind::kLatencySpike:
+      d.delay = static_cast<Dur>(static_cast<double>(d.delay) * f.magnitude);
+      d.jitter = f.extra;
+      break;
+    case FaultKind::kAsymFlip:
+      d.loss = f.magnitude;
+      break;
+    case FaultKind::kConfigFlap:
+      d.delay = static_cast<Dur>(static_cast<double>(d.delay) * f.magnitude);
+      break;
+    case FaultKind::kSiteStall:
+      break;  // no path change
+  }
+  return d;
+}
+
+void common_sync(const FaultScript& s, core::SyncConfig* sync) {
+  sync->hash_interval = 30;  // tighter desync tripwire than the default
+  if (s.adaptive_transport) {
+    sync->adaptive_lag = true;
+    sync->adaptive_resend = true;
+    sync->redundant_inputs = 2;
+  }
+}
+
+}  // namespace
+
+testbed::ExperimentConfig lower_two_site(const FaultScript& s) {
+  testbed::ExperimentConfig cfg;
+  // Native game: a full two-site session costs ~10 ms of host CPU, which
+  // is what lets the soak run hundreds of seeds inside tier-1 budgets.
+  cfg.game_factory = games::make_cellwars;
+  cfg.frames = s.frames;
+  common_sync(s, &cfg.sync);
+  const net::NetemConfig base = base_path(s);
+  cfg.net_a_to_b = base;
+  cfg.net_b_to_a = base;
+  cfg.site_boot_delay[1] = s.boot_skew;
+  cfg.input_seed[0] = s.seed + 1;
+  cfg.input_seed[1] = s.seed + 2;
+  cfg.net_seed = s.seed + 3;
+  cfg.observers = s.observers;
+  cfg.observer_join_delays = s.observer_join_delays;
+  cfg.observer_leave_after = s.observer_leave_after;
+
+  using Dir = testbed::ExperimentConfig::NetEvent::Dir;
+  for (const Fault& f : s.faults) {
+    const net::NetemConfig d = degraded_path(s, f);
+    switch (f.kind) {
+      case FaultKind::kSiteStall:
+        cfg.stall_events.push_back({f.at, f.duration, f.site});
+        break;
+      case FaultKind::kAsymFlip: {
+        // Degrade one direction, then hand the degradation to the other
+        // mid-fault: the path asymmetry itself flips.
+        const Dir first = f.site == 0 ? Dir::kAToB : Dir::kBToA;
+        const Dir second = f.site == 0 ? Dir::kBToA : Dir::kAToB;
+        cfg.net_events.push_back({f.at, d, first});
+        cfg.net_events.push_back({f.at + f.duration / 2, base, first});
+        cfg.net_events.push_back({f.at + f.duration / 2, d, second});
+        cfg.net_events.push_back({f.at + f.duration, base, second});
+        break;
+      }
+      case FaultKind::kConfigFlap: {
+        // Rapid alternation: four reconfigurations across the window, the
+        // kind of thrash a flapping route or an aggressive ABR would cause.
+        const Dur step = f.duration / 4;
+        for (int k = 0; k < 4; ++k) {
+          cfg.net_events.push_back({f.at + k * step, k % 2 == 0 ? d : base, Dir::kBoth});
+        }
+        cfg.net_events.push_back({f.at + f.duration, base, Dir::kBoth});
+        break;
+      }
+      default:
+        cfg.net_events.push_back({f.at, d, Dir::kBoth});
+        cfg.net_events.push_back({f.at + f.duration, base, Dir::kBoth});
+        break;
+    }
+  }
+  return cfg;
+}
+
+testbed::MeshExperimentConfig lower_mesh(const FaultScript& s) {
+  testbed::MeshExperimentConfig cfg;
+  cfg.game_factory = games::make_cellwars;
+  cfg.num_sites = s.num_sites;
+  cfg.frames = s.frames;
+  cfg.sync.hash_interval = 30;  // mesh has no handshake: keep fixed lag
+  cfg.net = base_path(s);
+  cfg.boot_stagger = s.boot_skew;
+  cfg.input_seed_base = s.seed + 11;
+  cfg.net_seed = s.seed + 3;
+  const net::NetemConfig base = base_path(s);
+  for (const Fault& f : s.faults) {
+    const net::NetemConfig d = degraded_path(s, f);
+    if (f.kind == FaultKind::kConfigFlap) {
+      const Dur step = f.duration / 4;
+      for (int k = 0; k < 4; ++k) {
+        cfg.net_events.push_back({f.at + k * step, k % 2 == 0 ? d : base});
+      }
+      cfg.net_events.push_back({f.at + f.duration, base});
+    } else {
+      cfg.net_events.push_back({f.at, d});
+      cfg.net_events.push_back({f.at + f.duration, base});
+    }
+  }
+  return cfg;
+}
+
+SoakOutcome run_soak_case(const FaultScript& script) {
+  SoakOutcome o;
+  o.script = script;
+  if (script.topology == Topology::kMesh) {
+    const testbed::MeshExperimentConfig cfg = lower_mesh(script);
+    const testbed::MeshExperimentResult r = run_mesh_experiment(cfg);
+    // Fault-free twin: the pacing baseline this script's mesh actually
+    // holds, against which post-fault re-convergence is judged.
+    FaultScript clean = script;
+    clean.faults.clear();
+    const testbed::MeshExperimentResult ref = run_mesh_experiment(lower_mesh(clean));
+    o.violations = check_mesh(cfg, r, &ref);
+    o.first_divergence = r.first_divergence();
+    o.frames_completed = r.sites.empty() ? 0 : r.sites[0].frames_completed;
+  } else {
+    const testbed::ExperimentConfig cfg = lower_two_site(script);
+    const testbed::ExperimentResult r = run_experiment(cfg);
+    o.violations = check_two_site(cfg, r);
+    o.first_divergence = r.first_divergence();
+    o.frames_completed = r.site[0].frames_completed;
+  }
+  return o;
+}
+
+SoakOutcome run_soak_case(std::uint64_t seed, Topology topology) {
+  return run_soak_case(generate_fault_script(seed, topology));
+}
+
+std::string outcome_to_json(const SoakOutcome& o) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("rtct.chaos.repro.v1");
+  w.key("pass").value(o.passed());
+  w.key("first_divergence").value(static_cast<std::int64_t>(o.first_divergence));
+  w.key("frames_completed").value(static_cast<std::int64_t>(o.frames_completed));
+  w.key("violations").begin_array();
+  for (const Violation& v : o.violations) {
+    w.begin_object();
+    w.key("invariant").value(v.invariant);
+    w.key("frame").value(static_cast<std::int64_t>(v.frame));
+    w.key("detail").value(v.detail);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("script");
+  write_script(w, o.script);
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace rtct::chaos

@@ -1,0 +1,51 @@
+// The chaos soak engine: lowers a FaultScript onto the testbed, runs the
+// session on the virtual clock, and reduces the outcome to a pass/fail
+// verdict plus a repro document.
+//
+// Everything is deterministic end to end: the script is derived from the
+// seed, the simulation is virtual-time, and the repro JSON contains no
+// wall-clock material — the same seed always produces byte-identical
+// output, which is itself one of the soak test's assertions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/chaos/fault_script.h"
+#include "src/chaos/invariants.h"
+#include "src/testbed/experiment.h"
+#include "src/testbed/mesh_experiment.h"
+
+namespace rtct::chaos {
+
+/// Lowers a script onto the two-site harness (two_site and spectator
+/// topologies). Faults become timed NetemConfig swaps / stall events; the
+/// session runs the native CellWars game so hundreds of seeds stay cheap.
+testbed::ExperimentConfig lower_two_site(const FaultScript& script);
+
+/// Lowers a mesh script: every fault degrades and restores the whole mesh.
+testbed::MeshExperimentConfig lower_mesh(const FaultScript& script);
+
+struct SoakOutcome {
+  FaultScript script;
+  std::vector<Violation> violations;
+  FrameNo first_divergence = -1;
+  /// Frames site 0 actually completed (diagnostic).
+  FrameNo frames_completed = 0;
+
+  [[nodiscard]] bool passed() const { return violations.empty(); }
+};
+
+/// Runs one complete chaos case: lower, simulate, check invariants.
+SoakOutcome run_soak_case(const FaultScript& script);
+
+/// Convenience: generate-then-run.
+SoakOutcome run_soak_case(std::uint64_t seed, Topology topology);
+
+/// The minimized repro document ("rtct.chaos.repro.v1"): the full fault
+/// script (hand-editable — replay parses it back rather than regenerating
+/// from the seed), every violation, and the first divergent frame. One
+/// command replays it: `rtct_chaos replay <file>`.
+std::string outcome_to_json(const SoakOutcome& outcome);
+
+}  // namespace rtct::chaos

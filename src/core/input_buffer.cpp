@@ -3,7 +3,7 @@
 namespace rtct::core {
 
 InputBuffer::Entry* InputBuffer::entry_at(FrameNo frame, bool create) {
-  if (frame < base_) return nullptr;
+  if (frame < base_ || frame - base_ > kMaxFrameWindow) return nullptr;
   const auto idx = static_cast<std::size_t>(frame - base_);
   if (idx >= entries_.size()) {
     if (!create) return nullptr;

@@ -26,9 +26,19 @@ class InputBuffer {
 
   static constexpr int kMaxSites = 8;
 
+  /// Widest window (frames above `base()`) a put may open. Legitimate
+  /// traffic never runs more than local-lag + retransmission-window ahead
+  /// of the trim point (tens of frames); a forged first_frame that passes
+  /// the wire-level range check must not force an unbounded deque
+  /// allocation here. 2^16 frames ≈ 18 minutes at 60 FPS — far beyond any
+  /// real skew, cheap to reject.
+  static constexpr FrameNo kMaxFrameWindow = 1 << 16;
+
   /// Records site `site`'s partial input for `frame`. Returns true if the
   /// slot was empty (false = duplicate, ignored). Frames below the trim
-  /// point are stale retransmissions and count as duplicates.
+  /// point are stale retransmissions and count as duplicates; frames more
+  /// than kMaxFrameWindow above it are hostile or corrupt and are ignored
+  /// the same way.
   bool put(SiteId site, FrameNo frame, InputWord partial);
 
   [[nodiscard]] bool has(SiteId site, FrameNo frame) const;

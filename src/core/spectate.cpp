@@ -105,6 +105,10 @@ void SpectatorClient::ingest(const Message& msg) {
       ack_dirty_ = true;
       return;
     }
+    // The wire decoder already rejects pre-frame-0 snapshots; this guards
+    // the in-process path too — an observer must never adopt state from
+    // before the session's first frame.
+    if (snap->frame < 0) return;
     if (!game_.load_state(snap->state)) return;  // corrupt — keep requesting
     joined_ = true;
     applied_frame_ = snap->frame;

@@ -19,6 +19,24 @@ enum class MsgType : std::uint8_t {
 constexpr std::size_t kMaxWireInputs = 4096;    // decode hard cap (anti-abuse)
 constexpr std::size_t kMaxSnapshot = 1 << 20;   // 1 MiB snapshot cap
 
+// Frame numbers arriving off the wire are bounded to [floor, 2^48): 2^48
+// frames is ~148k years at 60 FPS, so nothing legitimate ever exceeds it,
+// and the headroom guarantees `first_frame + inputs.size()` style
+// arithmetic downstream can never overflow int64. The floor is -1 where
+// the protocol uses -1 as a sentinel (pre-game snapshot / "nothing yet"
+// acks), 0 for input windows. See docs/PROTOCOL.md "Decoder rejection
+// rules".
+constexpr FrameNo kMaxWireFrame = FrameNo{1} << 48;
+
+constexpr bool frame_in_range(FrameNo f, FrameNo floor = 0) {
+  return f >= floor && f < kMaxWireFrame;
+}
+
+// Timestamps/durations are sender-relative nanoseconds; the wire contract
+// is non-negative (or the -1 "unset" sentinel where noted). A negative
+// echo_hold would manufacture inflated RTT samples downstream.
+constexpr bool time_in_range(Time t, Time floor = 0) { return t >= floor; }
+
 }  // namespace
 
 std::vector<std::uint8_t> encode_message(const Message& msg) {
@@ -90,6 +108,10 @@ std::optional<Message> decode_message(std::span<const std::uint8_t> data) {
       m.flags = r.u8();
       m.redundancy = r.u16();
       if (!r.ok() || !r.at_end()) return std::nullopt;
+      if (!time_in_range(m.hello_time) || !time_in_range(m.echo_time, -1) ||
+          !time_in_range(m.echo_hold) || !time_in_range(m.adv_rtt, -1)) {
+        return std::nullopt;
+      }
       return m;
     }
     case MsgType::kStart: {
@@ -118,6 +140,11 @@ std::optional<Message> decode_message(std::span<const std::uint8_t> data) {
       m.hash_frame = r.i64();
       m.state_hash = r.u64();
       if (!r.ok() || !r.at_end()) return std::nullopt;
+      if (!frame_in_range(m.first_frame) || !frame_in_range(m.ack_frame, -1) ||
+          !frame_in_range(m.hash_frame, -1) || !time_in_range(m.send_time) ||
+          !time_in_range(m.echo_time, -1) || !time_in_range(m.echo_hold)) {
+        return std::nullopt;
+      }
       return m;
     }
     case MsgType::kJoinRequest: {
@@ -133,6 +160,10 @@ std::optional<Message> decode_message(std::span<const std::uint8_t> data) {
       if (n > kMaxSnapshot || n > r.remaining()) return std::nullopt;
       const auto body = r.bytes(n);
       if (!r.ok() || !r.at_end()) return std::nullopt;
+      // No producer ever snapshots before frame 0 executed (the drivers
+      // gate on machine.frame() > 0), so a pre-frame-0 snapshot on the
+      // wire is hostile by construction.
+      if (!frame_in_range(m.frame, 0)) return std::nullopt;
       m.state.assign(body.begin(), body.end());
       return m;
     }
@@ -144,13 +175,15 @@ std::optional<Message> decode_message(std::span<const std::uint8_t> data) {
       m.inputs.reserve(n);
       for (std::uint32_t i = 0; i < n; ++i) m.inputs.push_back(r.u16());
       if (!r.ok() || !r.at_end()) return std::nullopt;
+      if (!frame_in_range(m.first_frame)) return std::nullopt;
       return m;
     }
     case MsgType::kFeedAck: {
       FeedAckMsg m;
       m.frame = r.i64();
       if (!r.ok() || !r.at_end()) return std::nullopt;
-      return m;
+      if (!frame_in_range(m.frame, -1)) return std::nullopt;  // -1 acks the
+      return m;                                               // pre-game snapshot
     }
   }
   return std::nullopt;

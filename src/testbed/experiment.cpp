@@ -193,8 +193,24 @@ class SimSite {
     }
   }
 
+  /// Serves any stall event whose start time has passed (in `at` order).
+  /// Returns the total freeze applied so run_main can co_await it.
+  [[nodiscard]] Dur pending_stall() {
+    Dur freeze = 0;
+    while (next_stall_ < stalls_.size() && sim_.now() + freeze >= stalls_[next_stall_].at) {
+      freeze += stalls_[next_stall_].duration;
+      ++next_stall_;
+    }
+    return freeze;
+  }
+
   sim::Task run_main(SharedFlags* flags) {
     if (cfg_.site_boot_delay[site_] > 0) co_await sim_.sleep(cfg_.site_boot_delay[site_]);
+    for (const auto& ev : cfg_.stall_events) {
+      if (ev.site == site_ && ev.duration > 0) stalls_.push_back(ev);
+    }
+    std::sort(stalls_.begin(), stalls_.end(),
+              [](const auto& a, const auto& b) { return a.at < b.at; });
     const Dur deadline = cfg_.effective_watchdog();
 
     // ---- session handshake -------------------------------------------
@@ -217,6 +233,7 @@ class SimSite {
 
     // ---- Algorithm 1: the distributed VM frame loop -------------------
     for (FrameNo frame = 0; frame < cfg_.frames; ++frame) {
+      if (const Dur freeze = pending_stall(); freeze > 0) co_await sim_.sleep(freeze);
       core::FrameRecord rec;
       rec.frame = frame;
 
@@ -266,6 +283,8 @@ class SimSite {
   const ExperimentConfig& cfg_;
   SiteId site_;
   bool lag_applied_ = false;
+  std::vector<ExperimentConfig::StallEvent> stalls_;  ///< this site's, by `at`
+  std::size_t next_stall_ = 0;
   std::vector<std::unique_ptr<ObserverPort>> observer_ports_;
   std::unique_ptr<emu::IDeterministicGame> game_holder_;
   emu::IDeterministicGame& game_;
@@ -282,20 +301,36 @@ class SimSite {
 class SimObserver {
  public:
   SimObserver(sim::Simulator& sim, net::SimEndpoint& ep, const ExperimentConfig& cfg,
-              std::unique_ptr<emu::IDeterministicGame> game)
-      : sim_(sim), ep_(ep), cfg_(cfg), game_holder_(std::move(game)), game_(*game_holder_),
-        client_(game_, cfg.sync) {}
+              int index, std::unique_ptr<emu::IDeterministicGame> game)
+      : sim_(sim), ep_(ep), cfg_(cfg), index_(index), game_holder_(std::move(game)),
+        game_(*game_holder_), client_(game_, cfg.sync) {}
 
   void launch(SharedFlags& flags) { sim_.spawn(run(&flags)); }
 
   ObserverResult take_result() { return std::move(result_); }
 
  private:
+  [[nodiscard]] Dur join_delay() const {
+    const auto i = static_cast<std::size_t>(index_);
+    return i < cfg_.observer_join_delays.size() ? cfg_.observer_join_delays[i]
+                                                : cfg_.observer_join_delay;
+  }
+  [[nodiscard]] Dur leave_after() const {
+    const auto i = static_cast<std::size_t>(index_);
+    return i < cfg_.observer_leave_after.size() ? cfg_.observer_leave_after[i] : 0;
+  }
+
   sim::Task run(SharedFlags* flags) {
-    co_await sim_.sleep(cfg_.observer_join_delay);
+    co_await sim_.sleep(join_delay());
+    const Time watch_start = sim_.now();
+    const Dur watch_for = leave_after();
     Time done_at = -1;
     for (;;) {
       const Time now = sim_.now();
+      if (watch_for > 0 && now - watch_start >= watch_for) {
+        result_.left = true;  // churn: walk away mid-feed, no goodbye
+        break;
+      }
       if (flags->all_done()) {
         if (done_at < 0) done_at = now;
         if (now - done_at > seconds(1)) break;  // grace to finish catching up
@@ -322,6 +357,7 @@ class SimObserver {
   sim::Simulator& sim_;
   net::SimEndpoint& ep_;
   const ExperimentConfig& cfg_;
+  int index_;
   std::unique_ptr<emu::IDeterministicGame> game_holder_;
   emu::IDeterministicGame& game_;
   core::SpectatorClient client_;
@@ -403,13 +439,14 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
         sim, cfg.observer_net, cfg.net_seed + 1000 + static_cast<std::uint64_t>(i)));
     auto& obs_link = *observer_links.back();
     site0.add_observer_port(obs_link.a(), obs_link.a().arrival_trigger());
-    observers.push_back(std::make_unique<SimObserver>(sim, obs_link.b(), cfg, factory()));
+    observers.push_back(std::make_unique<SimObserver>(sim, obs_link.b(), cfg, i, factory()));
   }
 
+  using Dir = ExperimentConfig::NetEvent::Dir;
   for (const auto& ev : cfg.net_events) {
     sim.schedule_at(ev.at, [&link, ev] {
-      link.a().set_tx_config(ev.config);
-      if (ev.both_directions) link.b().set_tx_config(ev.config);
+      if (ev.dir != Dir::kBToA) link.a().set_tx_config(ev.config);
+      if (ev.dir != Dir::kAToB) link.b().set_tx_config(ev.config);
     });
   }
 
@@ -427,8 +464,10 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 bool ExperimentResult::observers_consistent() const {
   for (const auto& obs : observers) {
     if (!obs.joined) return false;
-    // Caught up to within a handful of frames of the session's end.
-    if (obs.last_applied < site[0].frames_completed - 5) return false;
+    // Caught up to within a handful of frames of the session's end —
+    // unless it left mid-session, in which case only the frames it did
+    // replay are held to consistency below.
+    if (!obs.left && obs.last_applied < site[0].frames_completed - 5) return false;
     for (const auto& [frame, hash] : obs.hashes) {
       if (frame < 0 || frame >= static_cast<FrameNo>(site[0].timeline.size())) return false;
       if (site[0].timeline.records()[static_cast<std::size_t>(frame)].state_hash != hash) {

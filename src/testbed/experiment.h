@@ -69,14 +69,28 @@ struct ExperimentConfig {
   Dur tcp_rto = 0;
 
   /// Scheduled mid-run link reconfigurations (virtual time): model a path
-  /// that degrades and recovers during the match. Applied to both
-  /// directions when `both_directions`, else only site0 -> site1.
+  /// that degrades and recovers during the match. `dir` selects which
+  /// direction(s) the new shape applies to (asymmetric-path flips set one
+  /// direction at a time).
   struct NetEvent {
     Dur at = 0;
     net::NetemConfig config;
-    bool both_directions = true;
+    enum class Dir { kBoth, kAToB, kBToA };
+    Dir dir = Dir::kBoth;
   };
   std::vector<NetEvent> net_events;
+
+  /// Scheduled site freezes (virtual time): the site's frame loop stops
+  /// dead for `duration` at the first frame boundary at or after `at` — a
+  /// GC pause, an OS preemption, a swapped-out peer. The site's sender and
+  /// receiver processes keep running (the network threads survive a render
+  /// hiccup); lockstep must absorb the stall and re-converge.
+  struct StallEvent {
+    Dur at = 0;
+    Dur duration = 0;
+    int site = 0;
+  };
+  std::vector<StallEvent> stall_events;
 
   /// Late-joining observers (journal-version extension): each observer
   /// connects to site 0 over its own link, requests a snapshot at its join
@@ -84,6 +98,15 @@ struct ExperimentConfig {
   int observers = 0;
   /// When each observer boots and starts join-requesting.
   Dur observer_join_delay = milliseconds(800);
+  /// Per-observer override of `observer_join_delay` (observer i uses entry
+  /// i; missing entries fall back to the uniform value). A delay of 0
+  /// joins during the session handshake — the deferred-snapshot gate must
+  /// still never serve a pre-frame-0 snapshot.
+  std::vector<Dur> observer_join_delays;
+  /// Per-observer watch duration measured from its join delay: after this
+  /// the observer leaves (stops requesting/acking mid-feed). 0 or missing
+  /// = watches to the end. Models spectator churn.
+  std::vector<Dur> observer_leave_after;
   /// Path between site 0 and each observer (symmetric).
   net::NetemConfig observer_net = net::NetemConfig::for_rtt(milliseconds(40));
 
@@ -128,6 +151,7 @@ struct SiteResult {
 
 struct ObserverResult {
   bool joined = false;
+  bool left = false;            ///< stopped watching before the session ended
   FrameNo snapshot_frame = -1;  ///< session frame the snapshot was taken at
   FrameNo last_applied = -1;    ///< last session frame replayed
   /// (frame, state hash) for every replayed frame — comparable 1:1 with
@@ -140,7 +164,9 @@ struct ExperimentResult {
   std::vector<ObserverResult> observers;
 
   /// True when every observer joined, caught up to (nearly) the end of the
-  /// session, and every replayed frame's hash matches site 0's.
+  /// session, and every replayed frame's hash matches site 0's. Observers
+  /// that left mid-session (churn) are only held to hash consistency over
+  /// the frames they did replay.
   [[nodiscard]] bool observers_consistent() const;
 
   /// Both sites ran to completion with converged state hashes.

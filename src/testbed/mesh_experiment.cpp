@@ -27,11 +27,12 @@ struct MeshFlags {
 class MeshSite {
  public:
   MeshSite(sim::Simulator& sim, const MeshExperimentConfig& cfg, SiteId site,
-           const emu::Rom& rom)
+           std::unique_ptr<emu::IDeterministicGame> game)
       : sim_(sim),
         cfg_(cfg),
         site_(site),
-        game_(rom),
+        game_holder_(std::move(game)),
+        game_(*game_holder_),
         peer_(site, cfg.num_sites, cfg.sync),
         pacer_(site, cfg.sync),
         input_(cfg.input_seed_base + static_cast<std::uint64_t>(site), cfg.input_hold_frames),
@@ -142,7 +143,8 @@ class MeshSite {
   sim::Simulator& sim_;
   const MeshExperimentConfig& cfg_;
   SiteId site_;
-  emu::ArcadeMachine game_;
+  std::unique_ptr<emu::IDeterministicGame> game_holder_;
+  emu::IDeterministicGame& game_;
   core::MeshSyncPeer peer_;
   core::FramePacer pacer_;
   core::MasherInput input_;
@@ -195,16 +197,21 @@ double MeshExperimentResult::worst_synchrony_ms() const {
 
 MeshExperimentResult run_mesh_experiment(const MeshExperimentConfig& cfg) {
   MeshExperimentResult out;
-  const emu::Rom* rom = games::rom_by_name(cfg.game);
-  if (rom == nullptr || 16 % cfg.num_sites != 0 || cfg.num_sites < 2 || cfg.num_sites > 8) {
+  if (16 % cfg.num_sites != 0 || cfg.num_sites < 2 || cfg.num_sites > 8) {
     return out;  // empty result: converged() == false
+  }
+  auto factory = cfg.game_factory;
+  if (!factory) {
+    const emu::Rom* rom = games::rom_by_name(cfg.game);
+    if (rom == nullptr) return out;
+    factory = [rom] { return std::make_unique<emu::ArcadeMachine>(*rom); };
   }
 
   sim::Simulator sim;
 
   std::vector<std::unique_ptr<MeshSite>> sites;
   for (SiteId s = 0; s < cfg.num_sites; ++s) {
-    sites.push_back(std::make_unique<MeshSite>(sim, cfg, s, *rom));
+    sites.push_back(std::make_unique<MeshSite>(sim, cfg, s, factory()));
   }
 
   // Full mesh of duplex links, one per unordered pair.
@@ -216,6 +223,15 @@ MeshExperimentResult run_mesh_experiment(const MeshExperimentConfig& cfg) {
       sites[i]->connect(j, links.back()->a());
       sites[j]->connect(i, links.back()->b());
     }
+  }
+
+  for (const auto& ev : cfg.net_events) {
+    sim.schedule_at(ev.at, [&links, ev] {
+      for (auto& l : links) {
+        l->a().set_tx_config(ev.config);
+        l->b().set_tx_config(ev.config);
+      }
+    });
   }
 
   MeshFlags flags;

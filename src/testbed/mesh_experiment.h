@@ -10,6 +10,7 @@
 // Algorithm 4 rate-locking every slave to site 0.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -18,17 +19,30 @@
 #include "src/core/config.h"
 #include "src/core/metrics.h"
 #include "src/core/sync_peer.h"
+#include "src/emu/game.h"
 #include "src/net/netem.h"
 
 namespace rtct::testbed {
 
 struct MeshExperimentConfig {
   std::string game = "quadtron";
+  /// When set, overrides `game`: produces each site's replica. Any
+  /// IDeterministicGame works (same transparency contract as the two-site
+  /// harness) — the chaos soak runs native games here for speed.
+  std::function<std::unique_ptr<emu::IDeterministicGame>()> game_factory;
   int num_sites = 4;  ///< must divide 16 (2, 4, 8)
   int frames = 600;
 
   core::SyncConfig sync;
   net::NetemConfig net;  ///< applied to every link direction
+
+  /// Scheduled mid-run reconfigurations, applied to every link direction
+  /// at once (the chaos harness degrades and restores the whole mesh).
+  struct NetEvent {
+    Dur at = 0;
+    net::NetemConfig config;
+  };
+  std::vector<NetEvent> net_events;
   /// Site i boots at i * boot_stagger (tests the rendezvous-by-lockstep).
   Dur boot_stagger = milliseconds(20);
   Dur frame_compute_time = milliseconds(2);

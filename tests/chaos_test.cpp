@@ -1,0 +1,180 @@
+// Fast tier-1 coverage of the chaos harness itself: script generation is
+// deterministic and round-trips through JSON, a clean (fault-free) run of
+// every topology satisfies every invariant, a full soak case produces
+// byte-identical repro output on re-run, and the fuzzer machinery runs a
+// smoke-sized batch. The deep soak (hundreds of seeds) and full-corpus
+// fuzz live in chaos_soak_test / wire_fuzz_test under the `soak` and
+// `fuzz` ctest labels.
+#include <gtest/gtest.h>
+
+#include "src/chaos/fault_script.h"
+#include "src/chaos/fuzz.h"
+#include "src/chaos/soak.h"
+#include "src/common/json.h"
+
+namespace rtct::chaos {
+namespace {
+
+TEST(FaultScriptTest, SameSeedSameScript) {
+  const FaultScript a = generate_fault_script(42, Topology::kTwoSite);
+  const FaultScript b = generate_fault_script(42, Topology::kTwoSite);
+  EXPECT_EQ(script_to_json(a), script_to_json(b));
+}
+
+TEST(FaultScriptTest, TopologiesGetDistinctSchedules) {
+  const FaultScript a = generate_fault_script(42, Topology::kTwoSite);
+  const FaultScript b = generate_fault_script(42, Topology::kMesh);
+  ASSERT_FALSE(a.faults.empty());
+  ASSERT_FALSE(b.faults.empty());
+  EXPECT_NE(a.faults[0].at, b.faults[0].at);
+}
+
+TEST(FaultScriptTest, FaultsStayInsideTheCleanMargins) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    for (const Topology t :
+         {Topology::kTwoSite, Topology::kMesh, Topology::kSpectator}) {
+      const FaultScript s = generate_fault_script(seed, t);
+      for (const Fault& f : s.faults) {
+        EXPECT_GE(f.at, milliseconds(500));
+        EXPECT_LE(f.at + f.duration, s.session_length());
+      }
+    }
+  }
+}
+
+TEST(FaultScriptTest, JsonRoundTrip) {
+  const FaultScript s = generate_fault_script(7, Topology::kSpectator);
+  const std::string json = script_to_json(s);
+  const auto doc = parse_json(json);
+  ASSERT_TRUE(doc.has_value());
+  const auto back = script_from_json(*doc);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(script_to_json(*back), json);
+}
+
+TEST(FaultScriptTest, SeedSurvivesJsonAboveDoublePrecision) {
+  // Seeds are serialized as strings: 2^63 + 1 is not representable as a
+  // JSON double, and a repro that silently rounded the seed would replay
+  // a different session.
+  FaultScript s = generate_fault_script(3, Topology::kTwoSite);
+  s.seed = 0x8000000000000001ull;
+  const auto doc = parse_json(script_to_json(s));
+  ASSERT_TRUE(doc.has_value());
+  const auto back = script_from_json(*doc);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->seed, 0x8000000000000001ull);
+}
+
+TEST(FaultScriptTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(script_from_json(*parse_json("{}")).has_value());
+  EXPECT_FALSE(
+      script_from_json(*parse_json(R"({"schema":"other","seed":"1"})"))
+          .has_value());
+  // Numeric seed (would round-trip through double) must be rejected.
+  const std::string json = script_to_json(generate_fault_script(1, Topology::kTwoSite));
+  std::string numeric = json;
+  const auto pos = numeric.find("\"seed\":\"1\"");
+  ASSERT_NE(pos, std::string::npos);
+  numeric.replace(pos, 10, "\"seed\":1");
+  EXPECT_FALSE(script_from_json(*parse_json(numeric)).has_value());
+}
+
+// One clean run per topology: every invariant must hold with no faults
+// injected. This is the harness's own null test — if it fails, the
+// invariants (not the sync stack) are miscalibrated.
+TEST(ChaosSoakTest, CleanTwoSiteSatisfiesAllInvariants) {
+  FaultScript s = generate_fault_script(1, Topology::kTwoSite);
+  s.faults.clear();
+  const SoakOutcome o = run_soak_case(s);
+  EXPECT_TRUE(o.passed()) << outcome_to_json(o);
+}
+
+TEST(ChaosSoakTest, CleanMeshSatisfiesAllInvariants) {
+  FaultScript s = generate_fault_script(1, Topology::kMesh);
+  s.faults.clear();
+  const SoakOutcome o = run_soak_case(s);
+  EXPECT_TRUE(o.passed()) << outcome_to_json(o);
+}
+
+TEST(ChaosSoakTest, CleanSpectatorSatisfiesAllInvariants) {
+  FaultScript s = generate_fault_script(1, Topology::kSpectator);
+  s.faults.clear();
+  const SoakOutcome o = run_soak_case(s);
+  EXPECT_TRUE(o.passed()) << outcome_to_json(o);
+}
+
+TEST(ChaosSoakTest, FaultedCasePassesAndReproIsByteIdentical) {
+  const SoakOutcome a = run_soak_case(5, Topology::kTwoSite);
+  const SoakOutcome b = run_soak_case(5, Topology::kTwoSite);
+  EXPECT_TRUE(a.passed()) << outcome_to_json(a);
+  EXPECT_EQ(outcome_to_json(a), outcome_to_json(b));
+}
+
+TEST(ChaosSoakTest, ReplayFromParsedScriptMatchesGeneratedRun) {
+  // The repro path: a script that went through JSON must drive the exact
+  // same session as the generator's in-memory script.
+  const FaultScript s = generate_fault_script(9, Topology::kMesh);
+  const auto doc = parse_json(script_to_json(s));
+  ASSERT_TRUE(doc.has_value());
+  const auto back = script_from_json(*doc);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(outcome_to_json(run_soak_case(*back)),
+            outcome_to_json(run_soak_case(s)));
+}
+
+TEST(ChaosSoakTest, CorruptedStateHashIsCaught) {
+  // Flip one replica's hash at frame 100 in an otherwise-passing run: the
+  // checker must flag it, proving the state-hash invariant has teeth.
+  FaultScript s = generate_fault_script(2, Topology::kTwoSite);
+  s.faults.clear();
+  const testbed::ExperimentConfig cfg = lower_two_site(s);
+  testbed::ExperimentResult r = run_experiment(cfg);
+  ASSERT_TRUE(check_two_site(cfg, r).empty());
+  core::FrameTimeline corrupted;
+  for (core::FrameRecord rec : r.site[1].timeline.records()) {
+    if (rec.frame == 100) rec.state_hash ^= 1;
+    corrupted.add(rec);
+  }
+  r.site[1].timeline = corrupted;
+  bool saw_desync = false;
+  for (const Violation& v : check_two_site(cfg, r)) {
+    if (v.invariant == "state-hash" && v.frame == 100) saw_desync = true;
+  }
+  EXPECT_TRUE(saw_desync);
+}
+
+TEST(FuzzTest, CorpusIsDeterministic) {
+  const auto a = build_corpus();
+  const auto b = build_corpus();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].bytes, b[i].bytes);
+    EXPECT_EQ(a[i].expect_reject, b[i].expect_reject);
+  }
+}
+
+TEST(FuzzTest, CorpusReplaysInProcess) {
+  for (const CorpusEntry& e : build_corpus()) {
+    const auto failure = check_decoder(e.bytes);
+    EXPECT_FALSE(failure.has_value()) << e.name << ": " << *failure;
+  }
+}
+
+TEST(FuzzTest, WireSmoke) {
+  FuzzStats stats;
+  const auto failure = fuzz_wire(/*seed=*/1, /*iterations=*/2000, &stats);
+  EXPECT_FALSE(failure.has_value()) << *failure;
+  // The generator must actually exercise both sides of the trust
+  // boundary; a fuzzer that only ever rejects is testing nothing.
+  EXPECT_GT(stats.accepted, 0u);
+  EXPECT_GT(stats.rejected, 0u);
+}
+
+TEST(FuzzTest, IngestSmoke) {
+  const auto failure = fuzz_ingest(/*seed=*/1, /*iterations=*/500);
+  EXPECT_FALSE(failure.has_value()) << *failure;
+}
+
+}  // namespace
+}  // namespace rtct::chaos

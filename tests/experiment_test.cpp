@@ -220,8 +220,8 @@ TEST(ExperimentTest, MidSessionDegradationSlowsThenRecovers) {
   // and return to 60 FPS afterwards.
   ExperimentConfig cfg = quick(900);  // 15 seconds
   cfg.set_rtt(milliseconds(40));
-  cfg.net_events.push_back({seconds(4), net::NetemConfig::for_rtt(milliseconds(300)), true});
-  cfg.net_events.push_back({seconds(8), net::NetemConfig::for_rtt(milliseconds(40)), true});
+  cfg.net_events.push_back({seconds(4), net::NetemConfig::for_rtt(milliseconds(300))});
+  cfg.net_events.push_back({seconds(8), net::NetemConfig::for_rtt(milliseconds(40))});
   const auto r = run_experiment(cfg);
   ASSERT_TRUE(r.converged());
 
@@ -243,7 +243,8 @@ TEST(ExperimentTest, AsymmetricDegradationThrottlesBoth) {
   ExperimentConfig cfg = quick(600);
   cfg.set_rtt(milliseconds(40));
   net::NetemConfig bad = net::NetemConfig::for_rtt(milliseconds(400));
-  cfg.net_events.push_back({seconds(3), bad, /*both_directions=*/false});
+  cfg.net_events.push_back(
+      {seconds(3), bad, ExperimentConfig::NetEvent::Dir::kAToB});
   const auto r = run_experiment(cfg);
   ASSERT_TRUE(r.converged());
   // Lockstep: even a one-directional outage slows *both* sites equally.

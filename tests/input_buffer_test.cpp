@@ -95,5 +95,31 @@ TEST(InputBufferTest, MemoryStaysBoundedUnderSteadyState) {
   EXPECT_LE(buf.entries_in_memory(), 8u);
 }
 
+TEST(InputBufferTest, FramesBeyondTheWindowCapIgnored) {
+  // Defense in depth behind the wire decoder: a forged but in-wire-range
+  // first_frame must not make the sparse map allocate an unbounded span.
+  InputBuffer buf;
+  buf.put(0, 0, 1);
+  buf.put(0, InputBuffer::kMaxFrameWindow, 1);      // at the cap: stored
+  buf.put(0, InputBuffer::kMaxFrameWindow + 1, 1);  // beyond: dropped
+  buf.put(0, 1'000'000'000, 1);                     // absurd: dropped
+  EXPECT_TRUE(buf.has(0, InputBuffer::kMaxFrameWindow));
+  EXPECT_FALSE(buf.has(0, InputBuffer::kMaxFrameWindow + 1));
+  EXPECT_FALSE(buf.has(0, 1'000'000'000));
+  // The store is dense from the trim base, so the cap IS the memory
+  // bound: no put() can make it exceed one window.
+  EXPECT_LE(buf.entries_in_memory(), InputBuffer::kMaxFrameWindow + 1);
+}
+
+TEST(InputBufferTest, WindowCapFollowsTrim) {
+  InputBuffer buf;
+  buf.trim_below(1000);
+  EXPECT_FALSE(buf.has(0, 1000 + InputBuffer::kMaxFrameWindow + 1));
+  buf.put(0, 1000 + InputBuffer::kMaxFrameWindow + 1, 1);
+  EXPECT_FALSE(buf.has(0, 1000 + InputBuffer::kMaxFrameWindow + 1));
+  buf.put(0, 1000 + InputBuffer::kMaxFrameWindow, 1);
+  EXPECT_TRUE(buf.has(0, 1000 + InputBuffer::kMaxFrameWindow));
+}
+
 }  // namespace
 }  // namespace rtct::core

@@ -1,6 +1,10 @@
 // Tests for session recording / deterministic replay.
 #include <gtest/gtest.h>
 
+#include <fstream>
+
+#include "src/chaos/fault_script.h"
+#include "src/chaos/soak.h"
 #include "src/common/random.h"
 #include "src/core/replay.h"
 #include "src/games/roms.h"
@@ -99,6 +103,53 @@ TEST(ReplayTest, DistributedSessionRecordingReplaysIdentically) {
     }
   }));
   EXPECT_EQ(mismatches, 0u);
+}
+
+TEST(ReplayTest, ChaoticSessionRecordingReplaysIdentically) {
+  // The chaos-harness version of the round trip: a session driven by a
+  // seeded fault script (loss bursts, stalls, path flips...) must still
+  // record a replay that reproduces every frame hash on a fresh replica —
+  // network chaos may stall the session but can never leak into the
+  // deterministic input record.
+  chaos::FaultScript script =
+      chaos::generate_fault_script(21, chaos::Topology::kTwoSite);
+  const testbed::ExperimentConfig cfg = chaos::lower_two_site(script);
+  const auto r = testbed::run_experiment(cfg);
+  ASSERT_TRUE(r.converged());
+  ASSERT_EQ(r.site[0].replay.inputs(), r.site[1].replay.inputs());
+  ASSERT_EQ(r.site[0].replay.frames(), script.frames);
+
+  auto replica = cfg.game_factory();
+  std::size_t mismatches = 0;
+  ASSERT_TRUE(r.site[0].replay.apply(*replica, [&](FrameNo f, std::uint64_t h) {
+    if (r.site[0].timeline.records()[static_cast<std::size_t>(f)].state_hash != h) {
+      ++mismatches;
+    }
+  }));
+  EXPECT_EQ(mismatches, 0u);
+}
+
+TEST(ReplayTest, TruncatedFileFailsCleanly) {
+  std::uint64_t hash;
+  const Replay rec = make_recorded_session("tanks", 60, 4, &hash);
+  const std::string path = ::testing::TempDir() + "/rtct_replay_trunc.rpl";
+  ASSERT_TRUE(rec.save_file(path));
+  const auto full = Replay::load_file(path);
+  ASSERT_TRUE(full.has_value());
+
+  // Re-save every strict prefix a crashed or interrupted writer could
+  // leave behind: all must be rejected, none may crash.
+  const auto bytes = rec.serialize();
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{4}, std::size_t{7}, bytes.size() / 2,
+        bytes.size() - 1}) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(keep));
+    out.close();
+    EXPECT_FALSE(Replay::load_file(path).has_value()) << keep << " bytes";
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

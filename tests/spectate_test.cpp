@@ -32,7 +32,9 @@ struct Rig {
   }
 
   void serve_snapshot_if_needed() {
-    if (host.wants_snapshot()) {
+    // Same gate as the production drivers: never snapshot before the
+    // session has executed frame 0.
+    if (host.wants_snapshot() && session->frame() > 0) {
       host.provide_snapshot(session->frame() - 1, session->save_state());
     }
   }
@@ -66,14 +68,18 @@ TEST(SpectateTest, LateJoinerConvergesOnPerfectChannel) {
   EXPECT_EQ(rig.replica->state_hash(), rig.session->state_hash());
 }
 
-TEST(SpectateTest, JoinBeforeFirstFrameWorks) {
+TEST(SpectateTest, JoinBeforeFirstFrameDefersUntilFrameZero) {
+  // Pre-frame-0 snapshots are banned (wire and client both reject them):
+  // a join that lands before the session's first frame stays pending and
+  // is answered right after frame 0 executes.
   Rig rig;
-  rig.exchange(0);  // joins at frame -1 boundary (fresh snapshot)
-  EXPECT_TRUE(rig.client.joined());
+  rig.exchange(0);
+  EXPECT_FALSE(rig.client.joined());
   for (int i = 0; i < 30; ++i) {
     rig.play_one_frame();
-    rig.exchange(milliseconds(20 * (i + 1)));
+    rig.exchange(milliseconds(60 * (i + 1)));
   }
+  EXPECT_TRUE(rig.client.joined());
   EXPECT_EQ(rig.replica->state_hash(), rig.session->state_hash());
 }
 
@@ -166,6 +172,71 @@ TEST(SpectateTest, HostlessClientKeepsRequesting) {
   EXPECT_FALSE(client.make_message(milliseconds(10)).has_value());  // rate-limited
   EXPECT_TRUE(client.make_message(milliseconds(60)).has_value());
   EXPECT_FALSE(client.joined());
+}
+
+TEST(SpectateTest, JoinDuringHandshakeNeverYieldsPreFrameZeroSnapshot) {
+  // An observer whose join request lands before the session executed a
+  // single frame (the handshake race) must be deferred, not served a
+  // frame -1 snapshot; once frame 0 exists it joins at snapshot frame 0.
+  Rig rig;
+  Time now = 0;
+  rig.exchange(now);  // join arrives pre-frame-0
+  EXPECT_TRUE(rig.host.wants_snapshot());
+  EXPECT_FALSE(rig.host.observer_joined());
+  EXPECT_FALSE(rig.client.joined());
+
+  rig.play_one_frame();
+  now += milliseconds(60);
+  rig.exchange(now);
+  ASSERT_TRUE(rig.client.joined());
+  EXPECT_EQ(rig.client.applied_frame(), 0);
+  EXPECT_EQ(rig.replica->state_hash(), rig.session->state_hash());
+}
+
+TEST(SpectateTest, ClientRejectsPreFrameZeroSnapshot) {
+  // Defense in depth below the wire decoder: even an in-process snapshot
+  // claiming a pre-session frame must not be adopted.
+  Rig rig;
+  rig.play_one_frame();
+  SnapshotMsg bad;
+  bad.frame = -1;
+  bad.state = rig.session->save_state();
+  rig.client.ingest(Message{bad});
+  EXPECT_FALSE(rig.client.joined());
+  // And the wire layer refuses to even decode one.
+  EXPECT_FALSE(decode_message(encode_message(Message{bad})).has_value());
+}
+
+TEST(SpectateTest, ChurnRejoinAfterLeaveConverges) {
+  // Leave/rejoin churn: a second observer lifecycle on a fresh host port
+  // (one host instance per observer, as the drivers do) must converge
+  // mid-session just like the first.
+  Rig rig;
+  Time now = 0;
+  for (int i = 0; i < 50; ++i) rig.play_one_frame();
+  rig.exchange(now);
+  ASSERT_TRUE(rig.client.joined());  // first observer lifecycle ends here
+
+  auto replica2 = games::make_machine("torture");
+  SpectatorHost host2(rig.session->content_id(), SyncConfig{});
+  SpectatorClient client2(*replica2, SyncConfig{});
+  for (int i = 0; i < 25; ++i) {
+    const auto input = rig.play_one_frame();
+    host2.on_frame(rig.frame - 1, input);
+  }
+  for (int round = 0; round < 40 && client2.applied_frame() < rig.frame - 1;
+       ++round) {
+    now += milliseconds(60);
+    if (auto m = client2.make_message(now)) host2.ingest(*m);
+    if (host2.wants_snapshot() && rig.session->frame() > 0) {
+      host2.provide_snapshot(rig.session->frame() - 1, rig.session->save_state());
+    }
+    if (auto m = host2.make_message(now)) client2.ingest(*m);
+    client2.step_available();
+  }
+  ASSERT_TRUE(client2.joined());
+  EXPECT_GE(client2.applied_frame(), 0);
+  EXPECT_EQ(replica2->state_hash(), rig.session->state_hash());
 }
 
 TEST(SpectateTest, RandomizedLossyChannelProperty) {

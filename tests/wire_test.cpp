@@ -116,6 +116,60 @@ TEST(WireTest, NegativeFramesSurvive) {
 
 // ---- hostile input -----------------------------------------------------------
 
+TEST(WireTest, OutOfRangeFieldsRejected) {
+  // docs/PROTOCOL.md "Decoder rejection rules": every frame number and
+  // timestamp has a documented floor and a 2^48 ceiling; a forged field
+  // outside its range must kill the whole message at decode time.
+  const auto rejected = [](const Message& m) {
+    return !decode_message(encode_message(m)).has_value();
+  };
+
+  SyncMsg sync;
+  sync.first_frame = -1;  // floor is 0: inputs for frame -1 don't exist
+  EXPECT_TRUE(rejected(Message{sync}));
+  sync = {};
+  sync.first_frame = FrameNo{1} << 48;  // at the ceiling
+  EXPECT_TRUE(rejected(Message{sync}));
+  sync = {};
+  sync.ack_frame = -2;  // below the -1 sentinel
+  EXPECT_TRUE(rejected(Message{sync}));
+  sync = {};
+  sync.send_time = -1;  // timestamps are never negative
+  EXPECT_TRUE(rejected(Message{sync}));
+
+  HelloMsg hello;
+  hello.hello_time = -5;
+  EXPECT_TRUE(rejected(Message{hello}));
+  hello = {};
+  hello.echo_time = -2;
+  EXPECT_TRUE(rejected(Message{hello}));
+
+  SnapshotMsg snap;
+  snap.frame = -1;  // no producer snapshots before frame 0
+  EXPECT_TRUE(rejected(Message{snap}));
+  snap.frame = 0;
+  EXPECT_FALSE(rejected(Message{snap}));
+
+  InputFeedMsg feed;
+  feed.first_frame = -1;
+  EXPECT_TRUE(rejected(Message{feed}));
+
+  FeedAckMsg ack;
+  ack.frame = -2;  // -1 is the legitimate pre-game ack sentinel
+  EXPECT_TRUE(rejected(Message{ack}));
+  ack.frame = -1;
+  EXPECT_FALSE(rejected(Message{ack}));
+}
+
+TEST(WireTest, MaxInRangeFrameSurvives) {
+  SyncMsg m;
+  m.first_frame = (FrameNo{1} << 48) - 1;
+  m.ack_frame = (FrameNo{1} << 48) - 1;
+  const auto decoded = decode_message(encode_message(Message{m}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<SyncMsg>(*decoded).first_frame, (FrameNo{1} << 48) - 1);
+}
+
 TEST(WireTest, EmptyAndUnknownTypeRejected) {
   EXPECT_FALSE(decode_message({}).has_value());
   const std::uint8_t junk[] = {0x7F, 1, 2, 3};

@@ -1,0 +1,221 @@
+// rtct_chaos — the chaos harness CLI: seeded fault-injection soak over the
+// virtual-time testbed, plus the wire-protocol fuzzer.
+//
+//   rtct_chaos run --seed N [--topology T]      one chaos case; prints the
+//                                               repro JSON (byte-identical
+//                                               for a given seed). Exit 0 =
+//                                               all invariants held, 2 = a
+//                                               violation (repro printed).
+//   rtct_chaos soak --seeds N [--start S]       N seeds per topology (or
+//              [--topology T] [--out DIR]       one with --topology); on a
+//                                               violation writes the repro
+//                                               to DIR (default '.') and
+//                                               keeps going. Exit 2 if any
+//                                               case failed.
+//   rtct_chaos replay FILE.json                 re-run a repro document's
+//                                               embedded fault script
+//                                               (hand-minimization friendly:
+//                                               edit the JSON, replay).
+//   rtct_chaos fuzz [--seed N] [--iters N]      wire-decoder + ingest fuzz.
+//   rtct_chaos gen-corpus DIR                   write the deterministic
+//                                               regression corpus (the
+//                                               tests/corpus/ files).
+//
+// Every mode is deterministic: a seed (or a repro file) is a complete
+// reproduction token.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/chaos/fault_script.h"
+#include "src/chaos/fuzz.h"
+#include "src/chaos/soak.h"
+#include "src/common/json.h"
+
+namespace {
+
+using namespace rtct::chaos;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: rtct_chaos run --seed N [--topology two_site|mesh|spectator]\n"
+               "       rtct_chaos soak --seeds N [--start S] [--topology T] [--out DIR]\n"
+               "       rtct_chaos replay FILE.json\n"
+               "       rtct_chaos fuzz [--seed N] [--iters N]\n"
+               "       rtct_chaos gen-corpus DIR\n");
+  return 1;
+}
+
+struct Args {
+  std::uint64_t seed = 1;
+  std::uint64_t start = 1;
+  int seeds = 10;
+  int iters = 50000;
+  std::optional<Topology> topology;
+  std::string out_dir = ".";
+  std::vector<std::string> positional;
+};
+
+bool parse_args(int argc, char** argv, Args* a) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      a->seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--start") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      a->start = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--seeds") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      a->seeds = std::atoi(v);
+    } else if (arg == "--iters") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      a->iters = std::atoi(v);
+    } else if (arg == "--topology") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      a->topology = topology_from_name(v);
+      if (!a->topology) return false;
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      a->out_dir = v;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return false;
+    } else {
+      a->positional.push_back(arg);
+    }
+  }
+  return true;
+}
+
+int cmd_run(const Args& a) {
+  const Topology t = a.topology.value_or(Topology::kTwoSite);
+  const SoakOutcome o = run_soak_case(a.seed, t);
+  std::printf("%s\n", outcome_to_json(o).c_str());
+  return o.passed() ? 0 : 2;
+}
+
+int cmd_soak(const Args& a) {
+  std::vector<Topology> topologies;
+  if (a.topology) {
+    topologies.push_back(*a.topology);
+  } else {
+    topologies = {Topology::kTwoSite, Topology::kMesh, Topology::kSpectator};
+  }
+  int failures = 0;
+  int cases = 0;
+  for (const Topology t : topologies) {
+    for (int i = 0; i < a.seeds; ++i) {
+      const std::uint64_t seed = a.start + static_cast<std::uint64_t>(i);
+      const SoakOutcome o = run_soak_case(seed, t);
+      ++cases;
+      if (o.passed()) {
+        std::printf("PASS %-9s seed %llu (%lld frames)\n",
+                    std::string(topology_name(t)).c_str(),
+                    static_cast<unsigned long long>(seed),
+                    static_cast<long long>(o.frames_completed));
+        continue;
+      }
+      ++failures;
+      const std::string path = a.out_dir + "/chaos_repro_" +
+                               std::string(topology_name(t)) + "_" +
+                               std::to_string(seed) + ".json";
+      std::ofstream out(path, std::ios::binary);
+      out << outcome_to_json(o) << "\n";
+      std::printf("FAIL %-9s seed %llu: %zu violation(s), first: %s — repro: %s\n",
+                  std::string(topology_name(t)).c_str(),
+                  static_cast<unsigned long long>(seed), o.violations.size(),
+                  o.violations.front().detail.c_str(), path.c_str());
+    }
+  }
+  std::printf("%d/%d chaos cases passed\n", cases - failures, cases);
+  return failures == 0 ? 0 : 2;
+}
+
+int cmd_replay(const Args& a) {
+  if (a.positional.empty()) return usage();
+  std::ifstream in(a.positional[0], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "rtct_chaos: cannot open %s\n", a.positional[0].c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto doc = rtct::parse_json(buf.str());
+  if (!doc) {
+    std::fprintf(stderr, "rtct_chaos: %s is not valid JSON\n", a.positional[0].c_str());
+    return 1;
+  }
+  // Accept either a bare script or a full repro document embedding one.
+  const rtct::JsonValue* script_node = doc->find("script");
+  const auto script = script_from_json(script_node != nullptr ? *script_node : *doc);
+  if (!script) {
+    std::fprintf(stderr, "rtct_chaos: no valid rtct.chaos.script.v1 in %s\n",
+                 a.positional[0].c_str());
+    return 1;
+  }
+  const SoakOutcome o = run_soak_case(*script);
+  std::printf("%s\n", outcome_to_json(o).c_str());
+  return o.passed() ? 0 : 2;
+}
+
+int cmd_fuzz(const Args& a) {
+  FuzzStats stats;
+  if (const auto fail = fuzz_wire(a.seed, a.iters, &stats)) {
+    std::fprintf(stderr, "rtct_chaos: wire fuzz FAILED: %s\n", fail->c_str());
+    return 2;
+  }
+  if (const auto fail = fuzz_ingest(a.seed, a.iters / 2)) {
+    std::fprintf(stderr, "rtct_chaos: ingest fuzz FAILED: %s\n", fail->c_str());
+    return 2;
+  }
+  std::printf("fuzz ok: %llu buffers (%llu accepted, %llu rejected), ingest %d iters\n",
+              static_cast<unsigned long long>(stats.iterations),
+              static_cast<unsigned long long>(stats.accepted),
+              static_cast<unsigned long long>(stats.rejected), a.iters / 2);
+  return 0;
+}
+
+int cmd_gen_corpus(const Args& a) {
+  if (a.positional.empty()) return usage();
+  const std::string dir = a.positional[0];
+  int written = 0;
+  for (const CorpusEntry& e : build_corpus()) {
+    const std::string path = dir + "/" + e.name;
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "rtct_chaos: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    out.write(reinterpret_cast<const char*>(e.bytes.data()),
+              static_cast<std::streamsize>(e.bytes.size()));
+    ++written;
+  }
+  std::printf("wrote %d corpus files to %s\n", written, dir.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  Args a;
+  if (!parse_args(argc, argv, &a)) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "run") return cmd_run(a);
+  if (cmd == "soak") return cmd_soak(a);
+  if (cmd == "replay") return cmd_replay(a);
+  if (cmd == "fuzz") return cmd_fuzz(a);
+  if (cmd == "gen-corpus" || cmd == "--gen-corpus") return cmd_gen_corpus(a);
+  return usage();
+}
