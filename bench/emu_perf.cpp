@@ -2,8 +2,27 @@
 // 16.7 ms frame budget, or the "frame_compute_time" model parameter (and
 // the whole real-time analysis) would be fiction. google-benchmark
 // microbenchmarks of the VM, state hashing, snapshots and the assembler.
+//
+// Two modes:
+//   emu_perf                        google-benchmark microbenchmarks
+//   emu_perf --json PATH            hand-rolled digest/snapshot comparison,
+//                                   written as "rtct.bench.v1" JSON (the
+//                                   ctest + rtct_trace --check CI gate).
+//
+// The JSON mode is also the acceptance check for the incremental dirty-page
+// digest (state_digest v2): for a sparse-write frame the v2 digest must be
+// at least 5x faster than the full-image v1 hash, because it rehashes only
+// the pages the frame actually touched.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/common/json.h"
 #include "src/common/random.h"
 #include "src/emu/assembler.h"
 #include "src/emu/machine.h"
@@ -35,12 +54,40 @@ void BM_StateHash(benchmark::State& state) {
 }
 BENCHMARK(BM_StateHash);
 
+// Per-frame digest cost, v1 (full image) vs v2 (dirty pages only). The
+// step_frame inside the loop is what makes this honest: v2's cost is a
+// function of the pages each frame dirties, so it must be measured on a
+// freshly-stepped machine, not a quiescent one.
+void BM_StateDigestPerFrame(benchmark::State& state, const char* game, int version) {
+  auto m = games::make_machine(game);
+  for (int i = 0; i < 60; ++i) m->step_frame(0x0404);
+  for (auto _ : state) {
+    m->step_frame(0x0404);
+    benchmark::DoNotOptimize(m->state_digest(version));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_StateDigestPerFrame, duel_v1, "duel", 1);
+BENCHMARK_CAPTURE(BM_StateDigestPerFrame, duel_v2, "duel", 2);
+
 void BM_SaveState(benchmark::State& state) {
   auto m = games::make_machine("duel");
   for (int i = 0; i < 60; ++i) m->step_frame(0x0404);
   for (auto _ : state) benchmark::DoNotOptimize(m->save_state());
 }
 BENCHMARK(BM_SaveState);
+
+// The allocation-free variant: identical bytes, reused capacity.
+void BM_SaveStateInto(benchmark::State& state) {
+  auto m = games::make_machine("duel");
+  for (int i = 0; i < 60; ++i) m->step_frame(0x0404);
+  std::vector<std::uint8_t> scratch;
+  for (auto _ : state) {
+    m->save_state_into(scratch);
+    benchmark::DoNotOptimize(scratch.data());
+  }
+}
+BENCHMARK(BM_SaveStateInto);
 
 void BM_LoadState(benchmark::State& state) {
   auto m = games::make_machine("duel");
@@ -75,6 +122,168 @@ loop:
 }
 BENCHMARK(BM_AssemblePong);
 
+// ---- hand-rolled JSON mode --------------------------------------------------
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// A deliberately sparse workload: one RAM byte written per frame, so the
+/// v2 digest has exactly one dirty page to rehash. This is the far end of
+/// the sparseness spectrum real games sit on (duel is the other point).
+std::unique_ptr<emu::ArcadeMachine> make_sparse_machine() {
+  const std::string source = R"asm(
+.entry main
+main:
+    LDI r0, 0x8100
+    LDI r1, 0
+tick:
+    ADDI r1, 1
+    STB r0, r1
+    HALT
+    JMP tick
+)asm";
+  auto result = emu::assemble(source, "sparse");
+  if (!result.ok()) return nullptr;
+  return std::make_unique<emu::ArcadeMachine>(result.rom);
+}
+
+struct DigestPoint {
+  std::string scenario;
+  double step_ns = 0;
+  double digest_v1_ns = 0;
+  double digest_v2_ns = 0;
+  double speedup = 0;
+  double save_state_ns = 0;
+  double save_state_into_ns = 0;
+};
+
+/// Mean ns of `digest(version)` measured across `frames` freshly-stepped
+/// frames (one digest per step, like the drivers do).
+double time_digest(emu::ArcadeMachine& m, int version, int frames) {
+  std::int64_t total = 0;
+  for (int i = 0; i < frames; ++i) {
+    m.step_frame(0x0404);
+    const std::int64_t t0 = now_ns();
+    benchmark::DoNotOptimize(m.state_digest(version));
+    total += now_ns() - t0;
+  }
+  return static_cast<double>(total) / frames;
+}
+
+DigestPoint measure_scenario(const std::string& name, emu::ArcadeMachine& m) {
+  constexpr int kWarm = 60;
+  constexpr int kFrames = 4000;
+  DigestPoint p;
+  p.scenario = name;
+  for (int i = 0; i < kWarm; ++i) m.step_frame(0x0404);
+
+  {
+    const std::int64_t t0 = now_ns();
+    for (int i = 0; i < kFrames; ++i) m.step_frame(0x0404);
+    p.step_ns = static_cast<double>(now_ns() - t0) / kFrames;
+  }
+  p.digest_v1_ns = time_digest(m, 1, kFrames);
+  p.digest_v2_ns = time_digest(m, 2, kFrames);
+  p.speedup = p.digest_v1_ns / p.digest_v2_ns;
+
+  constexpr int kSnaps = 2000;
+  {
+    const std::int64_t t0 = now_ns();
+    for (int i = 0; i < kSnaps; ++i) benchmark::DoNotOptimize(m.save_state());
+    p.save_state_ns = static_cast<double>(now_ns() - t0) / kSnaps;
+  }
+  {
+    std::vector<std::uint8_t> scratch;
+    const std::int64_t t0 = now_ns();
+    for (int i = 0; i < kSnaps; ++i) {
+      m.save_state_into(scratch);
+      benchmark::DoNotOptimize(scratch.data());
+    }
+    p.save_state_into_ns = static_cast<double>(now_ns() - t0) / kSnaps;
+  }
+  return p;
+}
+
+int run_json_mode(const std::string& path) {
+  std::vector<DigestPoint> points;
+
+  auto sparse = make_sparse_machine();
+  if (!sparse) {
+    std::printf("FAILED to assemble the sparse scenario ROM\n");
+    return 1;
+  }
+  points.push_back(measure_scenario("sparse", *sparse));
+  auto duel = games::make_machine("duel");
+  points.push_back(measure_scenario("duel", *duel));
+
+  std::printf("=== EMU-PERF: state digest + snapshot costs ===\n\n");
+  std::printf("%-10s %12s %12s %12s %9s %14s %18s\n", "scenario", "step ns",
+              "digest v1 ns", "digest v2 ns", "speedup", "save_state ns",
+              "save_state_into ns");
+  for (const auto& p : points) {
+    std::printf("%-10s %12.0f %12.0f %12.0f %8.1fx %14.0f %18.0f\n", p.scenario.c_str(),
+                p.step_ns, p.digest_v1_ns, p.digest_v2_ns, p.speedup, p.save_state_ns,
+                p.save_state_into_ns);
+  }
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("rtct.bench.v1");
+  w.key("name").value("emu_perf");
+  w.key("meta").begin_object();
+  w.key("scenarios").value("sparse,duel");
+  w.key("digest_page_bytes").value(static_cast<std::uint64_t>(emu::kPageSize));
+  w.end_object();
+  w.key("series").begin_object();
+  auto series = [&w, &points](const char* key, auto proj) {
+    w.key(key).begin_array();
+    for (const auto& p : points) w.value(proj(p));
+    w.end_array();
+  };
+  series("scenario_index",
+         [&points](const DigestPoint& p) {
+           return static_cast<std::uint64_t>(&p - points.data());
+         });
+  series("step_ns", [](const DigestPoint& p) { return p.step_ns; });
+  series("digest_v1_ns", [](const DigestPoint& p) { return p.digest_v1_ns; });
+  series("digest_v2_ns", [](const DigestPoint& p) { return p.digest_v2_ns; });
+  series("digest_speedup", [](const DigestPoint& p) { return p.speedup; });
+  series("save_state_ns", [](const DigestPoint& p) { return p.save_state_ns; });
+  series("save_state_into_ns",
+         [](const DigestPoint& p) { return p.save_state_into_ns; });
+  w.end_object();
+  w.end_object();
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::printf("FAILED to write %s\n", path.c_str());
+    return 1;
+  }
+  out << w.take() << '\n';
+  std::printf("\nwrote %s\n", path.c_str());
+
+  // The acceptance gate: an incremental digest that is not clearly faster
+  // than the full rehash on a sparse frame is a regression, fail loudly.
+  const double sparse_speedup = points[0].speedup;
+  std::printf("sparse-frame digest speedup (v1/v2): %.1fx (require >= 5x)\n",
+              sparse_speedup);
+  return sparse_speedup >= 5.0 ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      return run_json_mode(argv[i + 1]);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -29,4 +29,14 @@ out="build-asan/BENCH_check_sweep.json"
 ./build-asan/bench/sync_sweep 120 --json "$out"
 ./build-asan/tools/rtct_trace --check "$out"
 
+echo "==> emulator hot-path bench (digest v2 speedup gate)"
+out="build-asan/BENCH_emu_perf.json"
+./build-asan/bench/emu_perf --json "$out"
+./build-asan/tools/rtct_trace --check "$out"
+
+echo "==> spectator fan-out bench (encode-once scaling gate)"
+out="build-asan/BENCH_spectator_scaling.json"
+./build-asan/bench/spectator_scaling 240 --json "$out"
+./build-asan/tools/rtct_trace --check "$out"
+
 echo "==> all checks passed"

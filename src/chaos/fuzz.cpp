@@ -444,7 +444,8 @@ std::optional<std::string> fuzz_ingest(std::uint64_t seed, int iterations) {
     while (peer.ready()) peer.pop();
     (void)peer.make_message(now);
     if (host.wants_snapshot()) {
-      host.provide_snapshot(static_cast<FrameNo>(i), {0x01, 0x02});
+      static constexpr std::uint8_t kTinyState[] = {0x01, 0x02};
+      host.provide_snapshot(static_cast<FrameNo>(i), kTinyState);
     }
     host.on_frame(static_cast<FrameNo>(i), static_cast<InputWord>(rng.next_u64()));
     (void)host.make_message(now);

@@ -16,6 +16,12 @@ class ByteWriter {
  public:
   ByteWriter() = default;
   explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+  /// Adopts an existing buffer: clears it but keeps its capacity, so a
+  /// caller that round-trips the vector through take() pays the allocation
+  /// once instead of once per call (per-frame snapshot/wire encoding).
+  explicit ByteWriter(std::vector<std::uint8_t>&& reuse) : buf_(std::move(reuse)) {
+    buf_.clear();
+  }
 
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v);

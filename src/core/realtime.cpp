@@ -27,7 +27,9 @@ RealtimeSession::RealtimeSession(SiteId site, emu::IDeterministicGame& game, Inp
       pacer_(site, cfg.sync, cfg.pacing),
       session_(site, game.content_id(), cfg.sync),
       replay_(game.content_id(), cfg.sync),
-      flush_clock_(cfg.sync.send_flush_period) {
+      flush_clock_(cfg.sync.send_flush_period),
+      digest_version_(cfg.sync.digest_version()),
+      spectator_hub_(game.content_id(), cfg.sync) {
   epoch_ = steady_now();
 }
 
@@ -55,6 +57,7 @@ void RealtimeSession::drain() {
 void RealtimeSession::apply_negotiated_lag() {
   if (lag_applied_) return;
   lag_applied_ = true;
+  digest_version_ = session_.digest_version();
   const int buf = session_.effective_buf_frames();
   if (buf != cfg_.sync.buf_frames) {
     peer_.set_buf_frames(buf);
@@ -72,8 +75,8 @@ void RealtimeSession::flush_if_due() {
   const Time t = now();
   if (!flush_clock_.due(t)) return;
   if (auto msg = peer_.make_message(t)) {
-    const auto bytes = encode_message(Message{*msg});
-    socket_.send(bytes);
+    encode_message_into(Message{*msg}, wire_scratch_);
+    socket_.send(wire_scratch_);
   }
   pump_spectators();
 }
@@ -83,23 +86,26 @@ void RealtimeSession::pump_spectators() {
   while (auto got = spectator_socket_->recv_from()) {
     const auto msg = decode_message(got->first);
     if (!msg) continue;
-    auto [it, inserted] =
-        spectators_.try_emplace(got->second, game_.content_id(), cfg_.sync);
-    it->second.ingest(*msg);
-  }
-  for (auto& [addr, host] : spectators_) {
-    // Serve the snapshot only once frame 0 has executed. An observer who
-    // joins during the handshake would otherwise get a snapshot labeled
-    // frame -1, captured while the session can still renegotiate its lag
-    // and before the first Transition — a frame this site never executed
-    // or recorded. The join request stays pending; the next pump after
-    // frame 0 answers it.
-    if (host.wants_snapshot() && game_.frame() > 0) {
-      // Called from the frame loop between Transitions: consistent state.
-      host.provide_snapshot(game_.frame() - 1, game_.save_state());
+    auto it = spectator_ids_.find(got->second);
+    if (it == spectator_ids_.end()) {
+      it = spectator_ids_.emplace(got->second, spectator_hub_.add_observer()).first;
     }
-    if (auto m = host.make_message(now())) {
-      spectator_socket_->send_to(addr, encode_message(*m));
+    spectator_hub_.ingest(it->second, *msg);
+  }
+  // Serve the snapshot only once frame 0 has executed. An observer who
+  // joins during the handshake would otherwise get a snapshot labeled
+  // frame -1, captured while the session can still renegotiate its lag
+  // and before the first Transition — a frame this site never executed
+  // or recorded. The join request stays pending; the next pump after
+  // frame 0 answers it.
+  if (spectator_hub_.wants_snapshot() && game_.frame() > 0) {
+    // Called from the frame loop between Transitions: consistent state.
+    game_.save_state_into(snapshot_scratch_);
+    spectator_hub_.provide_snapshot(game_.frame() - 1, snapshot_scratch_);
+  }
+  for (const auto& [addr, id] : spectator_ids_) {
+    if (auto buf = spectator_hub_.make_message(id, now())) {
+      spectator_socket_->send_to(addr, *buf);
     }
   }
 }
@@ -119,7 +125,10 @@ bool RealtimeSession::handshake(std::string* error) {
       if (error) *error = "handshake timeout: no compatible peer responded";
       return false;
     }
-    if (auto m = session_.poll(now())) socket_.send(encode_message(*m));
+    if (auto m = session_.poll(now())) {
+      encode_message_into(*m, wire_scratch_);
+      socket_.send(wire_scratch_);
+    }
     // Answer observers that show up before the match starts (their
     // snapshot is deferred until frame 0 has executed, but join requests
     // must not be dropped on the floor).
@@ -171,8 +180,8 @@ bool RealtimeSession::run(std::string* error) {
     const InputWord merged = peer_.pop();
     game_.step_frame(merged);  // step 8
     replay_.record(merged);
-    for (auto& [addr, host] : spectators_) host.on_frame(frame, merged);
-    rec.state_hash = game_.state_hash();
+    spectator_hub_.on_frame(frame, merged);
+    rec.state_hash = game_.state_digest(digest_version_);
     peer_.note_state_hash(frame, rec.state_hash);
     if (peer_.desync_detected()) {
       if (error) {
@@ -213,11 +222,7 @@ bool RealtimeSession::run(std::string* error) {
     const Time grace_end = now() + cfg_.spectator_drain_grace;
     while (now() < grace_end && !stop_.load(std::memory_order_relaxed)) {
       pump_spectators();
-      bool all_drained = true;
-      for (const auto& [addr, host] : spectators_) {
-        all_drained = all_drained && host.observer_joined() && host.backlog_size() == 0;
-      }
-      if (all_drained) break;  // nobody waiting (or everyone caught up)
+      if (spectator_hub_.all_caught_up()) break;  // nobody waiting
       spectator_socket_->wait_readable(milliseconds(10));
     }
   }
@@ -232,29 +237,18 @@ void RealtimeSession::export_metrics(MetricsRegistry& reg) const {
   socket_.export_metrics(reg);
   reg.counter("session.flushes").set(flush_clock_.fires());
   reg.counter("session.flush_reanchors").set(flush_clock_.reanchors());
-  reg.gauge("spectator.host.count").set(static_cast<double>(spectators_.size()));
-  // Aggregate the per-observer hosts: their counters sum; joined counts
-  // observers whose snapshot was delivered.
-  SpectatorHostStats agg;
-  std::uint64_t joined = 0;
-  std::uint64_t backlog = 0;
-  for (const auto& [addr, host] : spectators_) {
-    const auto& s = host.stats();
-    agg.join_requests_rcvd += s.join_requests_rcvd;
-    agg.snapshots_sent += s.snapshots_sent;
-    agg.feed_messages_sent += s.feed_messages_sent;
-    agg.inputs_fed += s.inputs_fed;
-    agg.acks_rcvd += s.acks_rcvd;
-    if (host.observer_joined()) ++joined;
-    backlog += host.backlog_size();
-  }
-  reg.counter("spectator.host.join_requests_rcvd").set(agg.join_requests_rcvd);
-  reg.counter("spectator.host.snapshots_sent").set(agg.snapshots_sent);
-  reg.counter("spectator.host.feed_messages_sent").set(agg.feed_messages_sent);
-  reg.counter("spectator.host.inputs_fed").set(agg.inputs_fed);
-  reg.counter("spectator.host.acks_rcvd").set(agg.acks_rcvd);
-  reg.gauge("spectator.host.joined").set(static_cast<double>(joined));
-  reg.gauge("spectator.host.backlog").set(static_cast<double>(backlog));
+  reg.gauge("spectator.host.count").set(static_cast<double>(spectator_ids_.size()));
+  spectator_hub_.export_metrics(reg);
+  // The stable per-observer-host aggregate names stay populated (fed from
+  // the hub, identical semantics: counters sum across observers).
+  const SpectatorHubStats& s = spectator_hub_.stats();
+  reg.counter("spectator.host.join_requests_rcvd").set(s.join_requests_rcvd);
+  reg.counter("spectator.host.snapshots_sent").set(s.snapshots_sent);
+  reg.counter("spectator.host.feed_messages_sent").set(s.feed_messages_sent);
+  reg.counter("spectator.host.inputs_fed").set(s.inputs_fed);
+  reg.counter("spectator.host.acks_rcvd").set(s.acks_rcvd);
+  reg.gauge("spectator.host.joined").set(static_cast<double>(spectator_hub_.joined_count()));
+  reg.gauge("spectator.host.backlog").set(static_cast<double>(spectator_hub_.backlog_size()));
 }
 
 }  // namespace rtct::core

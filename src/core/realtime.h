@@ -75,15 +75,17 @@ class RealtimeSession {
 
   /// Serve spectators from an additional, *unconnected* UDP socket: any
   /// JoinRequest arriving there is answered with a snapshot and a live
-  /// input feed (one SpectatorHost per observer address). Call before
-  /// run(); the socket must outlive the session.
+  /// input feed, all observer addresses fanning out of one shared
+  /// SpectatorBroadcastHub (encode-once, per-observer cursors). Call
+  /// before run(); the socket must outlive the session.
   void serve_spectators(net::UdpSocket* socket) { spectator_socket_ = socket; }
-  [[nodiscard]] std::size_t spectators_joined() const { return spectators_.size(); }
+  [[nodiscard]] std::size_t spectators_joined() const { return spectator_ids_.size(); }
 
   /// Snapshots every subsystem's state into the registry: "sync.*",
-  /// "pacer.*", "session.*", "timeline.*", "net.udp.*", "spectator.host.*"
-  /// (aggregated across observers), "session.flushes"/"flush_reanchors".
-  /// Call between frames (from a frame hook) or after run().
+  /// "pacer.*", "session.*", "timeline.*", "net.udp.*", "spectator.hub.*"
+  /// (plus the stable "spectator.host.*" aggregate names, fed from the
+  /// hub), "session.flushes"/"flush_reanchors". Call between frames (from
+  /// a frame hook) or after run().
   void export_metrics(MetricsRegistry& reg) const;
 
  private:
@@ -111,10 +113,16 @@ class RealtimeSession {
   Time epoch_ = 0;
   FlushClock flush_clock_;  ///< catch-up scheduled send-flush cadence
   bool lag_applied_ = false;
+  int digest_version_ = 1;  ///< locked in with the handshake outcome
   std::atomic<bool> stop_{false};
 
   net::UdpSocket* spectator_socket_ = nullptr;
-  std::map<net::UdpAddress, SpectatorHost> spectators_;
+  SpectatorBroadcastHub spectator_hub_;
+  std::map<net::UdpAddress, SpectatorBroadcastHub::ObserverId> spectator_ids_;
+
+  // Hot-path scratch (reused capacity; see ByteWriter's adopting ctor).
+  std::vector<std::uint8_t> wire_scratch_;
+  std::vector<std::uint8_t> snapshot_scratch_;
 };
 
 }  // namespace rtct::core

@@ -15,7 +15,14 @@ constexpr std::uint32_t kMaxReplayFrames = 1u << 24;  // ~77 hours at 60 FPS
 }  // namespace
 
 std::vector<std::uint8_t> Replay::serialize() const {
-  ByteWriter w(inputs_.size() * 2 + 64);
+  std::vector<std::uint8_t> out;
+  serialize_into(out);
+  return out;
+}
+
+void Replay::serialize_into(std::vector<std::uint8_t>& out) const {
+  out.reserve(inputs_.size() * 2 + 64);
+  ByteWriter w(std::move(out));
   // Byte-wise append: GCC 12's -Wstringop-overflow misfires on an 8-byte
   // insert into a freshly-reserved vector here.
   for (std::uint8_t b : kMagic) w.u8(b);
@@ -26,7 +33,7 @@ std::vector<std::uint8_t> Replay::serialize() const {
   w.u32(static_cast<std::uint32_t>(inputs_.size()));
   for (InputWord i : inputs_) w.u16(i);
   w.u64(fnv1a64(w.data()));
-  return w.take();
+  out = w.take();
 }
 
 std::optional<Replay> Replay::parse(std::span<const std::uint8_t> data) {
@@ -50,11 +57,12 @@ std::optional<Replay> Replay::parse(std::span<const std::uint8_t> data) {
 }
 
 bool Replay::apply(emu::IDeterministicGame& game,
-                   const std::function<void(FrameNo, std::uint64_t)>& per_frame) const {
+                   const std::function<void(FrameNo, std::uint64_t)>& per_frame,
+                   int digest_version) const {
   if (game.content_id() != content_id_) return false;
   for (std::size_t i = 0; i < inputs_.size(); ++i) {
     game.step_frame(inputs_[i]);
-    if (per_frame) per_frame(static_cast<FrameNo>(i), game.state_hash());
+    if (per_frame) per_frame(static_cast<FrameNo>(i), game.state_digest(digest_version));
   }
   return true;
 }

@@ -45,14 +45,21 @@ class Replay {
   /// Serializes to the container format.
   [[nodiscard]] std::vector<std::uint8_t> serialize() const;
 
+  /// Serializes into `out`, reusing its capacity (allocation-free once
+  /// warm — the pattern every hot-path caller should prefer).
+  void serialize_into(std::vector<std::uint8_t>& out) const;
+
   /// Parses a container; nullopt on corruption or version mismatch.
   static std::optional<Replay> parse(std::span<const std::uint8_t> data);
 
   /// Replays every recorded frame onto `game` (which must be freshly reset
   /// and of the matching content). Returns false on content-id mismatch.
-  /// `per_frame` (optional) observes (frame, state hash) after each step.
+  /// `per_frame` (optional) observes (frame, state digest) after each step;
+  /// pass the digest version the original session negotiated (see
+  /// SessionControl::digest_version) to compare against its timeline.
   bool apply(emu::IDeterministicGame& game,
-             const std::function<void(FrameNo, std::uint64_t)>& per_frame = nullptr) const;
+             const std::function<void(FrameNo, std::uint64_t)>& per_frame = nullptr,
+             int digest_version = 1) const;
 
   // File helpers.
   [[nodiscard]] bool save_file(const std::string& path) const;

@@ -33,6 +33,7 @@ HelloMsg SessionControl::my_hello(Time now) const {
   }
   h.adv_rtt = measured_rtt();
   if (cfg_.adaptive_lag) h.flags |= kHelloFlagAdaptiveLag;
+  if (cfg_.digest_v2) h.flags |= kFlagStateDigestV2;
   h.redundancy = static_cast<std::uint16_t>(std::max(0, cfg_.redundant_inputs));
   return h;
 }
@@ -65,6 +66,7 @@ std::optional<Message> SessionControl::poll(Time now) {
     StartMsg s;
     s.site = my_site_;
     s.buf_frames = static_cast<std::uint16_t>(negotiated_buf_);
+    if (digest_version_ == 2) s.flags |= kFlagStateDigestV2;
     ++starts_sent_;
     return Message{s};
   }
@@ -85,6 +87,7 @@ void SessionControl::ingest(const Message& msg, Time now) {
     if (!hello_compatible(*hello)) return;
     peer_seen_ = true;
     peer_adaptive_ = (hello->flags & kHelloFlagAdaptiveLag) != 0;
+    peer_digest_v2_ = (hello->flags & kFlagStateDigestV2) != 0;
     peer_adv_rtt_ = std::max(peer_adv_rtt_, hello->adv_rtt);
     if (first_compat_hello_ < 0) first_compat_hello_ = now;
 
@@ -111,8 +114,12 @@ void SessionControl::ingest(const Message& msg, Time now) {
           negotiated_buf_ = cfg_.buf_frames_for_rtt(best);
         }
       }
-      // Master: announce the start (and re-announce on every later HELLO —
-      // the slave only re-HELLOs if it missed the START).
+      // Master: fix the digest version (both sides must have advertised the
+      // capability), then announce the start (and re-announce on every
+      // later HELLO — the slave only re-HELLOs if it missed the START).
+      if (digest_version_ == 0) {
+        digest_version_ = (cfg_.digest_v2 && peer_digest_v2_) ? 2 : 1;
+      }
       start_pending_ = true;
       enter_running(now);
     }
@@ -123,6 +130,8 @@ void SessionControl::ingest(const Message& msg, Time now) {
     ++starts_rcvd_;
     if (my_site_ != kMasterSite) {
       if (start->buf_frames > 0) negotiated_buf_ = start->buf_frames;
+      digest_version_ =
+          ((start->flags & kFlagStateDigestV2) != 0 && cfg_.digest_v2) ? 2 : 1;
       enter_running(now);
     }
     return;
@@ -135,13 +144,23 @@ void SessionControl::note_sync_traffic(Time now) {
   // lag depth and break the merged-input agreement. The master keeps
   // answering its HELLOs with fresh STARTs, so this stays live.
   if (cfg_.adaptive_lag && negotiated_buf_ == 0) return;
-  if (my_site_ != kMasterSite) enter_running(now);
+  if (my_site_ != kMasterSite) {
+    // Starting without ever seeing a master HELLO/START: fix the digest
+    // version from what we know — the peer's advertised capability if any
+    // HELLO got through, else our own (see digest_version() in the header).
+    if (digest_version_ == 0) {
+      digest_version_ =
+          (cfg_.digest_v2 && (peer_seen_ ? peer_digest_v2_ : true)) ? 2 : 1;
+    }
+    enter_running(now);
+  }
 }
 
 void SessionControl::export_metrics(MetricsRegistry& reg) const {
   reg.gauge("session.state").set(static_cast<double>(static_cast<int>(state_)));
   reg.gauge("session.buf_frames").set(effective_buf_frames());
   reg.gauge("session.lag_negotiated").set(lag_negotiated() ? 1 : 0);
+  reg.gauge("session.digest_version").set(digest_version());
   reg.gauge("session.measured_rtt_ms")
       .set(rtt_.has_sample() ? to_ms(rtt_.srtt()) : 0.0);
   reg.counter("session.hellos_sent").set(hellos_sent_);

@@ -74,6 +74,17 @@ class SessionControl {
   /// True when effective_buf_frames() came from the v2 RTT negotiation.
   [[nodiscard]] bool lag_negotiated() const { return negotiated_buf_ > 0; }
 
+  /// The state-digest version both replicas compare hashes under: 2 when
+  /// both sides advertised the incremental-digest capability, else 1.
+  /// Decided by the master when it starts and carried to the slave in the
+  /// START flags; before the outcome is known this reports the local
+  /// capability (a slave that starts on bare sync traffic without ever
+  /// seeing a master message assumes a same-configured peer — any other
+  /// peer inside one protocol version is a deliberate config mismatch).
+  [[nodiscard]] int digest_version() const {
+    return digest_version_ > 0 ? digest_version_ : cfg_.digest_version();
+  }
+
   /// Handshake-time RTT estimate from the HELLO probe (-1 = no sample).
   [[nodiscard]] Dur measured_rtt() const {
     return rtt_.has_sample() ? rtt_.srtt() : -1;
@@ -115,6 +126,8 @@ class SessionControl {
   Time peer_hello_time_ = -1;  ///< newest hello_time seen from the peer
   Time peer_hello_rcv_ = 0;    ///< when we received it (for echo_hold)
   bool peer_adaptive_ = false;
+  bool peer_digest_v2_ = false;
+  int digest_version_ = 0;  ///< 0 = not yet decided
   Dur peer_adv_rtt_ = -1;
   Time first_compat_hello_ = -1;  ///< when negotiation probing started
   int negotiated_buf_ = 0;        ///< 0 = fixed policy

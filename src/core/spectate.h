@@ -17,7 +17,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
+#include <vector>
 
 #include "src/common/time.h"
 #include "src/common/types.h"
@@ -70,8 +72,9 @@ class SpectatorHost {
   [[nodiscard]] bool wants_snapshot() const { return wants_snapshot_; }
 
   /// `frame` is the last executed frame (machine.frame() - 1); `state` is
-  /// machine.save_state() taken at that point.
-  void provide_snapshot(FrameNo frame, std::vector<std::uint8_t> state);
+  /// the machine state taken at that point (save_state_into a reused
+  /// scratch buffer on the hot path — the host copies what it keeps).
+  void provide_snapshot(FrameNo frame, std::span<const std::uint8_t> state);
 
   /// Next outbound message for the observer: the snapshot until acked,
   /// then unacked feed windows. nullopt = nothing to send.
@@ -100,6 +103,145 @@ class SpectatorHost {
   FrameNo acked_frame_ = -2;
   FrameNo last_executed_ = -1;
   SpectatorHostStats stats_;
+};
+
+/// Feed-protocol counters, hub side. The bytes_encoded / bytes_sent pair is
+/// the fan-out amortization measure: encode work is paid once per distinct
+/// payload, send bytes once per observer, so bytes_sent / bytes_encoded ≈
+/// observer count when cursors agree (see bench/spectator_scaling).
+struct SpectatorHubStats {
+  std::uint64_t join_requests_rcvd = 0;
+  std::uint64_t snapshots_sent = 0;
+  std::uint64_t feed_messages_sent = 0;
+  std::uint64_t inputs_fed = 0;
+  std::uint64_t acks_rcvd = 0;
+  std::uint64_t snapshot_encodes = 0;  ///< snapshots actually serialized
+  std::uint64_t feed_encodes = 0;      ///< feed windows actually serialized
+  std::uint64_t bytes_encoded = 0;     ///< bytes produced by encode work
+  std::uint64_t bytes_sent = 0;        ///< bytes handed out across observers
+  std::uint64_t observers_added = 0;
+  std::uint64_t observers_removed = 0;
+};
+
+/// Multi-observer broadcast hub: the scaling replacement for running one
+/// SpectatorHost per observer. All observers share ONE backlog ring of
+/// merged inputs and ONE wire-encoded snapshot; each observer is just a
+/// cumulative-ack cursor into the shared ring. Every outbound payload
+/// (snapshot or feed window) is encoded exactly once and handed out as a
+/// shared immutable buffer, so serving N observers costs N sends but O(1)
+/// snapshot copies and O(distinct cursors) encodes per flush — per-client
+/// fan-out cost is what lock-step broadcast lives or dies by.
+///
+/// Wire-compatible with SpectatorClient: an observer cannot tell whether a
+/// hub or a dedicated host serves it. One behavioural refinement makes
+/// that true: an observer that has ever acked is served exclusively from
+/// the feed ring — never a (newer) snapshot, which a joined client would
+/// ignore-but-ack forever — so the ring is trimmed to
+/// min(snapshot frame, every acked cursor).
+class SpectatorBroadcastHub {
+ public:
+  using ObserverId = std::uint32_t;
+  /// Encoded-datagram handle: immutable, shared across observers.
+  using Buffer = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+  SpectatorBroadcastHub(std::uint64_t content_id, SyncConfig cfg)
+      : content_id_(content_id), cfg_(cfg) {}
+
+  /// Registers a new observer endpoint (driver maps transport address →
+  /// id). Ids are never reused, so a late datagram from a removed
+  /// observer cannot be misattributed.
+  ObserverId add_observer();
+  void remove_observer(ObserverId id);
+
+  /// Driver calls this after every Transition with the frame just
+  /// executed (0-based) and its merged input word.
+  void on_frame(FrameNo frame, InputWord merged);
+
+  /// Feeds a received observer message (JoinRequest / FeedAck).
+  void ingest(ObserverId id, const Message& msg);
+
+  /// True when the driver must supply a machine snapshot via
+  /// provide_snapshot() (first join, or a joiner found the shared snapshot
+  /// too stale to catch up from).
+  [[nodiscard]] bool wants_snapshot() const { return wants_snapshot_; }
+
+  /// `frame` is the last executed frame; `state` the machine state at that
+  /// point. Encoded to wire bytes once, served to every pre-ack observer.
+  void provide_snapshot(FrameNo frame, std::span<const std::uint8_t> state);
+
+  /// Next outbound datagram for this observer, already wire-encoded:
+  /// the shared snapshot until the observer's first ack, then its unacked
+  /// feed window. nullptr = nothing to send. Observers at the same cursor
+  /// receive the very same buffer.
+  Buffer make_message(ObserverId id, Time now);
+
+  [[nodiscard]] std::size_t observer_count() const { return active_count_; }
+  /// Observers that have acked something (loaded a snapshot, replaying).
+  [[nodiscard]] std::size_t joined_count() const;
+  [[nodiscard]] std::size_t backlog_size() const { return ring_.size(); }
+  /// True when every active observer has acked everything recorded —
+  /// the drivers' post-game drain-loop exit condition.
+  [[nodiscard]] bool all_caught_up() const;
+  [[nodiscard]] bool observer_joined(ObserverId id) const;
+  [[nodiscard]] FrameNo acked_frame(ObserverId id) const;
+  [[nodiscard]] const SpectatorHubStats& stats() const { return stats_; }
+
+  /// Snapshots hub state into the registry ("spectator.hub.*").
+  void export_metrics(MetricsRegistry& reg) const;
+
+ private:
+  /// Growable ring of merged inputs for frames [base, base + size).
+  class InputRing {
+   public:
+    [[nodiscard]] FrameNo base() const { return base_; }
+    [[nodiscard]] FrameNo end() const { return base_ + static_cast<FrameNo>(count_); }
+    [[nodiscard]] std::size_t size() const { return count_; }
+    [[nodiscard]] InputWord at(FrameNo f) const {
+      return buf_[(head_ + static_cast<std::size_t>(f - base_)) & (buf_.size() - 1)];
+    }
+    void clear(FrameNo new_base);
+    void push_back(InputWord w);
+    void pop_front();
+
+   private:
+    std::vector<InputWord> buf_;  ///< power-of-two capacity
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+    FrameNo base_ = 0;
+  };
+
+  struct Observer {
+    bool active = false;
+    bool ack_ever = false;   ///< has acked at least once — feed-only from then on
+    FrameNo acked = -2;      ///< cumulative ack cursor
+  };
+
+  struct FeedCacheEntry {
+    FrameNo first = 0;
+    std::size_t count = 0;
+    Buffer bytes;
+  };
+
+  [[nodiscard]] bool snapshot_usable() const {
+    return snapshot_wire_ != nullptr && snapshot_frame_ + 1 >= ring_.base();
+  }
+  [[nodiscard]] std::size_t max_backlog() const;
+  void trim_ring();
+
+  std::uint64_t content_id_;
+  SyncConfig cfg_;
+
+  bool wants_snapshot_ = false;
+  FrameNo snapshot_frame_ = -1;
+  Buffer snapshot_wire_;  ///< encoded once, shared by every resend
+
+  InputRing ring_;
+  FrameNo last_executed_ = -1;
+  std::vector<Observer> observers_;
+  std::size_t active_count_ = 0;
+
+  std::vector<FeedCacheEntry> feed_cache_;  ///< valid until the ring mutates
+  SpectatorHubStats stats_;
 };
 
 /// The observing side: owns (a reference to) its own replica machine.

@@ -40,7 +40,24 @@ constexpr bool time_in_range(Time t, Time floor = 0) { return t >= floor; }
 }  // namespace
 
 std::vector<std::uint8_t> encode_message(const Message& msg) {
-  ByteWriter w(64);
+  std::vector<std::uint8_t> out;
+  out.reserve(64);
+  encode_message_into(msg, out);
+  return out;
+}
+
+void encode_snapshot_into(FrameNo frame, std::span<const std::uint8_t> state,
+                          std::vector<std::uint8_t>& out) {
+  ByteWriter w(std::move(out));
+  w.u8(static_cast<std::uint8_t>(MsgType::kSnapshot));
+  w.i64(frame);
+  w.u32(static_cast<std::uint32_t>(state.size()));
+  w.bytes(state);
+  out = w.take();
+}
+
+void encode_message_into(const Message& msg, std::vector<std::uint8_t>& out) {
+  ByteWriter w(std::move(out));
   if (const auto* hello = std::get_if<HelloMsg>(&msg)) {
     w.u8(static_cast<std::uint8_t>(MsgType::kHello));
     w.i32(hello->site);
@@ -58,6 +75,7 @@ std::vector<std::uint8_t> encode_message(const Message& msg) {
     w.u8(static_cast<std::uint8_t>(MsgType::kStart));
     w.i32(start->site);
     w.u16(start->buf_frames);
+    w.u8(start->flags);
   } else if (const auto* sync = std::get_if<SyncMsg>(&msg)) {
     w.u8(static_cast<std::uint8_t>(MsgType::kSync));
     w.i32(sync->site);
@@ -87,7 +105,7 @@ std::vector<std::uint8_t> encode_message(const Message& msg) {
     w.u8(static_cast<std::uint8_t>(MsgType::kFeedAck));
     w.i64(ack->frame);
   }
-  return w.take();
+  out = w.take();
 }
 
 std::optional<Message> decode_message(std::span<const std::uint8_t> data) {
@@ -118,6 +136,7 @@ std::optional<Message> decode_message(std::span<const std::uint8_t> data) {
       StartMsg m;
       m.site = r.i32();
       m.buf_frames = r.u16();
+      m.flags = r.u8();
       if (!r.ok() || !r.at_end()) return std::nullopt;
       return m;
     }

@@ -23,8 +23,12 @@
 
 namespace rtct::core {
 
-/// HelloMsg::flags bits (v2 capability negotiation).
+/// HelloMsg/StartMsg::flags bits (capability negotiation).
 inline constexpr std::uint8_t kHelloFlagAdaptiveLag = 1u << 0;
+/// In HELLO: "I can compare incremental (version-2) state digests". In
+/// START: "this session compares version-2 digests" — set by the master
+/// only when both sides advertised it.
+inline constexpr std::uint8_t kFlagStateDigestV2 = 1u << 1;
 
 /// Session handshake: "I am here, running this game image with these
 /// parameters" (§2 rendezvous + same-image requirement). v2 extends it
@@ -50,9 +54,12 @@ struct HelloMsg {
 /// one-way delay of start skew (§3.2). v2: when the sites negotiated an
 /// RTT-adaptive local lag, `buf_frames` carries the agreed value (0 means
 /// "use the configured fixed value").
+/// (v3 adds `flags`, fixing the negotiated capabilities — a slave may
+/// learn the outcome from START alone when every master HELLO was lost.)
 struct StartMsg {
   SiteId site = 0;
   std::uint16_t buf_frames = 0;
+  std::uint8_t flags = 0;  ///< kFlag* bits the session runs with
 };
 
 /// One flush of the sync module (Algorithm 2 lines 7-11).
@@ -117,6 +124,15 @@ using Message = std::variant<HelloMsg, StartMsg, SyncMsg, JoinRequestMsg, Snapsh
                              InputFeedMsg, FeedAckMsg>;
 
 std::vector<std::uint8_t> encode_message(const Message& msg);
+/// Same encoding into a caller-owned buffer (cleared, capacity kept) so
+/// per-flush encoding on the hot path reuses one scratch vector.
+void encode_message_into(const Message& msg, std::vector<std::uint8_t>& out);
+/// Encodes a SnapshotMsg directly from borrowed state bytes — byte-for-byte
+/// identical to encode_message(SnapshotMsg{frame, state}) without copying
+/// the state into a message struct first (snapshots are the largest thing
+/// on the wire; the broadcast hub encodes each one exactly once).
+void encode_snapshot_into(FrameNo frame, std::span<const std::uint8_t> state,
+                          std::vector<std::uint8_t>& out);
 std::optional<Message> decode_message(std::span<const std::uint8_t> data);
 
 }  // namespace rtct::core

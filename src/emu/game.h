@@ -31,8 +31,24 @@ class IDeterministicGame {
   /// 64-bit fingerprint of the complete mutable state.
   [[nodiscard]] virtual std::uint64_t state_hash() const = 0;
 
+  /// Versioned fingerprint. Version 1 is state_hash(); a game MAY implement
+  /// cheaper digests under higher versions (e.g. the emulator's incremental
+  /// dirty-page digest, version 2). Digests of different versions are not
+  /// comparable — the session handshake negotiates one version for both
+  /// replicas before any hashes are exchanged. Unknown versions fall back
+  /// to the newest one the game implements (here: version 1).
+  [[nodiscard]] virtual std::uint64_t state_digest(int version) const {
+    (void)version;
+    return state_hash();
+  }
+
   /// Serializes the complete mutable state (versioned).
   [[nodiscard]] virtual std::vector<std::uint8_t> save_state() const = 0;
+
+  /// save_state() into a caller-owned buffer, reusing its capacity. Hot
+  /// paths (snapshot fan-out, replay recording, chaos soak) call this once
+  /// per served frame; overriding it makes those paths allocation-free.
+  virtual void save_state_into(std::vector<std::uint8_t>& out) const { out = save_state(); }
 
   /// Restores a save_state() snapshot. Returns false on a malformed or
   /// version-mismatched snapshot (state is then unspecified; reset()).

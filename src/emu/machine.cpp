@@ -1,6 +1,8 @@
 #include "src/emu/machine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
 
 #include "src/common/bytes.h"
 #include "src/common/hash.h"
@@ -11,7 +13,21 @@ namespace {
 constexpr std::size_t kMemSize = 0x10000;
 constexpr std::size_t kMutableSize = kMemSize - kRamBase;  // 32 KiB RAM+FB
 constexpr std::size_t kDebugLogCap = 4096;
+
+std::atomic<bool> g_cross_check{false};
+std::atomic<std::uint64_t> g_cross_check_failures{0};
 }  // namespace
+
+void set_state_digest_cross_check(bool on) {
+  g_cross_check.store(on, std::memory_order_relaxed);
+  if (on) g_cross_check_failures.store(0, std::memory_order_relaxed);
+}
+
+bool state_digest_cross_check() { return g_cross_check.load(std::memory_order_relaxed); }
+
+std::uint64_t state_digest_cross_check_failures() {
+  return g_cross_check_failures.load(std::memory_order_relaxed);
+}
 
 ArcadeMachine::ArcadeMachine(Rom rom, MachineConfig cfg)
     : rom_(std::move(rom)), cfg_(cfg), mem_(kMemSize, 0) {
@@ -27,6 +43,24 @@ void ArcadeMachine::reset() {
   frame_ = 0;
   last_frame_cycles_ = 0;
   debug_log_.clear();
+  mark_all_pages_dirty();
+}
+
+void ArcadeMachine::mark_all_pages_dirty() const {
+  dirty_.fill(~0ull);
+}
+
+void ArcadeMachine::refresh_dirty_pages() const {
+  for (std::size_t wi = 0; wi < dirty_.size(); ++wi) {
+    std::uint64_t bits = dirty_[wi];
+    dirty_[wi] = 0;
+    while (bits != 0) {
+      const auto page = wi * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      page_digest_[page] =
+          fnv1a64({mem_.data() + kRamBase + page * kPageSize, kPageSize});
+    }
+  }
 }
 
 void ArcadeMachine::step_frame(InputWord input) {
@@ -74,8 +108,38 @@ std::uint64_t ArcadeMachine::state_hash() const {
   return h.digest();
 }
 
+std::uint64_t ArcadeMachine::state_digest(int version) const {
+  if (version <= 1) return state_hash();
+  refresh_dirty_pages();
+  Fnv1a64 h;
+  h.update_u8(2);  // domain-separate the v2 digest from the v1 hash
+  cpu_.visit_state(h);
+  h.update_u16(input_latch_);
+  h.update_u16(tone_);
+  h.update_u64(static_cast<std::uint64_t>(frame_));
+  for (const std::uint64_t d : page_digest_) h.update_u64(d);
+  if (g_cross_check.load(std::memory_order_relaxed)) {
+    for (std::size_t page = 0; page < kNumMutablePages; ++page) {
+      const std::uint64_t full =
+          fnv1a64({mem_.data() + kRamBase + page * kPageSize, kPageSize});
+      if (full != page_digest_[page]) {
+        g_cross_check_failures.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+    }
+  }
+  return h.digest();
+}
+
 std::vector<std::uint8_t> ArcadeMachine::save_state() const {
-  ByteWriter w(64 + kMutableSize);
+  std::vector<std::uint8_t> out;
+  save_state_into(out);
+  return out;
+}
+
+void ArcadeMachine::save_state_into(std::vector<std::uint8_t>& out) const {
+  if (out.capacity() < 64 + kMutableSize) out.reserve(64 + kMutableSize);
+  ByteWriter w(std::move(out));
   w.u8(kStateVersion);
   w.u64(rom_.checksum());
   cpu_.visit_state(w);
@@ -83,7 +147,7 @@ std::vector<std::uint8_t> ArcadeMachine::save_state() const {
   w.u16(tone_);
   w.u64(static_cast<std::uint64_t>(frame_));
   w.bytes(std::span<const std::uint8_t>(mem_.data() + kRamBase, kMutableSize));
-  return w.take();
+  out = w.take();
 }
 
 bool ArcadeMachine::load_state(std::span<const std::uint8_t> data) {
@@ -109,6 +173,7 @@ bool ArcadeMachine::load_state(std::span<const std::uint8_t> data) {
   std::copy(ram.begin(), ram.end(), mem_.begin() + kRamBase);
   // ROM region is already in place; debug log is diagnostic state only.
   debug_log_.clear();
+  mark_all_pages_dirty();  // the snapshot bypassed write8
   return true;
 }
 

@@ -10,6 +10,7 @@
 //   0xAC00–0xFFFF  general RAM (stack grows down from 0xFFFE)
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -28,6 +29,20 @@ inline constexpr int kFbRows = 48;
 inline constexpr std::size_t kFbSize = kFbCols * kFbRows;  // 3072 bytes
 inline constexpr std::uint16_t kInitialSp = 0xFFFE;
 
+/// Dirty-page tracking granularity for the incremental (version-2) state
+/// digest: the mutable 32 KiB is covered by 128 pages of 256 bytes.
+inline constexpr std::size_t kPageSize = 256;
+inline constexpr unsigned kPageShift = 8;
+inline constexpr std::size_t kNumMutablePages = (0x10000 - kRamBase) / kPageSize;
+
+/// Full-rehash cross-check for the incremental digest. When enabled, every
+/// state_digest(2) additionally rehashes all 128 pages from scratch and
+/// counts any disagreement with the dirty-page cache — the chaos soak runs
+/// with this on and asserts the failure counter stays zero.
+void set_state_digest_cross_check(bool on);
+[[nodiscard]] bool state_digest_cross_check();
+[[nodiscard]] std::uint64_t state_digest_cross_check_failures();
+
 struct MachineConfig {
   /// Per-frame cycle budget; exceeding it faults (a ROM must HALT once per
   /// frame, like real arcade code waiting for vblank).
@@ -42,7 +57,9 @@ class ArcadeMachine final : public IDeterministicGame, private Bus {
   void reset() override;
   void step_frame(InputWord input) override;
   [[nodiscard]] std::uint64_t state_hash() const override;
+  [[nodiscard]] std::uint64_t state_digest(int version) const override;
   [[nodiscard]] std::vector<std::uint8_t> save_state() const override;
+  void save_state_into(std::vector<std::uint8_t>& out) const override;
   bool load_state(std::span<const std::uint8_t> data) override;
   [[nodiscard]] FrameNo frame() const override { return frame_; }
   [[nodiscard]] std::uint64_t content_id() const override { return rom_.checksum(); }
@@ -75,12 +92,17 @@ class ArcadeMachine final : public IDeterministicGame, private Bus {
   bool write8(std::uint16_t addr, std::uint8_t v) override {
     if (addr < kRamBase) return false;  // ROM region
     mem_[addr] = v;
+    const auto page = static_cast<std::size_t>(addr - kRamBase) >> kPageShift;
+    dirty_[page >> 6] |= 1ull << (page & 63);
     return true;
   }
   std::uint16_t in_port(std::uint8_t port) override;
   void out_port(std::uint8_t port, std::uint16_t v) override;
 
   static constexpr std::uint8_t kStateVersion = 1;
+
+  void mark_all_pages_dirty() const;
+  void refresh_dirty_pages() const;
 
   Rom rom_;
   MachineConfig cfg_;
@@ -91,6 +113,12 @@ class ArcadeMachine final : public IDeterministicGame, private Bus {
   FrameNo frame_ = 0;
   int last_frame_cycles_ = 0;
   std::vector<std::uint16_t> debug_log_;
+
+  // Incremental-digest cache: per-page FNV digests of the mutable region
+  // plus a dirty bitmap maintained by write8. Both are refreshed lazily
+  // inside the (const) digest call, hence mutable.
+  mutable std::array<std::uint64_t, kNumMutablePages> page_digest_{};
+  mutable std::array<std::uint64_t, kNumMutablePages / 64> dirty_{};
 };
 
 }  // namespace rtct::emu

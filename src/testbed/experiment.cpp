@@ -29,11 +29,13 @@ struct SharedFlags {
 
 /// One simulated gaming PC: machine + sync module + three processes.
 class SimSite {
-  /// Host side of one spectator feed (journal-version observer support).
+  /// Transport toward one observer; the protocol state for ALL observers
+  /// lives in the shared SpectatorBroadcastHub (one backlog ring, one
+  /// encoded snapshot, per-observer ack cursors).
   struct ObserverPort {
     net::DatagramTransport* transport;
     sim::Trigger* arrival;
-    core::SpectatorHost host;
+    core::SpectatorBroadcastHub::ObserverId id;
   };
 
  public:
@@ -50,8 +52,10 @@ class SimSite {
         peer_(site, cfg.sync),
         pacer_(site, cfg.sync, cfg.pacing[site]),
         session_(site, game_.content_id(), cfg.sync),
+        spectator_hub_(game_.content_id(), cfg.sync),
         input_(cfg.input_seed[site], cfg.input_hold_frames),
         state_changed_(sim) {
+    digest_version_ = cfg.sync.digest_version();
     result_.timeline.reserve(static_cast<std::size_t>(cfg.frames));
     result_.replay = core::Replay(game_.content_id(), cfg.sync);
   }
@@ -66,7 +70,7 @@ class SimSite {
   /// Registers a spectator feed toward one observer (host side).
   void add_observer_port(net::DatagramTransport& transport, sim::Trigger& arrival) {
     auto port = std::make_unique<ObserverPort>(
-        ObserverPort{&transport, &arrival, core::SpectatorHost(game_.content_id(), cfg_.sync)});
+        ObserverPort{&transport, &arrival, spectator_hub_.add_observer()});
     observer_ports_.push_back(std::move(port));
   }
 
@@ -86,8 +90,8 @@ class SimSite {
 
  private:
   void send(const Message& msg) {
-    const auto bytes = core::encode_message(msg);
-    transport_.send(bytes);
+    core::encode_message_into(msg, wire_scratch_);
+    transport_.send(wire_scratch_);
   }
 
   void drain_and_dispatch() {
@@ -119,6 +123,7 @@ class SimSite {
   void apply_negotiated_lag() {
     if (lag_applied_) return;
     lag_applied_ = true;
+    digest_version_ = session_.digest_version();
     const int buf = session_.effective_buf_frames();
     result_.buf_frames = buf;
     if (buf != cfg_.sync.buf_frames) {
@@ -170,16 +175,18 @@ class SimSite {
   }
 
   void pump_observer_ports() {
+    if (observer_ports_.empty()) return;
+    // Same gate as RealtimeSession::pump_spectators: never serve a
+    // "frame -1" snapshot — defer joins until frame 0 has executed.
+    if (spectator_hub_.wants_snapshot() && game_.frame() > 0) {
+      // Coroutines only interleave at co_await points, so the machine is
+      // always between frames here — a consistent snapshot.
+      game_.save_state_into(snapshot_scratch_);
+      spectator_hub_.provide_snapshot(game_.frame() - 1, snapshot_scratch_);
+    }
     for (auto& port : observer_ports_) {
-      // Same gate as RealtimeSession::pump_spectators: never serve a
-      // "frame -1" snapshot — defer joins until frame 0 has executed.
-      if (port->host.wants_snapshot() && game_.frame() > 0) {
-        // Coroutines only interleave at co_await points, so the machine is
-        // always between frames here — a consistent snapshot.
-        port->host.provide_snapshot(game_.frame() - 1, game_.save_state());
-      }
-      if (auto m = port->host.make_message(sim_.now())) {
-        port->transport->send(core::encode_message(*m));
+      if (auto buf = spectator_hub_.make_message(port->id, sim_.now())) {
+        port->transport->send(*buf);
       }
     }
   }
@@ -187,7 +194,9 @@ class SimSite {
   sim::Task run_observer_receiver(ObserverPort* port) {
     for (;;) {
       while (auto payload = port->transport->try_recv()) {
-        if (auto msg = core::decode_message(*payload)) port->host.ingest(*msg);
+        if (auto msg = core::decode_message(*payload)) {
+          spectator_hub_.ingest(port->id, *msg);
+        }
       }
       co_await port->arrival->wait();
     }
@@ -261,9 +270,9 @@ class SimSite {
       const InputWord merged = peer_.pop();
       game_.step_frame(merged);  // step 8: Transition(I, S)
       result_.replay.record(merged);
-      rec.state_hash = game_.state_hash();
+      rec.state_hash = game_.state_digest(digest_version_);
       peer_.note_state_hash(frame, rec.state_hash);  // desync tripwire
-      for (auto& port : observer_ports_) port->host.on_frame(frame, merged);
+      spectator_hub_.on_frame(frame, merged);
 
       // Emulation + render cost of this frame.
       rec.compute = cfg_.frame_compute_time;
@@ -283,14 +292,18 @@ class SimSite {
   const ExperimentConfig& cfg_;
   SiteId site_;
   bool lag_applied_ = false;
+  int digest_version_ = 1;  ///< locked in with the handshake outcome
   std::vector<ExperimentConfig::StallEvent> stalls_;  ///< this site's, by `at`
   std::size_t next_stall_ = 0;
   std::vector<std::unique_ptr<ObserverPort>> observer_ports_;
+  std::vector<std::uint8_t> wire_scratch_;      ///< reused encode buffer
+  std::vector<std::uint8_t> snapshot_scratch_;  ///< reused save_state buffer
   std::unique_ptr<emu::IDeterministicGame> game_holder_;
   emu::IDeterministicGame& game_;
   core::SyncPeer peer_;
   core::FramePacer pacer_;
   core::SessionControl session_;
+  core::SpectatorBroadcastHub spectator_hub_;
   core::MasherInput input_;
   sim::Trigger state_changed_;
   SiteResult result_;
@@ -335,7 +348,10 @@ class SimObserver {
         if (done_at < 0) done_at = now;
         if (now - done_at > seconds(1)) break;  // grace to finish catching up
       }
-      if (auto m = client_.make_message(now)) ep_.send(core::encode_message(*m));
+      if (auto m = client_.make_message(now)) {
+        core::encode_message_into(*m, wire_scratch_);
+        ep_.send(wire_scratch_);
+      }
       while (auto payload = ep_.try_recv()) {
         if (auto msg = core::decode_message(*payload)) {
           const bool was_joined = client_.joined();
@@ -347,7 +363,8 @@ class SimObserver {
         }
       }
       while (client_.step_one()) {
-        result_.hashes.emplace_back(client_.applied_frame(), game_.state_hash());
+        result_.hashes.emplace_back(client_.applied_frame(),
+                                    game_.state_digest(cfg_.sync.digest_version()));
       }
       result_.last_applied = client_.applied_frame();
       (void)co_await ep_.arrival_trigger().wait_until(now + cfg_.sync.send_flush_period);
@@ -361,6 +378,7 @@ class SimObserver {
   std::unique_ptr<emu::IDeterministicGame> game_holder_;
   emu::IDeterministicGame& game_;
   core::SpectatorClient client_;
+  std::vector<std::uint8_t> wire_scratch_;  ///< reused encode buffer
   ObserverResult result_;
 };
 

@@ -90,7 +90,8 @@ class MeshSite {
             co_await sim_.sleep(cfg_.sync.send_dispatch_delay);
             dispatched = true;  // one thread handoff per flush, not per peer
           }
-          endpoints_[s]->send(core::encode_message(core::Message{*msg}));
+          core::encode_message_into(core::Message{*msg}, wire_scratch_);
+          endpoints_[s]->send(wire_scratch_);
         }
       }
       co_await sim_.sleep(cfg_.sync.send_flush_period);
@@ -128,7 +129,9 @@ class MeshSite {
       rec.input_ready_time = sim_.now();
 
       game_.step_frame(peer_.pop());
-      rec.state_hash = game_.state_hash();
+      // The mesh has no HELLO/START handshake (shared config by
+      // construction), so the digest version comes straight from config.
+      rec.state_hash = game_.state_digest(cfg_.sync.digest_version());
       peer_.note_state_hash(frame, rec.state_hash);
 
       co_await sim_.sleep(cfg_.frame_compute_time);
@@ -150,6 +153,7 @@ class MeshSite {
   core::MasherInput input_;
   sim::Trigger state_changed_;
   std::vector<net::SimEndpoint*> endpoints_;
+  std::vector<std::uint8_t> wire_scratch_;  ///< reused encode buffer
   MeshSiteResult result_;
 };
 

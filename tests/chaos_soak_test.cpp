@@ -14,6 +14,8 @@
 
 #include "src/chaos/fault_script.h"
 #include "src/chaos/soak.h"
+#include "src/emu/machine.h"
+#include "src/games/roms.h"
 
 namespace rtct::chaos {
 namespace {
@@ -41,6 +43,44 @@ TEST_P(ChaosSoak, AllSeedsSatisfyAllInvariants) {
 INSTANTIATE_TEST_SUITE_P(AllTopologies, ChaosSoak,
                          ::testing::Values(Topology::kTwoSite, Topology::kMesh,
                                            Topology::kSpectator),
+                         [](const auto& info) {
+                           return std::string(topology_name(info.param));
+                         });
+
+class EmulatorChaosSoak : public ::testing::TestWithParam<Topology> {};
+
+TEST_P(EmulatorChaosSoak, DirtyPageDigestSurvivesChaosWithCrossCheck) {
+  // The soak normally runs the cheap native game, which never exercises
+  // the emulator's incremental v2 digest. Re-run a slice of seeds on an
+  // ArcadeMachine with the full-rehash cross-check armed: every
+  // state_digest(2) recomputes all 128 pages from scratch and any
+  // disagreement with the dirty-page cache counts as a failure. Chaos is
+  // exactly the load that would expose a missed-invalidation bug (stalls,
+  // churned observers loading snapshots, handshake races).
+  const Topology topology = GetParam();
+  emu::set_state_digest_cross_check(true);
+  int failures = 0;
+  for (std::uint64_t seed = kFirstSeed; seed < kFirstSeed + 10; ++seed) {
+    FaultScript script = generate_fault_script(seed, topology);
+    testbed::ExperimentConfig cfg = lower_two_site(script);
+    cfg.game_factory = [] { return games::make_machine("duel"); };
+    const testbed::ExperimentResult r = testbed::run_experiment(cfg);
+    const auto violations = check_two_site(cfg, r);
+    if (!violations.empty()) {
+      ++failures;
+      ADD_FAILURE() << "seed " << seed << " on " << topology_name(topology) << ": "
+                    << violations.size() << " violation(s), first: "
+                    << violations[0].invariant << " — " << violations[0].detail;
+    }
+  }
+  emu::set_state_digest_cross_check(false);
+  EXPECT_EQ(failures, 0);
+  EXPECT_EQ(emu::state_digest_cross_check_failures(), 0u)
+      << "incremental digest disagreed with the full rehash";
+}
+
+INSTANTIATE_TEST_SUITE_P(EmulatorTopologies, EmulatorChaosSoak,
+                         ::testing::Values(Topology::kTwoSite, Topology::kSpectator),
                          [](const auto& info) {
                            return std::string(topology_name(info.param));
                          });

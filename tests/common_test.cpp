@@ -124,6 +124,33 @@ TEST(HashTest, SinkAliasesMatchByteEncoding) {
   EXPECT_EQ(h.digest(), fnv1a64(w.data()));
 }
 
+TEST(HashTest, WordAtATimeMatchesReferenceByteLoop) {
+  // Fnv1a64::update consumes 8-byte chunks on the hot path; FNV-1a is
+  // byte-serial by definition, so the digest must equal the textbook
+  // byte loop for every length (tails) and split point (alignment).
+  auto reference = [](std::span<const std::uint8_t> data) {
+    std::uint64_t h = kFnvOffset;
+    for (std::uint8_t b : data) h = (h ^ b) * kFnvPrime;
+    return h;
+  };
+  std::vector<std::uint8_t> data(257);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 37 + 11);
+  }
+  for (std::size_t len = 0; len <= data.size(); ++len) {
+    const std::span<const std::uint8_t> s(data.data(), len);
+    ASSERT_EQ(fnv1a64(s), reference(s)) << "length " << len;
+  }
+  // Split mid-word: incremental updates may leave the accumulator at any
+  // byte offset, the next chunk must still fold identically.
+  for (std::size_t split = 0; split <= 24; ++split) {
+    Fnv1a64 h;
+    h.update(std::span<const std::uint8_t>(data.data(), split));
+    h.update(std::span<const std::uint8_t>(data.data() + split, 100));
+    ASSERT_EQ(h.digest(), reference({data.data(), split + 100})) << "split " << split;
+  }
+}
+
 TEST(HashTest, SensitiveToEveryByte) {
   std::vector<std::uint8_t> data(64, 0);
   const auto base = fnv1a64(data);

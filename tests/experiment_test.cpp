@@ -54,7 +54,10 @@ TEST(ExperimentTest, MatchesSingleMachineReference) {
                                 : make_input(s0[f - cfg.sync.buf_frames],
                                              s1[f - cfg.sync.buf_frames]);
     reference->step_frame(input);
-    ASSERT_EQ(reference->state_hash(), r.site[0].timeline.records()[f].state_hash)
+    // Timelines record the negotiated digest version (v2 for two
+    // identically-configured sites) — compare apples to apples.
+    ASSERT_EQ(reference->state_digest(cfg.sync.digest_version()),
+              r.site[0].timeline.records()[f].state_hash)
         << "distributed run diverged from the single-machine reference at frame " << f;
   }
 }

@@ -110,6 +110,102 @@ TEST(MachineTest, HashChangesWithRamVideoAndRegisters) {
   EXPECT_NE(h1, m.state_hash());
 }
 
+TEST(MachineTest, DigestV1EqualsStateHash) {
+  ArcadeMachine m(make_rom(kEchoBody));
+  for (int i = 0; i < 5; ++i) {
+    m.step_frame(make_input(static_cast<std::uint8_t>(i), 3));
+    EXPECT_EQ(m.state_digest(1), m.state_hash());
+    EXPECT_EQ(m.state_digest(0), m.state_hash());
+  }
+}
+
+TEST(MachineTest, DigestV2EqualStateMeansEqualDigest) {
+  // Two replicas fed identical inputs agree on the v2 digest every frame —
+  // the property the desync tripwire runs on. v2 is also domain-separated
+  // from v1: same state, different fingerprint function, different value.
+  ArcadeMachine a(make_rom(kEchoBody));
+  ArcadeMachine b(make_rom(kEchoBody));
+  for (int i = 0; i < 30; ++i) {
+    const InputWord in = make_input(static_cast<std::uint8_t>(i * 7), static_cast<std::uint8_t>(i));
+    a.step_frame(in);
+    b.step_frame(in);
+    ASSERT_EQ(a.state_digest(2), b.state_digest(2)) << "frame " << i;
+    EXPECT_NE(a.state_digest(2), a.state_digest(1)) << "frame " << i;
+  }
+}
+
+TEST(MachineTest, DigestV2IncrementalMatchesFullRecompute) {
+  // The dirty-page cache must be invisible: a replica that loads the
+  // snapshot (all pages rehashed from scratch) computes the same digest
+  // the original reached via incremental updates.
+  ArcadeMachine m(make_rom(kEchoBody));
+  for (int i = 0; i < 25; ++i) {
+    m.step_frame(make_input(static_cast<std::uint8_t>(i), 0x20));
+    (void)m.state_digest(2);  // exercise the incremental path every frame
+  }
+  const auto incremental = m.state_digest(2);
+  ArcadeMachine replica(make_rom(kEchoBody));
+  ASSERT_TRUE(replica.load_state(m.save_state()));
+  EXPECT_EQ(replica.state_digest(2), incremental);
+}
+
+TEST(MachineTest, DigestV2AnySingleByteMutationChangesDigest) {
+  // Flip one byte of serialized state, load it, digest must differ: the
+  // per-page digests leave no blind spot anywhere in the mutable region
+  // or the CPU/latch/tone/frame header.
+  ArcadeMachine m(make_rom(kEchoBody));
+  for (int i = 0; i < 10; ++i) m.step_frame(make_input(5, 9));
+  const auto base = m.state_digest(2);
+  auto snap = m.save_state();
+  // Positions 0..8 are the snapshot's own version byte + ROM checksum
+  // (load-rejected, not machine state). Cover the full header densely and
+  // sample the 32 KiB RAM image.
+  std::vector<std::size_t> positions;
+  for (std::size_t i = 9; i < 56; ++i) positions.push_back(i);
+  for (std::size_t i = 56; i < snap.size(); i += 997) positions.push_back(i);
+  positions.push_back(snap.size() - 1);
+  for (const std::size_t pos : positions) {
+    snap[pos] ^= 0x01;
+    ArcadeMachine replica(make_rom(kEchoBody));
+    ASSERT_TRUE(replica.load_state(snap)) << "byte " << pos;
+    EXPECT_NE(replica.state_digest(2), base) << "byte " << pos;
+    snap[pos] ^= 0x01;
+  }
+}
+
+TEST(MachineTest, DigestV2CrossCheckStaysClean) {
+  // Full-rehash cross-check mode (the chaos-soak oracle): honest use of
+  // the incremental cache must never trip it.
+  set_state_digest_cross_check(true);
+  ASSERT_TRUE(state_digest_cross_check());
+  ArcadeMachine m(make_rom(kEchoBody));
+  for (int i = 0; i < 20; ++i) {
+    m.step_frame(make_input(static_cast<std::uint8_t>(i), 1));
+    (void)m.state_digest(2);
+  }
+  ArcadeMachine replica(make_rom(kEchoBody));
+  ASSERT_TRUE(replica.load_state(m.save_state()));
+  (void)replica.state_digest(2);
+  set_state_digest_cross_check(false);
+  EXPECT_EQ(state_digest_cross_check_failures(), 0u);
+  EXPECT_FALSE(state_digest_cross_check());
+}
+
+TEST(MachineTest, SaveStateIntoMatchesSaveStateAndReusesCapacity) {
+  ArcadeMachine m(make_rom(kEchoBody));
+  m.step_frame(make_input(1, 2));
+  std::vector<std::uint8_t> scratch;
+  m.save_state_into(scratch);
+  EXPECT_EQ(scratch, m.save_state());
+  const auto* data_before = scratch.data();
+  const auto cap_before = scratch.capacity();
+  m.step_frame(make_input(3, 4));
+  m.save_state_into(scratch);
+  EXPECT_EQ(scratch, m.save_state());
+  EXPECT_EQ(scratch.data(), data_before);      // no reallocation
+  EXPECT_EQ(scratch.capacity(), cap_before);
+}
+
 TEST(MachineTest, SaveStateIsVersionChecked) {
   ArcadeMachine m(make_rom(kEchoBody));
   m.step_frame(0);

@@ -97,11 +97,14 @@ TEST(ReplayTest, DistributedSessionRecordingReplaysIdentically) {
 
   auto replica = games::make_machine(cfg.game);
   std::size_t mismatches = 0;
-  ASSERT_TRUE(r.site[0].replay.apply(*replica, [&](FrameNo f, std::uint64_t h) {
-    if (r.site[0].timeline.records()[static_cast<std::size_t>(f)].state_hash != h) {
-      ++mismatches;
-    }
-  }));
+  ASSERT_TRUE(r.site[0].replay.apply(
+      *replica,
+      [&](FrameNo f, std::uint64_t h) {
+        if (r.site[0].timeline.records()[static_cast<std::size_t>(f)].state_hash != h) {
+          ++mismatches;
+        }
+      },
+      cfg.sync.digest_version()));
   EXPECT_EQ(mismatches, 0u);
 }
 
@@ -121,11 +124,14 @@ TEST(ReplayTest, ChaoticSessionRecordingReplaysIdentically) {
 
   auto replica = cfg.game_factory();
   std::size_t mismatches = 0;
-  ASSERT_TRUE(r.site[0].replay.apply(*replica, [&](FrameNo f, std::uint64_t h) {
-    if (r.site[0].timeline.records()[static_cast<std::size_t>(f)].state_hash != h) {
-      ++mismatches;
-    }
-  }));
+  ASSERT_TRUE(r.site[0].replay.apply(
+      *replica,
+      [&](FrameNo f, std::uint64_t h) {
+        if (r.site[0].timeline.records()[static_cast<std::size_t>(f)].state_hash != h) {
+          ++mismatches;
+        }
+      },
+      cfg.sync.digest_version()));
   EXPECT_EQ(mismatches, 0u);
 }
 

@@ -71,6 +71,63 @@ TEST(SessionTest, MasterIgnoresSyncTrafficShortcut) {
   EXPECT_FALSE(master.running());  // master must see a HELLO first
 }
 
+TEST(SessionTest, DigestV2NegotiatedWhenBothCapable) {
+  // digest_v2 defaults on: two stock sites agree on the v2 fingerprint,
+  // the master decides and the START flag carries it to the slave.
+  SessionControl master(0, kRom, cfg());
+  SessionControl slave(1, kRom, cfg());
+  relay(slave, master, 0);
+  EXPECT_EQ(master.digest_version(), 2);
+  auto start = master.poll(0);
+  ASSERT_TRUE(start.has_value());
+  EXPECT_NE(std::get<StartMsg>(*start).flags & kFlagStateDigestV2, 0u);
+  slave.ingest(*start, milliseconds(1));
+  EXPECT_TRUE(slave.running());
+  EXPECT_EQ(slave.digest_version(), 2);
+}
+
+TEST(SessionTest, DigestFallsBackToV1WithLegacyPeer) {
+  // One side without the capability (an older build) drags both to v1 —
+  // mixed fingerprint functions would false-positive the desync tripwire.
+  SyncConfig legacy = cfg();
+  legacy.digest_v2 = false;
+  {
+    SessionControl master(0, kRom, cfg());
+    SessionControl slave(1, kRom, legacy);
+    relay(slave, master, 0);
+    EXPECT_EQ(master.digest_version(), 1);
+    relay(master, slave, milliseconds(1));
+    EXPECT_EQ(slave.digest_version(), 1);
+  }
+  {
+    SessionControl master(0, kRom, legacy);
+    SessionControl slave(1, kRom, cfg());
+    relay(slave, master, 0);
+    EXPECT_EQ(master.digest_version(), 1);
+    relay(master, slave, milliseconds(1));
+    // The START carries no v2 flag, so the capable slave stays on v1.
+    EXPECT_EQ(slave.digest_version(), 1);
+  }
+}
+
+TEST(SessionTest, SyncTrafficShortcutAdoptsPeerCapability) {
+  // A slave started by the sync-traffic shortcut saw no START flags; it
+  // falls back to the peer's HELLO capability when one was seen.
+  SessionControl slave(1, kRom, cfg());
+  {
+    SyncConfig legacy = cfg();
+    legacy.digest_v2 = false;
+    SessionControl legacy_master(0, kRom, legacy);
+    auto m = legacy_master.poll(0);  // master's own HELLO
+    ASSERT_TRUE(m.has_value());
+    ASSERT_TRUE(std::holds_alternative<HelloMsg>(*m));
+    slave.ingest(*m, 0);
+  }
+  slave.note_sync_traffic(milliseconds(70));
+  EXPECT_TRUE(slave.running());
+  EXPECT_EQ(slave.digest_version(), 1);
+}
+
 TEST(SessionTest, ChecksumMismatchFails) {
   SessionControl master(0, kRom, cfg());
   SessionControl slave(1, kRom + 1, cfg());  // different game image

@@ -255,5 +255,219 @@ TEST(SpectateTest, RandomizedLossyChannelProperty) {
   }
 }
 
+// ---- SpectatorBroadcastHub -------------------------------------------------
+
+/// N unmodified SpectatorClients against ONE hub — the fan-out replacement
+/// for one-host-per-observer. Clients must not be able to tell.
+struct HubRig {
+  std::unique_ptr<emu::ArcadeMachine> session = games::make_machine("torture");
+  SpectatorBroadcastHub hub{session->content_id(), SyncConfig{}};
+  struct Obs {
+    std::unique_ptr<emu::ArcadeMachine> replica;
+    std::unique_ptr<SpectatorClient> client;
+    SpectatorBroadcastHub::ObserverId id = 0;
+  };
+  std::vector<Obs> obs;
+  Rng rng{77};
+  FrameNo frame = 0;
+  std::vector<std::uint8_t> scratch;
+
+  SpectatorBroadcastHub::ObserverId add_observer() {
+    Obs o;
+    o.replica = games::make_machine("torture");
+    o.client = std::make_unique<SpectatorClient>(*o.replica, SyncConfig{});
+    o.id = hub.add_observer();
+    const auto id = o.id;
+    obs.push_back(std::move(o));
+    return id;
+  }
+
+  InputWord play_one_frame() {
+    const auto input = static_cast<InputWord>(rng.next_u64() & 0xFFFF);
+    session->step_frame(input);
+    hub.on_frame(frame, input);
+    ++frame;
+    return input;
+  }
+
+  void serve_snapshot_if_needed() {
+    if (hub.wants_snapshot() && session->frame() > 0) {
+      session->save_state_into(scratch);
+      hub.provide_snapshot(session->frame() - 1, scratch);
+    }
+  }
+
+  /// One message in each direction per observer, with per-observer loss.
+  void exchange(Time now, double loss = 0.0, Rng* net = nullptr) {
+    for (auto& o : obs) {
+      if (auto m = o.client->make_message(now)) {
+        if (net == nullptr || !net->bernoulli(loss)) hub.ingest(o.id, *m);
+      }
+    }
+    serve_snapshot_if_needed();
+    for (auto& o : obs) {
+      if (auto buf = hub.make_message(o.id, now)) {
+        if (net == nullptr || !net->bernoulli(loss)) {
+          if (auto msg = decode_message(*buf)) o.client->ingest(*msg);
+        }
+      }
+      o.client->step_available();
+    }
+  }
+
+  [[nodiscard]] bool all_at_head() const {
+    for (const auto& o : obs) {
+      if (o.client->applied_frame() != frame - 1) return false;
+    }
+    return true;
+  }
+};
+
+TEST(SpectateHubTest, StaggeredObserversAllConvergeEncodeOnce) {
+  HubRig rig;
+  Time now = 0;
+  rig.add_observer();
+  for (int i = 0; i < 40; ++i) rig.play_one_frame();
+  rig.exchange(now);
+  rig.add_observer();  // joins 40 frames late
+  rig.add_observer();
+  for (int i = 0; i < 60; ++i) {
+    rig.play_one_frame();
+    now += milliseconds(20);
+    rig.exchange(now);
+  }
+  now += milliseconds(20);
+  rig.exchange(now);  // deliver the final round of acks
+  EXPECT_EQ(rig.hub.observer_count(), 3u);
+  EXPECT_EQ(rig.hub.joined_count(), 3u);
+  ASSERT_TRUE(rig.all_at_head());
+  EXPECT_TRUE(rig.hub.all_caught_up());
+  for (const auto& o : rig.obs) {
+    EXPECT_EQ(o.replica->state_hash(), rig.session->state_hash());
+    EXPECT_TRUE(rig.hub.observer_joined(o.id));
+    EXPECT_EQ(rig.hub.acked_frame(o.id), rig.frame - 1);
+  }
+  // The scaling property: every feed flush served 3 observers at (mostly)
+  // identical cursors from ONE encode. Strictly fewer encodes than sends
+  // proves the shared-buffer path is actually taken.
+  const SpectatorHubStats& s = rig.hub.stats();
+  EXPECT_GT(s.feed_messages_sent, 0u);
+  EXPECT_LT(s.feed_encodes, s.feed_messages_sent);
+  EXPECT_LT(s.bytes_encoded, s.bytes_sent);
+  EXPECT_EQ(s.snapshot_encodes, 1u);  // one snapshot, shared by all three
+}
+
+TEST(SpectateHubTest, ObserverChurnJoinLeaveRejoin) {
+  HubRig rig;
+  Time now = 0;
+  rig.add_observer();
+  rig.add_observer();
+  for (int i = 0; i < 30; ++i) rig.play_one_frame();
+  for (int i = 0; i < 10; ++i) {
+    rig.play_one_frame();
+    now += milliseconds(20);
+    rig.exchange(now);
+  }
+  ASSERT_TRUE(rig.all_at_head());
+
+  // Observer 0 walks away without a goodbye (the driver notices and
+  // removes it); the survivors keep converging, the hub stops serving it.
+  rig.hub.remove_observer(rig.obs[0].id);
+  const auto removed = rig.obs[0].id;
+  rig.obs.erase(rig.obs.begin());
+  EXPECT_EQ(rig.hub.observer_count(), 1u);
+  EXPECT_EQ(rig.hub.make_message(removed, now), nullptr);
+
+  rig.add_observer();  // rejoin as a brand-new id mid-session
+  for (int i = 0; i < 30; ++i) {
+    rig.play_one_frame();
+    now += milliseconds(20);
+    rig.exchange(now);
+  }
+  ASSERT_TRUE(rig.all_at_head());
+  for (const auto& o : rig.obs) {
+    EXPECT_EQ(o.replica->state_hash(), rig.session->state_hash());
+  }
+  EXPECT_EQ(rig.hub.stats().observers_removed, 1u);
+}
+
+TEST(SpectateHubTest, HandshakeRacingJoinDeferredUntilFrameZero) {
+  // The realtime handshake race through the hub: a join before frame 0
+  // must pend (no frame -1 snapshot), then be answered after frame 0.
+  HubRig rig;
+  rig.add_observer();
+  rig.exchange(0);
+  EXPECT_TRUE(rig.hub.wants_snapshot());
+  EXPECT_EQ(rig.hub.joined_count(), 0u);
+  EXPECT_FALSE(rig.obs[0].client->joined());
+
+  Time now = 0;
+  for (int i = 0; i < 5; ++i) {
+    rig.play_one_frame();
+    now += milliseconds(60);
+    rig.exchange(now);
+  }
+  ASSERT_TRUE(rig.obs[0].client->joined());
+  EXPECT_EQ(rig.obs[0].replica->state_hash(), rig.session->state_hash());
+}
+
+TEST(SpectateHubTest, LateJoinerAfterDeepBacklogGetsFreshSnapshot) {
+  // Run far past the backlog cap with one live observer, then join a new
+  // one: the shared snapshot has been retired with the trimmed ring, so
+  // the hub must request a FRESH snapshot rather than serve a stale one
+  // whose continuation frames are gone.
+  HubRig rig;
+  Time now = 0;
+  rig.add_observer();
+  for (int i = 0; i < 5; ++i) rig.play_one_frame();
+  rig.exchange(now);
+  ASSERT_TRUE(rig.obs[0].client->joined());
+  for (int i = 0; i < 700; ++i) {  // > max_backlog() with prompt acks
+    rig.play_one_frame();
+    if (i % 3 == 0) {
+      now += milliseconds(20);
+      rig.exchange(now);
+    }
+  }
+  const auto snapshots_before = rig.hub.stats().snapshot_encodes;
+  rig.add_observer();
+  for (int i = 0; i < 40; ++i) {
+    rig.play_one_frame();
+    now += milliseconds(20);
+    rig.exchange(now);
+  }
+  EXPECT_GT(rig.hub.stats().snapshot_encodes, snapshots_before);
+  ASSERT_TRUE(rig.all_at_head());
+  for (const auto& o : rig.obs) {
+    EXPECT_EQ(o.replica->state_hash(), rig.session->state_hash());
+  }
+}
+
+TEST(SpectateHubTest, WrongGameJoinIgnored) {
+  HubRig rig;
+  const auto id = rig.add_observer();
+  rig.hub.ingest(id, Message{JoinRequestMsg{rig.session->content_id() + 1}});
+  EXPECT_FALSE(rig.hub.wants_snapshot());
+}
+
+TEST(SpectateHubTest, RandomizedLossyChannelProperty) {
+  for (std::uint64_t seed : {5u, 23u, 111u}) {
+    HubRig rig;
+    Rng net(seed);
+    Time now = 0;
+    for (int i = 0; i < 4; ++i) rig.add_observer();
+    for (int i = 0; i < 30; ++i) rig.play_one_frame();
+    for (int round = 0; round < 600 && !rig.all_at_head(); ++round) {
+      if (round % 3 == 0) rig.play_one_frame();
+      now += milliseconds(20);
+      rig.exchange(now, 0.3, &net);
+    }
+    ASSERT_TRUE(rig.all_at_head()) << "seed " << seed;
+    for (const auto& o : rig.obs) {
+      ASSERT_EQ(o.replica->state_hash(), rig.session->state_hash()) << "seed " << seed;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace rtct::core

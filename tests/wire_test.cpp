@@ -102,6 +102,55 @@ TEST(WireTest, StartCarriesNegotiatedBufFrames) {
   EXPECT_EQ(std::get<StartMsg>(*decoded).buf_frames, 17);
 }
 
+TEST(WireTest, StartCarriesDigestFlags) {
+  StartMsg s;
+  s.site = 1;
+  s.buf_frames = 6;
+  s.flags = kFlagStateDigestV2;
+  const auto decoded = decode_message(encode_message(Message{s}));
+  ASSERT_TRUE(decoded.has_value());
+  const auto& out = std::get<StartMsg>(*decoded);
+  EXPECT_EQ(out.flags, kFlagStateDigestV2);
+  EXPECT_EQ(out.buf_frames, 6);
+  // flags defaults to 0 and round-trips as such (v1-digest sessions).
+  const auto plain = decode_message(encode_message(Message{StartMsg{0}}));
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(std::get<StartMsg>(*plain).flags, 0);
+}
+
+TEST(WireTest, EncodeIntoMatchesEncode) {
+  // The reuse-buffer encoder must be byte-identical to the allocating one,
+  // including when the scratch arrives dirty and over-sized.
+  SyncMsg m;
+  m.ack_frame = 41;
+  m.first_frame = 42;
+  m.inputs = {0x1111, 0x2222, 0x3333};
+  std::vector<std::uint8_t> scratch(512, 0xEE);
+  encode_message_into(Message{m}, scratch);
+  EXPECT_EQ(scratch, encode_message(Message{m}));
+
+  SnapshotMsg snap;
+  snap.frame = 99;
+  snap.state = {1, 2, 3, 4, 5};
+  encode_message_into(Message{snap}, scratch);
+  EXPECT_EQ(scratch, encode_message(Message{snap}));
+}
+
+TEST(WireTest, EncodeSnapshotIntoMatchesMessagePath) {
+  // The hub's hand-rolled snapshot encoder (no SnapshotMsg copy of the
+  // state vector) must produce the exact bytes of the ordinary path.
+  const std::vector<std::uint8_t> state = {9, 8, 7, 6, 5, 4, 3, 2, 1};
+  SnapshotMsg snap;
+  snap.frame = 0;  // the earliest frame the decoder accepts
+  snap.state = state;
+  std::vector<std::uint8_t> direct;
+  encode_snapshot_into(snap.frame, state, direct);
+  EXPECT_EQ(direct, encode_message(Message{snap}));
+  const auto decoded = decode_message(direct);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<SnapshotMsg>(*decoded).state, state);
+}
+
 TEST(WireTest, NegativeFramesSurvive) {
   // LastAckFrame starts at BufFrame-1; with BufFrame=0 frames could be -1.
   SyncMsg m;
