@@ -75,6 +75,26 @@ int main(int argc, char** argv) {
   for (const auto& p : points) all_consistent = all_consistent && p.result.converged();
   std::printf("logical consistency at every RTT: %s\n", all_consistent ? "yes" : "NO");
 
+  // The same sweep under the rollback consistency mode: the frame clock is
+  // decoupled from the network, so there is no threshold RTT — avg frame
+  // time and deviation should stay flat where lockstep falls off a cliff.
+  std::printf("\n--- rollback mode (input delay fixed, speculation absorbs the RTT) ---\n");
+  std::printf("%8s | %11s %11s | %11s %11s | %s\n", "RTT(ms)", "avgFT0(ms)", "avgFT1(ms)",
+              "devFT0(ms)", "devFT1(ms)", "consistent");
+  ExperimentConfig rb_base = base;
+  rb_base.sync.rollback = true;
+  const auto rb_points = sweep_rtt(rb_base, paper_rtt_sweep());
+  for (const auto& p : rb_points) {
+    std::printf("%8.0f | %11.3f %11.3f | %11.3f %11.3f | %s\n", to_ms(p.rtt),
+                p.result.avg_frame_time_ms(0), p.result.avg_frame_time_ms(1),
+                p.result.frame_time_deviation_ms(0), p.result.frame_time_deviation_ms(1),
+                p.result.converged() ? "yes" : "NO");
+    all_consistent = all_consistent && p.result.converged();
+  }
+  const Dur rb_threshold = find_threshold_rtt(rb_points, rb_base.sync.cfps);
+  std::printf("rollback full-speed threshold RTT: %.0f ms (expected: the whole sweep)\n",
+              to_ms(rb_threshold));
+
   if (!json_path.empty()) {
     const std::map<std::string, std::string> meta = {
         {"game", base.game}, {"frames", std::to_string(base.frames)}};
@@ -82,6 +102,18 @@ int main(int argc, char** argv) {
       std::printf("wrote %s\n", json_path.c_str());
     } else {
       std::printf("FAILED to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::string rb_path = json_path;
+    const auto dot = rb_path.rfind(".json");
+    rb_path.insert(dot == std::string::npos ? rb_path.size() : dot, "_rollback");
+    std::map<std::string, std::string> rb_meta = meta;
+    rb_meta["mode"] = "rollback";
+    if (write_bench_json(rb_path, "fig1_frame_rates_rollback", rb_points,
+                         rb_base.sync.cfps, rb_meta)) {
+      std::printf("wrote %s\n", rb_path.c_str());
+    } else {
+      std::printf("FAILED to write %s\n", rb_path.c_str());
       return 1;
     }
   }

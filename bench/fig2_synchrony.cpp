@@ -55,6 +55,25 @@ int main(int argc, char** argv) {
               "(paper: < 10 ms)\n",
               below_threshold_max);
 
+  // Rollback-mode series: sites free-run at the frame period instead of
+  // pacing against each other, so synchrony reflects only the handshake
+  // skew plus pacer smoothing — it should stay flat across the sweep.
+  std::printf("\n--- rollback mode ---\n");
+  std::printf("%8s | %14s %14s %14s | %s\n", "RTT(ms)", "sync-avg(ms)", "sync-p95(ms)",
+              "sync-max(ms)", "consistent");
+  ExperimentConfig rb_base = base;
+  rb_base.sync.rollback = true;
+  const auto rb_points = sweep_rtt(rb_base, paper_rtt_sweep());
+  for (const auto& p : rb_points) {
+    const auto s = core::synchrony_differences(p.result.site[0].timeline,
+                                               p.result.site[1].timeline)
+                       .summarize();
+    const double abs_p95 = std::max(std::abs(s.p95), std::abs(s.p50));
+    std::printf("%8.0f | %14.3f %14.3f %14.3f | %s\n", to_ms(p.rtt), s.mean_abs, abs_p95,
+                std::max(std::abs(s.min), std::abs(s.max)),
+                p.result.converged() ? "yes" : "NO");
+  }
+
   if (!json_path.empty()) {
     const std::map<std::string, std::string> meta = {
         {"game", base.game}, {"frames", std::to_string(base.frames)}};
@@ -62,6 +81,18 @@ int main(int argc, char** argv) {
       std::printf("wrote %s\n", json_path.c_str());
     } else {
       std::printf("FAILED to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::string rb_path = json_path;
+    const auto dot = rb_path.rfind(".json");
+    rb_path.insert(dot == std::string::npos ? rb_path.size() : dot, "_rollback");
+    std::map<std::string, std::string> rb_meta = meta;
+    rb_meta["mode"] = "rollback";
+    if (write_bench_json(rb_path, "fig2_synchrony_rollback", rb_points,
+                         rb_base.sync.cfps, rb_meta)) {
+      std::printf("wrote %s\n", rb_path.c_str());
+    } else {
+      std::printf("FAILED to write %s\n", rb_path.c_str());
       return 1;
     }
   }

@@ -34,6 +34,11 @@ out="build-asan/BENCH_emu_perf.json"
 ./build-asan/bench/emu_perf --json "$out"
 ./build-asan/tools/rtct_trace --check "$out"
 
+echo "==> rollback latency bench (lockstep-vs-rollback acceptance gate)"
+out="build-asan/BENCH_rollback_latency.json"
+./build-asan/bench/rollback_latency 600 --json "$out"
+./build-asan/tools/rtct_trace --check "$out"
+
 echo "==> spectator fan-out bench (encode-once scaling gate)"
 out="build-asan/BENCH_spectator_scaling.json"
 ./build-asan/bench/spectator_scaling 240 --json "$out"

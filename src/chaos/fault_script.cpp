@@ -188,6 +188,7 @@ void write_script(JsonWriter& w, const FaultScript& s) {
   w.key("base_loss").value(s.base_loss);
   w.key("boot_skew_ns").value(static_cast<std::int64_t>(s.boot_skew));
   w.key("adaptive_transport").value(s.adaptive_transport);
+  w.key("rollback").value(s.rollback);
   w.key("faults").begin_array();
   for (const Fault& f : s.faults) {
     w.begin_object();
@@ -269,6 +270,14 @@ std::optional<FaultScript> script_from_json(const JsonValue& doc) {
     const bool* b = std::get_if<bool>(&adaptive->v_);
     if (b == nullptr) return std::nullopt;
     s.adaptive_transport = *b;
+  }
+  // Optional-with-default, like adaptive_transport: archived v1 scripts
+  // predate the field and mean lockstep.
+  const JsonValue* rollback = doc.find("rollback");
+  if (rollback != nullptr) {
+    const bool* b = std::get_if<bool>(&rollback->v_);
+    if (b == nullptr) return std::nullopt;
+    s.rollback = *b;
   }
 
   const JsonValue* faults = doc.find("faults");

@@ -78,6 +78,11 @@ struct FaultScript {
   double base_loss = 0;       ///< background random loss on every path
   Dur boot_skew = 0;          ///< site 1 boots this much after site 0
   bool adaptive_transport = false;  ///< v2 adaptive lag + RTO resend path
+  /// Run the session in the rollback consistency mode (two-site and
+  /// spectator topologies): same fault schedule, speculative execution
+  /// instead of lockstep. Not drawn by the generator — the rollback soak
+  /// flips it on existing scripts so both modes face identical adversity.
+  bool rollback = false;
   std::vector<Fault> faults;
   /// Spectator churn (spectator topology): per-observer join delay (0 =
   /// join during the session handshake) and watch duration (0 = stays).

@@ -21,6 +21,11 @@
 //                     exceeds delivered, no stale-message drops)
 //   spectator         observers never see a pre-frame-0 snapshot and every
 //                     replayed frame hashes identically to the players'
+//   rollback-twin     (rollback mode) each site's confirmed history equals
+//                     a straight-line replay of the same merged inputs,
+//                     digest for digest — mispredict/restore/re-simulate
+//                     must leave no trace; frame-lead is skipped instead
+//                     (speculation legitimately outruns the peer)
 #pragma once
 
 #include <string>

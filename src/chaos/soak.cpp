@@ -51,6 +51,9 @@ void common_sync(const FaultScript& s, core::SyncConfig* sync) {
     sync->adaptive_resend = true;
     sync->redundant_inputs = 2;
   }
+  // Both sites opt in, so the v3 handshake settles on rollback and the
+  // identical fault schedule exercises the speculation/restore path.
+  if (s.rollback) sync->rollback = true;
 }
 
 }  // namespace

@@ -57,6 +57,25 @@ struct SyncConfig {
   /// function, never any timing the Figure 1/2 reproductions depend on.
   bool digest_v2 = true;
 
+  // ---- rollback consistency mode (off by default: lockstep is the
+  // paper's algorithm and the reference policy) ----------------------------
+
+  /// Opt into speculative execution with rollback instead of local-lag
+  /// lockstep. Negotiated in the v3 handshake (HELLO capability bit +
+  /// START flag): the session runs rollback iff *both* sites opt in,
+  /// otherwise it degrades cleanly to lockstep. Under rollback the site
+  /// delays its own input by `rollback_input_delay` frames (not
+  /// `buf_frames`), predicts the remote input by holding its last known
+  /// value, executes speculatively, and on misprediction restores the
+  /// last confirmed snapshot and re-simulates.
+  bool rollback = false;
+  /// Local input delay in frames under rollback — the perceived input
+  /// latency, fixed and independent of RTT (that is the whole point).
+  int rollback_input_delay = 2;
+  /// Snapshot ring capacity in frames; bounds how far execution may run
+  /// ahead of the confirmed watermark (speculation depth <= window - 2).
+  int rollback_window = 32;
+
   // ---- adaptive sync transport (all off by default: the paper's fixed-
   // parameter behaviour is the reference policy and the Figure 1/2
   // reproductions depend on it) -------------------------------------------

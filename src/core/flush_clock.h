@@ -30,9 +30,11 @@ class FlushClock {
     }
     if (now < next_) return false;
     next_ += period_;
-    if (now >= next_) {
+    if (now > next_) {
       // Stalled for more than a whole period: re-anchor rather than
-      // burst-firing to catch up.
+      // burst-firing to catch up. A stall of *exactly* one period keeps
+      // the catch-up schedule (now == next_): the next call fires once
+      // immediately and the cadence is preserved with no burst.
       next_ = now + period_;
       ++reanchors_;
     }

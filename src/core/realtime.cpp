@@ -1,6 +1,7 @@
 #include "src/core/realtime.h"
 
 #include <chrono>
+#include <iterator>
 #include <thread>
 
 #include "src/common/telemetry.h"
@@ -46,10 +47,22 @@ void RealtimeSession::drain() {
       // layer re-delivers anything dropped here).
       if (session_.running()) {
         apply_negotiated_lag();
-        peer_.ingest(*sync, now());
+        if (rollback_ != nullptr) {
+          rollback_->ingest(*sync, now());
+        } else {
+          peer_.ingest(*sync, now());
+        }
       }
     } else {
       session_.ingest(*msg, now());
+      // A HELLO at the running master queues a START answer; poll for it
+      // here because the frame loop never polls the session. Without this
+      // a slave that must wait for START (rollback / adaptive lag) and
+      // missed the handshake-time one would never be started.
+      if (auto reply = session_.poll(now())) {
+        encode_message_into(*reply, wire_scratch_);
+        socket_.send(wire_scratch_);
+      }
     }
   }
 }
@@ -58,6 +71,17 @@ void RealtimeSession::apply_negotiated_lag() {
   if (lag_applied_) return;
   lag_applied_ = true;
   digest_version_ = session_.digest_version();
+  if (session_.rollback_mode()) {
+    // The handshake settled on rollback: build the speculation engine with
+    // the *negotiated* parameters (the master's input delay travels in
+    // START) and snapshot the pre-frame-0 state as its genesis.
+    SyncConfig eff = cfg_.sync;
+    eff.digest_v2 = digest_version_ == 2;
+    eff.rollback_input_delay = session_.rollback_delay();
+    rollback_ = std::make_unique<RollbackSession>(site_, game_, eff);
+    replay_ = Replay(game_.content_id(), eff);
+    return;
+  }
   const int buf = session_.effective_buf_frames();
   if (buf != cfg_.sync.buf_frames) {
     peer_.set_buf_frames(buf);
@@ -74,7 +98,8 @@ void RealtimeSession::flush_if_due() {
   // latency every period, which under-delivered the redundancy tail.
   const Time t = now();
   if (!flush_clock_.due(t)) return;
-  if (auto msg = peer_.make_message(t)) {
+  if (auto msg = rollback_ != nullptr ? rollback_->make_message(t)
+                                      : peer_.make_message(t)) {
     encode_message_into(Message{*msg}, wire_scratch_);
     socket_.send(wire_scratch_);
   }
@@ -83,14 +108,24 @@ void RealtimeSession::flush_if_due() {
 
 void RealtimeSession::pump_spectators() {
   if (spectator_socket_ == nullptr) return;
+  const Time t = now();
   while (auto got = spectator_socket_->recv_from()) {
     const auto msg = decode_message(got->first);
     if (!msg) continue;
     auto it = spectator_ids_.find(got->second);
     if (it == spectator_ids_.end()) {
-      it = spectator_ids_.emplace(got->second, spectator_hub_.add_observer()).first;
+      it = spectator_ids_.emplace(got->second, spectator_hub_.add_observer(t)).first;
     }
-    spectator_hub_.ingest(it->second, *msg);
+    spectator_hub_.ingest(it->second, *msg, t);
+  }
+  // Reap observers that went silent: their stale cursors must not pin the
+  // hub's trim watermark (live clients keepalive-ack well inside the
+  // timeout). Dropping the address mapping too means a late riser simply
+  // re-registers under a fresh id and is re-seeded.
+  for (const auto removed_id : spectator_hub_.remove_idle(t, cfg_.spectator_idle_timeout)) {
+    for (auto it = spectator_ids_.begin(); it != spectator_ids_.end();) {
+      it = it->second == removed_id ? spectator_ids_.erase(it) : std::next(it);
+    }
   }
   // Serve the snapshot only once frame 0 has executed. An observer who
   // joins during the handshake would otherwise get a snapshot labeled
@@ -98,13 +133,23 @@ void RealtimeSession::pump_spectators() {
   // and before the first Transition — a frame this site never executed
   // or recorded. The join request stays pending; the next pump after
   // frame 0 answers it.
-  if (spectator_hub_.wants_snapshot() && game_.frame() > 0) {
-    // Called from the frame loop between Transitions: consistent state.
-    game_.save_state_into(snapshot_scratch_);
-    spectator_hub_.provide_snapshot(game_.frame() - 1, snapshot_scratch_);
+  if (spectator_hub_.wants_snapshot()) {
+    if (rollback_ != nullptr) {
+      // Rollback: the live machine state is speculative — seed observers
+      // from the newest *confirmed* snapshot so their replica matches the
+      // confirmed feed exactly.
+      if (rollback_->confirmed_frames() > 0) {
+        spectator_hub_.provide_snapshot(rollback_->confirmed_frames() - 1,
+                                        rollback_->confirmed_state());
+      }
+    } else if (game_.frame() > 0) {
+      // Called from the frame loop between Transitions: consistent state.
+      game_.save_state_into(snapshot_scratch_);
+      spectator_hub_.provide_snapshot(game_.frame() - 1, snapshot_scratch_);
+    }
   }
   for (const auto& [addr, id] : spectator_ids_) {
-    if (auto buf = spectator_hub_.make_message(id, now())) {
+    if (auto buf = spectator_hub_.make_message(id, t)) {
       spectator_socket_->send_to(addr, *buf);
     }
   }
@@ -136,6 +181,14 @@ bool RealtimeSession::handshake(std::string* error) {
     socket_.wait_readable(milliseconds(5));
     drain();
   }
+  // The ingest that flipped us to running may have queued a START (the
+  // master answers the slave's HELLO with one) after this loop's poll
+  // already ran; flush it now so the slave is not left waiting a full
+  // HELLO round-trip for the mode/lag verdict.
+  if (auto m = session_.poll(now())) {
+    encode_message_into(*m, wire_scratch_);
+    socket_.send(wire_scratch_);
+  }
   return true;
 }
 
@@ -146,6 +199,7 @@ bool RealtimeSession::run(std::string* error) {
   }
   if (!handshake(error)) return false;
   apply_negotiated_lag();
+  if (rollback_ != nullptr) return run_rollback(error);
 
   for (FrameNo frame = 0; frame < cfg_.frames; ++frame) {
     if (stop_.load(std::memory_order_relaxed)) {
@@ -215,22 +269,147 @@ bool RealtimeSession::run(std::string* error) {
     flush_if_due();
   }
 
+  drain_spectators_post_game();
+  return true;
+}
+
+void RealtimeSession::drain_spectators_post_game() {
   // Post-game spectator drain: without this, an observer mid-catch-up is
   // orphaned the moment our frame loop ends (its lost feed datagrams would
   // never be retransmitted).
-  if (spectator_socket_ != nullptr) {
-    const Time grace_end = now() + cfg_.spectator_drain_grace;
-    while (now() < grace_end && !stop_.load(std::memory_order_relaxed)) {
-      pump_spectators();
-      if (spectator_hub_.all_caught_up()) break;  // nobody waiting
-      spectator_socket_->wait_readable(milliseconds(10));
-    }
+  if (spectator_socket_ == nullptr) return;
+  const Time grace_end = now() + cfg_.spectator_drain_grace;
+  while (now() < grace_end && !stop_.load(std::memory_order_relaxed)) {
+    pump_spectators();
+    if (spectator_hub_.all_caught_up()) break;  // nobody waiting
+    spectator_socket_->wait_readable(milliseconds(10));
   }
+}
+
+void RealtimeSession::record_confirmed() {
+  for (; rb_recorded_ < rollback_->confirmed_frames(); ++rb_recorded_) {
+    const InputWord merged = rollback_->confirmed_input(rb_recorded_);
+    replay_.record(merged);
+    spectator_hub_.on_frame(rb_recorded_, merged);
+  }
+}
+
+bool RealtimeSession::run_rollback(std::string* error) {
+  RollbackSession& rb = *rollback_;
+  for (FrameNo frame = 0; frame < cfg_.frames; ++frame) {
+    if (stop_.load(std::memory_order_relaxed)) {
+      if (error) *error = "stopped";
+      return false;
+    }
+
+    FrameRecord rec;
+    rec.frame = frame;
+    pacer_.begin_frame(now(), frame, rb.remote_obs());
+    rec.begin_time = pacer_.current_frame_start();
+
+    const InputWord local = site_ == 0 ? make_input(input_.input_for_frame(frame), 0)
+                                       : make_input(0, input_.input_for_frame(frame));
+
+    // Rollback's stall condition is not "remote input missing" — that is
+    // predicted around — but "speculation hit the snapshot-ring bound":
+    // the confirmed watermark fell window-2 frames behind, so advancing
+    // once more would evict the restore target.
+    const Time sync_start = now();
+    while (!rb.can_advance()) {
+      if (now() - sync_start > cfg_.stall_timeout) {
+        if (error) *error = "stall timeout: peer or network failed";
+        return false;
+      }
+      flush_if_due();
+      const Dur until_flush = flush_clock_.next() - now();
+      socket_.wait_readable(std::min<Dur>(std::max<Dur>(until_flush, 0), milliseconds(5)));
+      drain();
+      rb.reconcile();
+    }
+    rec.stall = now() - sync_start;
+    rec.input_ready_time = now();
+
+    const auto out = rb.advance_frame(local);
+    // Speculative digest for now; backfilled with the canonical confirmed
+    // digest after the confirmation drain below.
+    rec.state_hash = out.digest;
+    record_confirmed();
+    if (rb.desync_detected()) {
+      if (error) {
+        *error = "desync detected at frame " + std::to_string(rb.desync_frame()) +
+                 ": replicas diverged (non-deterministic game?)";
+      }
+      return false;
+    }
+    if (hook_) hook_(game_, rec);
+    rec.compute = now() - rec.input_ready_time;
+
+    const Dur wait = pacer_.end_frame(now());
+    rec.wait = wait;
+    timeline_.add(rec);
+
+    // Sleep out the remainder (same pacing trick as the lockstep loop).
+    const Time resume_at = now() + wait;
+    while (now() < resume_at) {
+      flush_if_due();
+      const Dur remain = resume_at - now();
+      if (remain > milliseconds(3)) {
+        socket_.wait_readable(remain - milliseconds(2));
+      } else {
+        socket_.wait_readable(0);  // nonblocking readability check
+      }
+      drain();
+      rb.reconcile();
+    }
+    flush_if_due();
+  }
+
+  // Confirmation drain: every executed frame must be confirmed against the
+  // peer's actual inputs before the timelines/replay are canonical.
+  const Time confirm_deadline = now() + cfg_.stall_timeout;
+  while (rb.confirmed_frames() < cfg_.frames) {
+    if (stop_.load(std::memory_order_relaxed) || now() > confirm_deadline) {
+      if (error) *error = "rollback confirmation drain timed out";
+      return false;
+    }
+    flush_if_due();
+    socket_.wait_readable(milliseconds(2));
+    drain();
+    rb.reconcile();
+    record_confirmed();
+  }
+  record_confirmed();
+  if (rb.desync_detected()) {
+    if (error) {
+      *error = "desync detected at frame " + std::to_string(rb.desync_frame()) +
+               ": replicas diverged (non-deterministic game?)";
+    }
+    return false;
+  }
+  // Backfill the timeline with confirmed digests: archived timelines (and
+  // rtct_trace comparisons) always describe the canonical history.
+  for (std::size_t i = 0; i < timeline_.size(); ++i) {
+    timeline_.set_state_hash(i, rb.confirmed_digest(static_cast<FrameNo>(i)));
+  }
+  // Lame duck: the peer cannot finish confirming its own tail without our
+  // inputs — keep flushing until it acked everything (bounded).
+  const Time lame_end = now() + cfg_.spectator_drain_grace;
+  while (!rb.fully_acked() && now() < lame_end &&
+         !stop_.load(std::memory_order_relaxed)) {
+    flush_if_due();
+    socket_.wait_readable(milliseconds(5));
+    drain();
+  }
+  drain_spectators_post_game();
   return true;
 }
 
 void RealtimeSession::export_metrics(MetricsRegistry& reg) const {
-  peer_.export_metrics(reg);
+  if (rollback_ != nullptr) {
+    rollback_->export_metrics(reg);
+  } else {
+    peer_.export_metrics(reg);
+  }
   pacer_.export_metrics(reg);
   session_.export_metrics(reg);
   timeline_.export_metrics(reg);

@@ -16,6 +16,7 @@
 #include <atomic>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "src/common/types.h"
@@ -25,6 +26,7 @@
 #include "src/core/metrics.h"
 #include "src/core/pacer.h"
 #include "src/core/replay.h"
+#include "src/core/rollback.h"
 #include "src/core/session.h"
 #include "src/core/spectate.h"
 #include "src/core/sync_peer.h"
@@ -45,6 +47,10 @@ struct RealtimeConfig {
   /// retransmissions) for up to this long so observers can finish
   /// catching up before the process exits.
   Dur spectator_drain_grace = seconds(3);
+  /// Drop an observer not heard from for this long. Dead observers must
+  /// not pin the hub's trim watermark (the slowest-reader bug); live ones
+  /// are safe because SpectatorClient keepalive-acks every 500 ms.
+  Dur spectator_idle_timeout = seconds(2);
 };
 
 class RealtimeSession {
@@ -66,8 +72,10 @@ class RealtimeSession {
   void request_stop() { stop_.store(true, std::memory_order_relaxed); }
 
   [[nodiscard]] const FrameTimeline& timeline() const { return timeline_; }
-  [[nodiscard]] const SyncPeerStats& stats() const { return peer_.stats(); }
-  [[nodiscard]] Dur rtt() const { return peer_.rtt(); }
+  [[nodiscard]] const SyncPeerStats& stats() const {
+    return rollback_ ? rollback_->stats() : peer_.stats();
+  }
+  [[nodiscard]] Dur rtt() const { return rollback_ ? rollback_->rtt() : peer_.rtt(); }
 
   /// The session's merged-input recording (replayable on a fresh machine
   /// of the same ROM; identical on both sites of a match).
@@ -79,7 +87,12 @@ class RealtimeSession {
   /// SpectatorBroadcastHub (encode-once, per-observer cursors). Call
   /// before run(); the socket must outlive the session.
   void serve_spectators(net::UdpSocket* socket) { spectator_socket_ = socket; }
-  [[nodiscard]] std::size_t spectators_joined() const { return spectator_ids_.size(); }
+  /// Distinct observer endpoints registered over the session's lifetime
+  /// (NOT currently-connected: the idle reaper removes spectators that
+  /// stop acking, including ones that caught up and walked away).
+  [[nodiscard]] std::size_t spectators_joined() const {
+    return static_cast<std::size_t>(spectator_hub_.stats().observers_added);
+  }
 
   /// Snapshots every subsystem's state into the registry: "sync.*",
   /// "pacer.*", "session.*", "timeline.*", "net.udp.*", "spectator.hub.*"
@@ -88,6 +101,13 @@ class RealtimeSession {
   /// a frame hook) or after run().
   void export_metrics(MetricsRegistry& reg) const;
 
+  /// True when the handshake settled on the rollback consistency mode
+  /// (both sides opted in; see SyncConfig::rollback). Valid after run().
+  [[nodiscard]] bool rollback_mode() const { return rollback_ != nullptr; }
+  [[nodiscard]] const RollbackStats* rollback_stats() const {
+    return rollback_ ? &rollback_->rollback_stats() : nullptr;
+  }
+
  private:
   [[nodiscard]] Time now() const;
   void flush_if_due();
@@ -95,8 +115,17 @@ class RealtimeSession {
   void pump_spectators();
   bool handshake(std::string* error);
   /// Once running, adopt the handshake's negotiated local lag (v2
-  /// adaptive mode) before the first sync ingest. Idempotent.
+  /// adaptive mode) or construct the RollbackSession (v3 rollback mode)
+  /// before the first sync ingest. Idempotent.
   void apply_negotiated_lag();
+  /// The frame loop for the rollback consistency mode (run() dispatches
+  /// here when the handshake settled on it).
+  bool run_rollback(std::string* error);
+  /// Feeds newly confirmed frames to the replay recording and the
+  /// spectator hub (rollback mode: only confirmed frames are canonical).
+  void record_confirmed();
+  /// Post-game retransmission grace for observers still catching up.
+  void drain_spectators_post_game();
 
   SiteId site_;
   emu::IDeterministicGame& game_;
@@ -114,6 +143,8 @@ class RealtimeSession {
   FlushClock flush_clock_;  ///< catch-up scheduled send-flush cadence
   bool lag_applied_ = false;
   int digest_version_ = 1;  ///< locked in with the handshake outcome
+  std::unique_ptr<RollbackSession> rollback_;  ///< non-null iff rollback mode
+  FrameNo rb_recorded_ = 0;  ///< confirmed frames fed to replay/spectators
   std::atomic<bool> stop_{false};
 
   net::UdpSocket* spectator_socket_ = nullptr;

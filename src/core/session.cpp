@@ -17,7 +17,8 @@ constexpr int kAdaptiveProbeHellos = 10;
 SessionControl::SessionControl(SiteId my_site, std::uint64_t rom_checksum, SyncConfig cfg,
                                Dur hello_interval)
     : my_site_(my_site), rom_checksum_(rom_checksum), cfg_(cfg),
-      hello_interval_(hello_interval) {}
+      hello_interval_(hello_interval),
+      rollback_delay_(cfg_.rollback_input_delay) {}
 
 HelloMsg SessionControl::my_hello(Time now) const {
   HelloMsg h;
@@ -34,6 +35,7 @@ HelloMsg SessionControl::my_hello(Time now) const {
   h.adv_rtt = measured_rtt();
   if (cfg_.adaptive_lag) h.flags |= kHelloFlagAdaptiveLag;
   if (cfg_.digest_v2) h.flags |= kFlagStateDigestV2;
+  if (cfg_.rollback) h.flags |= kFlagRollback;
   h.redundancy = static_cast<std::uint16_t>(std::max(0, cfg_.redundant_inputs));
   return h;
 }
@@ -65,7 +67,14 @@ std::optional<Message> SessionControl::poll(Time now) {
     start_pending_ = false;
     StartMsg s;
     s.site = my_site_;
-    s.buf_frames = static_cast<std::uint16_t>(negotiated_buf_);
+    if (rollback_state_ == 1) {
+      // Under rollback buf_frames carries the agreed local input delay,
+      // offset by one so 0 keeps its "use configured" lockstep meaning.
+      s.flags |= kFlagRollback;
+      s.buf_frames = static_cast<std::uint16_t>(rollback_delay_ + 1);
+    } else {
+      s.buf_frames = static_cast<std::uint16_t>(negotiated_buf_);
+    }
     if (digest_version_ == 2) s.flags |= kFlagStateDigestV2;
     ++starts_sent_;
     return Message{s};
@@ -88,6 +97,7 @@ void SessionControl::ingest(const Message& msg, Time now) {
     peer_seen_ = true;
     peer_adaptive_ = (hello->flags & kHelloFlagAdaptiveLag) != 0;
     peer_digest_v2_ = (hello->flags & kFlagStateDigestV2) != 0;
+    peer_rollback_ = (hello->flags & kFlagRollback) != 0;
     peer_adv_rtt_ = std::max(peer_adv_rtt_, hello->adv_rtt);
     if (first_compat_hello_ < 0) first_compat_hello_ = now;
 
@@ -120,6 +130,11 @@ void SessionControl::ingest(const Message& msg, Time now) {
       if (digest_version_ == 0) {
         digest_version_ = (cfg_.digest_v2 && peer_digest_v2_) ? 2 : 1;
       }
+      // Rollback mode, like the digest version, is the master's call iff
+      // both sides advertised it; a mixed pair degrades to lockstep.
+      if (rollback_state_ < 0) {
+        rollback_state_ = (cfg_.rollback && peer_rollback_) ? 1 : 0;
+      }
       start_pending_ = true;
       enter_running(now);
     }
@@ -129,7 +144,17 @@ void SessionControl::ingest(const Message& msg, Time now) {
     if (start->site == my_site_) return;
     ++starts_rcvd_;
     if (my_site_ != kMasterSite) {
-      if (start->buf_frames > 0) negotiated_buf_ = start->buf_frames;
+      if ((start->flags & kFlagRollback) != 0 && cfg_.rollback) {
+        rollback_state_ = 1;
+        if (start->buf_frames > 0) rollback_delay_ = start->buf_frames - 1;
+      } else {
+        rollback_state_ = 0;
+        // Under rollback the field carries the input delay, not a lag —
+        // only adopt it as negotiated lockstep lag when the flag is clear.
+        if ((start->flags & kFlagRollback) == 0 && start->buf_frames > 0) {
+          negotiated_buf_ = start->buf_frames;
+        }
+      }
       digest_version_ =
           ((start->flags & kFlagStateDigestV2) != 0 && cfg_.digest_v2) ? 2 : 1;
       enter_running(now);
@@ -144,6 +169,13 @@ void SessionControl::note_sync_traffic(Time now) {
   // lag depth and break the merged-input agreement. The master keeps
   // answering its HELLOs with fresh STARTs, so this stays live.
   if (cfg_.adaptive_lag && negotiated_buf_ == 0) return;
+  // Rollback-vs-lockstep (and the delay depth) travels only in START: a
+  // rollback-configured slave must not guess the mode from bare sync
+  // traffic — against a legacy peer the master decided lockstep, and
+  // speculatively running rollback with a self-chosen delay would break
+  // the merged-input agreement. It keeps HELLOing; the master answers
+  // every HELLO with a fresh START.
+  if (cfg_.rollback && rollback_state_ < 0) return;
   if (my_site_ != kMasterSite) {
     // Starting without ever seeing a master HELLO/START: fix the digest
     // version from what we know — the peer's advertised capability if any
@@ -161,6 +193,8 @@ void SessionControl::export_metrics(MetricsRegistry& reg) const {
   reg.gauge("session.buf_frames").set(effective_buf_frames());
   reg.gauge("session.lag_negotiated").set(lag_negotiated() ? 1 : 0);
   reg.gauge("session.digest_version").set(digest_version());
+  reg.gauge("session.rollback").set(rollback_mode() ? 1 : 0);
+  reg.gauge("session.rollback_delay").set(rollback_mode() ? rollback_delay_ : 0);
   reg.gauge("session.measured_rtt_ms")
       .set(rtt_.has_sample() ? to_ms(rtt_.srtt()) : 0.0);
   reg.counter("session.hellos_sent").set(hellos_sent_);

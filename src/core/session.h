@@ -85,6 +85,17 @@ class SessionControl {
     return digest_version_ > 0 ? digest_version_ : cfg_.digest_version();
   }
 
+  /// True when the handshake settled on the rollback consistency mode:
+  /// both sites advertised the capability in HELLO, the master decided,
+  /// and START carried the outcome (kFlagRollback). Until the outcome is
+  /// known this is false — a session never runs rollback "by assumption".
+  [[nodiscard]] bool rollback_mode() const { return rollback_state_ == 1; }
+  /// The local input delay (frames) a rollback session runs with: the
+  /// master's configured value, carried to the slave in START.buf_frames
+  /// (offset by one — see kFlagRollback). Meaningful only when
+  /// rollback_mode() is true.
+  [[nodiscard]] int rollback_delay() const { return rollback_delay_; }
+
   /// Handshake-time RTT estimate from the HELLO probe (-1 = no sample).
   [[nodiscard]] Dur measured_rtt() const {
     return rtt_.has_sample() ? rtt_.srtt() : -1;
@@ -127,7 +138,10 @@ class SessionControl {
   Time peer_hello_rcv_ = 0;    ///< when we received it (for echo_hold)
   bool peer_adaptive_ = false;
   bool peer_digest_v2_ = false;
-  int digest_version_ = 0;  ///< 0 = not yet decided
+  bool peer_rollback_ = false;
+  int digest_version_ = 0;   ///< 0 = not yet decided
+  int rollback_state_ = -1;  ///< -1 undecided / 0 lockstep / 1 rollback
+  int rollback_delay_ = 0;   ///< adopted local input delay (frames)
   Dur peer_adv_rtt_ = -1;
   Time first_compat_hello_ = -1;  ///< when negotiation probing started
   int negotiated_buf_ = 0;        ///< 0 = fixed policy

@@ -113,8 +113,8 @@ std::size_t SpectatorBroadcastHub::max_backlog() const {
   return static_cast<std::size_t>(std::max(4 * cfg_.max_inputs_per_message, 512));
 }
 
-SpectatorBroadcastHub::ObserverId SpectatorBroadcastHub::add_observer() {
-  observers_.push_back(Observer{.active = true});
+SpectatorBroadcastHub::ObserverId SpectatorBroadcastHub::add_observer(Time now) {
+  observers_.push_back(Observer{.active = true, .last_heard = now});
   ++active_count_;
   ++stats_.observers_added;
   return static_cast<ObserverId>(observers_.size() - 1);
@@ -140,9 +140,28 @@ void SpectatorBroadcastHub::on_frame(FrameNo frame, InputWord merged) {
   trim_ring();
 }
 
-void SpectatorBroadcastHub::ingest(ObserverId id, const Message& msg) {
+std::vector<SpectatorBroadcastHub::ObserverId> SpectatorBroadcastHub::remove_idle(
+    Time now, Dur timeout) {
+  std::vector<ObserverId> removed;
+  for (std::size_t i = 0; i < observers_.size(); ++i) {
+    Observer& o = observers_[i];
+    if (!o.active || now - o.last_heard <= timeout) continue;
+    o.active = false;
+    --active_count_;
+    ++stats_.observers_removed;
+    ++stats_.observers_idle_removed;
+    removed.push_back(static_cast<ObserverId>(i));
+  }
+  // One re-derivation after the batch: a dead cursor that was the slowest
+  // reader no longer pins the trim watermark.
+  if (!removed.empty()) trim_ring();
+  return removed;
+}
+
+void SpectatorBroadcastHub::ingest(ObserverId id, const Message& msg, Time now) {
   if (id >= observers_.size() || !observers_[id].active) return;
   Observer& obs = observers_[id];
+  obs.last_heard = now;  // any datagram proves the endpoint is alive
   if (const auto* join = std::get_if<JoinRequestMsg>(&msg)) {
     if (join->content_id != content_id_) return;  // wrong game, not ours
     ++stats_.join_requests_rcvd;
@@ -294,6 +313,7 @@ void SpectatorBroadcastHub::export_metrics(MetricsRegistry& reg) const {
   reg.counter("spectator.hub.bytes_sent").set(stats_.bytes_sent);
   reg.counter("spectator.hub.observers_added").set(stats_.observers_added);
   reg.counter("spectator.hub.observers_removed").set(stats_.observers_removed);
+  reg.counter("spectator.hub.observers_idle_removed").set(stats_.observers_idle_removed);
   reg.gauge("spectator.hub.observers").set(static_cast<double>(active_count_));
   reg.gauge("spectator.hub.joined").set(static_cast<double>(joined_count()));
   reg.gauge("spectator.hub.backlog").set(static_cast<double>(ring_.size()));
@@ -309,8 +329,12 @@ std::optional<Message> SpectatorClient::make_message(Time now) {
     ++stats_.join_requests_sent;
     return Message{JoinRequestMsg{game_.content_id()}};
   }
-  if (ack_dirty_) {
+  if (ack_dirty_ || now >= next_keepalive_) {
+    // Keepalive: a caught-up observer re-acks its position periodically so
+    // the host's idle reaper (remove_idle) never mistakes "quiet because
+    // caught up" for "gone".
     ack_dirty_ = false;
+    next_keepalive_ = now + kKeepaliveInterval;
     ++stats_.acks_sent;
     return Message{FeedAckMsg{applied_frame_}};
   }

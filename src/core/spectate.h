@@ -121,6 +121,7 @@ struct SpectatorHubStats {
   std::uint64_t bytes_sent = 0;        ///< bytes handed out across observers
   std::uint64_t observers_added = 0;
   std::uint64_t observers_removed = 0;
+  std::uint64_t observers_idle_removed = 0;  ///< subset removed by remove_idle
 };
 
 /// Multi-observer broadcast hub: the scaling replacement for running one
@@ -149,16 +150,28 @@ class SpectatorBroadcastHub {
 
   /// Registers a new observer endpoint (driver maps transport address →
   /// id). Ids are never reused, so a late datagram from a removed
-  /// observer cannot be misattributed.
-  ObserverId add_observer();
+  /// observer cannot be misattributed. `now` seeds the liveness clock used
+  /// by remove_idle().
+  ObserverId add_observer(Time now = 0);
   void remove_observer(ObserverId id);
+
+  /// Removes every active observer not heard from within `timeout` and
+  /// returns their ids (the driver drops its address mapping). This is the
+  /// slowest-reader unpin: a disconnected observer's stale cursor would
+  /// otherwise hold the trim watermark forever, growing the ring without
+  /// bound and keeping all_caught_up() false. Safe against false positives
+  /// because SpectatorClient keepalive-acks even when idle — a wrongly
+  /// removed live observer re-registers on its next datagram and is
+  /// re-seeded from the snapshot/feed path.
+  std::vector<ObserverId> remove_idle(Time now, Dur timeout);
 
   /// Driver calls this after every Transition with the frame just
   /// executed (0-based) and its merged input word.
   void on_frame(FrameNo frame, InputWord merged);
 
-  /// Feeds a received observer message (JoinRequest / FeedAck).
-  void ingest(ObserverId id, const Message& msg);
+  /// Feeds a received observer message (JoinRequest / FeedAck). `now`
+  /// refreshes the observer's liveness clock (see remove_idle).
+  void ingest(ObserverId id, const Message& msg, Time now = 0);
 
   /// True when the driver must supply a machine snapshot via
   /// provide_snapshot() (first join, or a joiner found the shared snapshot
@@ -183,6 +196,11 @@ class SpectatorBroadcastHub {
   /// the drivers' post-game drain-loop exit condition.
   [[nodiscard]] bool all_caught_up() const;
   [[nodiscard]] bool observer_joined(ObserverId id) const;
+  /// Whether the id still names a live cursor (false after remove_observer
+  /// / remove_idle — the driver should re-register the endpoint).
+  [[nodiscard]] bool observer_active(ObserverId id) const {
+    return id < observers_.size() && observers_[id].active;
+  }
   [[nodiscard]] FrameNo acked_frame(ObserverId id) const;
   [[nodiscard]] const SpectatorHubStats& stats() const { return stats_; }
 
@@ -214,6 +232,7 @@ class SpectatorBroadcastHub {
     bool active = false;
     bool ack_ever = false;   ///< has acked at least once — feed-only from then on
     FrameNo acked = -2;      ///< cumulative ack cursor
+    Time last_heard = 0;     ///< liveness clock for remove_idle()
   };
 
   struct FeedCacheEntry {
@@ -252,8 +271,15 @@ class SpectatorClient {
       : game_(game), cfg_(cfg) {}
 
   /// Next outbound message: JoinRequest until the snapshot lands, then
-  /// cumulative acks whenever progress was made.
+  /// cumulative acks whenever progress was made — and, once joined, a
+  /// keepalive re-ack every kKeepaliveInterval even without progress, so a
+  /// caught-up observer stays visibly alive to the host's idle reaper
+  /// (SpectatorBroadcastHub::remove_idle).
   std::optional<Message> make_message(Time now);
+
+  /// How often a joined-but-idle client re-acks. Must be comfortably
+  /// shorter than any host-side idle timeout.
+  static constexpr Dur kKeepaliveInterval = milliseconds(500);
 
   /// Feeds a received host message (Snapshot / InputFeed).
   void ingest(const Message& msg);
@@ -283,6 +309,7 @@ class SpectatorClient {
   bool joined_ = false;
   bool ack_dirty_ = false;
   Time next_join_ = 0;
+  Time next_keepalive_ = 0;
   FrameNo applied_frame_ = -1;
   FrameNo pending_base_ = 0;
   std::deque<std::optional<InputWord>> pending_;  ///< inputs after applied_frame_

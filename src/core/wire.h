@@ -29,6 +29,12 @@ inline constexpr std::uint8_t kHelloFlagAdaptiveLag = 1u << 0;
 /// START: "this session compares version-2 digests" — set by the master
 /// only when both sides advertised it.
 inline constexpr std::uint8_t kFlagStateDigestV2 = 1u << 1;
+/// In HELLO: "I am willing to run the rollback consistency mode". In
+/// START: "this session runs rollback" — set by the master only when both
+/// sides advertised it; START.buf_frames then carries the agreed local
+/// input delay + 1 (offset by one so the field's 0 keeps its lockstep
+/// meaning of "use your configured value").
+inline constexpr std::uint8_t kFlagRollback = 1u << 2;
 
 /// Session handshake: "I am here, running this game image with these
 /// parameters" (§2 rendezvous + same-image requirement). v2 extends it

@@ -5,6 +5,7 @@
 
 #include "src/common/log.h"
 #include "src/core/input_source.h"
+#include "src/core/rollback.h"
 #include "src/core/session.h"
 #include "src/core/spectate.h"
 #include "src/core/wire.h"
@@ -29,6 +30,9 @@ struct SharedFlags {
 
 /// One simulated gaming PC: machine + sync module + three processes.
 class SimSite {
+  /// Drop observers not heard from for this long (SpectatorClient
+  /// keepalive-acks every 500 ms, so live ones always stay well inside).
+  static constexpr Dur kObserverIdleTimeout = seconds(2);
   /// Transport toward one observer; the protocol state for ALL observers
   /// lives in the shared SpectatorBroadcastHub (one backlog ring, one
   /// encoded snapshot, per-observer ack cursors).
@@ -76,11 +80,13 @@ class SimSite {
 
   [[nodiscard]] const SiteResult& result() const { return result_; }
   SiteResult take_result(const net::LinkStats& tx_stats) {
-    result_.sync_stats = peer_.stats();
+    result_.sync_stats = rollback_ ? rollback_->stats() : peer_.stats();
     result_.tx_stats = tx_stats;
     if (result_.buf_frames == 0) result_.buf_frames = cfg_.sync.buf_frames;
     result_.frames_completed = static_cast<FrameNo>(result_.timeline.size());
-    result_.desync_frame = peer_.desync_frame();
+    result_.desync_frame = rollback_ ? rollback_->desync_frame() : peer_.desync_frame();
+    result_.rollback_mode = rollback_ != nullptr;
+    if (rollback_) result_.rollback_stats = rollback_->rollback_stats();
     if (const auto* arcade = dynamic_cast<const emu::ArcadeMachine*>(game_holder_.get())) {
       const auto fb = arcade->framebuffer();
       result_.final_framebuffer.assign(fb.begin(), fb.end());
@@ -108,7 +114,11 @@ class SimSite {
         // Reliability above re-delivers whatever was in the message.
         if (session_.running()) {
           apply_negotiated_lag();
-          peer_.ingest(*sync, sim_.now());
+          if (rollback_ != nullptr) {
+            rollback_->ingest(*sync, sim_.now());
+          } else {
+            peer_.ingest(*sync, sim_.now());
+          }
         }
       } else {
         session_.ingest(*msg, sim_.now());
@@ -124,6 +134,19 @@ class SimSite {
     if (lag_applied_) return;
     lag_applied_ = true;
     digest_version_ = session_.digest_version();
+    if (session_.rollback_mode()) {
+      // v3: both sites opted into rollback. The RollbackSession replaces
+      // SyncPeer as the consistency engine; construct it with the
+      // *effective* config (negotiated digest version + input delay)
+      // before any frame executes, so it captures the genesis state.
+      core::SyncConfig eff = cfg_.sync;
+      eff.digest_v2 = digest_version_ == 2;
+      eff.rollback_input_delay = session_.rollback_delay();
+      rollback_ = std::make_unique<core::RollbackSession>(site_, game_, eff);
+      result_.buf_frames = rollback_->input_delay();
+      result_.replay = core::Replay(game_.content_id(), eff);
+      return;
+    }
     const int buf = session_.effective_buf_frames();
     result_.buf_frames = buf;
     if (buf != cfg_.sync.buf_frames) {
@@ -136,6 +159,18 @@ class SimSite {
   }
 
   void finish(SharedFlags* flags) { flags->done[site_] = true; }
+
+  /// Rollback mode: feeds frames newly promoted to *confirmed* into the
+  /// replay recording and the spectator hub — only confirmed frames are
+  /// part of the session's canonical history.
+  void record_confirmed() {
+    const FrameNo confirmed = rollback_->confirmed_frames();
+    for (; rb_recorded_ < confirmed; ++rb_recorded_) {
+      const InputWord merged = rollback_->confirmed_input(rb_recorded_);
+      result_.replay.record(merged);
+      spectator_hub_.on_frame(rb_recorded_, merged);
+    }
+  }
 
   sim::Task run_receiver() {
     // Drain-first so nothing that arrived before this process started is
@@ -155,7 +190,9 @@ class SimSite {
 
       if (session_.running()) {
         apply_negotiated_lag();
-        if (auto msg = peer_.make_message(now)) {
+        auto msg = rollback_ != nullptr ? rollback_->make_message(now)
+                                        : peer_.make_message(now);
+        if (msg) {
           // The producer/consumer thread handoff of §4.2 (~5 ms mean).
           if (cfg_.sync.send_dispatch_delay > 0) {
             co_await sim_.sleep(cfg_.sync.send_dispatch_delay);
@@ -176,16 +213,31 @@ class SimSite {
 
   void pump_observer_ports() {
     if (observer_ports_.empty()) return;
+    const Time now = sim_.now();
+    // Reap observers that stopped talking (churned leavers): a dead
+    // cursor must not pin the hub's trim watermark. A live observer
+    // wrongly reaped re-registers on its next datagram (see
+    // run_observer_receiver) — and keepalive acks make that rare.
+    (void)spectator_hub_.remove_idle(now, kObserverIdleTimeout);
     // Same gate as RealtimeSession::pump_spectators: never serve a
     // "frame -1" snapshot — defer joins until frame 0 has executed.
-    if (spectator_hub_.wants_snapshot() && game_.frame() > 0) {
-      // Coroutines only interleave at co_await points, so the machine is
-      // always between frames here — a consistent snapshot.
-      game_.save_state_into(snapshot_scratch_);
-      spectator_hub_.provide_snapshot(game_.frame() - 1, snapshot_scratch_);
+    if (spectator_hub_.wants_snapshot()) {
+      if (rollback_ != nullptr) {
+        // Rollback: only *confirmed* state is canonical — the live
+        // machine is speculative and may yet be rolled back.
+        if (rollback_->confirmed_frames() > 0) {
+          spectator_hub_.provide_snapshot(rollback_->confirmed_frames() - 1,
+                                          rollback_->confirmed_state());
+        }
+      } else if (game_.frame() > 0) {
+        // Coroutines only interleave at co_await points, so the machine is
+        // always between frames here — a consistent snapshot.
+        game_.save_state_into(snapshot_scratch_);
+        spectator_hub_.provide_snapshot(game_.frame() - 1, snapshot_scratch_);
+      }
     }
     for (auto& port : observer_ports_) {
-      if (auto buf = spectator_hub_.make_message(port->id, sim_.now())) {
+      if (auto buf = spectator_hub_.make_message(port->id, now)) {
         port->transport->send(*buf);
       }
     }
@@ -195,7 +247,12 @@ class SimSite {
     for (;;) {
       while (auto payload = port->transport->try_recv()) {
         if (auto msg = core::decode_message(*payload)) {
-          spectator_hub_.ingest(port->id, *msg);
+          // An endpoint the idle reaper dropped re-registers under a
+          // fresh id (cursor state restarts from the snapshot path).
+          if (!spectator_hub_.observer_active(port->id)) {
+            port->id = spectator_hub_.add_observer(sim_.now());
+          }
+          spectator_hub_.ingest(port->id, *msg, sim_.now());
         }
       }
       co_await port->arrival->wait();
@@ -239,6 +296,79 @@ class SimSite {
       (void)co_await state_changed_.wait_until(sim_.now() + milliseconds(5));
     }
     apply_negotiated_lag();
+
+    // ---- rollback consistency mode ------------------------------------
+    if (rollback_ != nullptr) {
+      auto& rb = *rollback_;
+      for (FrameNo frame = 0; frame < cfg_.frames; ++frame) {
+        if (const Dur freeze = pending_stall(); freeze > 0) co_await sim_.sleep(freeze);
+        core::FrameRecord rec;
+        rec.frame = frame;
+
+        pacer_.begin_frame(sim_.now(), frame, rb.remote_obs());
+        rec.begin_time = sim_.now();
+
+        const InputWord local =
+            site_ == 0 ? make_input(input_.input_for_frame(frame), 0)
+                       : make_input(0, input_.input_for_frame(frame));
+
+        // Rollback never stalls on a *late* remote input — it predicts.
+        // The only wait is the ring bound: speculation may not outrun the
+        // confirmed watermark by more than window - 2 frames.
+        const Time sync_start = sim_.now();
+        while (!rb.can_advance()) {
+          if (sim_.now() > deadline) {
+            result_.aborted = true;
+            result_.failure_reason =
+                "rollback speculation watchdog expired (peer or network gone)";
+            finish(flags);
+            co_return;
+          }
+          (void)co_await state_changed_.wait_until(sim_.now() + milliseconds(5));
+          rb.reconcile();
+        }
+        rec.stall = sim_.now() - sync_start;
+        rec.input_ready_time = sim_.now();
+
+        const auto out = rb.advance_frame(local);
+        // Speculative digest for now; the canonical confirmed digests are
+        // backfilled over the timeline after the run.
+        rec.state_hash = out.digest;
+        record_confirmed();
+
+        rec.compute = cfg_.frame_compute_time;
+        co_await sim_.sleep(cfg_.frame_compute_time);
+
+        const Dur wait = pacer_.end_frame(sim_.now());
+        rec.wait = wait;
+        result_.timeline.add(rec);
+        if (wait > 0) co_await sim_.sleep(wait);
+      }
+
+      // Confirmation drain: every frame has executed; hold the site alive
+      // until the tail is confirmed (the receiver keeps ingesting, the
+      // sender keeps flushing acks/retransmits while the peer finishes).
+      while (rb.confirmed_frames() < cfg_.frames) {
+        if (sim_.now() > deadline) {
+          result_.aborted = true;
+          result_.failure_reason = "rollback confirmation drain timed out";
+          finish(flags);
+          co_return;
+        }
+        rb.reconcile();
+        record_confirmed();
+        if (rb.confirmed_frames() >= cfg_.frames) break;
+        (void)co_await state_changed_.wait_until(sim_.now() + milliseconds(5));
+      }
+      record_confirmed();
+      // Canonical history: replace each frame's speculative digest with
+      // the confirmed one (what the desync tripwire and replays compare).
+      for (std::size_t i = 0; i < result_.timeline.size(); ++i) {
+        result_.timeline.set_state_hash(i, rb.confirmed_digest(static_cast<FrameNo>(i)));
+      }
+      finish(flags);
+      co_return;
+    }
 
     // ---- Algorithm 1: the distributed VM frame loop -------------------
     for (FrameNo frame = 0; frame < cfg_.frames; ++frame) {
@@ -303,6 +433,8 @@ class SimSite {
   core::SyncPeer peer_;
   core::FramePacer pacer_;
   core::SessionControl session_;
+  std::unique_ptr<core::RollbackSession> rollback_;  ///< non-null iff rollback mode
+  FrameNo rb_recorded_ = 0;  ///< confirmed frames fed to replay/spectators
   core::SpectatorBroadcastHub spectator_hub_;
   core::MasherInput input_;
   sim::Trigger state_changed_;

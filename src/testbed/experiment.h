@@ -25,6 +25,7 @@
 #include "src/core/metrics.h"
 #include "src/core/pacer.h"
 #include "src/core/replay.h"
+#include "src/core/rollback.h"
 #include "src/core/sync_peer.h"
 #include "src/net/netem.h"
 
@@ -145,8 +146,13 @@ struct SiteResult {
   /// callers *see* that both replicas rendered the same game.
   std::vector<std::uint8_t> final_framebuffer;
   /// Merged-input recording of the session as this site executed it
-  /// (identical across sites; replayable via core::Replay::apply).
+  /// (identical across sites; replayable via core::Replay::apply). Under
+  /// rollback this holds only *confirmed* frames — the canonical history.
   core::Replay replay;
+  /// True when the handshake settled on the rollback consistency mode.
+  bool rollback_mode = false;
+  /// Speculation counters (meaningful only when rollback_mode).
+  core::RollbackStats rollback_stats;
 };
 
 struct ObserverResult {

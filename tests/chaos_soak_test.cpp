@@ -47,6 +47,35 @@ INSTANTIATE_TEST_SUITE_P(AllTopologies, ChaosSoak,
                            return std::string(topology_name(info.param));
                          });
 
+// The same seeds, with both sites opted into rollback: every fault script
+// the lockstep soak survives, the speculation/restore engine must survive
+// too — including the rollback-twin invariant (confirmed history equals a
+// straight-line replay, digest for digest).
+class RollbackChaosSoak : public ::testing::TestWithParam<Topology> {};
+
+TEST_P(RollbackChaosSoak, AllSeedsSatisfyAllInvariants) {
+  const Topology topology = GetParam();
+  int failures = 0;
+  for (std::uint64_t seed = kFirstSeed; seed < kFirstSeed + kSeeds; ++seed) {
+    FaultScript script = generate_fault_script(seed, topology);
+    script.rollback = true;
+    const SoakOutcome o = run_soak_case(script);
+    if (!o.passed()) {
+      ++failures;
+      ADD_FAILURE() << "seed " << seed << " on " << topology_name(topology)
+                    << " (rollback): " << o.violations.size() << " violation(s)\n"
+                    << outcome_to_json(o);
+    }
+  }
+  EXPECT_EQ(failures, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RollbackTopologies, RollbackChaosSoak,
+                         ::testing::Values(Topology::kTwoSite, Topology::kSpectator),
+                         [](const auto& info) {
+                           return std::string(topology_name(info.param));
+                         });
+
 class EmulatorChaosSoak : public ::testing::TestWithParam<Topology> {};
 
 TEST_P(EmulatorChaosSoak, DirtyPageDigestSurvivesChaosWithCrossCheck) {

@@ -143,6 +143,100 @@ TEST(ChaosSoakTest, CorruptedStateHashIsCaught) {
   EXPECT_TRUE(saw_desync);
 }
 
+// ---- rollback consistency mode under chaos --------------------------------
+// The same seeded fault scripts, with both sites opted into rollback: the
+// speculation/restore path must satisfy every surviving invariant (the
+// frame-lead bound is replaced by the rollback-twin digest check — see
+// src/chaos/invariants.h).
+
+TEST(ChaosRollbackTest, CleanTwoSiteSatisfiesAllInvariants) {
+  FaultScript s = generate_fault_script(1, Topology::kTwoSite);
+  s.faults.clear();
+  s.rollback = true;
+  const testbed::ExperimentConfig cfg = lower_two_site(s);
+  const testbed::ExperimentResult r = run_experiment(cfg);
+  const auto violations = check_two_site(cfg, r);
+  EXPECT_TRUE(violations.empty())
+      << violations[0].invariant << ": " << violations[0].detail;
+  // The mode must actually have negotiated — a silent fallback to
+  // lockstep would make this whole suite vacuous.
+  EXPECT_TRUE(r.site[0].rollback_mode);
+  EXPECT_TRUE(r.site[1].rollback_mode);
+  // And speculation must actually have speculated: remote inputs take
+  // >= one-way delay to arrive, so a clean run still predicts plenty.
+  EXPECT_GT(r.site[0].rollback_stats.predicted_frames, 0u);
+  EXPECT_GT(r.site[0].rollback_stats.frames_executed,
+            static_cast<std::uint64_t>(0));
+}
+
+TEST(ChaosRollbackTest, FaultedTwoSiteScriptsPass) {
+  // A slice of the same seeds the lockstep soak runs, now with rollback:
+  // identical adversity, different consistency engine.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    FaultScript s = generate_fault_script(seed, Topology::kTwoSite);
+    s.rollback = true;
+    const SoakOutcome o = run_soak_case(s);
+    EXPECT_TRUE(o.passed()) << "seed " << seed << "\n" << outcome_to_json(o);
+  }
+}
+
+TEST(ChaosRollbackTest, SpectatorChurnPassesUnderRollback) {
+  // Observers must be seeded from *confirmed* state and fed only
+  // confirmed inputs — their replica hashes replay against the
+  // players' canonical (backfilled) timelines.
+  FaultScript s = generate_fault_script(4, Topology::kSpectator);
+  s.rollback = true;
+  const SoakOutcome o = run_soak_case(s);
+  EXPECT_TRUE(o.passed()) << outcome_to_json(o);
+}
+
+TEST(ChaosRollbackTest, RollbackFlagRoundTripsThroughJson) {
+  FaultScript s = generate_fault_script(7, Topology::kTwoSite);
+  s.rollback = true;
+  const auto doc = parse_json(script_to_json(s));
+  ASSERT_TRUE(doc.has_value());
+  const auto back = script_from_json(*doc);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->rollback);
+  EXPECT_EQ(script_to_json(*back), script_to_json(s));
+  // Archived pre-rollback documents parse as lockstep.
+  std::string legacy = script_to_json(s);
+  const auto pos = legacy.find(",\"rollback\":true");
+  ASSERT_NE(pos, std::string::npos);
+  legacy.erase(pos, std::string(",\"rollback\":true").size());
+  const auto old = script_from_json(*parse_json(legacy));
+  ASSERT_TRUE(old.has_value());
+  EXPECT_FALSE(old->rollback);
+}
+
+TEST(ChaosRollbackTest, TwinInvariantHasTeeth) {
+  // Corrupt one confirmed digest in an otherwise-passing rollback run:
+  // the straight-line-twin check must flag it.
+  FaultScript s = generate_fault_script(2, Topology::kTwoSite);
+  s.faults.clear();
+  s.rollback = true;
+  const testbed::ExperimentConfig cfg = lower_two_site(s);
+  testbed::ExperimentResult r = run_experiment(cfg);
+  ASSERT_TRUE(check_two_site(cfg, r).empty());
+  core::FrameTimeline corrupted;
+  for (core::FrameRecord rec : r.site[0].timeline.records()) {
+    if (rec.frame == 50) rec.state_hash ^= 1;
+    corrupted.add(rec);
+  }
+  r.site[0].timeline = corrupted;
+  bool saw_twin = false;
+  for (const Violation& v : check_two_site(cfg, r)) {
+    if (v.invariant == "rollback-twin" && v.frame == 50) saw_twin = true;
+  }
+  EXPECT_TRUE(saw_twin);
+}
+
+TEST(ChaosRollbackTest, DeterministicRepro) {
+  FaultScript s = generate_fault_script(5, Topology::kTwoSite);
+  s.rollback = true;
+  EXPECT_EQ(outcome_to_json(run_soak_case(s)), outcome_to_json(run_soak_case(s)));
+}
+
 TEST(FuzzTest, CorpusIsDeterministic) {
   const auto a = build_corpus();
   const auto b = build_corpus();

@@ -1,0 +1,98 @@
+// FlushClock catch-up boundary regressions.
+//
+// The rule: catch-up scheduling (`next += period`) preserves the anchored
+// cadence against late checks; only a stall of *more than* one full period
+// re-anchors. The boundary case — a check arriving exactly one period late
+// — must stay on the catch-up schedule: the clock owes exactly one
+// immediate make-up fire and the original gridline, with no re-anchor and
+// no burst. (An earlier `now >= next_` comparison re-anchored at exactly
+// one period, silently losing the make-up fire.)
+#include <gtest/gtest.h>
+
+#include "src/core/flush_clock.h"
+
+namespace rtct::core {
+namespace {
+
+TEST(FlushClockTest, AnchorsOnFirstCallThenHoldsCadence) {
+  FlushClock c(milliseconds(20));
+  EXPECT_TRUE(c.due(0));  // first call fires and anchors
+  EXPECT_FALSE(c.due(milliseconds(10)));
+  EXPECT_FALSE(c.due(milliseconds(19)));
+  EXPECT_TRUE(c.due(milliseconds(20)));
+  EXPECT_EQ(c.next(), milliseconds(40));
+  EXPECT_EQ(c.reanchors(), 0u);
+}
+
+TEST(FlushClockTest, LateCheckCatchesUpToTheGridline) {
+  FlushClock c(milliseconds(20));
+  ASSERT_TRUE(c.due(0));
+  // Observed 1 ms late: the fire happens, and the next deadline stays on
+  // the 40 ms gridline (not 41 + 20) — this is what prevents drift.
+  EXPECT_TRUE(c.due(milliseconds(21)));
+  EXPECT_EQ(c.next(), milliseconds(40));
+  EXPECT_EQ(c.reanchors(), 0u);
+}
+
+TEST(FlushClockTest, ExactlyOnePeriodStallKeepsCatchUpCadence) {
+  FlushClock c(milliseconds(20));
+  ASSERT_TRUE(c.due(0));  // next = 20
+  // Checked exactly one period late (now == 40 == next + period). Catch-up
+  // must be kept: this fire is on the 20 ms deadline, the next deadline is
+  // 40 — i.e. one immediate make-up fire is owed.
+  ASSERT_TRUE(c.due(milliseconds(40)));
+  EXPECT_EQ(c.reanchors(), 0u) << "exactly-one-period stall must not re-anchor";
+  EXPECT_EQ(c.next(), milliseconds(40));
+  // The make-up fire arrives at the very next check, restoring the
+  // original cadence (20/40/60/...) with no lost firing.
+  EXPECT_TRUE(c.due(milliseconds(41)));
+  EXPECT_EQ(c.next(), milliseconds(60));
+  EXPECT_EQ(c.reanchors(), 0u);
+  EXPECT_EQ(c.fires(), 3u);  // anchor + stalled fire + make-up fire
+  EXPECT_FALSE(c.due(milliseconds(59)));
+  EXPECT_TRUE(c.due(milliseconds(60)));
+}
+
+TEST(FlushClockTest, StallBeyondOnePeriodReanchorsWithoutBurst) {
+  FlushClock c(milliseconds(20));
+  ASSERT_TRUE(c.due(0));                  // next = 20
+  ASSERT_TRUE(c.due(milliseconds(100)));  // 4 periods late
+  EXPECT_EQ(c.reanchors(), 1u);
+  EXPECT_EQ(c.next(), milliseconds(120));
+  // No burst: the four missed firings are forgiven, not replayed.
+  EXPECT_FALSE(c.due(milliseconds(101)));
+  EXPECT_FALSE(c.due(milliseconds(119)));
+  EXPECT_TRUE(c.due(milliseconds(120)));
+  EXPECT_EQ(c.fires(), 3u);
+}
+
+TEST(FlushClockTest, RestoreInducedClockJumpBehavesLikeAStall) {
+  // A state-restore / debugger-shaped forward jump in the driver's clock
+  // must cost exactly one fire and a clean re-anchor at the new timebase —
+  // never a catch-up burst proportional to the jump.
+  FlushClock c(milliseconds(20));
+  ASSERT_TRUE(c.due(0));
+  for (int i = 1; i <= 5; ++i) ASSERT_TRUE(c.due(i * milliseconds(20)));
+  const auto fires_before = c.fires();
+  ASSERT_TRUE(c.due(seconds(10)));
+  EXPECT_EQ(c.fires(), fires_before + 1);
+  EXPECT_EQ(c.reanchors(), 1u);
+  EXPECT_EQ(c.next(), seconds(10) + milliseconds(20));
+  EXPECT_FALSE(c.due(seconds(10) + milliseconds(19)));
+  EXPECT_TRUE(c.due(seconds(10) + milliseconds(20)));
+}
+
+TEST(FlushClockTest, SteadyLateObserverStillDeliversConfiguredRate) {
+  // The drift catch-up exists to prevent: a caller that polls every 1 ms
+  // (so every fire is observed slightly late) must still average exactly
+  // one fire per period.
+  FlushClock c(milliseconds(20));
+  std::uint64_t fired = 0;
+  for (Time now = 0; now <= seconds(2); now += milliseconds(1)) {
+    if (c.due(now)) ++fired;
+  }
+  EXPECT_EQ(fired, 101u);  // the anchoring fire + 100 periods in 2 s
+}
+
+}  // namespace
+}  // namespace rtct::core

@@ -2,9 +2,11 @@
 // save states and state hashing — the determinism contract of §3.
 #include <gtest/gtest.h>
 
+#include "src/common/random.h"
 #include "src/emu/assembler.h"
 #include "src/emu/machine.h"
 #include "src/emu/rom_io.h"
+#include "src/games/roms.h"
 
 namespace rtct::emu {
 namespace {
@@ -204,6 +206,59 @@ TEST(MachineTest, SaveStateIntoMatchesSaveStateAndReusesCapacity) {
   EXPECT_EQ(scratch, m.save_state());
   EXPECT_EQ(scratch.data(), data_before);      // no reallocation
   EXPECT_EQ(scratch.capacity(), cap_before);
+}
+
+TEST(MachineTest, RestoreAndResimulateEqualsStraightLine) {
+  // The rollback engine's load-bearing assumption, as a property test:
+  // snapshot -> speculate with wrong inputs -> restore -> re-simulate the
+  // true inputs must be indistinguishable from never having speculated,
+  // digest for digest, over 1000 random frames on a real ROM ("torture",
+  // which touches RAM/video/registers as widely as possible). Runs with
+  // the full-rehash cross-check armed so a restore that forgets to
+  // invalidate the incremental digest cache is caught at the exact frame.
+  auto straight = games::make_machine("torture");
+  auto rb = games::make_machine("torture");
+  Rng rng(20260807);
+  constexpr int kFrames = 1000;
+  std::vector<InputWord> inputs(static_cast<std::size_t>(kFrames));
+  for (auto& w : inputs) w = static_cast<InputWord>(rng.next_u64());
+
+  std::vector<std::uint64_t> want(static_cast<std::size_t>(kFrames));
+  for (int f = 0; f < kFrames; ++f) {
+    straight->step_frame(inputs[static_cast<std::size_t>(f)]);
+    want[static_cast<std::size_t>(f)] = straight->state_digest(2);
+  }
+
+  set_state_digest_cross_check(true);
+  const std::uint64_t genesis = rb->state_digest(2);
+  std::vector<std::uint8_t> snap;  // reused, as the rollback ring does
+  int f = 0;
+  while (f < kFrames) {
+    rb->save_state_into(snap);
+    // Speculate 1..8 frames on garbage inputs (a mispredicting peer).
+    const int depth = 1 + static_cast<int>(rng.next_u64() % 8);
+    for (int j = 0; j < depth && f + j < kFrames; ++j) {
+      rb->step_frame(static_cast<InputWord>(rng.next_u64()));
+      (void)rb->state_digest(2);  // keep the incremental cache hot
+    }
+    // Restore: the machine must be byte-equivalent to pre-speculation.
+    ASSERT_TRUE(rb->load_state(snap));
+    ASSERT_EQ(rb->state_digest(2),
+              f == 0 ? genesis : want[static_cast<std::size_t>(f - 1)])
+        << "restore did not reproduce pre-speculation state at frame " << f;
+    // Re-simulate the true inputs over the speculated span.
+    for (int j = 0; j < depth && f < kFrames; ++j, ++f) {
+      rb->step_frame(inputs[static_cast<std::size_t>(f)]);
+      ASSERT_EQ(rb->state_digest(2), want[static_cast<std::size_t>(f)])
+          << "restore + re-simulate diverged from straight line at frame " << f;
+    }
+  }
+  set_state_digest_cross_check(false);
+  EXPECT_EQ(state_digest_cross_check_failures(), 0u)
+      << "a restore path failed to invalidate the incremental digest cache";
+  // Stronger than digests: the final machine images are byte-identical.
+  EXPECT_EQ(rb->save_state(), straight->save_state());
+  EXPECT_EQ(rb->frame(), straight->frame());
 }
 
 TEST(MachineTest, SaveStateIsVersionChecked) {

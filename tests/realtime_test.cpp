@@ -59,6 +59,40 @@ TEST(RealtimeTest, TwoSitesOverLoopbackStayConsistent) {
   EXPECT_LT(avg_ft, 25.0);
 }
 
+// Regression: the master's START answer used to be queued by drain()'s
+// session ingest but never polled once the handshake loop had exited, so
+// a slave that must wait for the START (rollback, adaptive lag) HELLOed
+// forever while the master played against silence — both sides timed
+// out. The frame loop's drain() now answers session traffic itself.
+TEST(RealtimeTest, RollbackModeNegotiatesOverLoopback) {
+  auto m0 = games::make_machine("torture");
+  auto m1 = games::make_machine("torture");
+  Pair sockets;
+  MasherInput p0(7), p1(8);
+
+  RealtimeConfig cfg;
+  cfg.frames = 120;
+  cfg.sync.rollback = true;
+  cfg.sync.rollback_input_delay = 1;
+  RealtimeSession a(0, *m0, p0, sockets.s0, cfg);
+  RealtimeSession b(1, *m1, p1, sockets.s1, cfg);
+
+  std::string e0, e1;
+  bool ok1 = false;
+  std::thread t([&] { ok1 = b.run(&e1); });
+  const bool ok0 = a.run(&e0);
+  t.join();
+
+  ASSERT_TRUE(ok0) << e0;
+  ASSERT_TRUE(ok1) << e1;
+  EXPECT_TRUE(a.rollback_mode());
+  EXPECT_TRUE(b.rollback_mode());
+  EXPECT_EQ(a.timeline().size(), 120u);
+  EXPECT_EQ(b.timeline().size(), 120u);
+  EXPECT_EQ(first_divergence(a.timeline(), b.timeline()), -1);
+  EXPECT_EQ(m0->state_hash(), m1->state_hash());
+}
+
 TEST(RealtimeTest, MismatchedRomsRefuseToPair) {
   auto m0 = games::make_machine("pong");
   auto m1 = games::make_machine("duel");

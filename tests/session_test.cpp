@@ -198,6 +198,97 @@ TEST(SessionTest, StartSkewBoundedByOneRelayStep) {
   EXPECT_EQ(slave.start_time() - master_start, owd);
 }
 
+// ---- v3 rollback-mode negotiation --------------------------------------------
+
+SyncConfig rollback_opt_in(int delay = 2) {
+  SyncConfig c;
+  c.rollback = true;
+  c.rollback_input_delay = delay;
+  return c;
+}
+
+TEST(SessionRollbackTest, NegotiatedWhenBothOptIn) {
+  SessionControl master(0, kRom, rollback_opt_in());
+  SessionControl slave(1, kRom, rollback_opt_in());
+  relay(slave, master, 0);
+  ASSERT_TRUE(master.running());
+  EXPECT_TRUE(master.rollback_mode());
+  auto start = master.poll(0);
+  ASSERT_TRUE(start.has_value());
+  const auto& s = std::get<StartMsg>(*start);
+  EXPECT_NE(s.flags & kFlagRollback, 0u);
+  // buf_frames carries delay + 1 (0 keeps its lockstep meaning).
+  EXPECT_EQ(s.buf_frames, rollback_opt_in().rollback_input_delay + 1);
+  slave.ingest(*start, milliseconds(1));
+  EXPECT_TRUE(slave.running());
+  EXPECT_TRUE(slave.rollback_mode());
+  EXPECT_EQ(slave.rollback_delay(), rollback_opt_in().rollback_input_delay);
+}
+
+TEST(SessionRollbackTest, MasterDelayWinsOverSlaveConfig) {
+  // The agreed local input delay is the master's configured value; the
+  // slave's own (different) preference is overwritten by START.
+  SessionControl master(0, kRom, rollback_opt_in(/*delay=*/5));
+  SessionControl slave(1, kRom, rollback_opt_in(/*delay=*/2));
+  relay(slave, master, 0);
+  relay(master, slave, milliseconds(1));
+  ASSERT_TRUE(slave.running());
+  EXPECT_TRUE(slave.rollback_mode());
+  EXPECT_EQ(master.rollback_delay(), 5);
+  EXPECT_EQ(slave.rollback_delay(), 5);
+}
+
+TEST(SessionRollbackTest, MixedOptInFallsBackToLockstep) {
+  // Both-opt-in semantics, both directions: a lone rollback-capable site
+  // runs plain lockstep against a legacy peer — no flag in START, no
+  // speculation "by assumption".
+  for (const bool master_opts_in : {true, false}) {
+    SessionControl master(0, kRom, master_opts_in ? rollback_opt_in() : cfg());
+    SessionControl slave(1, kRom, master_opts_in ? cfg() : rollback_opt_in());
+    relay(slave, master, 0);
+    ASSERT_TRUE(master.running());
+    EXPECT_FALSE(master.rollback_mode());
+    auto start = master.poll(0);
+    ASSERT_TRUE(start.has_value());
+    EXPECT_EQ(std::get<StartMsg>(*start).flags & kFlagRollback, 0u);
+    slave.ingest(*start, milliseconds(1));
+    EXPECT_TRUE(slave.running());
+    EXPECT_FALSE(slave.rollback_mode());
+  }
+}
+
+TEST(SessionRollbackTest, SlaveWaitsForStartBeforeRunning) {
+  // The mode (and the delay depth) travel only in START: a
+  // rollback-configured slave must not start on bare sync traffic — the
+  // master may have decided lockstep against a legacy peer, and guessing
+  // wrong breaks the merged-input agreement.
+  SessionControl slave(1, kRom, rollback_opt_in());
+  slave.note_sync_traffic(milliseconds(70));
+  EXPECT_FALSE(slave.running());
+  StartMsg s;
+  s.site = 0;
+  s.flags = kFlagRollback;
+  s.buf_frames = 4 + 1;
+  slave.ingest(Message{s}, milliseconds(80));
+  EXPECT_TRUE(slave.running());
+  EXPECT_TRUE(slave.rollback_mode());
+  EXPECT_EQ(slave.rollback_delay(), 4);
+  slave.note_sync_traffic(milliseconds(90));  // now harmless
+  EXPECT_TRUE(slave.running());
+}
+
+TEST(SessionRollbackTest, StartWithoutFlagMeansLockstep) {
+  // A rollback-capable slave whose START carries no flag (master decided
+  // lockstep) runs lockstep — and may again start on sync traffic once
+  // the decision is known.
+  SessionControl slave(1, kRom, rollback_opt_in());
+  StartMsg s;
+  s.site = 0;
+  slave.ingest(Message{s}, 0);
+  EXPECT_TRUE(slave.running());
+  EXPECT_FALSE(slave.rollback_mode());
+}
+
 // ---- v2 adaptive-lag negotiation ---------------------------------------------
 
 SyncConfig adaptive_cfg() {

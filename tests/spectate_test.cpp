@@ -450,6 +450,137 @@ TEST(SpectateHubTest, WrongGameJoinIgnored) {
   EXPECT_FALSE(rig.hub.wants_snapshot());
 }
 
+// ---- idle-reaping regressions ----------------------------------------------
+// The pinned-slowest-reader bug: an observer that vanished without a
+// goodbye kept its stale ack cursor in the trim watermark, growing the
+// ring without bound and holding all_caught_up() false forever. The fix
+// is two-sided — clients keepalive-ack on a 500 ms clock even with no
+// progress, and the hub reaps observers silent past a timeout.
+
+TEST(SpectateTest, ClientKeepalivesWhileIdle) {
+  // A fully caught-up client with nothing new to ack must still emit an
+  // ack every kKeepaliveInterval — that is what makes hub idle-reaping
+  // safe against false positives.
+  Rig rig;
+  for (int i = 0; i < 10; ++i) rig.play_one_frame();
+  Time now = 0;
+  rig.exchange(now);
+  ASSERT_TRUE(rig.client.joined());
+  ASSERT_EQ(rig.client.applied_frame(), rig.frame - 1);
+  // Drain any owed ack, then go idle: no feed traffic at all.
+  while (rig.client.make_message(now).has_value()) {}
+  int keepalives = 0;
+  for (int i = 1; i <= 20; ++i) {  // 2 s of idleness, polled every 100 ms
+    now += milliseconds(100);
+    if (rig.client.make_message(now).has_value()) ++keepalives;
+  }
+  EXPECT_EQ(keepalives, 4) << "expected one keepalive per 500 ms of idle time";
+}
+
+TEST(SpectateHubTest, IdleReaperUnpinsSlowestReaderTrim) {
+  HubRig rig;
+  Time now = 0;
+  rig.add_observer();
+  rig.add_observer();
+  for (int i = 0; i < 10; ++i) rig.play_one_frame();
+  for (int i = 0; i < 6; ++i) {
+    now += milliseconds(20);
+    rig.exchange(now);
+  }
+  ASSERT_TRUE(rig.all_at_head());
+
+  // Observer 0 vanishes: its datagrams stop cold, but the driver never
+  // learns (no goodbye). Keep playing; only observer 1 stays live. The
+  // dead cursor pins the ring past the 512-frame backlog cap, and the
+  // drivers' drain predicate (all_caught_up) can never turn true — the
+  // original unbounded-growth bug.
+  const auto gone = rig.obs[0].id;
+  const auto live = rig.obs[1].id;
+  for (int i = 0; i < 600; ++i) {
+    rig.play_one_frame();
+    now += milliseconds(20);
+    if (auto m = rig.obs[1].client->make_message(now)) rig.hub.ingest(live, *m, now);
+    if (auto buf = rig.hub.make_message(live, now)) {
+      if (auto msg = decode_message(*buf)) rig.obs[1].client->ingest(*msg);
+    }
+    rig.obs[1].client->step_available();
+  }
+  EXPECT_GT(rig.hub.backlog_size(), 550u) << "pinned cursor must defeat the cap";
+  EXPECT_FALSE(rig.hub.all_caught_up());
+
+  // The reaper fires (observer 0 was last heard ~12 s ago); the next ack
+  // from the live observer re-trims, bounding the ring by the backlog cap
+  // again and unsticking the drain predicate.
+  const auto removed = rig.hub.remove_idle(now, seconds(2));
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0], gone);
+  EXPECT_FALSE(rig.hub.observer_active(gone));
+  EXPECT_EQ(rig.hub.stats().observers_idle_removed, 1u);
+  now += milliseconds(20);
+  if (auto m = rig.obs[1].client->make_message(now)) rig.hub.ingest(live, *m, now);
+  EXPECT_LE(rig.hub.backlog_size(), 512u);
+  EXPECT_TRUE(rig.hub.all_caught_up());
+
+  // And the reaper never touches the observer that kept acking.
+  EXPECT_TRUE(rig.hub.observer_active(live));
+  EXPECT_EQ(rig.obs[1].replica->state_hash(), rig.session->state_hash());
+}
+
+TEST(SpectateHubTest, LiveObserverSurvivesReaperViaKeepalives) {
+  // No frames at all for several seconds (a stalled session): a healthy
+  // client produces pure keepalive acks, and those alone must keep it off
+  // the reaper's list.
+  HubRig rig;
+  Time now = 0;
+  rig.add_observer();
+  for (int i = 0; i < 5; ++i) rig.play_one_frame();
+  for (int i = 0; i < 4; ++i) {
+    now += milliseconds(20);
+    rig.exchange(now);
+  }
+  ASSERT_TRUE(rig.all_at_head());
+  const auto id = rig.obs[0].id;
+  for (int i = 0; i < 50; ++i) {  // 5 s of stall, no frames, no feed
+    now += milliseconds(100);
+    if (auto m = rig.obs[0].client->make_message(now)) rig.hub.ingest(id, *m, now);
+    EXPECT_TRUE(rig.hub.remove_idle(now, seconds(2)).empty())
+        << "keepalive-acking observer reaped at t=" << i;
+  }
+  EXPECT_TRUE(rig.hub.observer_active(id));
+}
+
+TEST(SpectateHubTest, WrongfulRemovalSelfHealsByReregistration) {
+  // The documented false-positive story: if a live observer is reaped
+  // anyway (timeout shorter than its network outage), its next datagram
+  // gets a fresh id from the driver and the snapshot/feed path re-seeds
+  // it to the head — no permanent eviction.
+  HubRig rig;
+  Time now = 0;
+  rig.add_observer();
+  for (int i = 0; i < 20; ++i) rig.play_one_frame();
+  for (int i = 0; i < 4; ++i) {
+    now += milliseconds(20);
+    rig.exchange(now);
+  }
+  ASSERT_TRUE(rig.all_at_head());
+
+  // Outage longer than the timeout: the hub reaps the observer.
+  now += seconds(5);
+  ASSERT_EQ(rig.hub.remove_idle(now, seconds(2)).size(), 1u);
+  ASSERT_FALSE(rig.hub.observer_active(rig.obs[0].id));
+
+  // The client comes back; the driver re-registers the endpoint exactly
+  // as the production receive loops do (observer_active gate -> new id).
+  rig.obs[0].id = rig.hub.add_observer(now);
+  for (int i = 0; i < 30; ++i) {
+    rig.play_one_frame();
+    now += milliseconds(20);
+    rig.exchange(now);
+  }
+  ASSERT_TRUE(rig.all_at_head());
+  EXPECT_EQ(rig.obs[0].replica->state_hash(), rig.session->state_hash());
+}
+
 TEST(SpectateHubTest, RandomizedLossyChannelProperty) {
   for (std::uint64_t seed : {5u, 23u, 111u}) {
     HubRig rig;

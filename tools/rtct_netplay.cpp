@@ -33,9 +33,15 @@ void usage() {
   std::fprintf(stderr,
                "usage: rtct_netplay --site 0|1 --peer IP:PORT [--game NAME | --rom FILE]\n"
                "                    [--bind PORT] [--frames N] [--seed S] [--quiet]\n"
+               "                    [--mode lockstep|rollback] [--input-delay N]\n"
                "                    [--record FILE.rpl] [--spectator-port PORT]\n"
                "                    [--stats] [--metrics-out FILE.json]\n"
-               "                    [--timeline-out FILE.json]\n");
+               "                    [--timeline-out FILE.json]\n"
+               "\n"
+               "--mode rollback opts into speculative execution with rollback\n"
+               "(fixed --input-delay frames of perceived latency, RTT-independent);\n"
+               "the session runs it only if BOTH sites pass --mode rollback, else\n"
+               "it degrades to the paper's local-lag lockstep.\n");
 }
 
 bool split_host_port(const std::string& s, std::string* host, std::uint16_t* port) {
@@ -59,6 +65,8 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 0;
   bool quiet = false;
   bool stats = false;
+  std::string mode = "lockstep";
+  int input_delay = -1;
   std::string record_path, metrics_out, timeline_out;
   std::uint16_t spectator_port = 0;
 
@@ -77,6 +85,8 @@ int main(int argc, char** argv) {
     else if (arg == "--peer") peer = next("--peer");
     else if (arg == "--bind") bind_port = static_cast<std::uint16_t>(std::atoi(next("--bind")));
     else if (arg == "--frames") frames = std::atoi(next("--frames"));
+    else if (arg == "--mode") mode = next("--mode");
+    else if (arg == "--input-delay") input_delay = std::atoi(next("--input-delay"));
     else if (arg == "--seed") seed = std::strtoull(next("--seed"), nullptr, 10);
     else if (arg == "--record") record_path = next("--record");
     else if (arg == "--spectator-port") {
@@ -131,6 +141,14 @@ int main(int argc, char** argv) {
   core::RealtimeConfig cfg;
   cfg.frames = frames;
   cfg.handshake_timeout = seconds(30);
+  if (mode == "rollback") {
+    cfg.sync.rollback = true;
+    if (input_delay >= 0) cfg.sync.rollback_input_delay = input_delay;
+  } else if (mode != "lockstep") {
+    std::fprintf(stderr, "rtct_netplay: bad --mode '%s' (want lockstep|rollback)\n",
+                 mode.c_str());
+    return 1;
+  }
 
   core::RealtimeSession session(site, *machine, player, socket, cfg);
   std::unique_ptr<net::UdpSocket> spectator_socket;
@@ -189,6 +207,16 @@ int main(int argc, char** argv) {
               "%zu stalled frames\n",
               session.timeline().size(), ft.mean, ft.mean_abs_deviation, to_ms(session.rtt()),
               session.timeline().stalled_frames());
+  if (session.rollback_mode()) {
+    const auto* rs = session.rollback_stats();
+    std::printf("mode: rollback (negotiated): %llu rollbacks, %llu frames resimulated, "
+                "max depth %d\n",
+                static_cast<unsigned long long>(rs->rollbacks),
+                static_cast<unsigned long long>(rs->frames_resimulated),
+                rs->max_rollback_depth);
+  } else if (mode == "rollback") {
+    std::printf("mode: lockstep (peer did not opt into rollback)\n");
+  }
   std::printf("final state hash: %016llx  (must match the peer's)\n",
               static_cast<unsigned long long>(machine->state_hash()));
 
