@@ -44,4 +44,13 @@ out="build-asan/BENCH_spectator_scaling.json"
 ./build-asan/bench/spectator_scaling 240 --json "$out"
 ./build-asan/tools/rtct_trace --check "$out"
 
+echo "==> relay scaling bench (1000-session multiplexing gate)"
+out="build-asan/BENCH_relay_scaling.json"
+./build-asan/bench/relay_scaling 20 --json "$out"
+./build-asan/tools/rtct_trace --check "$out"
+
+echo "==> relay + CLI regression tests (also covered by the full suite run)"
+ctest --preset sanitize -R "relay_test|relay_soak_test|udp_fault_test|cli_netplay_test" \
+      --output-on-failure
+
 echo "==> all checks passed"

@@ -24,6 +24,22 @@ void Histogram::observe(double x) {
   ++buckets_[static_cast<std::size_t>(i)];
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[static_cast<std::size_t>(i)] += other.buckets_[static_cast<std::size_t>(i)];
+  }
+}
+
 double Histogram::bucket_bound(int i) {
   if (i >= kBuckets - 1) return std::numeric_limits<double>::infinity();
   return 0.25 * std::pow(2.0, i);

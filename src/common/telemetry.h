@@ -56,6 +56,9 @@ class Histogram {
   static constexpr int kBuckets = 18;  ///< 0.25 ms .. 16.4 s, then +inf
 
   void observe(double x);
+  /// Folds another histogram's samples into this one (per-shard stats
+  /// aggregated at export time — the relay keeps one histogram per worker).
+  void merge(const Histogram& other);
 
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] double sum() const { return sum_; }

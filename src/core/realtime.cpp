@@ -18,7 +18,7 @@ Time steady_now() {
 }  // namespace
 
 RealtimeSession::RealtimeSession(SiteId site, emu::IDeterministicGame& game, InputSource& input,
-                                 net::UdpSocket& socket, RealtimeConfig cfg)
+                                 net::PollableTransport& socket, RealtimeConfig cfg)
     : site_(site),
       game_(game),
       input_(input),
@@ -114,6 +114,15 @@ void RealtimeSession::pump_spectators() {
     if (!msg) continue;
     auto it = spectator_ids_.find(got->second);
     if (it == spectator_ids_.end()) {
+      // Only a JoinRequest mints observer state. Any other message from an
+      // unregistered address — a rogue HELLO probing the port, a reaped
+      // observer's stale FeedAck, a relay EvictNotice re-send — is counted
+      // and dropped; registering it would hand a phantom observer a cursor
+      // that pins the hub's trim watermark.
+      if (std::get_if<JoinRequestMsg>(&*msg) == nullptr) {
+        ++dropped_unknown_sender_;
+        continue;
+      }
       it = spectator_ids_.emplace(got->second, spectator_hub_.add_observer(t)).first;
     }
     spectator_hub_.ingest(it->second, *msg, t);
@@ -416,6 +425,7 @@ void RealtimeSession::export_metrics(MetricsRegistry& reg) const {
   socket_.export_metrics(reg);
   reg.counter("session.flushes").set(flush_clock_.fires());
   reg.counter("session.flush_reanchors").set(flush_clock_.reanchors());
+  reg.counter("session.dropped_unknown_sender").set(dropped_unknown_sender_);
   reg.gauge("spectator.host.count").set(static_cast<double>(spectator_ids_.size()));
   spectator_hub_.export_metrics(reg);
   // The stable per-observer-host aggregate names stay populated (fed from

@@ -4,7 +4,10 @@
 // This is the deployment shape of the paper's system (two PCs, one VM
 // each). It runs the exact same sans-IO protocol objects (SyncPeer,
 // FramePacer, SessionControl) as the simulated testbed; only the clock
-// (std::chrono::steady_clock) and the transport (UdpSocket) differ.
+// (std::chrono::steady_clock) and the transport differ. The transport is
+// any PollableTransport — a raw UdpSocket for direct peer-to-peer play, or
+// a relay::RelayEndpoint when the session goes through rtct_relayd — so
+// the frame loop is indifferent to the path.
 //
 // Single-threaded by design: the frame loop interleaves the send flush
 // timer and receive polling at its own co_await-free pace — on real
@@ -55,9 +58,10 @@ struct RealtimeConfig {
 
 class RealtimeSession {
  public:
-  /// `socket` must already be bound and connected to the peer.
+  /// `socket` must already be bound and connected/framed to the peer (a
+  /// connected UdpSocket, or a RelayEndpoint holding a live conn id).
   RealtimeSession(SiteId site, emu::IDeterministicGame& game, InputSource& input,
-                  net::UdpSocket& socket, RealtimeConfig cfg);
+                  net::PollableTransport& socket, RealtimeConfig cfg);
 
   /// Optional per-frame callback (rendering, logging). Called after
   /// Transition with the frame's record.
@@ -92,6 +96,13 @@ class RealtimeSession {
   /// stop acking, including ones that caught up and walked away).
   [[nodiscard]] std::size_t spectators_joined() const {
     return static_cast<std::size_t>(spectator_hub_.stats().observers_added);
+  }
+  /// Spectator-port datagrams dropped because the sender was not a
+  /// registered observer and the message was not a JoinRequest — rogue or
+  /// stale traffic must not mint observer state (each phantom observer
+  /// would pin the hub's trim watermark until the idle reaper caught it).
+  [[nodiscard]] std::uint64_t dropped_unknown_sender() const {
+    return dropped_unknown_sender_;
   }
 
   /// Snapshots every subsystem's state into the registry: "sync.*",
@@ -130,7 +141,7 @@ class RealtimeSession {
   SiteId site_;
   emu::IDeterministicGame& game_;
   InputSource& input_;
-  net::UdpSocket& socket_;
+  net::PollableTransport& socket_;
   RealtimeConfig cfg_;
 
   SyncPeer peer_;
@@ -150,6 +161,7 @@ class RealtimeSession {
   net::UdpSocket* spectator_socket_ = nullptr;
   SpectatorBroadcastHub spectator_hub_;
   std::map<net::UdpAddress, SpectatorBroadcastHub::ObserverId> spectator_ids_;
+  std::uint64_t dropped_unknown_sender_ = 0;
 
   // Hot-path scratch (reused capacity; see ByteWriter's adopting ctor).
   std::vector<std::uint8_t> wire_scratch_;

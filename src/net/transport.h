@@ -10,7 +10,14 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
+
+#include "src/common/time.h"
+
+namespace rtct {
+class MetricsRegistry;  // src/common/telemetry.h
+}  // namespace rtct
 
 namespace rtct::net {
 
@@ -26,6 +33,22 @@ class DatagramTransport {
 
   /// Pops the next arrived datagram, or nullopt if none is pending.
   virtual std::optional<Payload> try_recv() = 0;
+};
+
+/// A DatagramTransport the wall-clock driver (RealtimeSession) can block
+/// on. Implemented by the raw UdpSocket (direct peer-to-peer) and by
+/// RelayEndpoint (the same protocol bytes framed through rtct_relayd), so
+/// the frame loop is indifferent to whether a relay sits on the path.
+class PollableTransport : public DatagramTransport {
+ public:
+  /// Blocks up to `timeout` for a datagram to become readable.
+  virtual bool wait_readable(Dur timeout) = 0;
+
+  [[nodiscard]] virtual bool valid() const = 0;
+  [[nodiscard]] virtual const std::string& last_error() const = 0;
+
+  /// Snapshots transport counters into the registry.
+  virtual void export_metrics(MetricsRegistry& reg) const = 0;
 };
 
 }  // namespace rtct::net

@@ -11,11 +11,33 @@
 #include <cstring>
 
 #include "src/common/telemetry.h"
+#include "src/net/udp_syscalls.h"
 
 namespace rtct::net {
 
 namespace {
 constexpr std::size_t kMaxDatagram = 64 * 1024;
+
+const UdpSyscalls kRealSyscalls{::send, ::sendto, ::recv, ::recvfrom};
+const UdpSyscalls* g_syscalls = &kRealSyscalls;
+
+/// Soft send failure: the datagram is lost but the socket is fine. ENOBUFS
+/// is what loopback reports when the receive queue overflows under burst
+/// load (the relay bench drives exactly that).
+bool soft_send_errno(int e) { return e == EAGAIN || e == EWOULDBLOCK || e == ENOBUFS; }
+
+/// Soft recv failure: nothing to read, or a previous send to an unbound
+/// peer bounced an ICMP error back onto a connected socket (loopback races
+/// during session startup produce this; the handshake retries cover it).
+bool soft_recv_errno(int e) {
+  return e == EAGAIN || e == EWOULDBLOCK || e == ECONNREFUSED;
+}
+}  // namespace
+
+const UdpSyscalls& udp_syscalls() { return *g_syscalls; }
+
+void set_udp_syscalls_for_test(const UdpSyscalls* table) {
+  g_syscalls = table != nullptr ? table : &kRealSyscalls;
 }
 
 std::string UdpAddress::to_string() const {
@@ -23,6 +45,15 @@ std::string UdpAddress::to_string() const {
   const auto* b = reinterpret_cast<const std::uint8_t*>(&ip);
   std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u:%u", b[0], b[1], b[2], b[3], ntohs(port));
   return buf;
+}
+
+std::optional<UdpAddress> make_udp_address(const std::string& ip, std::uint16_t port) {
+  in_addr parsed{};
+  if (::inet_pton(AF_INET, ip.c_str(), &parsed) != 1) return std::nullopt;
+  UdpAddress a;
+  a.ip = parsed.s_addr;
+  a.port = htons(port);
+  return a;
 }
 
 UdpSocket::UdpSocket(const std::string& bind_ip, std::uint16_t bind_port) {
@@ -62,6 +93,9 @@ UdpSocket::~UdpSocket() {
 }
 
 void UdpSocket::fail(const std::string& what) {
+  // Build the message before close() — close may clobber errno. Every
+  // constructor failure path funnels here, so a failed socket can never
+  // leak its fd (relayd's lobby churns through many sockets in tests).
   error_ = what + ": " + std::strerror(errno);
   if (fd_ >= 0) {
     ::close(fd_);
@@ -85,19 +119,48 @@ bool UdpSocket::connect_peer(const std::string& ip, std::uint16_t port) {
   return true;
 }
 
+bool UdpSocket::set_recv_buffer(int bytes) {
+  if (fd_ < 0 || bytes <= 0) return false;
+  // SO_RCVBUFFORCE ignores rmem_max but needs CAP_NET_ADMIN; fall back to
+  // the capped SO_RCVBUF so unprivileged runs still get the maximum the
+  // kernel allows instead of an error.
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVBUFFORCE, &bytes, sizeof(bytes)) == 0) {
+    return true;
+  }
+  return ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof(bytes)) == 0;
+}
+
 void UdpSocket::send(std::span<const std::uint8_t> payload) {
   if (fd_ < 0) return;
   // UDP semantics: a failed or EWOULDBLOCK send is simply a lost datagram;
-  // the sync protocol's retransmission absorbs it.
-  const ssize_t n = ::send(fd_, payload.data(), payload.size(), 0);
-  if (n >= 0) ++sent_;
+  // the sync protocol's retransmission absorbs it. A signal landing
+  // mid-call must NOT lose the datagram, though — retry on EINTR.
+  ssize_t n;
+  do {
+    n = g_syscalls->send(fd_, payload.data(), payload.size(), 0);
+    if (n < 0 && errno == EINTR) ++eintr_retries_;
+  } while (n < 0 && errno == EINTR);
+  if (n >= 0) {
+    ++sent_;
+  } else if (soft_send_errno(errno)) {
+    ++send_soft_drops_;
+  } else {
+    ++send_errors_;
+  }
 }
 
 std::optional<Payload> UdpSocket::try_recv() {
   if (fd_ < 0) return std::nullopt;
   Payload buf(kMaxDatagram);
-  const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
-  if (n < 0) return std::nullopt;
+  ssize_t n;
+  do {
+    n = g_syscalls->recv(fd_, buf.data(), buf.size(), 0);
+    if (n < 0 && errno == EINTR) ++eintr_retries_;
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) {
+    if (!soft_recv_errno(errno)) ++recv_errors_;
+    return std::nullopt;
+  }
   buf.resize(static_cast<std::size_t>(n));
   ++received_;
   return buf;
@@ -109,9 +172,19 @@ void UdpSocket::send_to(const UdpAddress& to, std::span<const std::uint8_t> payl
   addr.sin_family = AF_INET;
   addr.sin_port = to.port;
   addr.sin_addr.s_addr = to.ip;
-  const ssize_t n = ::sendto(fd_, payload.data(), payload.size(), 0,
-                             reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
-  if (n >= 0) ++sent_;
+  ssize_t n;
+  do {
+    n = g_syscalls->sendto(fd_, payload.data(), payload.size(), 0,
+                           reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    if (n < 0 && errno == EINTR) ++eintr_retries_;
+  } while (n < 0 && errno == EINTR);
+  if (n >= 0) {
+    ++sent_;
+  } else if (soft_send_errno(errno)) {
+    ++send_soft_drops_;
+  } else {
+    ++send_errors_;
+  }
 }
 
 std::optional<std::pair<Payload, UdpAddress>> UdpSocket::recv_from() {
@@ -119,9 +192,17 @@ std::optional<std::pair<Payload, UdpAddress>> UdpSocket::recv_from() {
   Payload buf(kMaxDatagram);
   sockaddr_in addr{};
   socklen_t len = sizeof(addr);
-  const ssize_t n =
-      ::recvfrom(fd_, buf.data(), buf.size(), 0, reinterpret_cast<sockaddr*>(&addr), &len);
-  if (n < 0) return std::nullopt;
+  ssize_t n;
+  do {
+    len = sizeof(addr);
+    n = g_syscalls->recvfrom(fd_, buf.data(), buf.size(), 0,
+                             reinterpret_cast<sockaddr*>(&addr), &len);
+    if (n < 0 && errno == EINTR) ++eintr_retries_;
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) {
+    if (!soft_recv_errno(errno)) ++recv_errors_;
+    return std::nullopt;
+  }
   buf.resize(static_cast<std::size_t>(n));
   ++received_;
   UdpAddress from;
@@ -134,13 +215,21 @@ bool UdpSocket::wait_readable(Dur timeout) {
   if (fd_ < 0) return false;
   pollfd pfd{fd_, POLLIN, 0};
   const int timeout_ms = static_cast<int>(timeout / kMillisecond);
-  const int r = ::poll(&pfd, 1, timeout_ms < 0 ? 0 : timeout_ms);
+  int r;
+  do {
+    r = ::poll(&pfd, 1, timeout_ms < 0 ? 0 : timeout_ms);
+    if (r < 0 && errno == EINTR) ++eintr_retries_;
+  } while (r < 0 && errno == EINTR);
   return r > 0 && (pfd.revents & POLLIN) != 0;
 }
 
 void UdpSocket::export_metrics(MetricsRegistry& reg) const {
   reg.counter("net.udp.datagrams_sent").set(sent_);
   reg.counter("net.udp.datagrams_received").set(received_);
+  reg.counter("net.udp.send_soft_drops").set(send_soft_drops_);
+  reg.counter("net.udp.send_errors").set(send_errors_);
+  reg.counter("net.udp.recv_errors").set(recv_errors_);
+  reg.counter("net.udp.eintr_retries").set(eintr_retries_);
 }
 
 }  // namespace rtct::net

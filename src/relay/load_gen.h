@@ -1,0 +1,57 @@
+// Synthetic relay load generator — the traffic source behind
+// bench/relay_scaling and the relay soak tests.
+//
+// Drives N concurrent two-member sessions against a running RelayServer
+// from just two client sockets: the relay keys sessions by connection id
+// and members by source address, so one (creator, joiner) socket pair can
+// be a member of every session at once. That keeps a 1000-session bench
+// within a handful of fds while still exercising a 1000-entry session
+// table and real per-datagram dispatch.
+//
+// Send schedules are modulated by the chaos FaultScript machinery: loss
+// windows from generate_fault_script(seed, kTwoSite) suppress sends
+// client-side, so the offered load is deterministically bursty rather than
+// a uniform drumbeat (seeds are full repro tokens, as everywhere in the
+// chaos harness).
+//
+// Every payload embeds the sender's steady-clock send time; the receiving
+// side turns arrivals into exact one-way relay latencies (same process,
+// same clock), reported as a Series alongside delivery counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/stats.h"
+
+namespace rtct::relay {
+
+struct LoadGenConfig {
+  std::string relay_ip = "127.0.0.1";
+  std::uint16_t lobby_port = 0;  ///< lobby of an already-running relay
+  int sessions = 64;
+  int rounds = 100;        ///< send rounds; each round offers one datagram
+                           ///< per member per session (minus fault windows)
+  int payload_bytes = 64;  ///< datagram payload size (>= 16 for the stamps)
+  std::uint64_t seed = 1;  ///< FaultScript seed for the send schedule
+  bool faults = true;      ///< false = uniform offered load (no chaos)
+};
+
+struct LoadGenReport {
+  bool ok = false;            ///< every session was created and joined
+  std::string error;
+  int sessions = 0;           ///< sessions actually established
+  std::uint64_t offered = 0;  ///< datagrams handed to sendto()
+  std::uint64_t suppressed = 0;  ///< sends skipped by fault windows
+  std::uint64_t delivered = 0;   ///< relayed datagrams received back
+  Series latency_ms;          ///< per-delivery one-way relay latency
+  [[nodiscard]] double delivery_ratio() const {
+    return offered == 0 ? 0 : static_cast<double>(delivered) / static_cast<double>(offered);
+  }
+};
+
+/// Runs the full workload (handshakes + send/drain rounds + final drain)
+/// against the relay at `cfg.relay_ip:cfg.lobby_port`. Blocking.
+LoadGenReport run_relay_load(const LoadGenConfig& cfg);
+
+}  // namespace rtct::relay

@@ -1,0 +1,158 @@
+#include "src/relay/relay_client.h"
+
+#include <arpa/inet.h>
+
+#include "src/common/telemetry.h"
+
+namespace rtct::relay {
+
+RelayLobby::RelayLobby(const std::string& relay_ip, std::uint16_t lobby_port,
+                       const std::string& bind_ip) {
+  sock_ = std::make_unique<net::UdpSocket>(bind_ip, 0);
+  if (!sock_->valid()) {
+    error_ = sock_->last_error();
+    return;
+  }
+  const auto addr = net::make_udp_address(relay_ip, lobby_port);
+  if (!addr) {
+    error_ = "bad relay address: " + relay_ip;
+    return;
+  }
+  lobby_addr_ = *addr;
+  addr_ok_ = true;
+}
+
+bool RelayLobby::valid() const { return sock_ != nullptr && sock_->valid() && addr_ok_; }
+
+void RelayLobby::set_timeout(Dur per_attempt, int attempts) {
+  per_attempt_ = per_attempt;
+  attempts_ = attempts < 1 ? 1 : attempts;
+}
+
+std::optional<RelayMessage> RelayLobby::request(const RelayMessage& req) {
+  if (!valid()) return std::nullopt;
+  refusal_.reset();
+  encode_relay_message_into(req, scratch_);
+  for (int attempt = 0; attempt < attempts_; ++attempt) {
+    sock_->send_to(lobby_addr_, scratch_);
+    const Dur deadline = per_attempt_;
+    if (!sock_->wait_readable(deadline)) continue;
+    while (auto got = sock_->recv_from()) {
+      auto reply = decode_relay_message(got->first);
+      if (reply) return reply;
+      // Not a lobby reply (stray DATA from a previous life of this port) —
+      // keep draining this attempt's window.
+    }
+  }
+  error_ = "lobby request timed out";
+  return std::nullopt;
+}
+
+std::optional<LobbyResult> RelayLobby::create(std::uint64_t content_id, int max_members) {
+  CreateMsg req;
+  req.content_id = content_id;
+  req.max_members = static_cast<std::uint8_t>(max_members < 0 ? 0 : max_members);
+  const auto reply = request(RelayMessage{req});
+  if (!reply) return std::nullopt;
+  if (const auto* ok = std::get_if<LobbyOkMsg>(&*reply)) {
+    return LobbyResult{ok->conn, ok->slot, ok->data_port};
+  }
+  if (const auto* err = std::get_if<LobbyErrMsg>(&*reply)) {
+    refusal_ = err->code;
+    error_ = std::string("create refused: ") + std::string(lobby_error_name(err->code));
+  }
+  return std::nullopt;
+}
+
+std::optional<LobbyResult> RelayLobby::join(ConnId conn) {
+  JoinMsg req;
+  req.conn = conn;
+  const auto reply = request(RelayMessage{req});
+  if (!reply) return std::nullopt;
+  if (const auto* ok = std::get_if<LobbyOkMsg>(&*reply)) {
+    return LobbyResult{ok->conn, ok->slot, ok->data_port};
+  }
+  if (const auto* err = std::get_if<LobbyErrMsg>(&*reply)) {
+    refusal_ = err->code;
+    error_ = std::string("join refused: ") + std::string(lobby_error_name(err->code));
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<SessionInfo>> RelayLobby::list(std::uint16_t max_entries) {
+  ListMsg req;
+  req.max_entries = max_entries;
+  const auto reply = request(RelayMessage{req});
+  if (!reply) return std::nullopt;
+  if (const auto* r = std::get_if<ListReplyMsg>(&*reply)) return r->sessions;
+  if (const auto* err = std::get_if<LobbyErrMsg>(&*reply)) {
+    refusal_ = err->code;
+    error_ = std::string("list refused: ") + std::string(lobby_error_name(err->code));
+  }
+  return std::nullopt;
+}
+
+void RelayLobby::leave(ConnId conn) {
+  if (!valid()) return;
+  encode_relay_message_into(RelayMessage{LeaveMsg{conn}}, scratch_);
+  sock_->send_to(lobby_addr_, scratch_);
+}
+
+std::unique_ptr<RelayEndpoint> RelayLobby::into_endpoint(const LobbyResult& r) {
+  if (!valid()) return nullptr;
+  net::UdpAddress data_addr = lobby_addr_;
+  data_addr.port = htons(r.data_port);
+  auto ep = std::make_unique<RelayEndpoint>(std::move(sock_), data_addr, lobby_addr_, r.conn);
+  addr_ok_ = false;  // lobby is spent
+  return ep;
+}
+
+// ---- RelayEndpoint ----------------------------------------------------------
+
+RelayEndpoint::RelayEndpoint(std::unique_ptr<net::UdpSocket> sock,
+                             net::UdpAddress data_addr, net::UdpAddress lobby_addr,
+                             ConnId conn)
+    : sock_(std::move(sock)), data_addr_(data_addr), lobby_addr_(lobby_addr), conn_(conn) {}
+
+void RelayEndpoint::send(std::span<const std::uint8_t> payload) {
+  encode_data_frame_into(conn_, payload, scratch_);
+  sock_->send_to(data_addr_, scratch_);
+}
+
+std::optional<net::Payload> RelayEndpoint::try_recv() {
+  while (auto got = sock_->recv_from()) {
+    const net::Payload& bytes = got->first;
+    if (is_data_frame(bytes) && data_frame_conn(bytes) == conn_) {
+      const auto payload = data_frame_payload(bytes);
+      return net::Payload(payload.begin(), payload.end());
+    }
+    if (const auto msg = decode_relay_message(bytes)) {
+      if (const auto* evict = std::get_if<EvictNoticeMsg>(&*msg);
+          evict != nullptr && evict->conn == conn_) {
+        // Our session died on the relay (idle eviction / restart). Latch it
+        // rather than ingesting the notice as peer traffic.
+        evicted_ = true;
+        ++evict_notices_;
+        continue;
+      }
+    }
+    ++dropped_foreign_;
+  }
+  return std::nullopt;
+}
+
+bool RelayEndpoint::wait_readable(Dur timeout) { return sock_->wait_readable(timeout); }
+
+void RelayEndpoint::export_metrics(MetricsRegistry& reg) const {
+  sock_->export_metrics(reg);
+  reg.counter("net.relay.evict_notices").set(evict_notices_);
+  reg.counter("net.relay.dropped_foreign").set(dropped_foreign_);
+  reg.gauge("net.relay.evicted").set(evicted_ ? 1 : 0);
+}
+
+void RelayEndpoint::leave() {
+  encode_relay_message_into(RelayMessage{LeaveMsg{conn_}}, scratch_);
+  sock_->send_to(lobby_addr_, scratch_);
+}
+
+}  // namespace rtct::relay

@@ -1,0 +1,114 @@
+// Client side of the rtct_relayd protocol.
+//
+// RelayLobby runs the blocking CREATE/JOIN/LIST/LEAVE handshake (with
+// bounded retransmission — lobby requests are datagrams and may be lost);
+// a successful CREATE/JOIN is then converted into a RelayEndpoint, a
+// PollableTransport that frames every outgoing sync datagram as
+// `[DATA][conn_id][payload]` and unframes inbound ones, so RealtimeSession
+// runs over the relay exactly as over a direct UdpSocket.
+//
+// The relay identifies session members by the source address of their
+// lobby handshake, so the endpoint MUST keep using the lobby's socket —
+// into_endpoint() transfers ownership rather than opening a new port.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/net/udp_socket.h"
+#include "src/relay/relay_wire.h"
+
+namespace rtct::relay {
+
+/// Outcome of a successful CREATE or JOIN.
+struct LobbyResult {
+  ConnId conn = kNoConn;
+  std::uint8_t slot = 0;
+  std::uint16_t data_port = 0;  ///< shard the session is pinned to
+};
+
+class RelayEndpoint;
+
+/// Blocking lobby conversation over one UDP socket. Not thread-safe.
+class RelayLobby {
+ public:
+  /// Opens a socket bound to `bind_ip` (ephemeral port) and targets the
+  /// relay's lobby at `relay_ip:lobby_port`.
+  RelayLobby(const std::string& relay_ip, std::uint16_t lobby_port,
+             const std::string& bind_ip = "127.0.0.1");
+
+  [[nodiscard]] bool valid() const;
+  [[nodiscard]] const std::string& last_error() const { return error_; }
+  /// The relay's LOBBY_ERR code when the last request was refused.
+  [[nodiscard]] std::optional<LobbyError> refusal() const { return refusal_; }
+
+  std::optional<LobbyResult> create(std::uint64_t content_id, int max_members = 0);
+  std::optional<LobbyResult> join(ConnId conn);
+  std::optional<std::vector<SessionInfo>> list(std::uint16_t max_entries = 0);
+  /// Fire-and-forget: datagram loss means the session idles out instead.
+  void leave(ConnId conn);
+
+  /// Converts this lobby (after a successful create/join) into the data
+  /// endpoint for `r`, consuming the socket. The lobby is unusable after.
+  std::unique_ptr<RelayEndpoint> into_endpoint(const LobbyResult& r);
+
+  /// Per-request reply timeout and retransmit budget.
+  void set_timeout(Dur per_attempt, int attempts);
+
+ private:
+  /// Sends `req` and waits for a decodable reply, retransmitting on
+  /// timeout. Returns nullopt when every attempt times out.
+  std::optional<RelayMessage> request(const RelayMessage& req);
+
+  std::unique_ptr<net::UdpSocket> sock_;
+  net::UdpAddress lobby_addr_{};
+  bool addr_ok_ = false;
+  std::string error_;
+  std::optional<LobbyError> refusal_;
+  Dur per_attempt_ = milliseconds(250);
+  int attempts_ = 4;
+  std::vector<std::uint8_t> scratch_;
+};
+
+/// The relayed data path: a PollableTransport speaking DATA frames for one
+/// connection id. Foreign frames are counted and dropped; an EVICT_NOTICE
+/// for our conn id latches `evicted()` so the driver can exit cleanly
+/// instead of spinning on a dead session.
+class RelayEndpoint final : public net::PollableTransport {
+ public:
+  RelayEndpoint(std::unique_ptr<net::UdpSocket> sock, net::UdpAddress data_addr,
+                net::UdpAddress lobby_addr, ConnId conn);
+
+  void send(std::span<const std::uint8_t> payload) override;
+  std::optional<net::Payload> try_recv() override;
+  bool wait_readable(Dur timeout) override;
+  [[nodiscard]] bool valid() const override { return sock_ != nullptr && sock_->valid(); }
+  [[nodiscard]] const std::string& last_error() const override { return sock_->last_error(); }
+  void export_metrics(MetricsRegistry& reg) const override;
+
+  [[nodiscard]] ConnId conn() const { return conn_; }
+  [[nodiscard]] bool evicted() const { return evicted_; }
+  [[nodiscard]] std::uint64_t evict_notices() const { return evict_notices_; }
+  /// Datagrams that were not DATA frames for our conn id.
+  [[nodiscard]] std::uint64_t dropped_foreign() const { return dropped_foreign_; }
+  [[nodiscard]] net::UdpSocket& socket() { return *sock_; }
+
+  /// Tells the lobby we are done (fire-and-forget).
+  void leave();
+
+ private:
+  std::unique_ptr<net::UdpSocket> sock_;
+  net::UdpAddress data_addr_{};
+  net::UdpAddress lobby_addr_{};
+  ConnId conn_ = kNoConn;
+  bool evicted_ = false;
+  std::uint64_t evict_notices_ = 0;
+  std::uint64_t dropped_foreign_ = 0;
+  std::vector<std::uint8_t> scratch_;  ///< DATA-frame encode buffer (reused)
+};
+
+}  // namespace rtct::relay

@@ -1,0 +1,197 @@
+#include "src/relay/relay_wire.h"
+
+#include "src/common/bytes.h"
+
+namespace rtct::relay {
+
+namespace {
+/// LIST reply cap: bounds the reply datagram (~17 B/entry) well under one
+/// UDP/IP MTU-ish payload and stops a hostile count field from driving a
+/// large allocation.
+constexpr std::size_t kMaxListEntries = 64;
+/// DATA header: type byte + conn id.
+constexpr std::size_t kDataHeader = 1 + 4;
+}  // namespace
+
+std::string_view lobby_error_name(LobbyError e) {
+  switch (e) {
+    case LobbyError::kBadVersion: return "bad-version";
+    case LobbyError::kNotFound: return "not-found";
+    case LobbyError::kSessionFull: return "session-full";
+    case LobbyError::kAlreadyJoined: return "already-joined";
+    case LobbyError::kServerFull: return "server-full";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode_relay_message(const RelayMessage& msg) {
+  std::vector<std::uint8_t> out;
+  out.reserve(32);
+  encode_relay_message_into(msg, out);
+  return out;
+}
+
+void encode_data_frame_into(ConnId conn, std::span<const std::uint8_t> payload,
+                            std::vector<std::uint8_t>& out) {
+  ByteWriter w(std::move(out));
+  w.u8(static_cast<std::uint8_t>(RelayMsgType::kData));
+  w.u32(conn);
+  w.bytes(payload);
+  out = w.take();
+}
+
+void encode_relay_message_into(const RelayMessage& msg, std::vector<std::uint8_t>& out) {
+  ByteWriter w(std::move(out));
+  if (const auto* create = std::get_if<CreateMsg>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(RelayMsgType::kCreate));
+    w.u16(create->version);
+    w.u64(create->content_id);
+    w.u8(create->max_members);
+  } else if (const auto* join = std::get_if<JoinMsg>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(RelayMsgType::kJoin));
+    w.u16(join->version);
+    w.u32(join->conn);
+  } else if (const auto* list = std::get_if<ListMsg>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(RelayMsgType::kList));
+    w.u16(list->version);
+    w.u16(list->max_entries);
+  } else if (const auto* leave = std::get_if<LeaveMsg>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(RelayMsgType::kLeave));
+    w.u32(leave->conn);
+  } else if (const auto* ok = std::get_if<LobbyOkMsg>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(RelayMsgType::kLobbyOk));
+    w.u16(ok->version);
+    w.u32(ok->conn);
+    w.u8(ok->slot);
+    w.u16(ok->data_port);
+  } else if (const auto* err = std::get_if<LobbyErrMsg>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(RelayMsgType::kLobbyErr));
+    w.u8(static_cast<std::uint8_t>(err->code));
+    w.u32(err->conn);
+  } else if (const auto* reply = std::get_if<ListReplyMsg>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(RelayMsgType::kListReply));
+    const std::size_t n = std::min(reply->sessions.size(), kMaxListEntries);
+    w.u16(static_cast<std::uint16_t>(n));
+    for (std::size_t i = 0; i < n; ++i) {
+      const SessionInfo& s = reply->sessions[i];
+      w.u32(s.conn);
+      w.u64(s.content_id);
+      w.u8(s.members);
+      w.u8(s.max_members);
+    }
+  } else if (const auto* data = std::get_if<DataMsg>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(RelayMsgType::kData));
+    w.u32(data->conn);
+    w.bytes(data->payload);
+  } else if (const auto* evict = std::get_if<EvictNoticeMsg>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(RelayMsgType::kEvictNotice));
+    w.u32(evict->conn);
+  }
+  out = w.take();
+}
+
+std::optional<RelayMessage> decode_relay_message(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  const auto type = static_cast<RelayMsgType>(r.u8());
+  switch (type) {
+    case RelayMsgType::kCreate: {
+      CreateMsg m;
+      m.version = r.u16();
+      m.content_id = r.u64();
+      m.max_members = r.u8();
+      if (!r.ok() || !r.at_end()) return std::nullopt;
+      return m;
+    }
+    case RelayMsgType::kJoin: {
+      JoinMsg m;
+      m.version = r.u16();
+      m.conn = r.u32();
+      if (!r.ok() || !r.at_end()) return std::nullopt;
+      return m;
+    }
+    case RelayMsgType::kList: {
+      ListMsg m;
+      m.version = r.u16();
+      m.max_entries = r.u16();
+      if (!r.ok() || !r.at_end()) return std::nullopt;
+      return m;
+    }
+    case RelayMsgType::kLeave: {
+      LeaveMsg m;
+      m.conn = r.u32();
+      if (!r.ok() || !r.at_end()) return std::nullopt;
+      return m;
+    }
+    case RelayMsgType::kLobbyOk: {
+      LobbyOkMsg m;
+      m.version = r.u16();
+      m.conn = r.u32();
+      m.slot = r.u8();
+      m.data_port = r.u16();
+      if (!r.ok() || !r.at_end()) return std::nullopt;
+      return m;
+    }
+    case RelayMsgType::kLobbyErr: {
+      LobbyErrMsg m;
+      const std::uint8_t code = r.u8();
+      m.conn = r.u32();
+      if (!r.ok() || !r.at_end()) return std::nullopt;
+      if (code < static_cast<std::uint8_t>(LobbyError::kBadVersion) ||
+          code > static_cast<std::uint8_t>(LobbyError::kServerFull)) {
+        return std::nullopt;
+      }
+      m.code = static_cast<LobbyError>(code);
+      return m;
+    }
+    case RelayMsgType::kListReply: {
+      ListReplyMsg m;
+      const std::uint16_t n = r.u16();
+      // 14 bytes per serialized entry; bound by both the protocol cap and
+      // the bytes actually present before reserving.
+      if (n > kMaxListEntries || n > r.remaining() / 14) return std::nullopt;
+      m.sessions.reserve(n);
+      for (std::uint16_t i = 0; i < n; ++i) {
+        SessionInfo s;
+        s.conn = r.u32();
+        s.content_id = r.u64();
+        s.members = r.u8();
+        s.max_members = r.u8();
+        m.sessions.push_back(s);
+      }
+      if (!r.ok() || !r.at_end()) return std::nullopt;
+      return m;
+    }
+    case RelayMsgType::kData: {
+      DataMsg m;
+      m.conn = r.u32();
+      if (!r.ok()) return std::nullopt;
+      const auto body = r.bytes(r.remaining());
+      m.payload.assign(body.begin(), body.end());
+      if (m.conn == kNoConn) return std::nullopt;
+      return m;
+    }
+    case RelayMsgType::kEvictNotice: {
+      EvictNoticeMsg m;
+      m.conn = r.u32();
+      if (!r.ok() || !r.at_end()) return std::nullopt;
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+bool is_data_frame(std::span<const std::uint8_t> data) {
+  return data.size() > kDataHeader &&
+         data[0] == static_cast<std::uint8_t>(RelayMsgType::kData);
+}
+
+ConnId data_frame_conn(std::span<const std::uint8_t> data) {
+  ByteReader r(data.subspan(1));
+  return r.u32();
+}
+
+std::span<const std::uint8_t> data_frame_payload(std::span<const std::uint8_t> data) {
+  return data.subspan(kDataHeader);
+}
+
+}  // namespace rtct::relay

@@ -1,0 +1,154 @@
+// Wire messages of the rtct_relayd lobby/relay protocol.
+//
+// The relay layer is a *framing* around the core sync protocol, not a
+// replacement: a relayed session still runs the exact HELLO/START/SYNC
+// negotiation of docs/PROTOCOL.md end to end — the relay forwards DATA
+// payloads opaquely, so lockstep/rollback capability bits and every future
+// core extension pass through untouched. Lobby messages (CREATE / JOIN /
+// LIST / LEAVE and their replies) are versioned independently of the core
+// protocol (kRelayProtocolVersion).
+//
+// Type-byte spaces are disjoint by construction: core messages use
+// 0x01..0x07, relay messages 0x40..0x48. A datagram is unambiguously one
+// or the other, which lets a client drive lobby traffic and relayed sync
+// traffic over a single socket.
+//
+// Every relayed datagram carries the session's lobby-assigned 32-bit
+// connection id: DATA frames are `[0x47][conn_id u32][payload...]`, so the
+// relay's dispatch is a single header peek + session-table lookup and the
+// forward path re-sends the received bytes verbatim (zero rewrite,
+// zero allocation).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace rtct::relay {
+
+/// Lobby protocol version, negotiated independently of the core
+/// kProtocolVersion (the relay never parses core payloads).
+inline constexpr std::uint16_t kRelayProtocolVersion = 1;
+
+/// Lobby-assigned session identifier, echoed in every relayed datagram.
+using ConnId = std::uint32_t;
+inline constexpr ConnId kNoConn = 0;  ///< never assigned
+
+/// First byte of every relay datagram (disjoint from core MsgType 1..7).
+enum class RelayMsgType : std::uint8_t {
+  kCreate = 0x40,
+  kJoin = 0x41,
+  kList = 0x42,
+  kLeave = 0x43,
+  kLobbyOk = 0x44,
+  kLobbyErr = 0x45,
+  kListReply = 0x46,
+  kData = 0x47,
+  kEvictNotice = 0x48,
+};
+
+enum class LobbyError : std::uint8_t {
+  kBadVersion = 1,   ///< client/relay lobby version mismatch
+  kNotFound = 2,     ///< JOIN named a session that does not exist
+  kSessionFull = 3,  ///< JOIN on a session at max_members
+  kAlreadyJoined = 4,  ///< JOIN from an address already in the session
+  kServerFull = 5,   ///< CREATE beyond the relay's session cap
+};
+
+[[nodiscard]] std::string_view lobby_error_name(LobbyError e);
+
+/// Client -> relay: open a fresh session; the sender becomes member 0.
+struct CreateMsg {
+  std::uint16_t version = kRelayProtocolVersion;
+  std::uint64_t content_id = 0;  ///< game-image hint, shown in LIST
+  std::uint8_t max_members = 0;  ///< 0 = relay default (two-site)
+};
+
+/// Client -> relay: join an existing session by connection id.
+struct JoinMsg {
+  std::uint16_t version = kRelayProtocolVersion;
+  ConnId conn = kNoConn;
+};
+
+/// Client -> relay: enumerate open sessions.
+struct ListMsg {
+  std::uint16_t version = kRelayProtocolVersion;
+  std::uint16_t max_entries = 0;  ///< 0 = relay default cap
+};
+
+/// Client -> relay: drop the sender from the session.
+struct LeaveMsg {
+  ConnId conn = kNoConn;
+};
+
+/// Relay -> client: CREATE/JOIN succeeded. `data_port` is the shard the
+/// session is pinned to — all DATA frames for this conn id go there.
+struct LobbyOkMsg {
+  std::uint16_t version = kRelayProtocolVersion;
+  ConnId conn = kNoConn;
+  std::uint8_t slot = 0;  ///< member index (0 = creator)
+  std::uint16_t data_port = 0;
+};
+
+/// Relay -> client: CREATE/JOIN/LIST refused.
+struct LobbyErrMsg {
+  LobbyError code = LobbyError::kNotFound;
+  ConnId conn = kNoConn;  ///< the request's conn id (0 for CREATE/LIST)
+};
+
+struct SessionInfo {
+  ConnId conn = kNoConn;
+  std::uint64_t content_id = 0;
+  std::uint8_t members = 0;
+  std::uint8_t max_members = 0;
+};
+
+struct ListReplyMsg {
+  std::vector<SessionInfo> sessions;
+};
+
+/// Both directions: an opaque core-protocol datagram relayed within the
+/// session. The payload is never decoded by the relay.
+struct DataMsg {
+  ConnId conn = kNoConn;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Relay -> member: the conn id no longer names a live session (idle
+/// eviction, or DATA for an unknown id). Clients must drop these instead
+/// of ingesting them as peer traffic — see session.dropped_unknown_sender.
+struct EvictNoticeMsg {
+  ConnId conn = kNoConn;
+};
+
+using RelayMessage = std::variant<CreateMsg, JoinMsg, ListMsg, LeaveMsg, LobbyOkMsg,
+                                  LobbyErrMsg, ListReplyMsg, DataMsg, EvictNoticeMsg>;
+
+/// Encodes into a caller-owned buffer (cleared, capacity kept) — same
+/// zero-alloc steady-state contract as core::encode_message_into.
+void encode_relay_message_into(const RelayMessage& msg, std::vector<std::uint8_t>& out);
+std::vector<std::uint8_t> encode_relay_message(const RelayMessage& msg);
+
+/// Encodes a DATA frame header + borrowed payload bytes without copying
+/// them into a DataMsg first — the client hot path (one per sync flush).
+void encode_data_frame_into(ConnId conn, std::span<const std::uint8_t> payload,
+                            std::vector<std::uint8_t>& out);
+
+/// Untrusted-bytes decode; nullopt on anything malformed (including core
+/// protocol bytes — their type space is disjoint).
+std::optional<RelayMessage> decode_relay_message(std::span<const std::uint8_t> data);
+
+/// Cheap dispatch peek: true when the first byte is a relay DATA frame.
+/// The relay's per-datagram hot path uses this + conn id instead of a full
+/// decode (the payload is opaque anyway).
+[[nodiscard]] bool is_data_frame(std::span<const std::uint8_t> data);
+/// Connection id of a DATA frame (pre: is_data_frame).
+[[nodiscard]] ConnId data_frame_conn(std::span<const std::uint8_t> data);
+/// Payload view of a DATA frame (pre: is_data_frame).
+[[nodiscard]] std::span<const std::uint8_t> data_frame_payload(
+    std::span<const std::uint8_t> data);
+
+}  // namespace rtct::relay

@@ -1,0 +1,96 @@
+#!/bin/sh
+# CLI validation regressions for rtct_netplay (and rtct_relayd): every
+# malformed numeric flag that atoi used to swallow silently must now be
+# rejected with a non-zero exit and a diagnostic on stderr, and valid
+# invocations must still get past argument parsing.
+#
+# Usage: cli_netplay_test.sh <path-to-rtct_netplay> <path-to-rtct_relayd>
+set -u
+
+NETPLAY="$1"
+RELAYD="$2"
+fails=0
+
+# expect_reject <description> <grep-pattern> -- <args...>
+# The command must exit non-zero AND print a matching diagnostic.
+expect_reject() {
+  desc="$1"; pattern="$2"; shift 3
+  out=$("$@" 2>&1)
+  code=$?
+  if [ "$code" -eq 0 ]; then
+    echo "FAIL: $desc: expected non-zero exit, got 0"
+    fails=$((fails + 1))
+  elif ! printf '%s' "$out" | grep -q "$pattern"; then
+    echo "FAIL: $desc: diagnostic missing /$pattern/ in: $out"
+    fails=$((fails + 1))
+  else
+    echo "ok: $desc"
+  fi
+}
+
+# --- rtct_netplay: port parsing ---------------------------------------------
+expect_reject "negative --bind port" "bad --bind" -- \
+  "$NETPLAY" --site 0 --peer 127.0.0.1:7000 --bind -5 --frames 10
+expect_reject "overflowing --bind port" "bad --bind" -- \
+  "$NETPLAY" --site 0 --peer 127.0.0.1:7000 --bind 70000 --frames 10
+expect_reject "non-numeric --bind port" "bad --bind" -- \
+  "$NETPLAY" --site 0 --peer 127.0.0.1:7000 --bind 70junk --frames 10
+expect_reject "negative --spectator-port" "bad --spectator-port" -- \
+  "$NETPLAY" --site 0 --peer 127.0.0.1:7000 --spectator-port -1
+expect_reject "zero --spectator-port" "bad --spectator-port" -- \
+  "$NETPLAY" --site 0 --peer 127.0.0.1:7000 --spectator-port 0
+expect_reject "negative port inside --peer" "bad --peer" -- \
+  "$NETPLAY" --site 0 --peer 127.0.0.1:-7000 --frames 10
+expect_reject "garbage port inside --peer" "bad --peer" -- \
+  "$NETPLAY" --site 0 --peer 127.0.0.1:port --frames 10
+
+# --- rtct_netplay: --input-delay bounds -------------------------------------
+expect_reject "negative --input-delay" "bad --input-delay" -- \
+  "$NETPLAY" --site 0 --peer 127.0.0.1:7000 --mode rollback --input-delay -3
+expect_reject "--input-delay beyond the rollback ring" "exceeds the rollback ring" -- \
+  "$NETPLAY" --site 0 --peer 127.0.0.1:7000 --mode rollback --input-delay 31
+expect_reject "--input-delay without rollback mode" "only meaningful" -- \
+  "$NETPLAY" --site 0 --peer 127.0.0.1:7000 --input-delay 2
+
+# --- rtct_netplay: misc strictness ------------------------------------------
+expect_reject "non-numeric --site" "bad --site" -- \
+  "$NETPLAY" --site abc --peer 127.0.0.1:7000
+expect_reject "out-of-range --site" "bad --site" -- \
+  "$NETPLAY" --site 2 --peer 127.0.0.1:7000
+expect_reject "zero --frames" "bad --frames" -- \
+  "$NETPLAY" --site 0 --peer 127.0.0.1:7000 --frames 0
+expect_reject "--relay with both --create and --join" "exactly one of" -- \
+  "$NETPLAY" --relay 127.0.0.1:7100 --create --join 3
+expect_reject "--relay with neither role" "exactly one of" -- \
+  "$NETPLAY" --relay 127.0.0.1:7100
+expect_reject "bad --join conn id" "bad --join" -- \
+  "$NETPLAY" --relay 127.0.0.1:7100 --join 0
+
+# --- rtct_relayd -------------------------------------------------------------
+expect_reject "relayd negative --port" "bad --port" -- \
+  "$RELAYD" --port -1 --run-for 1
+expect_reject "relayd overflowing --port" "bad --port" -- \
+  "$RELAYD" --port 65536 --run-for 1
+expect_reject "relayd zero --shards" "bad --shards" -- \
+  "$RELAYD" --shards 0 --run-for 1
+expect_reject "relayd non-numeric --idle-timeout-ms" "bad --idle-timeout-ms" -- \
+  "$RELAYD" --idle-timeout-ms soon --run-for 1
+
+# A valid invocation must make it past parsing: --input-delay at the exact
+# ring bound (30 = rollback_window - 2) is accepted, so the failure we see
+# is the (expected, fast) inability to reach the dummy peer — which exits
+# non-zero but crucially without any argument diagnostic.
+out=$("$NETPLAY" --site 0 --peer 256.0.0.1:7000 --mode rollback --input-delay 30 2>&1)
+if printf '%s' "$out" | grep -q "bad --input-delay\|exceeds"; then
+  echo "FAIL: boundary --input-delay 30 was wrongly rejected: $out"
+  fails=$((fails + 1))
+else
+  echo "ok: boundary --input-delay accepted"
+fi
+
+if [ "$fails" -ne 0 ]; then
+  echo "$fails CLI validation check(s) failed"
+  exit 1
+fi
+echo "all CLI validation checks passed"
+exit 0

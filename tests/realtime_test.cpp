@@ -8,6 +8,7 @@
 #include <variant>
 #include <vector>
 
+#include "src/common/telemetry.h"
 #include "src/core/input_source.h"
 #include "src/core/realtime.h"
 #include "src/core/spectate.h"
@@ -284,6 +285,76 @@ TEST(RealtimeTest, RequestStopInterruptsHandshake) {
   EXPECT_FALSE(s.run(&err));
   stopper.join();
   EXPECT_NE(err.find("stopped"), std::string::npos);
+}
+
+TEST(RealtimeTest, RogueSenderOnSpectatorPortMintsNoObserver) {
+  // Regression: the spectator pump used to register ANY address whose first
+  // datagram merely decoded as some protocol message — a rogue HELLO (or a
+  // relay's EvictNotice re-send, or a reaped observer's stale FeedAck)
+  // minted a phantom observer whose never-advancing cursor pinned the
+  // hub's trim watermark. Now only a JoinRequest creates observer state;
+  // everything else is counted in session.dropped_unknown_sender.
+  auto m0 = games::make_machine("pong");
+  auto m1 = games::make_machine("pong");
+  auto replica = games::make_machine("pong");
+  Pair sockets;
+  MasherInput p0(5), p1(6);
+
+  net::UdpSocket spectator_port("127.0.0.1", 0);
+  ASSERT_TRUE(spectator_port.valid());
+  net::UdpSocket watcher("127.0.0.1", 0);
+  ASSERT_TRUE(watcher.connect_peer("127.0.0.1", spectator_port.local_port()));
+  net::UdpSocket rogue("127.0.0.1", 0);
+  ASSERT_TRUE(rogue.connect_peer("127.0.0.1", spectator_port.local_port()));
+
+  RealtimeConfig cfg;
+  cfg.frames = 120;
+  RealtimeSession a(0, *m0, p0, sockets.s0, cfg);
+  RealtimeSession b(1, *m1, p1, sockets.s1, cfg);
+  a.serve_spectators(&spectator_port);
+
+  std::string e0, e1;
+  bool ok0 = false, ok1 = false;
+  std::thread t0([&] { ok0 = a.run(&e0); });
+  std::thread t1([&] { ok1 = b.run(&e1); });
+
+  // The rogue pokes the spectator port with decodable non-join messages
+  // while a legitimate watcher joins and follows the feed.
+  HelloMsg hello;
+  hello.site = 1;
+  hello.rom_checksum = m0->content_id();
+  const auto hello_bytes = encode_message(Message{hello});
+  const auto ack_bytes = encode_message(Message{FeedAckMsg{}});
+
+  SpectatorClient client(*replica, SyncConfig{});
+  const auto start = std::chrono::steady_clock::now();
+  Time fake_now = 0;
+  while (client.applied_frame() < cfg.frames - 1 &&
+         std::chrono::steady_clock::now() - start < std::chrono::seconds(15)) {
+    rogue.send(hello_bytes);
+    rogue.send(ack_bytes);
+    if (auto m = client.make_message(fake_now)) watcher.send(encode_message(*m));
+    watcher.wait_readable(milliseconds(10));
+    while (auto payload = watcher.try_recv()) {
+      if (auto msg = decode_message(*payload)) client.ingest(*msg);
+    }
+    client.step_available();
+    fake_now += milliseconds(10);
+  }
+  t0.join();
+  t1.join();
+
+  ASSERT_TRUE(ok0) << e0;
+  ASSERT_TRUE(ok1) << e1;
+  EXPECT_EQ(client.applied_frame(), cfg.frames - 1);
+  EXPECT_EQ(replica->state_hash(), m0->state_hash());
+  // Only the real watcher became an observer; the rogue was counted.
+  EXPECT_EQ(a.spectators_joined(), 1u);
+  EXPECT_GT(a.dropped_unknown_sender(), 0u);
+  MetricsRegistry reg;
+  a.export_metrics(reg);
+  EXPECT_EQ(reg.value("session.dropped_unknown_sender"),
+            static_cast<double>(a.dropped_unknown_sender()));
 }
 
 }  // namespace

@@ -27,6 +27,7 @@
 #include "src/emu/rom_io.h"
 #include "src/games/roms.h"
 #include "src/net/udp_socket.h"
+#include "src/relay/relay_client.h"
 
 namespace {
 void usage() {
@@ -37,21 +38,45 @@ void usage() {
                "                    [--record FILE.rpl] [--spectator-port PORT]\n"
                "                    [--stats] [--metrics-out FILE.json]\n"
                "                    [--timeline-out FILE.json]\n"
+               "       rtct_netplay --relay IP:PORT (--create | --join CONN) ...\n"
                "\n"
                "--mode rollback opts into speculative execution with rollback\n"
                "(fixed --input-delay frames of perceived latency, RTT-independent);\n"
                "the session runs it only if BOTH sites pass --mode rollback, else\n"
-               "it degrades to the paper's local-lag lockstep.\n");
+               "it degrades to the paper's local-lag lockstep.\n"
+               "\n"
+               "--relay runs the session through an rtct_relayd instead of a direct\n"
+               "peer: --create opens a session at the relay's lobby (the printed\n"
+               "conn id is what the other side passes to --join; --create implies\n"
+               "site 0, --join site 1, and --peer/--bind are not used).\n");
+}
+
+/// Strict decimal parse. atoi's silent acceptance of "7000junk", "", and
+/// negative ports turned typos into a confusing bind on port 0 (or on the
+/// two's-complement wraparound of a negative value) — reject instead.
+bool parse_int(const char* s, long lo, long hi, long* out) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  if (v < lo || v > hi) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_port(const char* s, bool allow_zero, std::uint16_t* out) {
+  long v = 0;
+  if (!parse_int(s, allow_zero ? 0 : 1, 65535, &v)) return false;
+  *out = static_cast<std::uint16_t>(v);
+  return true;
 }
 
 bool split_host_port(const std::string& s, std::string* host, std::uint16_t* port) {
   const auto colon = s.find_last_of(':');
-  if (colon == std::string::npos) return false;
+  if (colon == std::string::npos || colon == 0) return false;
   *host = s.substr(0, colon);
-  const long p = std::strtol(s.c_str() + colon + 1, nullptr, 10);
-  if (p <= 0 || p > 65535) return false;
-  *port = static_cast<std::uint16_t>(p);
-  return true;
+  return parse_port(s.c_str() + colon + 1, /*allow_zero=*/false, port);
 }
 }  // namespace
 
@@ -69,7 +94,13 @@ int main(int argc, char** argv) {
   int input_delay = -1;
   std::string record_path, metrics_out, timeline_out;
   std::uint16_t spectator_port = 0;
+  std::string relay;
+  bool relay_create = false;
+  long relay_join = -1;
 
+  // Every numeric flag is parsed strictly (see parse_int): a value that is
+  // not a clean in-range decimal is a usage error, not a silent zero.
+  bool parse_ok = true;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&](const char* what) -> const char* {
@@ -79,19 +110,40 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (arg == "--site") site = std::atoi(next("--site"));
+    auto num = [&](const char* what, long lo, long hi) -> long {
+      long v = 0;
+      if (!parse_int(next(what), lo, hi, &v)) {
+        std::fprintf(stderr, "rtct_netplay: bad %s '%s' (want integer in [%ld, %ld])\n",
+                     what, argv[i], lo, hi);
+        parse_ok = false;
+      }
+      return v;
+    };
+    if (arg == "--site") site = static_cast<int>(num("--site", 0, 1));
     else if (arg == "--game") game = next("--game");
     else if (arg == "--rom") rom_file = next("--rom");
     else if (arg == "--peer") peer = next("--peer");
-    else if (arg == "--bind") bind_port = static_cast<std::uint16_t>(std::atoi(next("--bind")));
-    else if (arg == "--frames") frames = std::atoi(next("--frames"));
+    else if (arg == "--bind") {
+      if (!parse_port(next("--bind"), /*allow_zero=*/true, &bind_port)) {
+        std::fprintf(stderr, "rtct_netplay: bad --bind '%s' (want port 0..65535)\n", argv[i]);
+        parse_ok = false;
+      }
+    }
+    else if (arg == "--frames") frames = static_cast<int>(num("--frames", 1, 10000000));
     else if (arg == "--mode") mode = next("--mode");
-    else if (arg == "--input-delay") input_delay = std::atoi(next("--input-delay"));
+    else if (arg == "--input-delay") input_delay = static_cast<int>(num("--input-delay", 0, 255));
     else if (arg == "--seed") seed = std::strtoull(next("--seed"), nullptr, 10);
     else if (arg == "--record") record_path = next("--record");
     else if (arg == "--spectator-port") {
-      spectator_port = static_cast<std::uint16_t>(std::atoi(next("--spectator-port")));
+      if (!parse_port(next("--spectator-port"), /*allow_zero=*/false, &spectator_port)) {
+        std::fprintf(stderr, "rtct_netplay: bad --spectator-port '%s' (want port 1..65535)\n",
+                     argv[i]);
+        parse_ok = false;
+      }
     }
+    else if (arg == "--relay") relay = next("--relay");
+    else if (arg == "--create") relay_create = true;
+    else if (arg == "--join") relay_join = num("--join", 1, 0xFFFFFFFFL);
     else if (arg == "--stats") stats = true;
     else if (arg == "--metrics-out") metrics_out = next("--metrics-out");
     else if (arg == "--timeline-out") timeline_out = next("--timeline-out");
@@ -101,7 +153,16 @@ int main(int argc, char** argv) {
       return arg == "-h" || arg == "--help" ? 0 : 1;
     }
   }
-  if ((site != 0 && site != 1) || peer.empty()) {
+  if (!parse_ok) return 1;
+  const bool use_relay = !relay.empty();
+  if (use_relay) {
+    if (relay_create == (relay_join > 0)) {
+      std::fprintf(stderr, "rtct_netplay: --relay needs exactly one of --create / --join\n");
+      return 1;
+    }
+    // The relay roles fix the sites: the creator is the master.
+    site = relay_create ? 0 : 1;
+  } else if ((site != 0 && site != 1) || peer.empty()) {
     usage();
     return 1;
   }
@@ -122,35 +183,85 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::string peer_host;
-  std::uint16_t peer_port = 0;
-  if (!split_host_port(peer, &peer_host, &peer_port)) {
-    std::fprintf(stderr, "rtct_netplay: bad --peer '%s' (want IP:PORT)\n", peer.c_str());
-    return 1;
-  }
-
-  net::UdpSocket socket("0.0.0.0", bind_port);
-  if (!socket.valid() || !socket.connect_peer(peer_host, peer_port)) {
-    std::fprintf(stderr, "rtct_netplay: socket: %s\n", socket.last_error().c_str());
-    return 1;
-  }
-  std::printf("site %d on udp/%u -> %s, game '%s', %d frames\n", site, socket.local_port(),
-              peer.c_str(), machine->rom().title.c_str(), frames);
-
   core::MasherInput player(seed != 0 ? seed : 1000 + static_cast<std::uint64_t>(site));
   core::RealtimeConfig cfg;
   cfg.frames = frames;
   cfg.handshake_timeout = seconds(30);
   if (mode == "rollback") {
     cfg.sync.rollback = true;
-    if (input_delay >= 0) cfg.sync.rollback_input_delay = input_delay;
+    if (input_delay >= 0) {
+      // The snapshot ring holds rollback_window states; speculation may run
+      // at most window-2 frames past the confirmed watermark, so a larger
+      // input delay could never be absorbed — it would stall every frame.
+      const int max_delay = cfg.sync.rollback_window - 2;
+      if (input_delay > max_delay) {
+        std::fprintf(stderr,
+                     "rtct_netplay: --input-delay %d exceeds the rollback ring window "
+                     "(max %d with rollback_window=%d)\n",
+                     input_delay, max_delay, cfg.sync.rollback_window);
+        return 1;
+      }
+      cfg.sync.rollback_input_delay = input_delay;
+    }
   } else if (mode != "lockstep") {
     std::fprintf(stderr, "rtct_netplay: bad --mode '%s' (want lockstep|rollback)\n",
                  mode.c_str());
     return 1;
+  } else if (input_delay >= 0) {
+    std::fprintf(stderr,
+                 "rtct_netplay: --input-delay is only meaningful with --mode rollback\n");
+    return 1;
   }
 
-  core::RealtimeSession session(site, *machine, player, socket, cfg);
+  // Transport: a direct connected socket, or a relayed endpoint speaking
+  // the same protocol bytes through rtct_relayd.
+  std::unique_ptr<net::UdpSocket> direct;
+  std::unique_ptr<relay::RelayEndpoint> relayed;
+  net::PollableTransport* transport = nullptr;
+  if (use_relay) {
+    std::string relay_host;
+    std::uint16_t relay_port = 0;
+    if (!split_host_port(relay, &relay_host, &relay_port)) {
+      std::fprintf(stderr, "rtct_netplay: bad --relay '%s' (want IP:PORT)\n", relay.c_str());
+      return 1;
+    }
+    relay::RelayLobby lobby(relay_host, relay_port, "0.0.0.0");
+    if (!lobby.valid()) {
+      std::fprintf(stderr, "rtct_netplay: relay lobby: %s\n", lobby.last_error().c_str());
+      return 1;
+    }
+    const auto res = relay_create
+                         ? lobby.create(machine->content_id())
+                         : lobby.join(static_cast<relay::ConnId>(relay_join));
+    if (!res) {
+      std::fprintf(stderr, "rtct_netplay: relay handshake: %s\n", lobby.last_error().c_str());
+      return 1;
+    }
+    relayed = lobby.into_endpoint(*res);
+    transport = relayed.get();
+    std::printf("site %d relayed via %s, conn id %u (peer joins with --join %u), "
+                "game '%s', %d frames\n",
+                site, relay.c_str(), res->conn, res->conn,
+                machine->rom().title.c_str(), frames);
+    std::fflush(stdout);
+  } else {
+    std::string peer_host;
+    std::uint16_t peer_port = 0;
+    if (!split_host_port(peer, &peer_host, &peer_port)) {
+      std::fprintf(stderr, "rtct_netplay: bad --peer '%s' (want IP:PORT)\n", peer.c_str());
+      return 1;
+    }
+    direct = std::make_unique<net::UdpSocket>("0.0.0.0", bind_port);
+    if (!direct->valid() || !direct->connect_peer(peer_host, peer_port)) {
+      std::fprintf(stderr, "rtct_netplay: socket: %s\n", direct->last_error().c_str());
+      return 1;
+    }
+    transport = direct.get();
+    std::printf("site %d on udp/%u -> %s, game '%s', %d frames\n", site, direct->local_port(),
+                peer.c_str(), machine->rom().title.c_str(), frames);
+  }
+
+  core::RealtimeSession session(site, *machine, player, *transport, cfg);
   std::unique_ptr<net::UdpSocket> spectator_socket;
   if (spectator_port != 0) {
     spectator_socket = std::make_unique<net::UdpSocket>("0.0.0.0", spectator_port);
@@ -197,7 +308,9 @@ int main(int argc, char** argv) {
   }
 
   std::string error;
-  if (!session.run(&error)) {
+  const bool run_ok = session.run(&error);
+  if (relayed != nullptr) relayed->leave();  // fire-and-forget lobby goodbye
+  if (!run_ok) {
     std::fprintf(stderr, "rtct_netplay: session failed: %s\n", error.c_str());
     return 1;
   }

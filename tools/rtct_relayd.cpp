@@ -1,0 +1,162 @@
+// rtct_relayd — the session-multiplexing relay/lobby daemon.
+//
+// One process fronts thousands of concurrent netplay sessions: clients
+// CREATE/JOIN sessions at the lobby port, get back a connection id and a
+// shard data port, and every DATA datagram they send is forwarded to the
+// other session members verbatim. The core sync protocol (lockstep or
+// rollback, negotiated end-to-end in HELLO/START) passes through opaquely.
+//
+//   rtct_relayd --port 7100                      # lobby on udp/7100
+//   rtct_netplay --relay <ip>:7100 --create      # site 0; prints conn id
+//   rtct_netplay --relay <ip>:7100 --join <id>   # site 1
+//
+// --stats prints a periodic one-line HUD; --metrics-out snapshots the
+// relay.* registry ("rtct.metrics.v1") on exit; --run-for bounds the
+// daemon's lifetime for scripted tests.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "src/common/telemetry.h"
+#include "src/relay/relay_server.h"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: rtct_relayd [--port PORT] [--bind IP] [--shards N]\n"
+               "                   [--idle-timeout-ms MS] [--max-sessions N]\n"
+               "                   [--run-for SECONDS] [--stats]\n"
+               "                   [--metrics-out FILE.json]\n");
+}
+
+bool parse_long(const char* s, long lo, long hi, long* out) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0' || v < lo || v > hi) return false;
+  *out = v;
+  return true;
+}
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rtct;
+
+  relay::RelayConfig cfg;
+  cfg.bind_ip = "0.0.0.0";
+  cfg.lobby_port = 7100;
+  long run_for_s = 0;  // 0 = until signalled
+  bool stats = false;
+  std::string metrics_out;
+
+  bool parse_ok = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "rtct_relayd: %s needs a value\n", what);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    auto num = [&](const char* what, long lo, long hi) -> long {
+      long v = 0;
+      if (!parse_long(next(what), lo, hi, &v)) {
+        std::fprintf(stderr, "rtct_relayd: bad %s '%s' (want integer in [%ld, %ld])\n",
+                     what, argv[i], lo, hi);
+        parse_ok = false;
+      }
+      return v;
+    };
+    if (arg == "--port") cfg.lobby_port = static_cast<std::uint16_t>(num("--port", 0, 65535));
+    else if (arg == "--bind") cfg.bind_ip = next("--bind");
+    else if (arg == "--shards") cfg.shards = static_cast<int>(num("--shards", 1, 16));
+    else if (arg == "--idle-timeout-ms") {
+      cfg.idle_timeout = milliseconds(num("--idle-timeout-ms", 1, 3600000));
+    }
+    else if (arg == "--max-sessions") {
+      cfg.max_sessions = static_cast<std::size_t>(num("--max-sessions", 1, 1000000));
+    }
+    else if (arg == "--run-for") run_for_s = num("--run-for", 1, 86400);
+    else if (arg == "--stats") stats = true;
+    else if (arg == "--metrics-out") metrics_out = next("--metrics-out");
+    else {
+      usage();
+      return arg == "-h" || arg == "--help" ? 0 : 1;
+    }
+  }
+  if (!parse_ok) return 1;
+
+  relay::RelayServer server(cfg);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "rtct_relayd: start failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("rtct_relayd: lobby on udp/%u, %d shard(s) on", server.lobby_port(),
+              server.shard_count());
+  for (int i = 0; i < server.shard_count(); ++i) {
+    std::printf(" udp/%u", server.shard_port(i));
+  }
+  std::printf(", idle timeout %lld ms, max %zu sessions\n",
+              static_cast<long long>(cfg.idle_timeout / kMillisecond), cfg.max_sessions);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  long elapsed_s = 0;
+  int hud_tick = 0;
+  while (g_stop == 0 && (run_for_s == 0 || elapsed_s < run_for_s)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    if (++hud_tick % 4 == 0) {
+      ++elapsed_s;
+      if (stats) {
+        const auto s = server.stats();
+        std::printf("[relayd] sessions=%zu created=%llu evicted=%llu fwd=%llu "
+                    "drop{sess=%llu,sender=%llu,malformed=%llu} lobby{req=%llu,err=%llu}\n",
+                    server.session_count(),
+                    static_cast<unsigned long long>(s.sessions_created),
+                    static_cast<unsigned long long>(s.sessions_evicted),
+                    static_cast<unsigned long long>(s.datagrams_forwarded),
+                    static_cast<unsigned long long>(s.dropped_unknown_session),
+                    static_cast<unsigned long long>(s.dropped_unknown_sender),
+                    static_cast<unsigned long long>(s.dropped_malformed),
+                    static_cast<unsigned long long>(s.lobby_requests),
+                    static_cast<unsigned long long>(s.lobby_errors));
+        std::fflush(stdout);
+      }
+    }
+  }
+
+  if (!metrics_out.empty()) {
+    MetricsRegistry reg;
+    server.export_metrics(reg);
+    std::ofstream out(metrics_out, std::ios::binary | std::ios::trunc);
+    out << reg.to_json() << '\n';
+    if (!out) {
+      std::fprintf(stderr, "rtct_relayd: failed to write '%s'\n", metrics_out.c_str());
+      server.stop();
+      return 1;
+    }
+    std::printf("metrics snapshot written to %s\n", metrics_out.c_str());
+  }
+
+  const auto s = server.stats();
+  server.stop();
+  std::printf("rtct_relayd: served %llu sessions (%llu evicted), forwarded %llu datagrams\n",
+              static_cast<unsigned long long>(s.sessions_created),
+              static_cast<unsigned long long>(s.sessions_evicted),
+              static_cast<unsigned long long>(s.datagrams_forwarded));
+  return 0;
+}
