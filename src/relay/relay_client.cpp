@@ -38,10 +38,23 @@ std::optional<RelayMessage> RelayLobby::request(const RelayMessage& req) {
     const Dur deadline = per_attempt_;
     if (!sock_->wait_readable(deadline)) continue;
     while (auto got = sock_->recv_from()) {
+      // The socket is unconnected: only the relay's lobby may answer a
+      // lobby request. Anything else is spoofed or stray — drop it.
+      if (!(got->second == lobby_addr_)) continue;
       auto reply = decode_relay_message(got->first);
-      if (reply) return reply;
-      // Not a lobby reply (stray DATA from a previous life of this port) —
-      // keep draining this attempt's window.
+      if (!reply) continue;
+      // Only actual lobby replies terminate the request. DATA races the
+      // LOBBY_OK whenever a JOIN registers us before the reply arrives
+      // (the creator's HELLO fan-out), and a stray EVICT_NOTICE can
+      // queue ahead of a retransmitted reply — both decode fine, and
+      // returning them here would abort create/join spuriously. Keep
+      // draining instead; the sync protocol retransmits anything the
+      // drain discards.
+      if (std::holds_alternative<LobbyOkMsg>(*reply) ||
+          std::holds_alternative<LobbyErrMsg>(*reply) ||
+          std::holds_alternative<ListReplyMsg>(*reply)) {
+        return reply;
+      }
     }
   }
   error_ = "lobby request timed out";
@@ -121,6 +134,16 @@ void RelayEndpoint::send(std::span<const std::uint8_t> payload) {
 
 std::optional<net::Payload> RelayEndpoint::try_recv() {
   while (auto got = sock_->recv_from()) {
+    // The socket is unconnected (the relay addresses us by the handshake
+    // source address, so we cannot connect()), which means any off-path
+    // host that learns our port could inject core-protocol payloads or a
+    // spoofed EVICT_NOTICE. Emulate the kernel filtering a connected
+    // socket would give us: only the relay's data and lobby sockets are
+    // valid senders.
+    if (!(got->second == data_addr_ || got->second == lobby_addr_)) {
+      ++dropped_non_relay_;
+      continue;
+    }
     const net::Payload& bytes = got->first;
     if (is_data_frame(bytes) && data_frame_conn(bytes) == conn_) {
       const auto payload = data_frame_payload(bytes);
@@ -147,6 +170,7 @@ void RelayEndpoint::export_metrics(MetricsRegistry& reg) const {
   sock_->export_metrics(reg);
   reg.counter("net.relay.evict_notices").set(evict_notices_);
   reg.counter("net.relay.dropped_foreign").set(dropped_foreign_);
+  reg.counter("net.relay.dropped_non_relay").set(dropped_non_relay_);
   reg.gauge("net.relay.evicted").set(evicted_ ? 1 : 0);
 }
 

@@ -95,6 +95,9 @@ class RelayEndpoint final : public net::PollableTransport {
   [[nodiscard]] std::uint64_t evict_notices() const { return evict_notices_; }
   /// Datagrams that were not DATA frames for our conn id.
   [[nodiscard]] std::uint64_t dropped_foreign() const { return dropped_foreign_; }
+  /// Datagrams whose source address was not the relay (spoofed/injected;
+  /// the unconnected socket gets no kernel peer filtering).
+  [[nodiscard]] std::uint64_t dropped_non_relay() const { return dropped_non_relay_; }
   [[nodiscard]] net::UdpSocket& socket() { return *sock_; }
 
   /// Tells the lobby we are done (fire-and-forget).
@@ -108,6 +111,7 @@ class RelayEndpoint final : public net::PollableTransport {
   bool evicted_ = false;
   std::uint64_t evict_notices_ = 0;
   std::uint64_t dropped_foreign_ = 0;
+  std::uint64_t dropped_non_relay_ = 0;
   std::vector<std::uint8_t> scratch_;  ///< DATA-frame encode buffer (reused)
 };
 

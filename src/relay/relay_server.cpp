@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <random>
 
 namespace rtct::relay {
 
@@ -22,6 +23,10 @@ Time steady_now() {
 constexpr int kMaxShards = 16;
 constexpr int kMaxMembersCap = 8;
 constexpr std::uint16_t kDefaultListCap = 32;
+/// How long a CREATE is answered idempotently for the same
+/// (source address, content_id) — generously past the client's whole
+/// retransmit budget (4 × 250 ms by default).
+constexpr Dur kCreateDedupeWindow = seconds(5);
 
 /// Tiny RAII epoll set over a data socket + the shared stop eventfd.
 class EpollWaiter {
@@ -69,6 +74,22 @@ RelayServer::RelayServer(RelayConfig cfg) : cfg_(std::move(cfg)) {
   cfg_.shards = std::clamp(cfg_.shards, 1, kMaxShards);
   cfg_.default_max_members = std::clamp(cfg_.default_max_members, 2, kMaxMembersCap);
   if (cfg_.max_sessions == 0) cfg_.max_sessions = 1;
+  std::random_device rd;
+  conn_rng_ = rd();
+  if (conn_rng_ == 0) conn_rng_ = 0x9E3779B9u;  // xorshift must not be seeded 0
+}
+
+ConnId RelayServer::allocate_conn() {
+  for (;;) {
+    conn_rng_ ^= conn_rng_ << 13;
+    conn_rng_ ^= conn_rng_ >> 17;
+    conn_rng_ ^= conn_rng_ << 5;
+    const ConnId conn = conn_rng_;
+    if (conn == kNoConn) continue;
+    Shard& shard = shard_for(conn);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.sessions.find(conn) == shard.sessions.end()) return conn;
+  }
 }
 
 RelayServer::~RelayServer() { stop(); }
@@ -184,13 +205,41 @@ void RelayServer::handle_lobby(const net::UdpAddress& from,
       send_lobby(from, LobbyErrMsg{LobbyError::kBadVersion, kNoConn});
       return;
     }
+    // CREATE retransmits (lost LOBBY_OK) must be idempotent like JOIN's:
+    // echo the still-live session minted for this (address, content_id)
+    // instead of burning another slot against max_sessions.
+    for (auto it = recent_creates_.begin(); it != recent_creates_.end();) {
+      if (now - it->second.at > kCreateDedupeWindow) {
+        it = recent_creates_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    const auto key = std::make_pair(from, create->content_id);
+    if (const auto dup = recent_creates_.find(key); dup != recent_creates_.end()) {
+      bool alive = false;
+      Shard& dup_shard = shard_for(dup->second.conn);
+      {
+        std::lock_guard<std::mutex> lock(dup_shard.mu);
+        auto sit = dup_shard.sessions.find(dup->second.conn);
+        if (sit != dup_shard.sessions.end()) {
+          sit->second.last_activity = now;
+          alive = true;
+        }
+      }
+      if (alive) {
+        send_lobby(from, LobbyOkMsg{kRelayProtocolVersion, dup->second.conn, 0,
+                                    dup->second.data_port});
+        return;
+      }
+      recent_creates_.erase(dup);  // evicted meanwhile: mint fresh
+    }
     if (session_count() >= cfg_.max_sessions) {
       lobby_errors_.fetch_add(1, std::memory_order_relaxed);
       send_lobby(from, LobbyErrMsg{LobbyError::kServerFull, kNoConn});
       return;
     }
-    ConnId conn = next_conn_.fetch_add(1, std::memory_order_relaxed);
-    if (conn == kNoConn) conn = next_conn_.fetch_add(1, std::memory_order_relaxed);
+    const ConnId conn = allocate_conn();
     Session s;
     s.conn = conn;
     s.content_id = create->content_id;
@@ -206,6 +255,7 @@ void RelayServer::handle_lobby(const net::UdpAddress& from,
       std::lock_guard<std::mutex> lock(shard.mu);
       shard.sessions.emplace(conn, std::move(s));
     }
+    recent_creates_[key] = RecentCreate{conn, data_port, now};
     sessions_created_.fetch_add(1, std::memory_order_relaxed);
     send_lobby(from, LobbyOkMsg{kRelayProtocolVersion, conn, 0, data_port});
     return;
@@ -264,8 +314,18 @@ void RelayServer::handle_lobby(const net::UdpAddress& from,
       send_lobby(from, LobbyErrMsg{LobbyError::kBadVersion, kNoConn});
       return;
     }
-    const std::size_t cap =
-        list->max_entries == 0 ? kDefaultListCap : list->max_entries;
+    const std::size_t want =
+        list->max_entries == 0
+            ? kDefaultListCap
+            : std::min<std::size_t>(list->max_entries, kMaxListEntries);
+    // Anti-amplification: the reply never exceeds the request's size, so
+    // a spoofed 5-byte LIST cannot turn the lobby into a reflector. The
+    // client encoder pads its request to cover the entries it wants.
+    const std::size_t budget =
+        bytes.size() <= list_reply_size(0)
+            ? 0
+            : (bytes.size() - list_reply_size(0)) / 14;
+    const std::size_t cap = std::min(want, budget);
     ListReplyMsg reply;
     for (const auto& shard : shards_) {
       std::lock_guard<std::mutex> lock(shard->mu);

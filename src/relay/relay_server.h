@@ -25,11 +25,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/common/telemetry.h"
@@ -128,6 +130,11 @@ class RelayServer {
   [[nodiscard]] Shard& shard_for(ConnId conn) {
     return *shards_[conn % shards_.size()];
   }
+  /// Draws a fresh, unused, non-zero conn id (lobby thread only).
+  /// Randomized, not sequential: a conn id is the only credential a JOIN
+  /// or DATA frame carries, so it must not be guessable from another
+  /// session's id.
+  [[nodiscard]] ConnId allocate_conn();
 
   RelayConfig cfg_;
   std::unique_ptr<net::UdpSocket> lobby_sock_;
@@ -135,7 +142,18 @@ class RelayServer {
   std::thread lobby_thread_;
   int stop_fd_ = -1;  ///< eventfd: written once by stop(), wakes every epoll
   std::atomic<bool> running_{false};
-  std::atomic<std::uint32_t> next_conn_{1};
+  std::uint32_t conn_rng_ = 1;  ///< xorshift32 state, lobby thread only
+
+  /// Recently minted sessions by (creator address, content_id), so a
+  /// retransmitted CREATE (lost LOBBY_OK) echoes the existing session
+  /// instead of minting another one that counts against max_sessions
+  /// until the idle sweep. Lobby thread only.
+  struct RecentCreate {
+    ConnId conn = kNoConn;
+    std::uint16_t data_port = 0;
+    Time at = 0;
+  };
+  std::map<std::pair<net::UdpAddress, std::uint64_t>, RecentCreate> recent_creates_;
 
   // Lobby-side stats (lobby thread writes, any thread reads).
   std::atomic<std::uint64_t> lobby_requests_{0};

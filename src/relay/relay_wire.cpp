@@ -5,10 +5,6 @@
 namespace rtct::relay {
 
 namespace {
-/// LIST reply cap: bounds the reply datagram (~17 B/entry) well under one
-/// UDP/IP MTU-ish payload and stops a hostile count field from driving a
-/// large allocation.
-constexpr std::size_t kMaxListEntries = 64;
 /// DATA header: type byte + conn id.
 constexpr std::size_t kDataHeader = 1 + 4;
 }  // namespace
@@ -55,6 +51,18 @@ void encode_relay_message_into(const RelayMessage& msg, std::vector<std::uint8_t
     w.u8(static_cast<std::uint8_t>(RelayMsgType::kList));
     w.u16(list->version);
     w.u16(list->max_entries);
+    // Anti-amplification padding: grow the request to the size of the
+    // reply it asks for, so the relay's "reply no larger than the
+    // request" rule still returns the full listing to honest clients.
+    const std::size_t want =
+        list->max_entries == 0
+            ? kMaxListEntries
+            : std::min<std::size_t>(list->max_entries, kMaxListEntries);
+    const std::size_t target = list_reply_size(want);
+    auto buf = w.take();
+    if (buf.size() < target) buf.resize(target, 0);
+    out = std::move(buf);
+    return;
   } else if (const auto* leave = std::get_if<LeaveMsg>(&msg)) {
     w.u8(static_cast<std::uint8_t>(RelayMsgType::kLeave));
     w.u32(leave->conn);
@@ -113,7 +121,10 @@ std::optional<RelayMessage> decode_relay_message(std::span<const std::uint8_t> d
       ListMsg m;
       m.version = r.u16();
       m.max_entries = r.u16();
-      if (!r.ok() || !r.at_end()) return std::nullopt;
+      if (!r.ok()) return std::nullopt;
+      // Trailing bytes are anti-amplification padding (see ListMsg), not
+      // garbage: consume and ignore them.
+      r.bytes(r.remaining());
       return m;
     }
     case RelayMsgType::kLeave: {
@@ -181,7 +192,9 @@ std::optional<RelayMessage> decode_relay_message(std::span<const std::uint8_t> d
 }
 
 bool is_data_frame(std::span<const std::uint8_t> data) {
-  return data.size() > kDataHeader &&
+  // >=, not >: a zero-payload DATA frame (an empty core-protocol flush)
+  // is exactly the header and must agree with decode_relay_message.
+  return data.size() >= kDataHeader &&
          data[0] == static_cast<std::uint8_t>(RelayMsgType::kData);
 }
 

@@ -34,8 +34,22 @@ namespace rtct::relay {
 inline constexpr std::uint16_t kRelayProtocolVersion = 1;
 
 /// Lobby-assigned session identifier, echoed in every relayed datagram.
+/// Ids are drawn from a random sequence, not a counter — a conn id is a
+/// (weak) capability, and sequential allocation would make live sessions
+/// trivially guessable by an off-path sender.
 using ConnId = std::uint32_t;
 inline constexpr ConnId kNoConn = 0;  ///< never assigned
+
+/// Hard cap on LIST_REPLY entries: bounds the reply datagram well under
+/// one UDP/IP MTU-ish payload and stops a hostile count field from
+/// driving a large allocation.
+inline constexpr std::size_t kMaxListEntries = 64;
+
+/// Encoded size of a LIST_REPLY carrying `n` entries
+/// (type byte + count u16 + 14 B per entry).
+[[nodiscard]] constexpr std::size_t list_reply_size(std::size_t n) {
+  return 1 + 2 + 14 * n;
+}
 
 /// First byte of every relay datagram (disjoint from core MsgType 1..7).
 enum class RelayMsgType : std::uint8_t {
@@ -74,6 +88,13 @@ struct JoinMsg {
 };
 
 /// Client -> relay: enumerate open sessions.
+///
+/// LIST is the one request whose reply can be much larger than the
+/// request, which on spoofable UDP is a reflection/amplification vector.
+/// The encoder therefore zero-pads the request up to the size of the
+/// reply it is asking for, and the relay never answers with more bytes
+/// than the request carried — an unpadded 5-byte LIST gets an empty
+/// reply. The decoder accepts (and ignores) the trailing padding.
 struct ListMsg {
   std::uint16_t version = kRelayProtocolVersion;
   std::uint16_t max_entries = 0;  ///< 0 = relay default cap

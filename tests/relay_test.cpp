@@ -6,6 +6,7 @@
 
 #include <thread>
 
+#include "src/common/bytes.h"
 #include "src/common/telemetry.h"
 #include "src/net/udp_socket.h"
 #include "src/relay/relay_client.h"
@@ -92,6 +93,38 @@ TEST(RelayWireTest, DataFramePeekMatchesFullDecode) {
   ASSERT_NE(data, nullptr);
   EXPECT_EQ(data->conn, 0xA1B2C3D4u);
   EXPECT_EQ(data->payload, payload);
+}
+
+TEST(RelayWireTest, EmptyPayloadDataFrameIsValid) {
+  // A zero-payload DATA frame (an empty core-protocol flush) is exactly
+  // the 5-byte header; the hot-path peek and the full decoder must agree
+  // that it is well-formed.
+  std::vector<std::uint8_t> frame;
+  encode_data_frame_into(0x1234u, std::span<const std::uint8_t>{}, frame);
+  ASSERT_EQ(frame.size(), 5u);
+  EXPECT_TRUE(is_data_frame(frame));
+  EXPECT_EQ(data_frame_conn(frame), 0x1234u);
+  EXPECT_TRUE(data_frame_payload(frame).empty());
+  const auto full = decode_relay_message(frame);
+  ASSERT_TRUE(full.has_value());
+  const auto* data = std::get_if<DataMsg>(&*full);
+  ASSERT_NE(data, nullptr);
+  EXPECT_TRUE(data->payload.empty());
+}
+
+TEST(RelayWireTest, ListRequestIsPaddedAgainstAmplification) {
+  // The encoder grows a LIST request to the size of the reply it asks
+  // for, and the decoder treats the padding as inert.
+  ListMsg list;
+  list.max_entries = 4;
+  const auto bytes = encode_relay_message(RelayMessage{list});
+  EXPECT_GE(bytes.size(), list_reply_size(4));
+  const auto decoded = decode_relay_message(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get_if<ListMsg>(&*decoded)->max_entries, 4);
+  // max_entries = 0 asks for the relay default, so it pads for the cap.
+  const auto dflt = encode_relay_message(RelayMessage{ListMsg{}});
+  EXPECT_GE(dflt.size(), list_reply_size(kMaxListEntries));
 }
 
 TEST(RelayWireTest, MalformedBytesAreRejected) {
@@ -198,6 +231,166 @@ TEST_F(RelayTest, DoubleJoinFromSameAddressIsIdempotent) {
   EXPECT_EQ(*third.refusal(), LobbyError::kSessionFull);
 }
 
+TEST_F(RelayTest, CreateRetransmitIsIdempotent) {
+  start();
+  // Raw socket so we control the retransmit (RelayLobby returns on the
+  // first reply). A CREATE retry after a lost LOBBY_OK must echo the
+  // session already minted, not leak a second one against max_sessions.
+  net::UdpSocket sock("127.0.0.1", 0);
+  const auto lobby = net::make_udp_address("127.0.0.1", server_->lobby_port());
+  CreateMsg create;
+  create.content_id = 99;
+  const auto bytes = encode_relay_message(RelayMessage{create});
+  ConnId conns[2] = {kNoConn, kNoConn};
+  for (auto& conn : conns) {
+    sock.send_to(*lobby, bytes);
+    ASSERT_TRUE(sock.wait_readable(seconds(2)));
+    const auto got = sock.recv_from();
+    ASSERT_TRUE(got.has_value());
+    const auto reply = decode_relay_message(got->first);
+    ASSERT_TRUE(reply.has_value());
+    const auto* ok = std::get_if<LobbyOkMsg>(&*reply);
+    ASSERT_NE(ok, nullptr);
+    conn = ok->conn;
+  }
+  EXPECT_EQ(conns[0], conns[1]);
+  EXPECT_EQ(server_->session_count(), 1u);
+  EXPECT_EQ(server_->stats().sessions_created, 1u);
+}
+
+TEST_F(RelayTest, ConnIdsAreNotSequential) {
+  start();
+  RelayLobby lobby("127.0.0.1", server_->lobby_port());
+  ConnId conns[4] = {};
+  for (int i = 0; i < 4; ++i) {
+    const auto created = lobby.create(static_cast<std::uint64_t>(i));
+    ASSERT_TRUE(created.has_value());
+    ASSERT_NE(created->conn, kNoConn);
+    conns[i] = created->conn;
+  }
+  // A conn id is the only credential JOIN/DATA carry, so allocation must
+  // not be a counter. Randomized ids make four consecutive increments
+  // astronomically unlikely.
+  bool consecutive = true;
+  for (int i = 1; i < 4; ++i) {
+    consecutive = consecutive && conns[i] == conns[i - 1] + 1;
+  }
+  EXPECT_FALSE(consecutive);
+}
+
+TEST_F(RelayTest, LobbyRequestSkipsDataAndEvictRacingTheReply) {
+  // A fake relay answers a JOIN first with relayed DATA (the creator's
+  // HELLO fan-out races the LOBBY_OK once the JOIN registers the member)
+  // and a stray EVICT_NOTICE, then with the real reply. The handshake
+  // must drain past both instead of aborting spuriously.
+  net::UdpSocket fake_relay("127.0.0.1", 0);
+  ASSERT_TRUE(fake_relay.valid());
+  RelayLobby lobby("127.0.0.1", fake_relay.local_port());
+  ASSERT_TRUE(lobby.valid());
+
+  std::optional<LobbyResult> result;
+  std::thread client([&] { result = lobby.join(7); });
+
+  ASSERT_TRUE(fake_relay.wait_readable(seconds(2)));
+  const auto req = fake_relay.recv_from();
+  ASSERT_TRUE(req.has_value());
+  const auto decoded_req = decode_relay_message(req->first);
+  ASSERT_TRUE(decoded_req.has_value());
+  ASSERT_TRUE(std::holds_alternative<JoinMsg>(*decoded_req));
+  const net::UdpAddress client_addr = req->second;
+
+  std::vector<std::uint8_t> frame;
+  encode_data_frame_into(7, std::vector<std::uint8_t>{1, 2, 3}, frame);
+  fake_relay.send_to(client_addr, frame);
+  fake_relay.send_to(client_addr,
+                     encode_relay_message(RelayMessage{EvictNoticeMsg{7}}));
+  fake_relay.send_to(client_addr, encode_relay_message(RelayMessage{
+                                      LobbyOkMsg{kRelayProtocolVersion, 7, 1, 4242}}));
+  client.join();
+
+  ASSERT_TRUE(result.has_value()) << lobby.last_error();
+  EXPECT_EQ(result->conn, 7u);
+  EXPECT_EQ(result->slot, 1);
+  EXPECT_EQ(result->data_port, 4242);
+}
+
+TEST_F(RelayTest, EndpointDropsSpoofedNonRelayTraffic) {
+  start();
+  RelayLobby creator("127.0.0.1", server_->lobby_port());
+  const auto created = creator.create(7);
+  ASSERT_TRUE(created.has_value());
+  auto ep = creator.into_endpoint(*created);
+  ASSERT_NE(ep, nullptr);
+
+  // An off-path host that learned the client's port injects a perfectly
+  // well-formed DATA frame and a spoofed EVICT_NOTICE for our conn id.
+  // Neither comes from the relay's address, so both must be dropped: the
+  // payload never surfaces and the eviction latch stays clear.
+  net::UdpSocket attacker("127.0.0.1", 0);
+  const auto victim =
+      net::make_udp_address("127.0.0.1", ep->socket().local_port());
+  std::vector<std::uint8_t> frame;
+  encode_data_frame_into(created->conn, std::vector<std::uint8_t>{0xEE}, frame);
+  attacker.send_to(*victim, frame);
+  attacker.send_to(*victim, encode_relay_message(
+                                RelayMessage{EvictNoticeMsg{created->conn}}));
+
+  // Two separate datagrams: wait until both have been seen and dropped.
+  for (int i = 0; i < 100 && ep->dropped_non_relay() < 2; ++i) {
+    ep->wait_readable(milliseconds(20));
+    EXPECT_FALSE(ep->try_recv().has_value());
+  }
+  EXPECT_FALSE(ep->evicted());
+  EXPECT_EQ(ep->evict_notices(), 0u);
+  EXPECT_EQ(ep->dropped_non_relay(), 2u);
+
+  MetricsRegistry reg;
+  ep->export_metrics(reg);
+  EXPECT_EQ(reg.value("net.relay.dropped_non_relay"), 2);
+}
+
+TEST_F(RelayTest, UnpaddedListCannotAmplify) {
+  start();
+  RelayLobby lobby("127.0.0.1", server_->lobby_port());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(lobby.create(static_cast<std::uint64_t>(i)).has_value());
+  }
+  // A hand-rolled minimal LIST (what a spoofing reflector would send)
+  // must never elicit a reply larger than itself.
+  net::UdpSocket probe("127.0.0.1", 0);
+  const auto addr = net::make_udp_address("127.0.0.1", server_->lobby_port());
+  ByteWriter w;
+  w.u8(0x42);
+  w.u16(kRelayProtocolVersion);
+  w.u16(64);
+  const auto request = w.take();
+  probe.send_to(*addr, request);
+  ASSERT_TRUE(probe.wait_readable(seconds(2)));
+  const auto got = probe.recv_from();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_LE(got->first.size(), request.size());
+  const auto reply = decode_relay_message(got->first);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(std::get_if<ListReplyMsg>(&*reply)->sessions.empty());
+
+  // Padding proportional to the ask buys exactly that many entries.
+  std::vector<std::uint8_t> padded = request;
+  padded.resize(list_reply_size(3), 0);
+  probe.send_to(*addr, padded);
+  ASSERT_TRUE(probe.wait_readable(seconds(2)));
+  const auto got2 = probe.recv_from();
+  ASSERT_TRUE(got2.has_value());
+  EXPECT_LE(got2->first.size(), padded.size());
+  const auto reply2 = decode_relay_message(got2->first);
+  ASSERT_TRUE(reply2.has_value());
+  EXPECT_EQ(std::get_if<ListReplyMsg>(&*reply2)->sessions.size(), 3u);
+
+  // The padded client path still sees the full listing.
+  const auto listed = lobby.list();
+  ASSERT_TRUE(listed.has_value());
+  EXPECT_EQ(listed->size(), 8u);
+}
+
 TEST_F(RelayTest, BadLobbyVersionIsRefused) {
   start();
   net::UdpSocket sock("127.0.0.1", 0);
@@ -249,6 +442,14 @@ TEST_F(RelayTest, DataIsForwardedBetweenMembersOnly) {
 
   // The sender must NOT get its own datagram echoed back.
   EXPECT_FALSE(a->wait_readable(milliseconds(100)));
+
+  // An empty payload (zero-length core flush) is a legal DATA frame and
+  // must survive the relay path, not vanish as malformed.
+  a->send(std::span<const std::uint8_t>{});
+  ASSERT_TRUE(b->wait_readable(seconds(2)));
+  const auto empty = b->try_recv();
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->empty());
 
   // A non-member blasting DATA at the session is counted and dropped —
   // and never forwarded to the members.
