@@ -49,6 +49,14 @@ out="build-asan/BENCH_relay_scaling.json"
 ./build-asan/bench/relay_scaling 20 --json "$out"
 ./build-asan/tools/rtct_trace --check "$out"
 
+echo "==> replay seek bench (keyframe random-access gate)"
+out="build-asan/BENCH_replay_seek.json"
+./build-asan/bench/replay_seek 1200 --seeks 16 --json "$out"
+./build-asan/tools/rtct_trace --check "$out"
+
+echo "==> bisect fixture gate (committed twin pair, byte-for-byte)"
+sh tests/replay_bisect_test.sh ./build-asan/tools/rtct_replay tests/fixtures
+
 echo "==> relay + CLI regression tests (also covered by the full suite run)"
 ctest --preset sanitize -R "relay_test|relay_soak_test|udp_fault_test|cli_netplay_test" \
       --output-on-failure

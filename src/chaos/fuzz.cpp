@@ -4,7 +4,9 @@
 #include <limits>
 
 #include "src/common/bytes.h"
+#include "src/common/hash.h"
 #include "src/common/random.h"
+#include "src/core/replay.h"
 #include "src/core/session.h"
 #include "src/core/spectate.h"
 #include "src/core/sync_peer.h"
@@ -205,6 +207,62 @@ void append_raw(ByteWriter& w, const std::vector<std::uint8_t>& extra) {
   for (std::uint8_t b : extra) w.u8(b);
 }
 
+// ---- replay-container fuzz material ----------------------------------------
+
+/// Deterministic fake snapshot bytes — parse() never interprets them, so
+/// the corpus stays platform- and emulator-independent.
+std::vector<std::uint8_t> synthetic_state(std::size_t len, std::uint8_t tag) {
+  std::vector<std::uint8_t> out(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out[i] = static_cast<std::uint8_t>((i * 7 + tag) & 0xFF);
+  }
+  return out;
+}
+
+/// The canonical small recording the hostile corpus shapes are carved
+/// from: 10 inputs; with keyframes, two of them (frames 3 and 7, 40 B of
+/// synthetic state each).
+core::Replay sample_replay(bool v2) {
+  core::SyncConfig cfg;
+  cfg.digest_v2 = true;
+  cfg.replay_keyframe_interval = v2 ? 4 : 0;
+  core::Replay r(0x1234'5678'9abc'def0ull, cfg);
+  for (int i = 0; i < 10; ++i) r.record(static_cast<InputWord>(i * 3 + 1));
+  if (v2) {
+    r.record_keyframe_raw(3, 0x0101010101010101ull, synthetic_state(40, 0x11));
+    r.record_keyframe_raw(7, 0x0202020202020202ull, synthetic_state(40, 0x22));
+  }
+  return r;
+}
+
+// Byte offsets into sample_replay(true).serialize() — see the container
+// layout in src/core/replay.h (10 inputs, 2 keyframes of 40 B):
+//   8 version | 24 digest_version | 25 interval | 29 frame count |
+//   33 inputs | 53 keyframe count | 57 kf0.frame | 61 kf0.digest |
+//   69 kf0.len | 73 kf0.state | 113 kf1.frame
+constexpr std::size_t kOffVersion = 8;
+constexpr std::size_t kOffDigestVer = 24;
+constexpr std::size_t kOffInterval = 25;
+constexpr std::size_t kOffFrameCountV2 = 29;
+constexpr std::size_t kOffFrameCountV1 = 24;
+constexpr std::size_t kOffKf0Frame = 57;
+constexpr std::size_t kOffKf0Digest = 61;
+constexpr std::size_t kOffKf0Len = 69;
+constexpr std::size_t kOffKf0State = 73;
+constexpr std::size_t kOffKf1Frame = 113;
+
+void put_u32(std::vector<std::uint8_t>* buf, std::size_t off, std::uint32_t v) {
+  std::memcpy(buf->data() + off, &v, 4);
+}
+
+/// Re-stamps the trailing FNV-1a checksum so a deliberately malformed body
+/// reaches the structural checks instead of bouncing off the CRC.
+void fix_crc(std::vector<std::uint8_t>* buf) {
+  if (buf->size() < 8) return;
+  const std::uint64_t crc = fnv1a64({buf->data(), buf->size() - 8});
+  std::memcpy(buf->data() + buf->size() - 8, &crc, 8);
+}
+
 }  // namespace
 
 std::optional<std::string> check_decoder(std::span<const std::uint8_t> bytes) {
@@ -378,7 +436,164 @@ std::vector<CorpusEntry> build_corpus() {
     append_raw(w, {0xde, 0xad, 0xbe, 0xef, 0x00, 0x11, 0x22});
     add("sync_noise_body", w.take(), true);
   }
+
+  // --- replay containers (Replay::parse is its own trust boundary: a
+  // shared .rpl file is attacker-controlled input) ----------------------
+  const auto add_replay = [&out](std::string name, std::vector<std::uint8_t> bytes,
+                                 bool expect_reject) {
+    out.push_back({std::move(name) + ".rpl", std::move(bytes), expect_reject,
+                   CorpusEntry::Kind::kReplay});
+  };
+  const std::vector<std::uint8_t> v1 = sample_replay(false).serialize();
+  const std::vector<std::uint8_t> v2 = sample_replay(true).serialize();
+  add_replay("rpl1_valid", v1, false);
+  add_replay("rpl2_valid", v2, false);
+
+  // Truncated mid-snapshot: the byte stream ends inside kf0's state.
+  add_replay("rpl2_trunc_mid_snapshot",
+             {v2.begin(), v2.begin() + static_cast<std::ptrdiff_t>(kOffKf0State + 20)}, true);
+
+  {
+    // Keyframe digest flipped without re-stamping the CRC: the checksum
+    // is the first line of defence for in-body corruption.
+    auto b = v2;
+    b[kOffKf0Digest] ^= 0xFF;
+    add_replay("rpl2_corrupt_keyframe_digest", std::move(b), true);
+  }
+  {
+    // interval=0 in a v2 header is a contradiction (CRC fixed up so the
+    // structural check itself must fire).
+    auto b = v2;
+    put_u32(&b, kOffInterval, 0);
+    fix_crc(&b);
+    add_replay("rpl2_interval_zero", std::move(b), true);
+  }
+  {
+    // Keyframe tagged past the recording's end: unreachable by seek.
+    auto b = v2;
+    put_u32(&b, kOffKf0Frame, 100);  // frame count is 10
+    fix_crc(&b);
+    add_replay("rpl2_keyframe_past_end", std::move(b), true);
+  }
+  {
+    // Keyframes out of order (7 then 3): violates strict monotonicity.
+    auto b = v2;
+    put_u32(&b, kOffKf0Frame, 7);
+    put_u32(&b, kOffKf1Frame, 3);
+    fix_crc(&b);
+    add_replay("rpl2_keyframes_unsorted", std::move(b), true);
+  }
+  {
+    // The OOM-guard regression (both container versions): a forged frame
+    // count of 16M over a 20-byte payload must be rejected *before* any
+    // allocation happens.
+    auto b = v2;
+    put_u32(&b, kOffFrameCountV2, 0x00FFFFFFu);
+    fix_crc(&b);
+    add_replay("rpl2_count_oversized", std::move(b), true);
+    auto c = v1;
+    put_u32(&c, kOffFrameCountV1, 0x00FFFFFFu);
+    fix_crc(&c);
+    add_replay("rpl1_count_oversized", std::move(c), true);
+  }
+  {
+    // Magic/version cross-grafts: both directions must be rejected.
+    auto b = v1;
+    put_u32(&b, kOffVersion, 2);
+    fix_crc(&b);
+    add_replay("rpl1_magic_v2_version", std::move(b), true);
+    auto c = v2;
+    put_u32(&c, kOffVersion, 1);
+    fix_crc(&c);
+    add_replay("rpl2_magic_v1_version", std::move(c), true);
+  }
+  {
+    // digest_version outside {1,2}: a reader that guessed would compare
+    // incomparable hashes.
+    auto b = v2;
+    b[kOffDigestVer] = 7;
+    fix_crc(&b);
+    add_replay("rpl2_digest_version_bad", std::move(b), true);
+  }
+  {
+    // Keyframe state length of 2 MiB (over the 1 MiB cap, and over the
+    // actual payload): must bounce without reserving.
+    auto b = v2;
+    put_u32(&b, kOffKf0Len, 2u << 20);
+    fix_crc(&b);
+    add_replay("rpl2_state_len_oversized", std::move(b), true);
+  }
   return out;
+}
+
+std::optional<std::string> check_replay_container(std::span<const std::uint8_t> bytes,
+                                                  bool expect_reject) {
+  const auto parsed = core::Replay::parse(bytes);
+  if (expect_reject) {
+    if (parsed) return "hostile replay container was accepted";
+    return std::nullopt;
+  }
+  if (!parsed) return "valid replay container was rejected";
+  // Canonical round-trip, the container analogue of the wire check.
+  const auto once = parsed->serialize();
+  const auto again = core::Replay::parse(once);
+  if (!again) return "re-serialized replay no longer parses";
+  if (again->serialize() != once) return "replay parse/serialize round-trip is not canonical";
+  return std::nullopt;
+}
+
+std::optional<std::string> fuzz_replay(std::uint64_t seed, int iterations, FuzzStats* stats) {
+  Rng rng(seed);
+  FuzzStats local;
+  for (int i = 0; i < iterations; ++i) {
+    ++local.iterations;
+    std::vector<std::uint8_t> buf;
+    if (rng.bernoulli(0.1)) {
+      // Pure noise (rarely even reaches the CRC check).
+      buf.resize(static_cast<std::size_t>(rng.uniform(0, 96)));
+      for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next_u64());
+    } else {
+      // A structurally valid container with randomized shape...
+      const bool v2 = rng.bernoulli(0.7);
+      core::SyncConfig cfg;
+      cfg.digest_v2 = rng.bernoulli(0.5);
+      cfg.replay_keyframe_interval = v2 ? static_cast<int>(rng.uniform(1, 8)) : 0;
+      core::Replay r(rng.next_u64(), cfg);
+      const auto frames = static_cast<int>(rng.uniform(0, 24));
+      for (int f = 0; f < frames; ++f) r.record(static_cast<InputWord>(rng.next_u64()));
+      if (v2 && frames > 0) {
+        FrameNo kf = rng.uniform(0, frames - 1);
+        while (kf < frames) {
+          r.record_keyframe_raw(kf, rng.next_u64(),
+                                synthetic_state(static_cast<std::size_t>(rng.uniform(0, 64)),
+                                                static_cast<std::uint8_t>(rng.next_u64())));
+          kf += rng.uniform(1, 8);
+        }
+      }
+      buf = r.serialize();
+      // ...then mutated; half the mutants get a fresh CRC so the
+      // structural validation behind the checksum is actually reached.
+      if (rng.bernoulli(0.7)) {
+        mutate(rng, &buf);
+        if (rng.bernoulli(0.5)) fix_crc(&buf);
+      }
+    }
+    const auto parsed = core::Replay::parse(buf);
+    if (parsed) {
+      ++local.accepted;
+      const auto once = parsed->serialize();
+      const auto again = core::Replay::parse(once);
+      if (!again || again->serialize() != once) {
+        if (stats != nullptr) *stats = local;
+        return "iteration " + std::to_string(i) + " (seed " + std::to_string(seed) +
+               "): accepted replay container does not round-trip canonically";
+      }
+    } else {
+      ++local.rejected;
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return std::nullopt;
 }
 
 std::optional<std::string> fuzz_wire(std::uint64_t seed, int iterations, FuzzStats* stats) {

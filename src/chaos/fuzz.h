@@ -35,9 +35,14 @@ struct FuzzStats {
 /// contract at generation time; replay fails if a once-rejected input is
 /// ever accepted again (a hardening regression).
 struct CorpusEntry {
+  /// Which decoder the entry targets: the wire message decoder or the
+  /// RTCTRPL1/RTCTRPL2 replay-container parser.
+  enum class Kind { kWire, kReplay };
+
   std::string name;  ///< stable file name, e.g. "sync_count_oversized.bin"
   std::vector<std::uint8_t> bytes;
   bool expect_reject = false;
+  Kind kind = Kind::kWire;
 };
 
 /// The deterministic regression corpus: valid edge-case encodings of
@@ -50,6 +55,19 @@ std::vector<CorpusEntry> build_corpus();
 /// validation. Returns a failure description, or nullopt if the decoder
 /// behaved (rejection is correct behaviour for hostile input).
 std::optional<std::string> check_decoder(std::span<const std::uint8_t> bytes);
+
+/// Same contract for the replay-container parser (Replay::parse): a
+/// kReplay corpus entry must keep its generation-time accept/reject
+/// verdict, and anything accepted must re-serialize canonically.
+std::optional<std::string> check_replay_container(std::span<const std::uint8_t> bytes,
+                                                  bool expect_reject);
+
+/// Random-structure fuzz of Replay::parse: seeded RTCTRPL1/RTCTRPL2
+/// containers mutated by truncation/extension/byte-flips — half of the
+/// mutants get their CRC trailer re-stamped so the structural validation
+/// *past* the checksum is exercised too. Returns the first failure.
+std::optional<std::string> fuzz_replay(std::uint64_t seed, int iterations,
+                                       FuzzStats* stats = nullptr);
 
 /// Random-structure fuzz of the decoders: `iterations` buffers derived
 /// from `seed` (valid encodings with edge-biased fields, then mutated by

@@ -46,6 +46,9 @@ net::NetemConfig degraded_path(const FaultScript& s, const Fault& f) {
 
 void common_sync(const FaultScript& s, core::SyncConfig* sync) {
   sync->hash_interval = 30;  // tighter desync tripwire than the default
+  // Dense keyframes: chaos cases are short, and a failed case should hand
+  // the bisector a tight (≤150-frame) bracket around the divergence.
+  sync->replay_keyframe_interval = 150;
   if (s.adaptive_transport) {
     sync->adaptive_lag = true;
     sync->adaptive_resend = true;
@@ -160,6 +163,8 @@ SoakOutcome run_soak_case(const FaultScript& script) {
     o.violations = check_two_site(cfg, r);
     o.first_divergence = r.first_divergence();
     o.frames_completed = r.site[0].frames_completed;
+    o.replays = {r.site[0].replay, r.site[1].replay};
+    o.timelines = {r.site[0].timeline, r.site[1].timeline};
   }
   return o;
 }

@@ -32,6 +32,13 @@ struct SoakOutcome {
   FrameNo first_divergence = -1;
   /// Frames site 0 actually completed (diagnostic).
   FrameNo frames_completed = 0;
+  /// Per-site session artifacts (two_site/spectator topologies only): the
+  /// RTCTRPL2 recordings and per-frame-hash timelines, so a failed case
+  /// can be handed straight to the divergence bisector
+  /// (`rtct_chaos replay FILE --bisect`). Not part of the repro JSON —
+  /// outcome_to_json stays byte-identical per seed.
+  std::vector<core::Replay> replays;
+  std::vector<core::FrameTimeline> timelines;
 
   [[nodiscard]] bool passed() const { return violations.empty(); }
 };

@@ -1,0 +1,366 @@
+#include "src/core/bisect.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/hash.h"
+#include "src/common/json.h"
+
+namespace rtct::core {
+
+namespace {
+
+/// Page unit for the raw-blob fallback (matches the emulator's dirty-page
+/// granularity, emu::kPageSize).
+constexpr std::size_t kPageBytes = 256;
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Restores a keyframe and verifies it reproduces its recorded digest
+/// (under the file's digest version — the version it was recorded with).
+bool restore_keyframe(const Replay& r, const ReplayKeyframe& kf,
+                      emu::IDeterministicGame& game) {
+  if (!game.load_state(kf.state)) return false;
+  return game.state_digest(r.digest_version()) == kf.digest;
+}
+
+/// Diffs two same-game states page by page. Prefers the games' native
+/// page digests (exact 256 B RAM pages with real addresses); falls back to
+/// chunking the raw save_state blobs when the game has none.
+std::vector<PageDivergence> diff_pages(const emu::IDeterministicGame& ga,
+                                       const emu::IDeterministicGame& gb) {
+  std::vector<PageDivergence> out;
+  const auto da = ga.page_digests();
+  const auto db = gb.page_digests();
+  if (!da.empty() && da.size() == db.size()) {
+    const std::uint32_t base = ga.page_digest_base();
+    for (std::size_t i = 0; i < da.size(); ++i) {
+      if (da[i] != db[i]) {
+        out.push_back({static_cast<int>(i),
+                       base + static_cast<std::uint32_t>(i * kPageBytes), da[i], db[i]});
+      }
+    }
+    return out;
+  }
+  const auto ba = ga.save_state();
+  const auto bb = gb.save_state();
+  const std::size_t pages = (std::max(ba.size(), bb.size()) + kPageBytes - 1) / kPageBytes;
+  for (std::size_t i = 0; i < pages; ++i) {
+    const auto chunk = [i](const std::vector<std::uint8_t>& blob) -> std::uint64_t {
+      const std::size_t off = i * kPageBytes;
+      if (off >= blob.size()) return 0;
+      return fnv1a64({blob.data() + off, std::min(kPageBytes, blob.size() - off)});
+    };
+    const std::uint64_t ha = chunk(ba);
+    const std::uint64_t hb = chunk(bb);
+    if (ha != hb) {
+      out.push_back({static_cast<int>(i), static_cast<std::uint32_t>(i * kPageBytes), ha, hb});
+    }
+  }
+  return out;
+}
+
+struct KeyframePair {
+  const ReplayKeyframe* a;
+  const ReplayKeyframe* b;
+};
+
+/// Keyframes both replays embedded at the same frame, below `limit`.
+std::vector<KeyframePair> common_keyframes(const Replay& a, const Replay& b, FrameNo limit) {
+  std::vector<KeyframePair> out;
+  auto ia = a.keyframes().begin();
+  auto ib = b.keyframes().begin();
+  while (ia != a.keyframes().end() && ib != b.keyframes().end()) {
+    if (ia->frame >= limit || ib->frame >= limit) break;
+    if (ia->frame < ib->frame) {
+      ++ia;
+    } else if (ib->frame < ia->frame) {
+      ++ib;
+    } else {
+      out.push_back({&*ia, &*ib});
+      ++ia;
+      ++ib;
+    }
+  }
+  return out;
+}
+
+BisectReport error_report(BisectReport r, std::string why) {
+  r.verdict = "error";
+  r.error = std::move(why);
+  return r;
+}
+
+}  // namespace
+
+BisectReport bisect_replays(const Replay& a, const Replay& b, const GameFactory& factory) {
+  BisectReport r;
+  r.frames_a = a.frames();
+  r.frames_b = b.frames();
+  if (a.content_id() != b.content_id()) {
+    return error_report(std::move(r), "content ids differ");
+  }
+  r.content_id = a.content_id();
+  if (a.digest_version() != b.digest_version()) {
+    return error_report(std::move(r), "recorded digest versions differ");
+  }
+  r.digest_version = a.digest_version();
+  const FrameNo common = std::min(a.frames(), b.frames());
+  r.common_frames = common;
+
+  for (FrameNo f = 0; f < common; ++f) {
+    if (a.inputs()[static_cast<std::size_t>(f)] != b.inputs()[static_cast<std::size_t>(f)]) {
+      r.first_input_divergence = f;
+      break;
+    }
+  }
+
+  // Scan the embedded keyframe digests for the first divergent pair. The
+  // digests are already materialized, so this is one u64 compare per
+  // keyframe — exact even when a forged snapshot makes divergence
+  // non-monotone (a later keyframe can agree again). Only the
+  // re-simulation below is expensive, and it stays bracketed to the one
+  // gap in front of the first divergent keyframe.
+  const auto kfs = common_keyframes(a, b, common);
+  const auto div_it = std::find_if(
+      kfs.begin(), kfs.end(),
+      [](const KeyframePair& p) { return p.a->digest != p.b->digest; });
+  const bool kf_diverged = div_it != kfs.end();
+  const FrameNo kf_div_frame = kf_diverged ? div_it->a->frame : -1;
+
+  if (!kf_diverged && r.first_input_divergence < 0) {
+    r.verdict = "identical";
+    return r;
+  }
+
+  auto game_a = factory != nullptr ? factory() : nullptr;
+  auto game_b = factory != nullptr ? factory() : nullptr;
+  if (game_a == nullptr || game_b == nullptr ||
+      game_a->content_id() != a.content_id()) {
+    return error_report(std::move(r), "no game replica for this content id");
+  }
+
+  // The restore point: the last keyframe pair that still agrees and lies
+  // strictly before the earliest divergence evidence.
+  const FrameNo evidence = r.first_input_divergence >= 0 && (!kf_diverged || r.first_input_divergence <= kf_div_frame)
+                               ? r.first_input_divergence
+                               : kf_div_frame;
+  const KeyframePair* start = nullptr;
+  for (auto it = kfs.begin(); it != div_it; ++it) {
+    if (it->a->frame < evidence) start = &*it;
+  }
+  const FrameNo start_frame = start != nullptr ? start->a->frame : -1;
+  r.keyframe_used = start_frame;
+
+  if (start != nullptr) {
+    if (!restore_keyframe(a, *start->a, *game_a) || !restore_keyframe(b, *start->b, *game_b)) {
+      return error_report(std::move(r), "agreeing keyframe failed to restore");
+    }
+  } else {
+    game_a->reset();
+    game_b->reset();
+  }
+
+  if (r.first_input_divergence >= 0 && (!kf_diverged || r.first_input_divergence <= kf_div_frame)) {
+    // The input logs themselves split: single-step both recordings with
+    // their own inputs to the first frame whose states differ (exact —
+    // per-frame evidence exists on both sides here).
+    for (FrameNo f = start_frame + 1; f < common; ++f) {
+      game_a->step_frame(a.inputs()[static_cast<std::size_t>(f)]);
+      game_b->step_frame(b.inputs()[static_cast<std::size_t>(f)]);
+      ++r.resimulated_frames;
+      const std::uint64_t da = game_a->state_digest(r.digest_version);
+      const std::uint64_t db = game_b->state_digest(r.digest_version);
+      if (da != db) {
+        r.verdict = "diverged";
+        r.first_divergent_frame = f;
+        r.digest_a = da;
+        r.digest_b = db;
+        r.diverged_side = "input";
+        r.pages = diff_pages(*game_a, *game_b);
+        return r;
+      }
+    }
+    // The differing input bit never reached the state (e.g. an unused
+    // button): logically identical over the common prefix.
+    r.verdict = "identical";
+    return r;
+  }
+
+  // Inputs agree; the embedded keyframes split at kf_div_frame. Re-simulate
+  // the deterministic line from the restore point and judge which
+  // recording left it. (By determinism the divergence cannot predate the
+  // last agreeing keyframe, so this names the frame to within the
+  // keyframe bracket — and exactly, when the injected fault lives in the
+  // keyframe itself, the forged-snapshot case.)
+  for (FrameNo f = start_frame + 1; f <= kf_div_frame; ++f) {
+    game_a->step_frame(a.inputs()[static_cast<std::size_t>(f)]);
+    ++r.resimulated_frames;
+  }
+  const std::uint64_t truth = game_a->state_digest(r.digest_version);
+  r.verdict = "diverged";
+  r.first_divergent_frame = kf_div_frame;
+  r.digest_a = div_it->a->digest;
+  r.digest_b = div_it->b->digest;
+  const bool a_on_line = div_it->a->digest == truth;
+  const bool b_on_line = div_it->b->digest == truth;
+  r.diverged_side = !a_on_line && !b_on_line ? "both" : a_on_line ? "b" : "a";
+
+  // Name the pages: load both embedded states at the divergent keyframe.
+  // load_state alone (no digest verify): one side is corrupt by premise.
+  if (game_a->load_state(div_it->a->state) && game_b->load_state(div_it->b->state)) {
+    r.pages = diff_pages(*game_a, *game_b);
+  }
+  return r;
+}
+
+BisectReport bisect_replay_vs_timeline(const Replay& a, const FrameTimeline& timeline,
+                                       int digest_version, const GameFactory& factory) {
+  BisectReport r;
+  r.frames_a = a.frames();
+  r.frames_b = static_cast<FrameNo>(timeline.size());
+  r.content_id = a.content_id();
+  if (digest_version == 0) digest_version = a.digest_version();
+  r.digest_version = digest_version;
+  const FrameNo common = std::min(r.frames_a, r.frames_b);
+  r.common_frames = common;
+
+  const auto& recs = timeline.records();
+  const auto hash_at = [&recs](FrameNo f) {
+    return recs[static_cast<std::size_t>(f)].state_hash;
+  };
+
+  auto game = factory != nullptr ? factory() : nullptr;
+  if (game == nullptr || game->content_id() != a.content_id()) {
+    return error_report(std::move(r), "no game replica for this content id");
+  }
+
+  // Embedded digests are comparable against the timeline's hashes only
+  // when the versions agree; otherwise keyframes can still restore (they
+  // verify under the file's own version) but carry no agree/disagree
+  // evidence of their own.
+  const bool comparable = digest_version == a.digest_version();
+  std::vector<const ReplayKeyframe*> kfs;
+  if (comparable) {
+    for (const ReplayKeyframe& kf : a.keyframes()) {
+      if (kf.frame < common) kfs.push_back(&kf);
+    }
+  }
+
+  // Re-simulates frames (start->frame, bound) against the timeline after
+  // restoring `start` (genesis when null). Returns the first frame whose
+  // digest leaves the archived line, or -1.
+  bool restore_failed = false;
+  const auto scan_gap = [&](const ReplayKeyframe* start, FrameNo bound) -> FrameNo {
+    FrameNo at = -1;
+    if (start != nullptr) {
+      if (!restore_keyframe(a, *start, *game)) {
+        restore_failed = true;
+        return -1;
+      }
+      at = start->frame;
+    } else {
+      game->reset();
+    }
+    r.keyframe_used = at;
+    for (FrameNo f = at + 1; f < bound; ++f) {
+      game->step_frame(a.inputs()[static_cast<std::size_t>(f)]);
+      ++r.resimulated_frames;
+      const std::uint64_t da = game->state_digest(digest_version);
+      if (da != hash_at(f)) {
+        r.digest_a = da;
+        r.digest_b = hash_at(f);
+        return f;
+      }
+    }
+    return -1;
+  };
+
+  const auto div_it = std::find_if(kfs.begin(), kfs.end(), [&](const ReplayKeyframe* kf) {
+    return kf->digest != hash_at(kf->frame);
+  });
+
+  FrameNo found = -1;
+  if (div_it != kfs.end()) {
+    // Fast path: a keyframe's embedded digest disagrees with the archive,
+    // bracketing the divergence to the one gap in front of it — one
+    // interval of re-simulation names the exact frame.
+    const ReplayKeyframe* start = div_it == kfs.begin() ? nullptr : *(div_it - 1);
+    found = scan_gap(start, (*div_it)->frame + 1);
+  } else {
+    // Every keyframe agrees (or none are comparable): a monotone desync
+    // is excluded, but per-frame archive evidence can still disagree
+    // inside a gap (a tampered or bit-rotted hash). Audit every gap,
+    // restoring each verified keyframe so stepping resumes past its
+    // already-checked frame.
+    const ReplayKeyframe* start = nullptr;
+    for (std::size_t i = 0; i <= kfs.size() && found < 0 && !restore_failed; ++i) {
+      const FrameNo bound = i < kfs.size() ? kfs[i]->frame : common;
+      found = scan_gap(start, bound);
+      if (i < kfs.size()) start = kfs[i];
+    }
+  }
+  if (restore_failed) {
+    return error_report(std::move(r), "keyframe failed to restore");
+  }
+  if (found >= 0) {
+    // The re-simulated replay IS the deterministic line here; the
+    // timeline ("b") is the side that left it. A timeline carries no
+    // state, so no pages can be named.
+    r.verdict = "diverged";
+    r.first_divergent_frame = found;
+    r.diverged_side = "b";
+    return r;
+  }
+  if (div_it != kfs.end()) {
+    // The re-simulated line matched every archived hash up to and
+    // including the disagreeing keyframe's frame: the replay's embedded
+    // snapshot itself left the line ("a" is the corrupt side).
+    r.verdict = "diverged";
+    r.first_divergent_frame = (*div_it)->frame;
+    r.digest_a = (*div_it)->digest;
+    r.digest_b = hash_at((*div_it)->frame);
+    r.diverged_side = "a";
+    return r;
+  }
+  r.verdict = "identical";
+  return r;
+}
+
+std::string bisect_report_to_json(const BisectReport& r) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("rtct.bisect.v1");
+  w.key("verdict").value(r.verdict);
+  w.key("error").value(r.error);
+  w.key("content_id").value(hex64(r.content_id));
+  w.key("digest_version").value(r.digest_version);
+  w.key("frames_a").value(static_cast<std::int64_t>(r.frames_a));
+  w.key("frames_b").value(static_cast<std::int64_t>(r.frames_b));
+  w.key("common_frames").value(static_cast<std::int64_t>(r.common_frames));
+  w.key("first_input_divergence").value(static_cast<std::int64_t>(r.first_input_divergence));
+  w.key("first_divergent_frame").value(static_cast<std::int64_t>(r.first_divergent_frame));
+  w.key("digest_a").value(hex64(r.digest_a));
+  w.key("digest_b").value(hex64(r.digest_b));
+  w.key("diverged_side").value(r.diverged_side);
+  w.key("keyframe_used").value(static_cast<std::int64_t>(r.keyframe_used));
+  w.key("resimulated_frames").value(static_cast<std::int64_t>(r.resimulated_frames));
+  w.key("pages").begin_array();
+  for (const PageDivergence& p : r.pages) {
+    w.begin_object();
+    w.key("page").value(p.page);
+    w.key("addr").value(static_cast<std::int64_t>(p.addr));
+    w.key("digest_a").value(hex64(p.digest_a));
+    w.key("digest_b").value(hex64(p.digest_b));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace rtct::core

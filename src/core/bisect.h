@@ -1,0 +1,103 @@
+// Divergence bisection over RTCTRPL2 replays — the offline half of desync
+// debugging ("lock-step simulation is child's play": input-log determinism
+// plus state hashing makes divergences mechanically findable).
+//
+// Two replicas of a deterministic session can only disagree if (a) their
+// merged input logs differ, or (b) one of them left the deterministic line
+// (a real desync: memory corruption, nondeterministic emulation, a forged
+// snapshot). The bisector binary-searches the embedded keyframe digests to
+// bracket the divergence, then single-steps a re-simulation to the first
+// divergent frame, and finally uses the emulator's 256 B page digests to
+// name the exact page(s) on which the states differ. The report is the
+// deterministic `rtct.bisect.v1` JSON document: same inputs, byte-identical
+// output, so CI can diff it verbatim.
+//
+// The bisector is consistency-mode agnostic: lockstep recordings carry
+// every frame; rollback recordings carry only *confirmed* frames (the
+// recorders never emit speculative state), so a rollback replay bisects
+// over confirmed frames by construction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/core/metrics.h"
+#include "src/core/replay.h"
+#include "src/emu/game.h"
+
+namespace rtct::core {
+
+/// Makes a fresh replica of the recorded game (reset to genesis).
+using GameFactory = std::function<std::unique_ptr<emu::IDeterministicGame>()>;
+
+/// One page on which the two states differ at the divergent frame.
+struct PageDivergence {
+  int page = 0;               ///< page index (256 B units)
+  std::uint32_t addr = 0;     ///< address of the page's first byte
+  std::uint64_t digest_a = 0;
+  std::uint64_t digest_b = 0;
+
+  bool operator==(const PageDivergence&) const = default;
+};
+
+struct BisectReport {
+  /// "identical" (over the common prefix), "diverged", or "error".
+  std::string verdict = "error";
+  std::string error;  ///< populated iff verdict == "error"
+
+  std::uint64_t content_id = 0;
+  int digest_version = 0;
+  FrameNo frames_a = 0;
+  FrameNo frames_b = 0;
+  FrameNo common_frames = 0;
+
+  /// First frame whose *merged inputs* differ (-1 = input logs agree over
+  /// the common prefix). Input divergence means the sync layer, not the
+  /// VM, broke the session.
+  FrameNo first_input_divergence = -1;
+
+  /// First frame whose states verifiably differ (-1 when identical). With
+  /// per-frame evidence (divergent inputs, or a timeline) this is exact;
+  /// with agreeing inputs it is the first divergent keyframe — and by
+  /// determinism the divergence cannot predate the preceding agreeing
+  /// keyframe, so the bracket is tight to one interval.
+  FrameNo first_divergent_frame = -1;
+  std::uint64_t digest_a = 0;  ///< the two digests at that frame
+  std::uint64_t digest_b = 0;
+
+  /// Which recording left the deterministic re-simulation line at the
+  /// divergent frame: "a", "b", "both", or "input" (the input logs
+  /// themselves split, so there is no single deterministic line).
+  std::string diverged_side;
+
+  /// Pages on which the two states differ at first_divergent_frame
+  /// (populated when both sides' states are available there). `addr` is
+  /// game-address-space when the game exposes page_digests(), else the
+  /// byte offset into the raw save_state blob (page_digest_base 0).
+  std::vector<PageDivergence> pages;
+
+  /// Seek mechanics: restore point and frames re-simulated (diagnostics,
+  /// and the evidence that bisection beat linear replay).
+  FrameNo keyframe_used = -1;
+  FrameNo resimulated_frames = 0;
+};
+
+/// Bisects two recordings of (nominally) the same session. The factory
+/// must produce the game both replays recorded (content ids must match).
+BisectReport bisect_replays(const Replay& a, const Replay& b, const GameFactory& factory);
+
+/// Bisects a replay against an archived per-frame hash timeline (an
+/// `rtct_trace` "rtct.timeline.v1" export, hashes under `digest_version`).
+/// Per-frame evidence makes the divergent frame exact; pages cannot be
+/// named (a timeline carries no state). Side "b" is the timeline.
+BisectReport bisect_replay_vs_timeline(const Replay& a, const FrameTimeline& timeline,
+                                       int digest_version, const GameFactory& factory);
+
+/// The canonical, deterministic JSON form ("rtct.bisect.v1").
+std::string bisect_report_to_json(const BisectReport& r);
+
+}  // namespace rtct::core

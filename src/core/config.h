@@ -57,6 +57,14 @@ struct SyncConfig {
   /// function, never any timing the Figure 1/2 reproductions depend on.
   bool digest_v2 = true;
 
+  /// Embed a full save-state keyframe into the session recording every N
+  /// frames (0 disables, producing the linear RTCTRPL1 container). Purely
+  /// local — never negotiated, never on the wire; it only sizes the
+  /// seek/bisect granularity of the RTCTRPL2 replay file this site writes
+  /// (~33 KiB per keyframe for the AC16 machine, so 600 ≈ 3.3 KiB/s of
+  /// recording overhead at 60 FPS).
+  int replay_keyframe_interval = 600;
+
   // ---- rollback consistency mode (off by default: lockstep is the
   // paper's algorithm and the reference policy) ----------------------------
 

@@ -86,10 +86,13 @@ void RealtimeSession::apply_negotiated_lag() {
   if (buf != cfg_.sync.buf_frames) {
     peer_.set_buf_frames(buf);
     pacer_.set_buf_frames(buf);
-    SyncConfig eff = cfg_.sync;
-    eff.buf_frames = buf;
-    replay_ = Replay(game_.content_id(), eff);
   }
+  // Rebuild the recording with the *effective* config regardless: the
+  // negotiated digest version stamps the replay's keyframe digests.
+  SyncConfig eff = cfg_.sync;
+  eff.buf_frames = buf;
+  eff.digest_v2 = digest_version_ == 2;
+  replay_ = Replay(game_.content_id(), eff);
 }
 
 void RealtimeSession::flush_if_due() {
@@ -243,6 +246,7 @@ bool RealtimeSession::run(std::string* error) {
     const InputWord merged = peer_.pop();
     game_.step_frame(merged);  // step 8
     replay_.record(merged);
+    if (replay_.keyframe_due()) replay_.record_keyframe(game_);
     spectator_hub_.on_frame(frame, merged);
     rec.state_hash = game_.state_digest(digest_version_);
     peer_.note_state_hash(frame, rec.state_hash);
@@ -300,6 +304,12 @@ void RealtimeSession::record_confirmed() {
     const InputWord merged = rollback_->confirmed_input(rb_recorded_);
     replay_.record(merged);
     spectator_hub_.on_frame(rb_recorded_, merged);
+  }
+  // Keyframes come from the confirmed snapshot only (the live machine is
+  // speculative), so a rollback recording bisects over confirmed frames.
+  if (rb_recorded_ > 0 && replay_.keyframe_due()) {
+    replay_.record_keyframe_raw(rb_recorded_ - 1, rollback_->confirmed_digest(rb_recorded_ - 1),
+                                rollback_->confirmed_state());
   }
 }
 

@@ -42,6 +42,19 @@ class IDeterministicGame {
     return state_hash();
   }
 
+  /// Per-page digests of the mutable state, in page order — the raw
+  /// material behind the version-2 digest, exposed so divergence tooling
+  /// (the replay bisector) can name the exact page(s) on which two
+  /// replicas differ instead of just "the hashes split". Empty means the
+  /// game has no page-granular digest; tooling then falls back to diffing
+  /// raw save_state() bytes. Pages are kPageSize-byte units starting at
+  /// page_digest_base() in the game's address space.
+  [[nodiscard]] virtual std::vector<std::uint64_t> page_digests() const { return {}; }
+
+  /// Address of the first byte page 0 of page_digests() covers (used only
+  /// to label pages in human/JSON reports).
+  [[nodiscard]] virtual std::uint32_t page_digest_base() const { return 0; }
+
   /// Serializes the complete mutable state (versioned).
   [[nodiscard]] virtual std::vector<std::uint8_t> save_state() const = 0;
 

@@ -131,6 +131,11 @@ std::uint64_t ArcadeMachine::state_digest(int version) const {
   return h.digest();
 }
 
+std::vector<std::uint64_t> ArcadeMachine::page_digests() const {
+  refresh_dirty_pages();
+  return {page_digest_.begin(), page_digest_.end()};
+}
+
 std::vector<std::uint8_t> ArcadeMachine::save_state() const {
   std::vector<std::uint8_t> out;
   save_state_into(out);

@@ -58,6 +58,8 @@ class ArcadeMachine final : public IDeterministicGame, private Bus {
   void step_frame(InputWord input) override;
   [[nodiscard]] std::uint64_t state_hash() const override;
   [[nodiscard]] std::uint64_t state_digest(int version) const override;
+  [[nodiscard]] std::vector<std::uint64_t> page_digests() const override;
+  [[nodiscard]] std::uint32_t page_digest_base() const override { return kRamBase; }
   [[nodiscard]] std::vector<std::uint8_t> save_state() const override;
   void save_state_into(std::vector<std::uint8_t>& out) const override;
   bool load_state(std::span<const std::uint8_t> data) override;
@@ -74,6 +76,12 @@ class ArcadeMachine final : public IDeterministicGame, private Bus {
   [[nodiscard]] const Rom& rom() const { return rom_; }
   [[nodiscard]] const Cpu& cpu() const { return cpu_; }
   [[nodiscard]] int last_frame_cycles() const { return last_frame_cycles_; }
+
+  /// Raw memory poke, through the bus (so dirty-page tracking stays
+  /// coherent; ROM-region writes are ignored exactly like CPU stores).
+  /// For tests and divergence-injection tooling only — a poked replica is
+  /// by construction desynced from its peers.
+  void poke(std::uint16_t addr, std::uint8_t v) { (void)write8(addr, v); }
 
   /// Raw memory peek for tests (any address, including ROM).
   [[nodiscard]] std::uint8_t peek(std::uint16_t addr) const { return mem_[addr]; }

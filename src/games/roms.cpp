@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "src/emu/assembler.h"
+#include "src/games/cellwars.h"
 #include "src/games/detail.h"
 
 namespace rtct::games {
@@ -39,6 +40,18 @@ std::unique_ptr<emu::ArcadeMachine> make_machine(std::string_view name) {
   const emu::Rom* rom = rom_by_name(name);
   if (rom == nullptr) return nullptr;
   return std::make_unique<emu::ArcadeMachine>(*rom);
+}
+
+std::unique_ptr<emu::IDeterministicGame> make_game_for_content(std::uint64_t content_id) {
+  for (const std::string_view name : game_names()) {
+    const emu::Rom* rom = rom_by_name(name);
+    if (rom != nullptr && rom->checksum() == content_id) {
+      return std::make_unique<emu::ArcadeMachine>(*rom);
+    }
+  }
+  auto cellwars = make_cellwars();
+  if (cellwars != nullptr && cellwars->content_id() == content_id) return cellwars;
+  return nullptr;
 }
 
 }  // namespace rtct::games

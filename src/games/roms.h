@@ -44,4 +44,10 @@ const emu::Rom* rom_by_name(std::string_view name);
 /// Convenience: a fresh machine running the named game (nullptr if unknown).
 std::unique_ptr<emu::ArcadeMachine> make_machine(std::string_view name);
 
+/// Resolves a recorded content id (replay header, session handshake) back
+/// to a fresh replica of the game that produced it — every bundled ROM
+/// plus the synthetic CellWars game. Returns nullptr for an unknown id;
+/// offline tooling (seek, bisect) needs this to re-simulate recordings.
+std::unique_ptr<emu::IDeterministicGame> make_game_for_content(std::uint64_t content_id);
+
 }  // namespace rtct::games

@@ -152,10 +152,13 @@ class SimSite {
     if (buf != cfg_.sync.buf_frames) {
       peer_.set_buf_frames(buf);
       pacer_.set_buf_frames(buf);
-      core::SyncConfig eff = cfg_.sync;
-      eff.buf_frames = buf;
-      result_.replay = core::Replay(game_.content_id(), eff);
     }
+    // Rebuild the recording with the *effective* config regardless: the
+    // negotiated digest version stamps the replay's keyframe digests.
+    core::SyncConfig eff = cfg_.sync;
+    eff.buf_frames = buf;
+    eff.digest_v2 = digest_version_ == 2;
+    result_.replay = core::Replay(game_.content_id(), eff);
   }
 
   void finish(SharedFlags* flags) { flags->done[site_] = true; }
@@ -169,6 +172,13 @@ class SimSite {
       const InputWord merged = rollback_->confirmed_input(rb_recorded_);
       result_.replay.record(merged);
       spectator_hub_.on_frame(rb_recorded_, merged);
+    }
+    // Keyframes come from the confirmed snapshot only (the live machine is
+    // speculative), so a rollback recording bisects over confirmed frames.
+    if (rb_recorded_ > 0 && result_.replay.keyframe_due()) {
+      result_.replay.record_keyframe_raw(rb_recorded_ - 1,
+                                         rollback_->confirmed_digest(rb_recorded_ - 1),
+                                         rollback_->confirmed_state());
     }
   }
 
@@ -400,6 +410,7 @@ class SimSite {
       const InputWord merged = peer_.pop();
       game_.step_frame(merged);  // step 8: Transition(I, S)
       result_.replay.record(merged);
+      if (result_.replay.keyframe_due()) result_.replay.record_keyframe(game_);
       rec.state_hash = game_.state_digest(digest_version_);
       peer_.note_state_hash(frame, rec.state_hash);  // desync tripwire
       spectator_hub_.on_frame(frame, merged);

@@ -44,9 +44,30 @@ TEST(WireFuzzTest, CheckedInCorpusReplaysClean) {
                     << " missing from " RTCT_CORPUS_DIR
                        " — regenerate with: rtct_chaos gen-corpus tests/corpus";
     EXPECT_EQ(bytes, e.bytes) << e.name << " differs from the generator";
-    const auto failure = check_decoder(bytes);
+    const auto failure = e.kind == CorpusEntry::Kind::kReplay
+                             ? check_replay_container(bytes, e.expect_reject)
+                             : check_decoder(bytes);
     EXPECT_FALSE(failure.has_value()) << e.name << ": " << *failure;
   }
+}
+
+TEST(WireFuzzTest, CorpusCoversBothDecoders) {
+  // The corpus must keep exercising both trust boundaries — losing the
+  // replay-container half to a refactor would silently shrink coverage.
+  std::size_t wire = 0;
+  std::size_t replay = 0;
+  std::size_t replay_rejects = 0;
+  for (const CorpusEntry& e : build_corpus()) {
+    if (e.kind == CorpusEntry::Kind::kReplay) {
+      ++replay;
+      if (e.expect_reject) ++replay_rejects;
+    } else {
+      ++wire;
+    }
+  }
+  EXPECT_GT(wire, 20u);
+  EXPECT_GE(replay, 10u);
+  EXPECT_GE(replay_rejects, 8u);
 }
 
 TEST(WireFuzzTest, RandomStructureFuzz) {
@@ -66,6 +87,20 @@ TEST(WireFuzzTest, SecondSeedRandomStructureFuzz) {
 
 TEST(WireFuzzTest, StateMachineIngestFuzz) {
   const auto failure = fuzz_ingest(/*seed=*/0xF022, /*iterations=*/5000);
+  EXPECT_FALSE(failure.has_value()) << *failure;
+}
+
+TEST(WireFuzzTest, ReplayContainerFuzz) {
+  FuzzStats stats;
+  const auto failure = fuzz_replay(/*seed=*/0x52504C, /*iterations=*/20000, &stats);
+  EXPECT_FALSE(failure.has_value()) << *failure;
+  // Both outcomes must actually occur or the fuzz is degenerate.
+  EXPECT_GT(stats.accepted, 0u);
+  EXPECT_GT(stats.rejected, 0u);
+}
+
+TEST(WireFuzzTest, SecondSeedReplayContainerFuzz) {
+  const auto failure = fuzz_replay(/*seed=*/0x2E72706C, /*iterations=*/20000);
   EXPECT_FALSE(failure.has_value()) << *failure;
 }
 

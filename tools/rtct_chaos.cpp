@@ -12,10 +12,15 @@
 //                                               to DIR (default '.') and
 //                                               keeps going. Exit 2 if any
 //                                               case failed.
-//   rtct_chaos replay FILE.json                 re-run a repro document's
+//   rtct_chaos replay FILE.json [--bisect]      re-run a repro document's
 //                                               embedded fault script
 //                                               (hand-minimization friendly:
 //                                               edit the JSON, replay).
+//                                               --bisect additionally runs
+//                                               the divergence bisector over
+//                                               the two sites' recordings
+//                                               and prints the rtct.bisect.v1
+//                                               report on a second line.
 //   rtct_chaos fuzz [--seed N] [--iters N]      wire-decoder + ingest fuzz.
 //   rtct_chaos gen-corpus DIR                   write the deterministic
 //                                               regression corpus (the
@@ -35,6 +40,8 @@
 #include "src/chaos/fuzz.h"
 #include "src/chaos/soak.h"
 #include "src/common/json.h"
+#include "src/core/bisect.h"
+#include "src/games/roms.h"
 
 namespace {
 
@@ -44,7 +51,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: rtct_chaos run --seed N [--topology two_site|mesh|spectator]\n"
                "       rtct_chaos soak --seeds N [--start S] [--topology T] [--out DIR]\n"
-               "       rtct_chaos replay FILE.json\n"
+               "       rtct_chaos replay FILE.json [--bisect]\n"
                "       rtct_chaos fuzz [--seed N] [--iters N]\n"
                "       rtct_chaos gen-corpus DIR\n");
   return 1;
@@ -57,6 +64,7 @@ struct Args {
   int iters = 50000;
   std::optional<Topology> topology;
   std::string out_dir = ".";
+  bool bisect = false;
   std::vector<std::string> positional;
 };
 
@@ -89,6 +97,8 @@ bool parse_args(int argc, char** argv, Args* a) {
       const char* v = next();
       if (v == nullptr) return false;
       a->out_dir = v;
+    } else if (arg == "--bisect") {
+      a->bisect = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return false;
     } else {
@@ -166,6 +176,17 @@ int cmd_replay(const Args& a) {
   }
   const SoakOutcome o = run_soak_case(*script);
   std::printf("%s\n", outcome_to_json(o).c_str());
+  if (a.bisect) {
+    if (o.replays.size() != 2) {
+      std::fprintf(stderr, "rtct_chaos: --bisect needs a two-site topology (mesh records none)\n");
+    } else {
+      const auto factory = [&o] {
+        return rtct::games::make_game_for_content(o.replays[0].content_id());
+      };
+      const auto rep = rtct::core::bisect_replays(o.replays[0], o.replays[1], factory);
+      std::printf("%s\n", rtct::core::bisect_report_to_json(rep).c_str());
+    }
+  }
   return o.passed() ? 0 : 2;
 }
 
