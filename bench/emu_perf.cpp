@@ -5,26 +5,37 @@
 //
 // Two modes:
 //   emu_perf                        google-benchmark microbenchmarks
-//   emu_perf --json PATH            hand-rolled digest/snapshot comparison,
+//   emu_perf --json PATH            hand-rolled per-scenario comparison,
 //                                   written as "rtct.bench.v1" JSON (the
 //                                   ctest + rtct_trace --check CI gate).
 //
-// The JSON mode is also the acceptance check for the incremental dirty-page
-// digest (state_digest v2): for a sparse-write frame the v2 digest must be
-// at least 5x faster than the full-image v1 hash, because it rehashes only
-// the pages the frame actually touched.
+// The JSON mode carries the perf acceptance gates (exit code != 0 on any
+// failure):
+//   * sparse-frame v2 digest >= 5x faster than the full v1 rehash (the
+//     incremental dirty-page digest must actually be incremental);
+//   * duel fast-interpreter step >= 3x faster than the reference
+//     interpreter measured in the same process (2x under sanitizers,
+//     whose instrumentation compresses the gap);
+//   * duel absolute step_ns at most a third of the committed pre-fast-path
+//     baseline (skipped under sanitizers: absolute wall-clock there
+//     measures the sanitizer, not the interpreter);
+//   * the sparse scenario must not regress: its fast step stays within
+//     1.5x of the reference step.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/common/json.h"
 #include "src/common/random.h"
 #include "src/emu/assembler.h"
+#include "src/emu/cpu.h"
 #include "src/emu/machine.h"
 #include "src/games/roms.h"
 
@@ -32,8 +43,25 @@ namespace {
 
 using namespace rtct;
 
-void BM_StepFrame(benchmark::State& state, const char* game) {
-  auto m = games::make_machine(game);
+#if defined(__SANITIZE_ADDRESS__)
+constexpr bool kSanitized = true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+#else
+constexpr bool kSanitized = false;
+#endif
+
+/// Committed duel step_ns from the last baseline *before* the fast
+/// interpreter landed (bench/baselines/BENCH_emu_perf.json at that
+/// revision). The fast path must hold at least a 3x win over it.
+constexpr double kPreFastPathDuelStepNs = 182802.43;
+
+void BM_StepFrame(benchmark::State& state, const char* game, bool reference) {
+  auto m = games::make_machine(game, {100000, reference});
   Rng rng(1);
   for (auto _ : state) {
     m->step_frame(static_cast<InputWord>(rng.next_u64() & 0xFFFF));
@@ -42,10 +70,13 @@ void BM_StepFrame(benchmark::State& state, const char* game) {
   state.SetItemsProcessed(state.iterations());
   state.counters["cycles/frame"] = static_cast<double>(m->last_frame_cycles());
 }
-BENCHMARK_CAPTURE(BM_StepFrame, pong, "pong");
-BENCHMARK_CAPTURE(BM_StepFrame, duel, "duel");
-BENCHMARK_CAPTURE(BM_StepFrame, invaders, "invaders");
-BENCHMARK_CAPTURE(BM_StepFrame, torture, "torture");
+BENCHMARK_CAPTURE(BM_StepFrame, pong, "pong", false);
+BENCHMARK_CAPTURE(BM_StepFrame, duel, "duel", false);
+BENCHMARK_CAPTURE(BM_StepFrame, invaders, "invaders", false);
+BENCHMARK_CAPTURE(BM_StepFrame, torture, "torture", false);
+// The reference byte-fetch interpreter, for A/B against the fast path.
+BENCHMARK_CAPTURE(BM_StepFrame, duel_reference, "duel", true);
+BENCHMARK_CAPTURE(BM_StepFrame, torture_reference, "torture", true);
 
 void BM_StateHash(benchmark::State& state) {
   auto m = games::make_machine("duel");
@@ -133,7 +164,7 @@ std::int64_t now_ns() {
 /// A deliberately sparse workload: one RAM byte written per frame, so the
 /// v2 digest has exactly one dirty page to rehash. This is the far end of
 /// the sparseness spectrum real games sit on (duel is the other point).
-std::unique_ptr<emu::ArcadeMachine> make_sparse_machine() {
+std::unique_ptr<emu::ArcadeMachine> make_sparse_machine(emu::MachineConfig cfg) {
   const std::string source = R"asm(
 .entry main
 main:
@@ -147,17 +178,25 @@ tick:
 )asm";
   auto result = emu::assemble(source, "sparse");
   if (!result.ok()) return nullptr;
-  return std::make_unique<emu::ArcadeMachine>(result.rom);
+  return std::make_unique<emu::ArcadeMachine>(result.rom, cfg);
 }
 
-struct DigestPoint {
+using MachineFactory =
+    std::function<std::unique_ptr<emu::ArcadeMachine>(emu::MachineConfig)>;
+
+struct ScenarioPoint {
   std::string scenario;
-  double step_ns = 0;
+  double step_ns = 0;       ///< fast interpreter (the production config)
+  double ref_step_ns = 0;   ///< reference byte-fetch interpreter
+  double step_speedup = 0;  ///< ref / fast, same process, same inputs
   double digest_v1_ns = 0;
   double digest_v2_ns = 0;
-  double speedup = 0;
+  double speedup = 0;  ///< digest v1 / v2
   double save_state_ns = 0;
   double save_state_into_ns = 0;
+  /// Derived capacity figure: 60 Hz emulation sessions one core could in
+  /// principle sustain on step cost alone (1e9 / step_ns / 60).
+  double sessions_per_core = 0;
 };
 
 /// Mean ns of `digest(version)` measured across `frames` freshly-stepped
@@ -173,60 +212,87 @@ double time_digest(emu::ArcadeMachine& m, int version, int frames) {
   return static_cast<double>(total) / frames;
 }
 
-DigestPoint measure_scenario(const std::string& name, emu::ArcadeMachine& m) {
-  constexpr int kWarm = 60;
-  constexpr int kFrames = 4000;
-  DigestPoint p;
-  p.scenario = name;
-  for (int i = 0; i < kWarm; ++i) m.step_frame(0x0404);
+double time_steps(emu::ArcadeMachine& m, int frames) {
+  const std::int64_t t0 = now_ns();
+  for (int i = 0; i < frames; ++i) m.step_frame(0x0404);
+  return static_cast<double>(now_ns() - t0) / frames;
+}
 
-  {
-    const std::int64_t t0 = now_ns();
-    for (int i = 0; i < kFrames; ++i) m.step_frame(0x0404);
-    p.step_ns = static_cast<double>(now_ns() - t0) / kFrames;
+ScenarioPoint measure_scenario(const std::string& name, const MachineFactory& make) {
+  // Eight scenarios now run per invocation (sparse + every bundled game),
+  // so the per-scenario frame counts are smaller than the old two-scenario
+  // version; step costs are stable well below these counts.
+  constexpr int kWarm = 30;
+  constexpr int kFastSteps = 1200;
+  constexpr int kRefSteps = 400;  // the reference is ~5x slower per frame
+  constexpr int kDigestFrames = 800;
+  constexpr int kSnaps = 800;
+
+  ScenarioPoint p;
+  p.scenario = name;
+
+  auto fast = make(emu::MachineConfig{});
+  auto ref = make(emu::MachineConfig{100000, true});
+  for (int i = 0; i < kWarm; ++i) {
+    fast->step_frame(0x0404);
+    ref->step_frame(0x0404);
   }
-  p.digest_v1_ns = time_digest(m, 1, kFrames);
-  p.digest_v2_ns = time_digest(m, 2, kFrames);
+  p.step_ns = time_steps(*fast, kFastSteps);
+  p.ref_step_ns = time_steps(*ref, kRefSteps);
+  p.step_speedup = p.ref_step_ns / p.step_ns;
+  p.sessions_per_core = 1e9 / p.step_ns / 60.0;
+
+  p.digest_v1_ns = time_digest(*fast, 1, kDigestFrames);
+  p.digest_v2_ns = time_digest(*fast, 2, kDigestFrames);
   p.speedup = p.digest_v1_ns / p.digest_v2_ns;
 
-  constexpr int kSnaps = 2000;
   {
     const std::int64_t t0 = now_ns();
-    for (int i = 0; i < kSnaps; ++i) benchmark::DoNotOptimize(m.save_state());
+    for (int i = 0; i < kSnaps; ++i) benchmark::DoNotOptimize(fast->save_state());
     p.save_state_ns = static_cast<double>(now_ns() - t0) / kSnaps;
   }
   {
     std::vector<std::uint8_t> scratch;
     const std::int64_t t0 = now_ns();
     for (int i = 0; i < kSnaps; ++i) {
-      m.save_state_into(scratch);
+      fast->save_state_into(scratch);
       benchmark::DoNotOptimize(scratch.data());
     }
     p.save_state_into_ns = static_cast<double>(now_ns() - t0) / kSnaps;
   }
+  if (fast->faulted() || ref->faulted()) p.scenario += " [FAULTED]";
   return p;
 }
 
+struct Gate {
+  std::string what;
+  bool passed;
+};
+
 int run_json_mode(const std::string& path) {
-  std::vector<DigestPoint> points;
-
-  auto sparse = make_sparse_machine();
-  if (!sparse) {
-    std::printf("FAILED to assemble the sparse scenario ROM\n");
-    return 1;
+  std::vector<ScenarioPoint> points;
+  points.push_back(measure_scenario("sparse", make_sparse_machine));
+  for (const std::string_view game : games::game_names()) {
+    points.push_back(measure_scenario(
+        std::string(game), [game](emu::MachineConfig cfg) {
+          return games::make_machine(game, cfg);
+        }));
   }
-  points.push_back(measure_scenario("sparse", *sparse));
-  auto duel = games::make_machine("duel");
-  points.push_back(measure_scenario("duel", *duel));
 
-  std::printf("=== EMU-PERF: state digest + snapshot costs ===\n\n");
-  std::printf("%-10s %12s %12s %12s %9s %14s %18s\n", "scenario", "step ns",
-              "digest v1 ns", "digest v2 ns", "speedup", "save_state ns",
-              "save_state_into ns");
+  std::printf("=== EMU-PERF: interpreter, digest + snapshot costs ===\n");
+  std::printf("dispatch: %s%s\n\n", emu::dispatch_backend_name(),
+              kSanitized ? " (sanitized build)" : "");
+  std::printf("%-10s %10s %12s %8s %12s %12s %8s %13s %10s\n", "scenario",
+              "step ns", "ref step ns", "speedup", "digest v1 ns",
+              "digest v2 ns", "speedup", "save_state ns", "sess/core");
+  std::string scenario_csv;
   for (const auto& p : points) {
-    std::printf("%-10s %12.0f %12.0f %12.0f %8.1fx %14.0f %18.0f\n", p.scenario.c_str(),
-                p.step_ns, p.digest_v1_ns, p.digest_v2_ns, p.speedup, p.save_state_ns,
-                p.save_state_into_ns);
+    std::printf("%-10s %10.0f %12.0f %7.1fx %12.0f %12.0f %7.1fx %13.0f %10.0f\n",
+                p.scenario.c_str(), p.step_ns, p.ref_step_ns, p.step_speedup,
+                p.digest_v1_ns, p.digest_v2_ns, p.speedup, p.save_state_ns,
+                p.sessions_per_core);
+    if (!scenario_csv.empty()) scenario_csv += ',';
+    scenario_csv += p.scenario;
   }
 
   JsonWriter w;
@@ -234,7 +300,9 @@ int run_json_mode(const std::string& path) {
   w.key("schema").value("rtct.bench.v1");
   w.key("name").value("emu_perf");
   w.key("meta").begin_object();
-  w.key("scenarios").value("sparse,duel");
+  w.key("scenarios").value(scenario_csv);
+  w.key("dispatch").value(emu::dispatch_backend_name());
+  w.key("sanitized").value(static_cast<std::uint64_t>(kSanitized ? 1 : 0));
   w.key("digest_page_bytes").value(static_cast<std::uint64_t>(emu::kPageSize));
   w.end_object();
   w.key("series").begin_object();
@@ -244,16 +312,20 @@ int run_json_mode(const std::string& path) {
     w.end_array();
   };
   series("scenario_index",
-         [&points](const DigestPoint& p) {
+         [&points](const ScenarioPoint& p) {
            return static_cast<std::uint64_t>(&p - points.data());
          });
-  series("step_ns", [](const DigestPoint& p) { return p.step_ns; });
-  series("digest_v1_ns", [](const DigestPoint& p) { return p.digest_v1_ns; });
-  series("digest_v2_ns", [](const DigestPoint& p) { return p.digest_v2_ns; });
-  series("digest_speedup", [](const DigestPoint& p) { return p.speedup; });
-  series("save_state_ns", [](const DigestPoint& p) { return p.save_state_ns; });
+  series("step_ns", [](const ScenarioPoint& p) { return p.step_ns; });
+  series("ref_step_ns", [](const ScenarioPoint& p) { return p.ref_step_ns; });
+  series("step_speedup", [](const ScenarioPoint& p) { return p.step_speedup; });
+  series("digest_v1_ns", [](const ScenarioPoint& p) { return p.digest_v1_ns; });
+  series("digest_v2_ns", [](const ScenarioPoint& p) { return p.digest_v2_ns; });
+  series("digest_speedup", [](const ScenarioPoint& p) { return p.speedup; });
+  series("save_state_ns", [](const ScenarioPoint& p) { return p.save_state_ns; });
   series("save_state_into_ns",
-         [](const DigestPoint& p) { return p.save_state_into_ns; });
+         [](const ScenarioPoint& p) { return p.save_state_into_ns; });
+  series("sessions_per_core",
+         [](const ScenarioPoint& p) { return p.sessions_per_core; });
   w.end_object();
   w.end_object();
 
@@ -265,12 +337,45 @@ int run_json_mode(const std::string& path) {
   out << w.take() << '\n';
   std::printf("\nwrote %s\n", path.c_str());
 
-  // The acceptance gate: an incremental digest that is not clearly faster
-  // than the full rehash on a sparse frame is a regression, fail loudly.
-  const double sparse_speedup = points[0].speedup;
-  std::printf("sparse-frame digest speedup (v1/v2): %.1fx (require >= 5x)\n",
-              sparse_speedup);
-  return sparse_speedup >= 5.0 ? 0 : 1;
+  const ScenarioPoint& sparse = points[0];
+  const ScenarioPoint* duel = nullptr;
+  for (const auto& p : points) {
+    if (p.scenario == "duel") duel = &p;
+  }
+  if (duel == nullptr) {
+    std::printf("FAILED: no duel scenario\n");
+    return 1;
+  }
+
+  const double step_ratio_floor = kSanitized ? 2.0 : 3.0;
+  std::vector<Gate> gates;
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "sparse digest speedup (v1/v2) %.1fx >= 5x", sparse.speedup);
+  gates.push_back({buf, sparse.speedup >= 5.0});
+  std::snprintf(buf, sizeof buf,
+                "duel fast-vs-reference step speedup %.2fx >= %.1fx",
+                duel->step_speedup, step_ratio_floor);
+  gates.push_back({buf, duel->step_speedup >= step_ratio_floor});
+  std::snprintf(buf, sizeof buf,
+                "sparse fast step %.0f ns <= 1.5x reference %.0f ns",
+                sparse.step_ns, sparse.ref_step_ns);
+  gates.push_back({buf, sparse.step_ns <= sparse.ref_step_ns * 1.5});
+  if (!kSanitized) {
+    std::snprintf(buf, sizeof buf,
+                  "duel step %.0f ns <= pre-fast-path baseline %.0f / 3",
+                  duel->step_ns, kPreFastPathDuelStepNs);
+    gates.push_back({buf, duel->step_ns <= kPreFastPathDuelStepNs / 3.0});
+  } else {
+    std::printf("gate SKIP: absolute duel step bound (sanitized build)\n");
+  }
+
+  int rc = 0;
+  for (const auto& g : gates) {
+    std::printf("gate %s: %s\n", g.passed ? "PASS" : "FAIL", g.what.c_str());
+    if (!g.passed) rc = 1;
+  }
+  return rc;
 }
 
 }  // namespace

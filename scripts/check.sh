@@ -34,6 +34,18 @@ out="build-asan/BENCH_emu_perf.json"
 ./build-asan/bench/emu_perf --json "$out"
 ./build-asan/tools/rtct_trace --check "$out"
 
+echo "==> portable-dispatch leg (RTCT_THREADED_DISPATCH=OFF: switch backend)"
+# The fast interpreter ships two dispatch backends; CI keeps the portable
+# switch one honest with a dedicated build running the CPU + differential
+# suites. Correctness only — the perf gates run on computed-goto builds
+# (the sanitized full suite above, and plain ctest for absolute numbers).
+cmake -B build-portable -S . -DRTCT_THREADED_DISPATCH=OFF >/dev/null
+cmake --build build-portable -j "$(nproc)" --target \
+      cpu_test cpu_property_test machine_test games_test emu_differential_test
+ctest --test-dir build-portable \
+      -R "cpu_test|cpu_property_test|machine_test|games_test|emu_differential_test" \
+      --output-on-failure
+
 echo "==> rollback latency bench (lockstep-vs-rollback acceptance gate)"
 out="build-asan/BENCH_rollback_latency.json"
 ./build-asan/bench/rollback_latency 600 --json "$out"

@@ -1,6 +1,23 @@
 #include "src/emu/cpu.h"
 
+// Threaded (computed-goto) dispatch is a GNU extension; CMake defines
+// RTCT_THREADED_DISPATCH (option of the same name, default ON) and the
+// portable switch backend is the fallback everywhere else.
+#if defined(RTCT_THREADED_DISPATCH) && (defined(__GNUC__) || defined(__clang__))
+#define RTCT_DISPATCH_GOTO 1
+#else
+#define RTCT_DISPATCH_GOTO 0
+#endif
+
 namespace rtct::emu {
+
+const char* dispatch_backend_name() {
+#if RTCT_DISPATCH_GOTO
+  return "computed-goto";
+#else
+  return "switch";
+#endif
+}
 
 const char* fault_name(Fault f) {
   switch (f) {
@@ -65,6 +82,448 @@ int Cpu::run_frame(Bus& bus, int cycle_budget) {
     }
   }
   return used;
+}
+
+// The fast interpreter. Same observable semantics as run_frame/exec above,
+// instruction for instruction — the reference implementation is the spec,
+// and emu_differential_test holds the two to per-frame digest equality.
+// What changes is purely mechanical cost:
+//   * fetch: one load from the PredecodedRom entry table while pc is inside
+//     the cacheable ROM window; the byte path (identical to run_frame's)
+//     covers execute-from-RAM, the ROM/RAM boundary and 16-bit wraparound;
+//   * memory: raw pointer reads and an inlined write barrier replicating
+//     ArcadeMachine::write8 (ROM-write rejection + dirty-page bitmap);
+//     only IN/OUT still go through the virtual Bus (cold);
+//   * dispatch: computed goto (RTCT_DISPATCH_GOTO) or a switch.
+//
+// Semantics that are easy to get wrong, preserved deliberately (and pinned
+// by tests): the cycle-budget check runs AFTER the instruction executes
+// and uses `used > budget` (an instruction landing exactly on the budget
+// does not fault); a budget overrun overwrites any fault the same
+// instruction raised (matching run_frame's unconditional check); a bad
+// opcode faults BEFORE pc advances; CALL pushes the already-advanced pc
+// even when the push itself faults on a ROM address.
+int Cpu::run_frame_fast(std::uint8_t* mem, std::uint64_t* dirty_bitmap, Bus& ports,
+                        const PredecodedRom& rom, int cycle_budget) {
+  if (fault_ != Fault::kNone) return 0;
+
+  int used = 0;
+  std::uint16_t pc = pc_;
+  bool z = z_, n = n_, c = c_;
+  bool halted = false;
+  Fault fault = Fault::kNone;
+  const PredecodedRom::Entry* const entries = rom.entries.data();
+
+  // Fields of the instruction currently dispatched (set by RTCT_FETCH).
+  std::uint8_t op = 0, ia = 0, ib = 0, ic = 0;
+  std::uint16_t imm = 0;
+
+  // The devirtualized bus.
+  auto fb_write8 = [&](std::uint16_t addr, std::uint8_t v) -> bool {
+    if (addr < kRamBase) return false;
+    mem[addr] = v;
+    const auto page = static_cast<std::size_t>(addr - kRamBase) >> kPageShift;
+    dirty_bitmap[page >> 6] |= 1ull << (page & 63);
+    return true;
+  };
+  auto fb_read16 = [&](std::uint16_t addr) -> std::uint16_t {
+    return static_cast<std::uint16_t>(
+        mem[addr] | (mem[static_cast<std::uint16_t>(addr + 1)] << 8));
+  };
+  auto fb_write16 = [&](std::uint16_t addr, std::uint16_t v) -> bool {
+    return fb_write8(addr, static_cast<std::uint8_t>(v & 0xFF)) &&
+           fb_write8(static_cast<std::uint16_t>(addr + 1),
+                     static_cast<std::uint8_t>(v >> 8));
+  };
+  auto fb_push16 = [&](std::uint16_t v) {
+    regs_[kSpReg] = static_cast<std::uint16_t>(regs_[kSpReg] - 2);
+    if (!fb_write16(regs_[kSpReg], v)) fault = Fault::kRomWrite;
+  };
+  auto fb_pop16 = [&]() -> std::uint16_t {
+    const std::uint16_t v = fb_read16(regs_[kSpReg]);
+    regs_[kSpReg] = static_cast<std::uint16_t>(regs_[kSpReg] + 2);
+    return v;
+  };
+
+#define RTCT_SETZN(v)              \
+  do {                             \
+    const std::uint16_t zn_ = (v); \
+    z = zn_ == 0;                  \
+    n = (zn_ & 0x8000) != 0;       \
+  } while (0)
+
+#define RTCT_FETCH()                                                    \
+  do {                                                                  \
+    if (pc < PredecodedRom::kLimit) {                                   \
+      const PredecodedRom::Entry& e_ = entries[pc];                     \
+      if (!e_.valid) {                                                  \
+        fault = Fault::kBadOpcode;                                      \
+        goto done;                                                      \
+      }                                                                 \
+      op = e_.op;                                                       \
+      ia = e_.a;                                                        \
+      ib = e_.b;                                                        \
+      ic = e_.c;                                                        \
+      imm = e_.imm;                                                     \
+    } else {                                                            \
+      const std::uint8_t f0_ = mem[pc];                                 \
+      const std::uint8_t f1_ = mem[static_cast<std::uint16_t>(pc + 1)]; \
+      const std::uint8_t f2_ = mem[static_cast<std::uint16_t>(pc + 2)]; \
+      const std::uint8_t f3_ = mem[static_cast<std::uint16_t>(pc + 3)]; \
+      if (!is_valid_opcode(f0_)) {                                      \
+        fault = Fault::kBadOpcode;                                      \
+        goto done;                                                      \
+      }                                                                 \
+      op = f0_;                                                         \
+      ia = f1_;                                                         \
+      ib = f2_;                                                         \
+      ic = f3_;                                                         \
+      imm = static_cast<std::uint16_t>(f2_ | (f3_ << 8));               \
+    }                                                                   \
+    pc = static_cast<std::uint16_t>(pc + kInstrBytes);                  \
+  } while (0)
+
+// RTCT_NEXT(cost): post-instruction accounting, then dispatch the next
+// instruction. Replicates run_frame's loop epilogue exactly.
+#if RTCT_DISPATCH_GOTO
+#define RTCT_OP(name) h_##name:
+#define RTCT_NEXT(cost)                             \
+  do {                                              \
+    used += (cost);                                 \
+    if (used > cycle_budget) {                      \
+      fault = Fault::kBudgetExceeded;               \
+      goto done;                                    \
+    }                                               \
+    if (halted || fault != Fault::kNone) goto done; \
+    RTCT_FETCH();                                   \
+    goto* kDispatch[op];                            \
+  } while (0)
+#else
+#define RTCT_OP(name) case Op::k##name:
+#define RTCT_NEXT(cost)                             \
+  do {                                              \
+    used += (cost);                                 \
+    if (used > cycle_budget) {                      \
+      fault = Fault::kBudgetExceeded;               \
+      goto done;                                    \
+    }                                               \
+    if (halted || fault != Fault::kNone) goto done; \
+  } while (0);                                      \
+  continue
+#endif
+
+#if RTCT_DISPATCH_GOTO
+  // 256-entry first-level dispatch table, indexed by the raw opcode byte.
+  // Invalid opcodes are filtered by RTCT_FETCH before dispatch, so the
+  // h_Bad rows are a safety net, not a hot path.
+#define B16 \
+  &&h_Bad, &&h_Bad, &&h_Bad, &&h_Bad, &&h_Bad, &&h_Bad, &&h_Bad, &&h_Bad, \
+  &&h_Bad, &&h_Bad, &&h_Bad, &&h_Bad, &&h_Bad, &&h_Bad, &&h_Bad, &&h_Bad
+  static const void* const kDispatch[256] = {
+      /*0x00*/ &&h_Nop, &&h_Halt, &&h_Brk, &&h_Bad, &&h_Bad, &&h_Bad, &&h_Bad,
+      &&h_Bad, &&h_Bad, &&h_Bad, &&h_Bad, &&h_Bad, &&h_Bad, &&h_Bad, &&h_Bad,
+      &&h_Bad,
+      /*0x10*/ &&h_Ldi, &&h_Mov, &&h_Ldb, &&h_Ldw, &&h_Stb, &&h_Stw, &&h_Bad,
+      &&h_Bad, &&h_Bad, &&h_Bad, &&h_Bad, &&h_Bad, &&h_Bad, &&h_Bad, &&h_Bad,
+      &&h_Bad,
+      /*0x20*/ &&h_Add, &&h_Sub, &&h_And, &&h_Or, &&h_Xor, &&h_Shl, &&h_Shr,
+      &&h_Mul, &&h_Neg, &&h_Not, &&h_Bad, &&h_Bad, &&h_Bad, &&h_Bad, &&h_Bad,
+      &&h_Bad,
+      /*0x30*/ &&h_Addi, &&h_Subi, &&h_Andi, &&h_Ori, &&h_Xori, &&h_Shli,
+      &&h_Shri, &&h_Muli, &&h_Cmp, &&h_Cmpi, &&h_Bad, &&h_Bad, &&h_Bad,
+      &&h_Bad, &&h_Bad, &&h_Bad,
+      /*0x40*/ &&h_Jmp, &&h_Jz, &&h_Jnz, &&h_Jc, &&h_Jnc, &&h_Jn, &&h_Jnn,
+      &&h_Bad, &&h_Call, &&h_Ret, &&h_Push, &&h_Pop, &&h_Bad, &&h_Bad,
+      &&h_Bad, &&h_Bad,
+      /*0x50*/ &&h_In, &&h_Out, &&h_Bad, &&h_Bad, &&h_Bad, &&h_Bad, &&h_Bad,
+      &&h_Bad, &&h_Bad, &&h_Bad, &&h_Bad, &&h_Bad, &&h_Bad, &&h_Bad, &&h_Bad,
+      &&h_Bad,
+      /*0x60*/ B16, /*0x70*/ B16, /*0x80*/ B16, /*0x90*/ B16, /*0xA0*/ B16,
+      /*0xB0*/ B16, /*0xC0*/ B16, /*0xD0*/ B16, /*0xE0*/ B16, /*0xF0*/ B16};
+#undef B16
+
+  RTCT_FETCH();
+  goto* kDispatch[op];
+#else
+  for (;;) {
+    RTCT_FETCH();
+    switch (static_cast<Op>(op)) {
+#endif
+
+  RTCT_OP(Nop) { RTCT_NEXT(1); }
+  RTCT_OP(Halt) {
+    halted = true;
+    RTCT_NEXT(1);
+  }
+  RTCT_OP(Brk) {
+    fault = Fault::kBrk;
+    RTCT_NEXT(1);
+  }
+
+  RTCT_OP(Ldi) {
+    regs_[ia & 0xF] = imm;
+    RTCT_NEXT(1);
+  }
+  RTCT_OP(Mov) {
+    const std::uint16_t v = regs_[ib & 0xF];
+    regs_[ia & 0xF] = v;
+    RTCT_SETZN(v);
+    RTCT_NEXT(1);
+  }
+  RTCT_OP(Ldb) {
+    const std::uint16_t v = mem[static_cast<std::uint16_t>(regs_[ib & 0xF] + ic)];
+    regs_[ia & 0xF] = v;
+    RTCT_SETZN(v);
+    RTCT_NEXT(2);
+  }
+  RTCT_OP(Ldw) {
+    const std::uint16_t v =
+        fb_read16(static_cast<std::uint16_t>(regs_[ib & 0xF] + ic));
+    regs_[ia & 0xF] = v;
+    RTCT_SETZN(v);
+    RTCT_NEXT(2);
+  }
+  RTCT_OP(Stb) {
+    if (!fb_write8(static_cast<std::uint16_t>(regs_[ia & 0xF] + ic),
+                   static_cast<std::uint8_t>(regs_[ib & 0xF] & 0xFF))) {
+      fault = Fault::kRomWrite;
+    }
+    RTCT_NEXT(2);
+  }
+  RTCT_OP(Stw) {
+    if (!fb_write16(static_cast<std::uint16_t>(regs_[ia & 0xF] + ic),
+                    regs_[ib & 0xF])) {
+      fault = Fault::kRomWrite;
+    }
+    RTCT_NEXT(2);
+  }
+
+  RTCT_OP(Add) {
+    auto& rd = regs_[ia & 0xF];
+    const std::uint32_t sum = static_cast<std::uint32_t>(rd) + regs_[ib & 0xF];
+    c = sum > 0xFFFF;
+    rd = static_cast<std::uint16_t>(sum);
+    RTCT_SETZN(rd);
+    RTCT_NEXT(1);
+  }
+  RTCT_OP(Addi) {
+    auto& rd = regs_[ia & 0xF];
+    const std::uint32_t sum = static_cast<std::uint32_t>(rd) + imm;
+    c = sum > 0xFFFF;
+    rd = static_cast<std::uint16_t>(sum);
+    RTCT_SETZN(rd);
+    RTCT_NEXT(1);
+  }
+  RTCT_OP(Sub) {
+    auto& rd = regs_[ia & 0xF];
+    const std::uint16_t operand = regs_[ib & 0xF];
+    c = rd < operand;  // borrow
+    rd = static_cast<std::uint16_t>(rd - operand);
+    RTCT_SETZN(rd);
+    RTCT_NEXT(1);
+  }
+  RTCT_OP(Subi) {
+    auto& rd = regs_[ia & 0xF];
+    c = rd < imm;  // borrow
+    rd = static_cast<std::uint16_t>(rd - imm);
+    RTCT_SETZN(rd);
+    RTCT_NEXT(1);
+  }
+  RTCT_OP(And) {
+    auto& rd = regs_[ia & 0xF];
+    rd = static_cast<std::uint16_t>(rd & regs_[ib & 0xF]);
+    RTCT_SETZN(rd);
+    RTCT_NEXT(1);
+  }
+  RTCT_OP(Andi) {
+    auto& rd = regs_[ia & 0xF];
+    rd = static_cast<std::uint16_t>(rd & imm);
+    RTCT_SETZN(rd);
+    RTCT_NEXT(1);
+  }
+  RTCT_OP(Or) {
+    auto& rd = regs_[ia & 0xF];
+    rd = static_cast<std::uint16_t>(rd | regs_[ib & 0xF]);
+    RTCT_SETZN(rd);
+    RTCT_NEXT(1);
+  }
+  RTCT_OP(Ori) {
+    auto& rd = regs_[ia & 0xF];
+    rd = static_cast<std::uint16_t>(rd | imm);
+    RTCT_SETZN(rd);
+    RTCT_NEXT(1);
+  }
+  RTCT_OP(Xor) {
+    auto& rd = regs_[ia & 0xF];
+    rd = static_cast<std::uint16_t>(rd ^ regs_[ib & 0xF]);
+    RTCT_SETZN(rd);
+    RTCT_NEXT(1);
+  }
+  RTCT_OP(Xori) {
+    auto& rd = regs_[ia & 0xF];
+    rd = static_cast<std::uint16_t>(rd ^ imm);
+    RTCT_SETZN(rd);
+    RTCT_NEXT(1);
+  }
+  RTCT_OP(Shl) {
+    auto& rd = regs_[ia & 0xF];
+    const int s = regs_[ib & 0xF] & 15;
+    if (s > 0) {
+      c = ((rd >> (16 - s)) & 1) != 0;
+      rd = static_cast<std::uint16_t>(rd << s);
+    }
+    RTCT_SETZN(rd);
+    RTCT_NEXT(1);
+  }
+  RTCT_OP(Shli) {
+    auto& rd = regs_[ia & 0xF];
+    const int s = imm & 15;
+    if (s > 0) {
+      c = ((rd >> (16 - s)) & 1) != 0;
+      rd = static_cast<std::uint16_t>(rd << s);
+    }
+    RTCT_SETZN(rd);
+    RTCT_NEXT(1);
+  }
+  RTCT_OP(Shr) {
+    auto& rd = regs_[ia & 0xF];
+    const int s = regs_[ib & 0xF] & 15;
+    if (s > 0) {
+      c = ((rd >> (s - 1)) & 1) != 0;
+      rd = static_cast<std::uint16_t>(rd >> s);
+    }
+    RTCT_SETZN(rd);
+    RTCT_NEXT(1);
+  }
+  RTCT_OP(Shri) {
+    auto& rd = regs_[ia & 0xF];
+    const int s = imm & 15;
+    if (s > 0) {
+      c = ((rd >> (s - 1)) & 1) != 0;
+      rd = static_cast<std::uint16_t>(rd >> s);
+    }
+    RTCT_SETZN(rd);
+    RTCT_NEXT(1);
+  }
+  RTCT_OP(Mul) {
+    auto& rd = regs_[ia & 0xF];
+    rd = static_cast<std::uint16_t>(rd * regs_[ib & 0xF]);
+    RTCT_SETZN(rd);
+    RTCT_NEXT(4);
+  }
+  RTCT_OP(Muli) {
+    auto& rd = regs_[ia & 0xF];
+    rd = static_cast<std::uint16_t>(rd * imm);
+    RTCT_SETZN(rd);
+    RTCT_NEXT(4);
+  }
+  RTCT_OP(Neg) {
+    auto& rd = regs_[ia & 0xF];
+    rd = static_cast<std::uint16_t>(-rd);
+    RTCT_SETZN(rd);
+    RTCT_NEXT(1);
+  }
+  RTCT_OP(Not) {
+    auto& rd = regs_[ia & 0xF];
+    rd = static_cast<std::uint16_t>(~rd);
+    RTCT_SETZN(rd);
+    RTCT_NEXT(1);
+  }
+
+  RTCT_OP(Cmp) {
+    const std::uint16_t rd = regs_[ia & 0xF];
+    const std::uint16_t operand = regs_[ib & 0xF];
+    c = rd < operand;
+    RTCT_SETZN(static_cast<std::uint16_t>(rd - operand));
+    RTCT_NEXT(1);
+  }
+  RTCT_OP(Cmpi) {
+    const std::uint16_t rd = regs_[ia & 0xF];
+    c = rd < imm;
+    RTCT_SETZN(static_cast<std::uint16_t>(rd - imm));
+    RTCT_NEXT(1);
+  }
+
+  RTCT_OP(Jmp) {
+    pc = imm;
+    RTCT_NEXT(1);
+  }
+  RTCT_OP(Jz) {
+    if (z) pc = imm;
+    RTCT_NEXT(1);
+  }
+  RTCT_OP(Jnz) {
+    if (!z) pc = imm;
+    RTCT_NEXT(1);
+  }
+  RTCT_OP(Jc) {
+    if (c) pc = imm;
+    RTCT_NEXT(1);
+  }
+  RTCT_OP(Jnc) {
+    if (!c) pc = imm;
+    RTCT_NEXT(1);
+  }
+  RTCT_OP(Jn) {
+    if (n) pc = imm;
+    RTCT_NEXT(1);
+  }
+  RTCT_OP(Jnn) {
+    if (!n) pc = imm;
+    RTCT_NEXT(1);
+  }
+
+  RTCT_OP(Call) {
+    fb_push16(pc);
+    pc = imm;
+    RTCT_NEXT(3);
+  }
+  RTCT_OP(Ret) {
+    pc = fb_pop16();
+    RTCT_NEXT(3);
+  }
+  RTCT_OP(Push) {
+    fb_push16(regs_[ia & 0xF]);
+    RTCT_NEXT(2);
+  }
+  RTCT_OP(Pop) {
+    regs_[ia & 0xF] = fb_pop16();
+    RTCT_NEXT(2);
+  }
+
+  RTCT_OP(In) {
+    const std::uint16_t v = ports.in_port(ib);
+    regs_[ia & 0xF] = v;
+    RTCT_SETZN(v);
+    RTCT_NEXT(1);
+  }
+  RTCT_OP(Out) {
+    ports.out_port(ia, regs_[ib & 0xF]);
+    RTCT_NEXT(1);
+  }
+
+#if RTCT_DISPATCH_GOTO
+h_Bad:
+  fault = Fault::kBadOpcode;
+  goto done;
+#else
+    }  // switch: every case ends in continue / goto done; falling out is
+  }    // impossible because RTCT_FETCH validated the opcode.
+#endif
+
+done:
+  pc_ = pc;
+  z_ = z;
+  n_ = n;
+  c_ = c;
+  halted_ = halted;
+  fault_ = fault;
+  return used;
+
+#undef RTCT_SETZN
+#undef RTCT_FETCH
+#undef RTCT_OP
+#undef RTCT_NEXT
 }
 
 void Cpu::exec(Bus& bus, const Instr& ins) {

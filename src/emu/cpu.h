@@ -20,6 +20,10 @@ enum class Fault : std::uint8_t {
 
 const char* fault_name(Fault f);
 
+/// Name of the compiled-in fast-interpreter dispatch backend:
+/// "computed-goto" (RTCT_THREADED_DISPATCH on GCC/Clang) or "switch".
+const char* dispatch_backend_name();
+
 /// Memory / IO seen by the CPU. Implemented by ArcadeMachine.
 class Bus {
  public:
@@ -40,7 +44,29 @@ class Cpu {
   /// Resumes execution (after the previous frame's HALT) and runs until the
   /// ROM executes HALT again, a fault occurs, or `cycle_budget` cycles
   /// elapse (which raises kBudgetExceeded). Returns cycles consumed.
+  ///
+  /// This is the REFERENCE interpreter: every access goes through the
+  /// virtual Bus and every instruction is fetched byte-by-byte and
+  /// decoded. It is kept as the oracle the fast path is differentially
+  /// tested against (emu_differential_test), and as the backend for
+  /// tests/tools that substitute their own Bus.
   int run_frame(Bus& bus, int cycle_budget);
+
+  /// Fast-path variant of run_frame with bit-identical observable
+  /// behaviour (state, faults, cycle accounting — enforced by the
+  /// differential harness, not assumed):
+  ///   * instructions at pc < PredecodedRom::kLimit come from the
+  ///     predecoded ROM cache (one indexed load instead of 4 virtual
+  ///     fetches + decode); pc at/above the limit (execute-from-RAM, the
+  ///     ROM/RAM boundary, wraparound) takes the byte-fetch path;
+  ///   * memory runs through `mem` (the 64 KiB space) with an inlined
+  ///     write barrier that preserves the ROM-write fault and the
+  ///     dirty-page bitmap of ArcadeMachine::write8 exactly;
+  ///   * `ports` is only consulted for IN/OUT (cold);
+  ///   * dispatch is computed-goto on GCC/Clang when built with
+  ///     RTCT_THREADED_DISPATCH (the default), else a switch.
+  int run_frame_fast(std::uint8_t* mem, std::uint64_t* dirty_bitmap, Bus& ports,
+                     const PredecodedRom& rom, int cycle_budget);
 
   [[nodiscard]] Fault fault() const { return fault_; }
   [[nodiscard]] std::uint16_t pc() const { return pc_; }

@@ -87,6 +87,22 @@ int cycle_cost(Op op) {
   }
 }
 
+PredecodedRom::PredecodedRom(std::span<const std::uint8_t> rom_image) {
+  entries.resize(kLimit);
+  auto at = [&rom_image](std::size_t addr) -> std::uint8_t {
+    return addr < rom_image.size() ? rom_image[addr] : 0;
+  };
+  for (std::size_t addr = 0; addr < kLimit; ++addr) {
+    Entry& e = entries[addr];
+    e.op = at(addr);
+    e.a = at(addr + 1);
+    e.b = at(addr + 2);
+    e.c = at(addr + 3);
+    e.imm = static_cast<std::uint16_t>(e.b | (e.c << 8));
+    e.valid = is_valid_opcode(e.op) ? 1 : 0;
+  }
+}
+
 std::string mnemonic(Op op) {
   switch (op) {
     case Op::kNop: return "NOP";

@@ -20,13 +20,29 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 namespace rtct::emu {
 
 inline constexpr int kNumRegs = 16;
 inline constexpr int kSpReg = 15;  ///< stack-pointer convention
 inline constexpr std::size_t kInstrBytes = 4;
+
+// Memory-map facts every interpreter backend needs (the full map lives in
+// machine.h): ROM occupies 0x0000–0x7FFF and is immutable once loaded —
+// CPU stores below kRamBase fault — which is what makes the predecoded
+// instruction cache sound.
+inline constexpr std::uint16_t kRamBase = 0x8000;
+
+/// Dirty-page tracking granularity for the incremental (version-2) state
+/// digest: the mutable 32 KiB is covered by 128 pages of 256 bytes. The
+/// fast interpreter's inlined write barrier maintains the same bitmap
+/// ArcadeMachine::write8 does, so it needs the geometry here.
+inline constexpr std::size_t kPageSize = 256;
+inline constexpr unsigned kPageShift = 8;
+inline constexpr std::size_t kNumMutablePages = (0x10000 - kRamBase) / kPageSize;
 
 enum class Op : std::uint8_t {
   kNop = 0x00,
@@ -116,5 +132,35 @@ int cycle_cost(Op op);
 
 /// Mnemonic for disassembly/diagnostics; "???" for invalid opcodes.
 std::string mnemonic(Op op);
+
+/// Decode-once cache of the immutable ROM region, built at ArcadeMachine
+/// construction. ROM writes fault (the region can never change after
+/// load), so every byte address whose 4-byte fetch window lies entirely
+/// below kRamBase can be decoded ahead of time — the fast interpreter
+/// replaces the per-instruction 4x byte fetch + decode() with one indexed
+/// load. Addresses in [kLimit, kRamBase) would fetch across the ROM/RAM
+/// boundary, and RAM bytes mutate at runtime, so executing there (like
+/// executing from RAM itself) falls back to the byte-fetch path.
+struct PredecodedRom {
+  struct Entry {
+    std::uint16_t imm = 0;  ///< b | c<<8, precomputed
+    std::uint8_t op = 0;    ///< raw opcode byte
+    std::uint8_t a = 0;
+    std::uint8_t b = 0;
+    std::uint8_t c = 0;
+    std::uint8_t valid = 0;  ///< is_valid_opcode(op)
+  };
+
+  /// First byte address NOT covered by the cache: the last address whose
+  /// whole 4-byte window stays inside ROM is kRamBase - kInstrBytes.
+  static constexpr std::uint16_t kLimit =
+      static_cast<std::uint16_t>(kRamBase - kInstrBytes + 1);
+
+  /// `rom_image` is the ROM as loaded at 0x0000 (at most kRamBase bytes);
+  /// bytes beyond it read as zero, exactly like the machine's memory.
+  explicit PredecodedRom(std::span<const std::uint8_t> rom_image);
+
+  std::vector<Entry> entries;  ///< kLimit entries, indexed by byte address
+};
 
 }  // namespace rtct::emu

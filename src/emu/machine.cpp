@@ -30,7 +30,10 @@ std::uint64_t state_digest_cross_check_failures() {
 }
 
 ArcadeMachine::ArcadeMachine(Rom rom, MachineConfig cfg)
-    : rom_(std::move(rom)), cfg_(cfg), mem_(kMemSize, 0) {
+    : rom_(std::move(rom)),
+      predecode_(rom_.image),
+      cfg_(cfg),
+      mem_(kMemSize, 0) {
   reset();
 }
 
@@ -66,7 +69,11 @@ void ArcadeMachine::refresh_dirty_pages() const {
 void ArcadeMachine::step_frame(InputWord input) {
   if (faulted()) return;  // a faulted machine stays stopped
   input_latch_ = input;
-  last_frame_cycles_ = cpu_.run_frame(*this, cfg_.cycles_per_frame);
+  last_frame_cycles_ =
+      cfg_.reference_interpreter
+          ? cpu_.run_frame(*this, cfg_.cycles_per_frame)
+          : cpu_.run_frame_fast(mem_.data(), dirty_.data(), *this, predecode_,
+                                cfg_.cycles_per_frame);
   ++frame_;
 }
 

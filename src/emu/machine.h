@@ -22,18 +22,13 @@
 
 namespace rtct::emu {
 
-inline constexpr std::uint16_t kRamBase = 0x8000;
+// kRamBase, kPageSize/kPageShift/kNumMutablePages live in isa.h (both
+// interpreter backends need them); the video/stack geometry is here.
 inline constexpr std::uint16_t kFbBase = 0xA000;
 inline constexpr int kFbCols = 64;
 inline constexpr int kFbRows = 48;
 inline constexpr std::size_t kFbSize = kFbCols * kFbRows;  // 3072 bytes
 inline constexpr std::uint16_t kInitialSp = 0xFFFE;
-
-/// Dirty-page tracking granularity for the incremental (version-2) state
-/// digest: the mutable 32 KiB is covered by 128 pages of 256 bytes.
-inline constexpr std::size_t kPageSize = 256;
-inline constexpr unsigned kPageShift = 8;
-inline constexpr std::size_t kNumMutablePages = (0x10000 - kRamBase) / kPageSize;
 
 /// Full-rehash cross-check for the incremental digest. When enabled, every
 /// state_digest(2) additionally rehashes all 128 pages from scratch and
@@ -47,6 +42,12 @@ struct MachineConfig {
   /// Per-frame cycle budget; exceeding it faults (a ROM must HALT once per
   /// frame, like real arcade code waiting for vblank).
   int cycles_per_frame = 100000;
+  /// Run frames on the original virtual-Bus byte-fetch interpreter instead
+  /// of the predecoded fast path. The two backends are bit-identical in
+  /// observable state (enforced by emu_differential_test and the chaos
+  /// soak); the reference exists as the oracle and for A/B benching. Host
+  /// configuration only: not serialized, not hashed.
+  bool reference_interpreter = false;
 };
 
 class ArcadeMachine final : public IDeterministicGame, private Bus {
@@ -113,6 +114,10 @@ class ArcadeMachine final : public IDeterministicGame, private Bus {
   void refresh_dirty_pages() const;
 
   Rom rom_;
+  /// Decode-once instruction cache of the (immutable) ROM region; never
+  /// invalidated because CPU stores below kRamBase fault and load_state
+  /// only restores RAM.
+  PredecodedRom predecode_;
   MachineConfig cfg_;
   Cpu cpu_;
   std::vector<std::uint8_t> mem_;  ///< full 64 KiB address space

@@ -37,9 +37,14 @@ const emu::Rom* rom_by_name(std::string_view name) {
 }
 
 std::unique_ptr<emu::ArcadeMachine> make_machine(std::string_view name) {
+  return make_machine(name, emu::MachineConfig{});
+}
+
+std::unique_ptr<emu::ArcadeMachine> make_machine(std::string_view name,
+                                                 emu::MachineConfig cfg) {
   const emu::Rom* rom = rom_by_name(name);
   if (rom == nullptr) return nullptr;
-  return std::make_unique<emu::ArcadeMachine>(*rom);
+  return std::make_unique<emu::ArcadeMachine>(*rom, cfg);
 }
 
 std::unique_ptr<emu::IDeterministicGame> make_game_for_content(std::uint64_t content_id) {

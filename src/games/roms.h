@@ -44,6 +44,11 @@ const emu::Rom* rom_by_name(std::string_view name);
 /// Convenience: a fresh machine running the named game (nullptr if unknown).
 std::unique_ptr<emu::ArcadeMachine> make_machine(std::string_view name);
 
+/// Same, with an explicit machine configuration (cycle budget, interpreter
+/// backend) — used by the differential harness and benchmarks.
+std::unique_ptr<emu::ArcadeMachine> make_machine(std::string_view name,
+                                                 emu::MachineConfig cfg);
+
 /// Resolves a recorded content id (replay header, session handshake) back
 /// to a fresh replica of the game that produced it — every bundled ROM
 /// plus the synthetic CellWars game. Returns nullptr for an unknown id;

@@ -12,6 +12,8 @@
 // below — determinism is itself part of the contract).
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "src/chaos/fault_script.h"
 #include "src/chaos/soak.h"
 #include "src/emu/machine.h"
@@ -106,6 +108,38 @@ TEST_P(EmulatorChaosSoak, DirtyPageDigestSurvivesChaosWithCrossCheck) {
   EXPECT_EQ(failures, 0);
   EXPECT_EQ(emu::state_digest_cross_check_failures(), 0u)
       << "incremental digest disagreed with the full rehash";
+}
+
+TEST_P(EmulatorChaosSoak, FastAndReferenceInterpretersAgreeUnderChaos) {
+  // Differential check under network chaos: alternate replicas between the
+  // fast (predecoded / devirtualized / threaded-dispatch) interpreter and
+  // the reference byte-fetch interpreter. The soak's per-frame state-hash
+  // agreement invariant then *is* the equivalence assertion — any backend
+  // divergence shows up as a two-site hash mismatch, and it is exercised
+  // through snapshot load (observer churn), stalls, and handshake races
+  // that the plain lockstep differential test never reaches.
+  const Topology topology = GetParam();
+  int failures = 0;
+  for (std::uint64_t seed = kFirstSeed; seed < kFirstSeed + 8; ++seed) {
+    FaultScript script = generate_fault_script(seed, topology);
+    testbed::ExperimentConfig cfg = lower_two_site(script);
+    auto counter = std::make_shared<int>(0);
+    cfg.game_factory = [counter] {
+      emu::MachineConfig mc;
+      mc.reference_interpreter = ((*counter)++ % 2) == 1;
+      return games::make_machine("duel", mc);
+    };
+    const testbed::ExperimentResult r = testbed::run_experiment(cfg);
+    const auto violations = check_two_site(cfg, r);
+    if (!violations.empty()) {
+      ++failures;
+      ADD_FAILURE() << "seed " << seed << " on " << topology_name(topology)
+                    << " (mixed backends): " << violations.size()
+                    << " violation(s), first: " << violations[0].invariant
+                    << " — " << violations[0].detail;
+    }
+  }
+  EXPECT_EQ(failures, 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(EmulatorTopologies, EmulatorChaosSoak,

@@ -1,0 +1,345 @@
+// Differential equivalence: the fast AC16 interpreter (predecoded ROM,
+// devirtualized memory, threaded dispatch) against the reference
+// byte-fetch interpreter.
+//
+// The fast path is only admissible because it is bit-identical to the
+// reference in *observable* state. Every test here drives two machines —
+// one per backend — through the same inputs in lockstep and requires
+// per-frame agreement on the v2 state digest, the fault code, and the
+// cycle count, plus byte-identical save_state at the end. Coverage:
+//
+//   * every bundled game ROM (the benign subset of the ISA)
+//   * structure-aware fuzzed ROMs (the hostile subset: wild jumps, ROM
+//     stores, runaway loops, invalid opcodes — see fuzz_rom.h)
+//   * hand-written regressions for the boundary semantics a fast path is
+//     most tempted to get wrong: exact cycle-budget landing, partial
+//     frames cut by the budget, fetch wraparound at 0xFFFD, execution
+//     crossing the predecode limit into RAM, and self-modifying code
+//     running from RAM (including a store into the instruction stream
+//     currently being executed).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/emu/assembler.h"
+#include "src/emu/cpu.h"
+#include "src/emu/fuzz_rom.h"
+#include "src/emu/isa.h"
+#include "src/emu/machine.h"
+#include "src/games/roms.h"
+
+namespace rtct::emu {
+namespace {
+
+MachineConfig fast_cfg(int cycles = 100000) { return {cycles, false}; }
+MachineConfig ref_cfg(int cycles = 100000) { return {cycles, true}; }
+
+/// Runs `frames` frames on both backends with an identical seeded input
+/// stream and asserts lockstep equality of digest, fault and cycle count
+/// every frame, full v1 hash periodically, and save_state bytes at the end.
+void expect_equivalent(const Rom& rom, int frames, int cycles_per_frame,
+                       std::uint64_t input_seed, const std::string& what) {
+  ArcadeMachine fast(rom, fast_cfg(cycles_per_frame));
+  ArcadeMachine ref(rom, ref_cfg(cycles_per_frame));
+  Rng rng(input_seed);
+  for (int f = 0; f < frames; ++f) {
+    const auto input = static_cast<InputWord>(rng.next_u64());
+    fast.step_frame(input);
+    ref.step_frame(input);
+    ASSERT_EQ(fast.state_digest(2), ref.state_digest(2))
+        << what << ": v2 digest diverged at frame " << f;
+    ASSERT_EQ(fast.fault(), ref.fault())
+        << what << ": fault diverged at frame " << f;
+    ASSERT_EQ(fast.last_frame_cycles(), ref.last_frame_cycles())
+        << what << ": cycle count diverged at frame " << f;
+    if (f % 16 == 0) {
+      ASSERT_EQ(fast.state_hash(), ref.state_hash())
+          << what << ": full v1 hash diverged at frame " << f;
+    }
+  }
+  EXPECT_EQ(fast.state_hash(), ref.state_hash()) << what;
+  EXPECT_EQ(fast.save_state(), ref.save_state()) << what;
+}
+
+Rom must_assemble(const char* source, const char* title) {
+  auto result = assemble(source, title);
+  EXPECT_TRUE(result.ok()) << result.error_text();
+  return std::move(result.rom);
+}
+
+// ---------------------------------------------------------------------------
+// Bundled games
+
+class GameDifferential : public ::testing::TestWithParam<std::string_view> {};
+
+TEST_P(GameDifferential, FastAndReferenceAgreeFrameByFrame) {
+  const Rom* rom = games::rom_by_name(GetParam());
+  ASSERT_NE(rom, nullptr);
+  expect_equivalent(*rom, 240, 100000, 0xD1FF0000 + rom->checksum(),
+                    std::string(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGames, GameDifferential,
+                         ::testing::ValuesIn(games::game_names()),
+                         [](const auto& param_info) {
+                           return std::string(param_info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Fuzzed ROMs
+
+TEST(FuzzDifferential, StructureAwareRandomRomsAgree) {
+  // A small per-frame budget keeps runaway seeds cheap (they budget-fault
+  // on frame 1 and stay stopped) while still letting tame seeds produce
+  // many frames of real execution.
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    const Rom rom = make_fuzz_rom(seed);
+    expect_equivalent(rom, 90, 20000, seed ^ 0xF00D, rom.title);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cycle-budget boundary
+//
+// Frame 1 of this ROM costs exactly 4 cycles (3x LDI + HALT, 1 cycle each).
+
+constexpr const char* kFourCycleFrame = R"(
+.entry main
+main:
+    LDI r0, 1
+    LDI r1, 2
+    LDI r2, 3
+    HALT
+    JMP main
+)";
+
+TEST(CycleBudgetDifferential, LandingExactlyOnBudgetDoesNotFault) {
+  const Rom rom = must_assemble(kFourCycleFrame, "budget-exact");
+  // The budget check is strictly `used > budget`: spending the whole
+  // budget to the last cycle is legal.
+  for (const bool reference : {false, true}) {
+    ArcadeMachine m(rom, {4, reference});
+    m.step_frame(0);
+    EXPECT_EQ(m.fault(), Fault::kNone) << "reference=" << reference;
+    EXPECT_EQ(m.last_frame_cycles(), 4) << "reference=" << reference;
+  }
+}
+
+TEST(CycleBudgetDifferential, OneCycleShortFaultsIdentically) {
+  const Rom rom = must_assemble(kFourCycleFrame, "budget-short");
+  ArcadeMachine fast(rom, {3, false});
+  ArcadeMachine ref(rom, {3, true});
+  fast.step_frame(0);
+  ref.step_frame(0);
+  EXPECT_EQ(fast.fault(), Fault::kBudgetExceeded);
+  EXPECT_EQ(ref.fault(), Fault::kBudgetExceeded);
+  // The HALT *executed* (exec-then-check); the budget fault lands after.
+  EXPECT_EQ(fast.save_state(), ref.save_state());
+  EXPECT_EQ(fast.state_hash(), ref.state_hash());
+}
+
+TEST(CycleBudgetDifferential, PartialFrameStateIsIdenticalOnBothBackends) {
+  const Rom rom = must_assemble(kFourCycleFrame, "budget-partial");
+  ArcadeMachine fast(rom, {2, false});
+  ArcadeMachine ref(rom, {2, true});
+  fast.step_frame(0);
+  ref.step_frame(0);
+  for (ArcadeMachine* m : {&fast, &ref}) {
+    EXPECT_EQ(m->fault(), Fault::kBudgetExceeded);
+    // Instructions execute before the budget check, so the third LDI's
+    // write is visible in the faulted state.
+    EXPECT_EQ(m->cpu().reg(2), 3);
+    EXPECT_EQ(m->last_frame_cycles(), 3);
+  }
+  EXPECT_EQ(fast.save_state(), ref.save_state());
+  EXPECT_EQ(fast.state_hash(), ref.state_hash());
+}
+
+// ---------------------------------------------------------------------------
+// Fetch wraparound at the top of the address space
+//
+// The program stores an LDI opcode at 0xFFFD–0xFFFF and jumps there; the
+// fourth instruction byte wraps around to mem[0x0000], which the ROM pins
+// to 0x12. Executing it yields r1 = 0x1234 and pc wraps to 0x0001, where
+// the ROM plants a HALT.
+
+Rom wraparound_rom() {
+  std::vector<std::uint8_t> image;
+  auto emit = [&image](std::uint8_t b0, std::uint8_t b1, std::uint8_t b2,
+                       std::uint8_t b3) {
+    image.insert(image.end(), {b0, b1, b2, b3});
+  };
+  const auto ldi = static_cast<std::uint8_t>(Op::kLdi);
+  const auto stb = static_cast<std::uint8_t>(Op::kStb);
+  const auto jmp = static_cast<std::uint8_t>(Op::kJmp);
+  const auto halt = static_cast<std::uint8_t>(Op::kHalt);
+  image.push_back(0x12);          // mem[0x0000]: wrapped imm-high byte
+  image.push_back(halt);          // mem[0x0001]: HALT (pc lands here post-wrap)
+  image.insert(image.end(), {0, 0, 0});
+  image.push_back(jmp);           // mem[0x0005]: JMP 0x0001 (steady state)
+  image.insert(image.end(), {0, 0x01, 0x00});
+  image.insert(image.end(), {0, 0, 0});  // pad to 0x000C
+  EXPECT_EQ(image.size(), 12u);
+  emit(ldi, 0, 0xFD, 0xFF);       // 0x000C: LDI r0, 0xFFFD
+  emit(ldi, 2, ldi, 0x00);        //         LDI r2, <LDI opcode>
+  emit(stb, 0, 2, 0);             //         mem[0xFFFD] = LDI
+  emit(ldi, 2, 0x01, 0x00);       //         LDI r2, 1   (target register)
+  emit(stb, 0, 2, 1);             //         mem[0xFFFE] = r1
+  emit(ldi, 2, 0x34, 0x00);       //         LDI r2, 0x34 (imm-low byte)
+  emit(stb, 0, 2, 2);             //         mem[0xFFFF] = 0x34
+  emit(jmp, 0, 0xFD, 0xFF);       //         JMP 0xFFFD
+  Rom rom;
+  rom.title = "wraparound";
+  rom.image = std::move(image);
+  rom.entry = 0x000C;
+  return rom;
+}
+
+TEST(FetchWraparoundDifferential, InstructionAt0xFFFDWrapsToRomByteZero) {
+  const Rom rom = wraparound_rom();
+  for (const bool reference : {false, true}) {
+    ArcadeMachine m(rom, {100000, reference});
+    m.step_frame(0);
+    EXPECT_EQ(m.fault(), Fault::kNone) << "reference=" << reference;
+    EXPECT_EQ(m.cpu().reg(1), 0x1234) << "reference=" << reference;
+    EXPECT_EQ(m.cpu().pc(), 0x0005) << "reference=" << reference;
+  }
+  expect_equivalent(rom, 8, 100000, 0xABCD, "wraparound");
+}
+
+// ---------------------------------------------------------------------------
+// Predecode boundary: the cache covers pc < 0x7FFD (a 4-byte fetch window
+// entirely inside ROM). An instruction *starting* at 0x7FFD reads its
+// final byte from RAM at 0x8000, which the program controls — the fast
+// path must take the byte-fetch fallback there.
+
+TEST(PredecodeBoundaryDifferential, FetchWindowCrossingIntoRamSeesRamBytes) {
+  const auto ldi = static_cast<std::uint8_t>(Op::kLdi);
+  std::vector<std::uint8_t> image(0x8000, 0);
+  // 0x7FFD: LDI r7, 0x??34 — the imm-high byte lives at 0x8000 (RAM).
+  image[0x7FFD] = ldi;
+  image[0x7FFE] = 7;
+  image[0x7FFF] = 0x34;
+  // Entry code: poke 0x8000 = 0x77 (imm-high) and 0x8001 = HALT opcode,
+  // then jump to the boundary instruction.
+  const char* prologue = R"(
+.entry main
+main:
+    LDI r0, 0x8000
+    LDI r1, 0x77
+    STB r0, r1
+    LDI r1, 0x01      ; HALT opcode
+    STB r0, r1, 1
+    JMP 0x7FFD
+)";
+  const Rom pro = must_assemble(prologue, "boundary-prologue");
+  ASSERT_LE(pro.image.size(), 0x7FDu);
+  std::copy(pro.image.begin(), pro.image.end(), image.begin());
+  Rom rom;
+  rom.title = "predecode-boundary";
+  rom.image = std::move(image);
+  rom.entry = pro.entry;
+
+  for (const bool reference : {false, true}) {
+    ArcadeMachine m(rom, {100000, reference});
+    m.step_frame(0);
+    EXPECT_EQ(m.fault(), Fault::kNone) << "reference=" << reference;
+    // The boundary instruction assembled to LDI r7, 0x7734 and pc moved
+    // into RAM (0x8001) where the planted HALT ended the frame.
+    EXPECT_EQ(m.cpu().reg(7), 0x7734) << "reference=" << reference;
+    EXPECT_EQ(m.cpu().pc(), 0x8005) << "reference=" << reference;
+  }
+  // Frame 2 resumes at 0x8005 inside zero-filled RAM: a NOP sled that
+  // wraps and eventually exceeds the budget. Whatever the exact outcome,
+  // both backends must agree on it.
+  expect_equivalent(rom, 3, 100000, 0x5EED, "predecode-boundary");
+}
+
+// ---------------------------------------------------------------------------
+// Execute-from-RAM with self-modifying code
+//
+// The ROM copies a 24-byte program into RAM at 0x9000 and jumps there.
+// The RAM program stores 0xCC into 0x900E — the imm-low byte of the *next*
+// instruction in its own stream — so the subsequently executed LDI loads
+// 0xCC, not the 0xBB the ROM shipped. Byte-accurate fetch from mutable
+// memory is exactly what the predecode cache must NOT shortcut.
+
+constexpr const char* kSelfModifySource = R"(
+.entry main
+blob:                       ; copied to 0x9000, then executed there
+    LDI r3, 0xAAAA          ; 0x9000
+    LDI r5, 0xCC            ; 0x9004
+    STB r6, r5              ; 0x9008: mem[0x900E] = 0xCC (next instr's imm)
+    LDI r4, 0xBB            ; 0x900C: imm byte at 0x900E mutates to 0xCC
+    HALT                    ; 0x9010
+    JMP 0x9000              ; 0x9014 (steady state: loop the RAM program)
+main:
+    LDI r0, blob
+    LDI r1, 0x9000
+    LDI r2, 24
+copy:
+    LDB r4, r0
+    STB r1, r4
+    ADDI r0, 1
+    ADDI r1, 1
+    SUBI r2, 1
+    JNZ copy
+    LDI r6, 0x900E
+    JMP 0x9000
+)";
+
+TEST(ExecuteFromRamDifferential, SelfModifyingRamCodeAgrees) {
+  const Rom rom = must_assemble(kSelfModifySource, "self-modify");
+  for (const bool reference : {false, true}) {
+    ArcadeMachine m(rom, {100000, reference});
+    m.step_frame(0);
+    EXPECT_EQ(m.fault(), Fault::kNone) << "reference=" << reference;
+    EXPECT_EQ(m.cpu().reg(3), 0xAAAA) << "reference=" << reference;
+    // The store into the executing stream landed before the fetch.
+    EXPECT_EQ(m.cpu().reg(4), 0xCC) << "reference=" << reference;
+    EXPECT_EQ(m.peek(0x900E), 0xCC) << "reference=" << reference;
+  }
+  expect_equivalent(rom, 12, 100000, 0x5E1F, "self-modify");
+}
+
+// The reverse direction: a snapshot round-trip must land both backends in
+// the same state even when taken mid-divergence-sensitive RAM execution.
+TEST(ExecuteFromRamDifferential, SnapshotRoundTripAcrossBackends) {
+  const Rom rom = must_assemble(kSelfModifySource, "self-modify-snap");
+  ArcadeMachine fast(rom, fast_cfg());
+  fast.step_frame(1);
+  fast.step_frame(2);
+  const auto snap = fast.save_state();
+  // Restore the fast machine's snapshot into a *reference* machine and run
+  // both onward: cross-backend resume must stay in lockstep.
+  ArcadeMachine ref(rom, ref_cfg());
+  ASSERT_TRUE(ref.load_state(snap));
+  for (int f = 0; f < 6; ++f) {
+    const auto input = static_cast<InputWord>(7 * f + 1);
+    fast.step_frame(input);
+    ref.step_frame(input);
+    ASSERT_EQ(fast.state_digest(2), ref.state_digest(2)) << "frame " << f;
+  }
+  EXPECT_EQ(fast.save_state(), ref.save_state());
+}
+
+// ---------------------------------------------------------------------------
+// Backend identification sanity: the build knows which dispatcher it is
+// running, and the reference flag actually selects the other path (guards
+// against a refactor silently routing both configs to one backend).
+
+TEST(DispatchBackend, NameMatchesCompileTimeSelection) {
+  const std::string name = dispatch_backend_name();
+#if defined(RTCT_THREADED_DISPATCH) && (defined(__GNUC__) || defined(__clang__))
+  EXPECT_EQ(name, "computed-goto");
+#else
+  EXPECT_EQ(name, "switch");
+#endif
+}
+
+}  // namespace
+}  // namespace rtct::emu
