@@ -34,6 +34,7 @@
 
 #include "src/common/json.h"
 #include "src/common/random.h"
+#include "src/cores/registry.h"
 #include "src/emu/assembler.h"
 #include "src/emu/cpu.h"
 #include "src/emu/machine.h"
@@ -60,6 +61,11 @@ constexpr bool kSanitized = false;
 /// revision). The fast path must hold at least a 3x win over it.
 constexpr double kPreFastPathDuelStepNs = 182802.43;
 
+/// Absolute step budget for the agent86 core (no reference interpreter to
+/// A/B against): ~8x headroom over the measured skirmish step on the
+/// baseline machine, and still <1% of the 16.7 ms frame.
+constexpr double kA86StepBudgetNs = 100000.0;
+
 void BM_StepFrame(benchmark::State& state, const char* game, bool reference) {
   auto m = games::make_machine(game, {100000, reference});
   Rng rng(1);
@@ -77,6 +83,34 @@ BENCHMARK_CAPTURE(BM_StepFrame, torture, "torture", false);
 // The reference byte-fetch interpreter, for A/B against the fast path.
 BENCHMARK_CAPTURE(BM_StepFrame, duel_reference, "duel", true);
 BENCHMARK_CAPTURE(BM_StepFrame, torture_reference, "torture", true);
+
+// The second core, through the registry: cross-VM transparency has to be
+// cheap, not just correct.
+void BM_CoreStepFrame(benchmark::State& state, const char* qualified) {
+  auto m = cores::make_game(qualified);
+  Rng rng(1);
+  for (auto _ : state) {
+    m->step_frame(static_cast<InputWord>(rng.next_u64() & 0xFFFF));
+    if (m->faulted()) state.SkipWithError("machine faulted");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_CoreStepFrame, a86_skirmish, "agent86:skirmish");
+BENCHMARK_CAPTURE(BM_CoreStepFrame, a86_pong, "agent86:pong");
+BENCHMARK_CAPTURE(BM_CoreStepFrame, a86_havoc, "agent86:havoc");
+
+void BM_CoreStateDigestPerFrame(benchmark::State& state, const char* qualified,
+                                int version) {
+  auto m = cores::make_game(qualified);
+  for (int i = 0; i < 60; ++i) m->step_frame(0x0404);
+  for (auto _ : state) {
+    m->step_frame(0x0404);
+    benchmark::DoNotOptimize(m->state_digest(version));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_CoreStateDigestPerFrame, a86_skirmish_v1, "agent86:skirmish", 1);
+BENCHMARK_CAPTURE(BM_CoreStateDigestPerFrame, a86_skirmish_v2, "agent86:skirmish", 2);
 
 void BM_StateHash(benchmark::State& state) {
   auto m = games::make_machine("duel");
@@ -164,7 +198,7 @@ std::int64_t now_ns() {
 /// A deliberately sparse workload: one RAM byte written per frame, so the
 /// v2 digest has exactly one dirty page to rehash. This is the far end of
 /// the sparseness spectrum real games sit on (duel is the other point).
-std::unique_ptr<emu::ArcadeMachine> make_sparse_machine(emu::MachineConfig cfg) {
+std::unique_ptr<emu::IDeterministicGame> make_sparse_machine(emu::MachineConfig cfg) {
   const std::string source = R"asm(
 .entry main
 main:
@@ -181,8 +215,11 @@ tick:
   return std::make_unique<emu::ArcadeMachine>(result.rom, cfg);
 }
 
+/// Produces the scenario's replica. Cores without a second interpreter
+/// backend (agent86) return nullptr for the reference configuration; the
+/// scenario then skips the A/B columns (0 in the JSON series).
 using MachineFactory =
-    std::function<std::unique_ptr<emu::ArcadeMachine>(emu::MachineConfig)>;
+    std::function<std::unique_ptr<emu::IDeterministicGame>(emu::MachineConfig)>;
 
 struct ScenarioPoint {
   std::string scenario;
@@ -201,7 +238,7 @@ struct ScenarioPoint {
 
 /// Mean ns of `digest(version)` measured across `frames` freshly-stepped
 /// frames (one digest per step, like the drivers do).
-double time_digest(emu::ArcadeMachine& m, int version, int frames) {
+double time_digest(emu::IDeterministicGame& m, int version, int frames) {
   std::int64_t total = 0;
   for (int i = 0; i < frames; ++i) {
     m.step_frame(0x0404);
@@ -212,7 +249,7 @@ double time_digest(emu::ArcadeMachine& m, int version, int frames) {
   return static_cast<double>(total) / frames;
 }
 
-double time_steps(emu::ArcadeMachine& m, int frames) {
+double time_steps(emu::IDeterministicGame& m, int frames) {
   const std::int64_t t0 = now_ns();
   for (int i = 0; i < frames; ++i) m.step_frame(0x0404);
   return static_cast<double>(now_ns() - t0) / frames;
@@ -235,11 +272,13 @@ ScenarioPoint measure_scenario(const std::string& name, const MachineFactory& ma
   auto ref = make(emu::MachineConfig{100000, true});
   for (int i = 0; i < kWarm; ++i) {
     fast->step_frame(0x0404);
-    ref->step_frame(0x0404);
+    if (ref) ref->step_frame(0x0404);
   }
   p.step_ns = time_steps(*fast, kFastSteps);
-  p.ref_step_ns = time_steps(*ref, kRefSteps);
-  p.step_speedup = p.ref_step_ns / p.step_ns;
+  if (ref) {
+    p.ref_step_ns = time_steps(*ref, kRefSteps);
+    p.step_speedup = p.ref_step_ns / p.step_ns;
+  }
   p.sessions_per_core = 1e9 / p.step_ns / 60.0;
 
   p.digest_v1_ns = time_digest(*fast, 1, kDigestFrames);
@@ -260,7 +299,7 @@ ScenarioPoint measure_scenario(const std::string& name, const MachineFactory& ma
     }
     p.save_state_into_ns = static_cast<double>(now_ns() - t0) / kSnaps;
   }
-  if (fast->faulted() || ref->faulted()) p.scenario += " [FAULTED]";
+  if (fast->faulted() || (ref && ref->faulted())) p.scenario += " [FAULTED]";
   return p;
 }
 
@@ -276,6 +315,15 @@ int run_json_mode(const std::string& path) {
     points.push_back(measure_scenario(
         std::string(game), [game](emu::MachineConfig cfg) {
           return games::make_machine(game, cfg);
+        }));
+  }
+  // The agent86 core has one interpreter, so the reference configuration
+  // yields no machine and the A/B columns stay 0.
+  for (const char* game : {"agent86:skirmish", "agent86:pong", "agent86:havoc"}) {
+    points.push_back(measure_scenario(
+        game, [game](emu::MachineConfig cfg) -> std::unique_ptr<emu::IDeterministicGame> {
+          if (cfg.reference_interpreter) return nullptr;
+          return cores::make_game(game);
         }));
   }
 
@@ -339,11 +387,13 @@ int run_json_mode(const std::string& path) {
 
   const ScenarioPoint& sparse = points[0];
   const ScenarioPoint* duel = nullptr;
+  const ScenarioPoint* a86 = nullptr;
   for (const auto& p : points) {
     if (p.scenario == "duel") duel = &p;
+    if (p.scenario == "agent86:skirmish") a86 = &p;
   }
-  if (duel == nullptr) {
-    std::printf("FAILED: no duel scenario\n");
+  if (duel == nullptr || a86 == nullptr) {
+    std::printf("FAILED: missing duel or agent86:skirmish scenario\n");
     return 1;
   }
 
@@ -368,6 +418,22 @@ int run_json_mode(const std::string& path) {
     gates.push_back({buf, duel->step_ns <= kPreFastPathDuelStepNs / 3.0});
   } else {
     std::printf("gate SKIP: absolute duel step bound (sanitized build)\n");
+  }
+  // agent86 gates. No reference interpreter to A/B against, so the core
+  // is held to (a) a genuinely incremental v2 digest and (b) an absolute
+  // step budget far under the 16.7 ms frame (the substrate-sanity claim,
+  // per core).
+  std::snprintf(buf, sizeof buf,
+                "agent86:skirmish digest speedup (v1/v2) %.1fx >= 5x",
+                a86->speedup);
+  gates.push_back({buf, a86->speedup >= 5.0});
+  if (!kSanitized) {
+    std::snprintf(buf, sizeof buf,
+                  "agent86:skirmish step %.0f ns <= %.0f ns budget",
+                  a86->step_ns, kA86StepBudgetNs);
+    gates.push_back({buf, a86->step_ns <= kA86StepBudgetNs});
+  } else {
+    std::printf("gate SKIP: absolute agent86 step bound (sanitized build)\n");
   }
 
   int rc = 0;

@@ -26,7 +26,7 @@
 #include "src/common/random.h"
 #include "src/core/replay.h"
 #include "src/emu/game.h"
-#include "src/games/roms.h"
+#include "src/cores/registry.h"
 
 namespace {
 
@@ -55,11 +55,11 @@ struct SeekPoint {
 /// that every seek must reproduce.
 core::Replay record_session(const char* game, int frames, int interval, Rng rng,
                             std::vector<std::uint64_t>* linear_digests) {
-  auto m = games::make_machine(game);
+  auto m = cores::make_game(game);
   core::SyncConfig cfg;
   cfg.digest_v2 = true;
   cfg.replay_keyframe_interval = interval;
-  core::Replay rec(m->content_id(), cfg);
+  core::Replay rec(m->content_id(), cfg, m->content_name());
   linear_digests->clear();
   linear_digests->reserve(static_cast<std::size_t>(frames));
   for (int f = 0; f < frames; ++f) {
@@ -97,7 +97,7 @@ SeekPoint run_point(const char* game, int frames, int interval, int seeks) {
     return r;
   }();
 
-  auto m = games::make_machine(game);
+  auto m = cores::make_game(game);
   Rng targets(0x5EEC + static_cast<std::uint64_t>(interval));
   std::int64_t seek_total = 0;
   std::int64_t linear_total = 0;

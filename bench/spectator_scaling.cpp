@@ -23,7 +23,7 @@
 #include "src/common/json.h"
 #include "src/core/spectate.h"
 #include "src/core/wire.h"
-#include "src/games/roms.h"
+#include "src/cores/registry.h"
 
 namespace {
 
@@ -61,7 +61,7 @@ ScalePoint run_point(int n, int frames) {
 
   // --- hub ---
   {
-    auto m = games::make_machine("duel");
+    auto m = cores::make_game("duel");
     core::SpectatorBroadcastHub hub(m->content_id(), core::SyncConfig{});
     std::vector<core::SpectatorBroadcastHub::ObserverId> ids;
     ids.reserve(static_cast<std::size_t>(n));
@@ -106,7 +106,7 @@ ScalePoint run_point(int n, int frames) {
 
   // --- legacy: one SpectatorHost per observer ---
   {
-    auto m = games::make_machine("duel");
+    auto m = cores::make_game("duel");
     std::vector<core::SpectatorHost> hosts;
     hosts.reserve(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) {

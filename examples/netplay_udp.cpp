@@ -15,9 +15,8 @@
 
 #include "src/core/input_source.h"
 #include "src/core/realtime.h"
-#include "src/emu/machine.h"
+#include "src/cores/registry.h"
 #include "src/emu/render_text.h"
-#include "src/games/roms.h"
 #include "src/net/udp_socket.h"
 
 int main(int argc, char** argv) {
@@ -26,8 +25,8 @@ int main(int argc, char** argv) {
   const std::string game = argc > 1 ? argv[1] : "duel";
   const int frames = argc > 2 ? std::atoi(argv[2]) : 480;
 
-  auto machine0 = games::make_machine(game);
-  auto machine1 = games::make_machine(game);
+  auto machine0 = cores::make_game(game);
+  auto machine1 = cores::make_game(game);
   if (!machine0 || !machine1) {
     std::fprintf(stderr, "unknown game '%s'\n", game.c_str());
     return 1;
@@ -56,9 +55,12 @@ int main(int argc, char** argv) {
   // Render site 0's screen once a second (from its frame hook).
   session0.set_frame_hook([](const emu::IDeterministicGame& g, const core::FrameRecord& r) {
     if (r.frame % 60 != 30) return;
-    const auto& m = dynamic_cast<const emu::ArcadeMachine&>(g);
+    const auto* screen = g.renderable();
+    if (screen == nullptr) return;
     std::printf("\n--- frame %lld ---\n%s", static_cast<long long>(r.frame),
-                emu::render_ascii(m.framebuffer(), emu::kFbCols, emu::kFbRows).c_str());
+                emu::render_ascii(screen->framebuffer(), screen->fb_cols(),
+                                  screen->fb_rows())
+                    .c_str());
   });
 
   std::string err0, err1;

@@ -41,9 +41,10 @@ echo "==> portable-dispatch leg (RTCT_THREADED_DISPATCH=OFF: switch backend)"
 # (the sanitized full suite above, and plain ctest for absolute numbers).
 cmake -B build-portable -S . -DRTCT_THREADED_DISPATCH=OFF >/dev/null
 cmake --build build-portable -j "$(nproc)" --target \
-      cpu_test cpu_property_test machine_test games_test emu_differential_test
+      cpu_test cpu_property_test machine_test games_test emu_differential_test \
+      cores_test agent86_test agent86_determinism_test
 ctest --test-dir build-portable \
-      -R "cpu_test|cpu_property_test|machine_test|games_test|emu_differential_test" \
+      -R "cpu_test|cpu_property_test|machine_test|games_test|emu_differential_test|cores_test|agent86_test|agent86_determinism_test" \
       --output-on-failure
 
 echo "==> rollback latency bench (lockstep-vs-rollback acceptance gate)"

@@ -222,11 +222,11 @@ std::vector<std::uint8_t> synthetic_state(std::size_t len, std::uint8_t tag) {
 /// The canonical small recording the hostile corpus shapes are carved
 /// from: 10 inputs; with keyframes, two of them (frames 3 and 7, 40 B of
 /// synthetic state each).
-core::Replay sample_replay(bool v2) {
+core::Replay sample_replay(bool v2, std::string game_name = {}) {
   core::SyncConfig cfg;
   cfg.digest_v2 = true;
   cfg.replay_keyframe_interval = v2 ? 4 : 0;
-  core::Replay r(0x1234'5678'9abc'def0ull, cfg);
+  core::Replay r(0x1234'5678'9abc'def0ull, cfg, std::move(game_name));
   for (int i = 0; i < 10; ++i) r.record(static_cast<InputWord>(i * 3 + 1));
   if (v2) {
     r.record_keyframe_raw(3, 0x0101010101010101ull, synthetic_state(40, 0x11));
@@ -522,6 +522,27 @@ std::vector<CorpusEntry> build_corpus() {
     put_u32(&b, kOffKf0Len, 2u << 20);
     fix_crc(&b);
     add_replay("rpl2_state_len_oversized", std::move(b), true);
+  }
+
+  // --- the optional game-name trailer -----------------------------------
+  const std::vector<std::uint8_t> v2n = sample_replay(true, "agent86:sample").serialize();
+  add_replay("rpl2_named_valid", v2n, false);
+  add_replay("rpl1_named_valid", sample_replay(false, "ac16:sample").serialize(), false);
+  {
+    // Name length byte claiming more bytes than are present: the trailer
+    // must account exactly for what remains before the CRC.
+    auto b = v2n;
+    b[b.size() - 8 - 1 - 14] = 200;  // len byte of the 14-char name
+    fix_crc(&b);
+    add_replay("rpl2_name_len_overrun", std::move(b), true);
+  }
+  {
+    // A zero-length name trailer is a contradiction (writers omit the
+    // section entirely when the name is unknown).
+    auto b = v2;
+    b.insert(b.end() - 8, 0x00);
+    fix_crc(&b);
+    add_replay("rpl2_name_len_zero", std::move(b), true);
   }
   return out;
 }

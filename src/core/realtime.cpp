@@ -79,7 +79,7 @@ void RealtimeSession::apply_negotiated_lag() {
     eff.digest_v2 = digest_version_ == 2;
     eff.rollback_input_delay = session_.rollback_delay();
     rollback_ = std::make_unique<RollbackSession>(site_, game_, eff);
-    replay_ = Replay(game_.content_id(), eff);
+    replay_ = Replay(game_.content_id(), eff, game_.content_name());
     return;
   }
   const int buf = session_.effective_buf_frames();
@@ -92,7 +92,7 @@ void RealtimeSession::apply_negotiated_lag() {
   SyncConfig eff = cfg_.sync;
   eff.buf_frames = buf;
   eff.digest_v2 = digest_version_ == 2;
-  replay_ = Replay(game_.content_id(), eff);
+  replay_ = Replay(game_.content_id(), eff, game_.content_name());
 }
 
 void RealtimeSession::flush_if_due() {

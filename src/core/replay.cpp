@@ -46,7 +46,7 @@ std::vector<std::uint8_t> Replay::serialize() const {
 void Replay::serialize_into(std::vector<std::uint8_t>& out) const {
   std::size_t kf_bytes = 0;
   for (const ReplayKeyframe& kf : keyframes_) kf_bytes += 16 + kf.state.size();
-  out.reserve(inputs_.size() * 2 + kf_bytes + 64);
+  out.reserve(inputs_.size() * 2 + kf_bytes + game_name_.size() + 64);
   const bool v2 = container_version() == 2;
   ByteWriter w(std::move(out));
   // Byte-wise append: GCC 12's -Wstringop-overflow misfires on an 8-byte
@@ -70,6 +70,13 @@ void Replay::serialize_into(std::vector<std::uint8_t>& out) const {
       w.u32(static_cast<std::uint32_t>(kf.state.size()));
       w.bytes(kf.state);
     }
+  }
+  // Optional trailing section: the qualified game name. Omitted when
+  // unknown, so a name-less Replay round-trips byte-identically with the
+  // pre-field layout.
+  if (!game_name_.empty() && game_name_.size() <= 255) {
+    w.u8(static_cast<std::uint8_t>(game_name_.size()));
+    for (char c : game_name_) w.u8(static_cast<std::uint8_t>(c));
   }
   w.u64(fnv1a64(w.data()));
   out = w.take();
@@ -123,7 +130,8 @@ std::optional<Replay> Replay::parse(std::span<const std::uint8_t> data) {
   if (v2) {
     if (r.remaining() < inputs_bytes + 4 + kCrcLen) return std::nullopt;
   } else {
-    if (r.remaining() != inputs_bytes + kCrcLen) return std::nullopt;
+    // v1 may carry the optional game-name trailer after the inputs.
+    if (r.remaining() < inputs_bytes + kCrcLen) return std::nullopt;
   }
   out.inputs_.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) out.inputs_.push_back(r.u16());
@@ -155,6 +163,14 @@ std::optional<Replay> Replay::parse(std::span<const std::uint8_t> data) {
       kf.state.assign(state.begin(), state.end());
       out.keyframes_.push_back(std::move(kf));
     }
+  }
+  // Optional game-name trailer: absent in pre-field recordings (only the
+  // CRC remains), else exactly u8 len + len bytes before the CRC.
+  if (r.ok() && r.remaining() > kCrcLen) {
+    const std::uint8_t name_len = r.u8();
+    if (name_len == 0 || r.remaining() != name_len + kCrcLen) return std::nullopt;
+    const auto name = r.bytes(name_len);
+    out.game_name_.assign(name.begin(), name.end());
   }
   if (!r.ok() || r.remaining() != kCrcLen) return std::nullopt;
   (void)r.u64();  // checksum — already verified above
@@ -213,6 +229,7 @@ Replay Replay::branch(FrameNo frame) const {
   out.buf_frames_ = buf_frames_;
   out.digest_version_ = digest_version_;
   out.keyframe_interval_ = keyframe_interval_;
+  out.game_name_ = game_name_;
   const FrameNo keep = std::min<FrameNo>(frame, frames() - 1);
   if (keep < 0) return out;
   out.inputs_.assign(inputs_.begin(), inputs_.begin() + static_cast<std::ptrdiff_t>(keep) + 1);

@@ -23,7 +23,14 @@
 //     u16 buf_frames, u8 digest_version, u32 keyframe_interval,
 //     u32 frame count, inputs (u16 each), u32 keyframe count,
 //     keyframes { u32 frame, u64 digest, u32 state_len, state bytes },
-//     u64 crc.
+//     [game name: u8 len, len bytes], u64 crc.
+//
+// The game-name section (both container versions) is the qualified
+// registry name the recorder ran ("ac16:duel", "agent86:skirmish") — it
+// lets tooling re-instantiate the right core directly instead of scanning
+// every bundled game for a matching content id. It is optional on read:
+// files written before the field (remaining bytes == just the CRC at that
+// point) still parse, with an empty name.
 //
 // A keyframe tagged `frame` holds the machine state *after* the input of
 // that frame was applied — the same frame/digest convention as apply()'s
@@ -62,12 +69,15 @@ struct ReplayKeyframe {
 class Replay {
  public:
   Replay() = default;
-  Replay(std::uint64_t content_id, const SyncConfig& cfg)
+  /// `game_name`, when known, is the qualified registry name of the game
+  /// being recorded (IDeterministicGame::content_name()).
+  Replay(std::uint64_t content_id, const SyncConfig& cfg, std::string game_name = {})
       : content_id_(content_id),
         cfps_(cfg.cfps),
         buf_frames_(cfg.buf_frames),
         digest_version_(cfg.digest_version()),
-        keyframe_interval_(cfg.replay_keyframe_interval) {}
+        keyframe_interval_(cfg.replay_keyframe_interval),
+        game_name_(std::move(game_name)) {}
 
   /// Appends the merged input of the next frame (call in frame order).
   void record(InputWord merged) { inputs_.push_back(merged); }
@@ -94,6 +104,8 @@ class Replay {
                            std::span<const std::uint8_t> state);
 
   [[nodiscard]] std::uint64_t content_id() const { return content_id_; }
+  /// Qualified game name the session ran (empty for pre-field recordings).
+  [[nodiscard]] const std::string& game_name() const { return game_name_; }
   [[nodiscard]] int cfps() const { return cfps_; }
   [[nodiscard]] int buf_frames() const { return buf_frames_; }
   [[nodiscard]] int digest_version() const { return digest_version_; }
@@ -165,6 +177,7 @@ class Replay {
   int buf_frames_ = 6;
   int digest_version_ = 2;
   int keyframe_interval_ = 0;  ///< 0 = linear v1 recording (no keyframes)
+  std::string game_name_;      ///< qualified name; empty = unknown/legacy
   std::vector<InputWord> inputs_;
   std::vector<ReplayKeyframe> keyframes_;
 };

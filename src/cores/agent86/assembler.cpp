@@ -1,0 +1,761 @@
+#include "src/cores/agent86/assembler.h"
+
+#include <cctype>
+#include <map>
+#include <optional>
+
+namespace rtct::a86 {
+
+namespace {
+
+std::string upper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_' || c == '.';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' || c == '.';
+}
+
+std::optional<Reg> parse_reg(std::string_view tok) {
+  const std::string u = upper(tok);
+  if (u == "AX") return AX;
+  if (u == "BX") return BX;
+  if (u == "CX") return CX;
+  if (u == "DX") return DX;
+  if (u == "SI") return SI;
+  if (u == "DI") return DI;
+  if (u == "SP") return SP;
+  return std::nullopt;
+}
+
+/// Parsed operand shape (values resolved lazily: `text` keeps the raw
+/// expression so pass 2 can evaluate it with the full symbol table).
+struct Operand {
+  enum Kind { kReg, kMem, kExpr } kind = kExpr;
+  Reg reg = AX;       // kReg: the register; kMem: the base register
+  std::string text;   // kExpr: immediate expression; kMem: displacement ("" = 0)
+};
+
+// ---- expression evaluation (recursive descent) ----------------------------
+
+class ExprParser {
+ public:
+  ExprParser(std::string_view s, const std::map<std::string, std::int64_t>& syms)
+      : s_(s), syms_(syms) {}
+
+  /// Returns nullopt and sets error() on failure.
+  std::optional<std::int64_t> parse() {
+    auto v = expr();
+    skip_ws();
+    if (v && pos_ != s_.size()) {
+      err_ = "trailing characters in expression: '" + std::string(s_.substr(pos_)) + "'";
+      return std::nullopt;
+    }
+    return v;
+  }
+
+  [[nodiscard]] const std::string& error() const { return err_; }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t')) ++pos_;
+  }
+
+  std::optional<std::int64_t> expr() {
+    auto lhs = term();
+    if (!lhs) return std::nullopt;
+    for (;;) {
+      skip_ws();
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) {
+        const char op = s_[pos_++];
+        auto rhs = term();
+        if (!rhs) return std::nullopt;
+        *lhs = op == '+' ? *lhs + *rhs : *lhs - *rhs;
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  std::optional<std::int64_t> term() {
+    auto lhs = factor();
+    if (!lhs) return std::nullopt;
+    for (;;) {
+      skip_ws();
+      if (pos_ < s_.size() && (s_[pos_] == '*' || s_[pos_] == '/' || s_[pos_] == '%')) {
+        const char op = s_[pos_++];
+        auto rhs = factor();
+        if (!rhs) return std::nullopt;
+        if ((op == '/' || op == '%') && *rhs == 0) {
+          err_ = "division by zero";
+          return std::nullopt;
+        }
+        *lhs = op == '*' ? *lhs * *rhs : op == '/' ? *lhs / *rhs : *lhs % *rhs;
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  std::optional<std::int64_t> factor() {
+    skip_ws();
+    if (pos_ >= s_.size()) {
+      err_ = "expected value";
+      return std::nullopt;
+    }
+    const char c = s_[pos_];
+    if (c == '-') {
+      ++pos_;
+      auto v = factor();
+      if (!v) return std::nullopt;
+      return -*v;
+    }
+    if (c == '(') {
+      ++pos_;
+      auto v = expr();
+      if (!v) return std::nullopt;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ')') {
+        err_ = "missing ')'";
+        return std::nullopt;
+      }
+      ++pos_;
+      return v;
+    }
+    if (c == '\'') {
+      if (pos_ + 2 >= s_.size() || s_[pos_ + 2] != '\'') {
+        err_ = "malformed char literal";
+        return std::nullopt;
+      }
+      const std::int64_t v = static_cast<unsigned char>(s_[pos_ + 1]);
+      pos_ += 3;
+      return v;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) return number();
+    if (is_ident_start(c)) {
+      const std::size_t start = pos_;
+      while (pos_ < s_.size() && is_ident_char(s_[pos_])) ++pos_;
+      const std::string name = upper(s_.substr(start, pos_ - start));
+      const auto it = syms_.find(name);
+      if (it == syms_.end()) {
+        err_ = "undefined symbol '" + name + "'";
+        return std::nullopt;
+      }
+      return it->second;
+    }
+    err_ = std::string("unexpected character '") + c + "'";
+    return std::nullopt;
+  }
+
+  std::optional<std::int64_t> number() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() && std::isalnum(static_cast<unsigned char>(s_[pos_])) != 0) ++pos_;
+    std::string tok = upper(s_.substr(start, pos_ - start));
+    int base = 10;
+    if (tok.size() > 2 && tok[0] == '0' && tok[1] == 'X') {
+      base = 16;
+      tok = tok.substr(2);
+    } else if (tok.size() > 2 && tok[0] == '0' && tok[1] == 'B' &&
+               tok.find_first_not_of("01", 2) == std::string::npos) {
+      base = 2;
+      tok = tok.substr(2);
+    } else if (tok.size() > 1 && tok.back() == 'H') {
+      base = 16;  // 8086-style trailing-h hex (must start with a digit)
+      tok.pop_back();
+    }
+    if (tok.empty()) {
+      err_ = "malformed number";
+      return std::nullopt;
+    }
+    std::int64_t v = 0;
+    for (const char d : tok) {
+      int digit;
+      if (d >= '0' && d <= '9') digit = d - '0';
+      else if (d >= 'A' && d <= 'F') digit = d - 'A' + 10;
+      else digit = 99;
+      if (digit >= base) {
+        err_ = "malformed number '" + std::string(s_.substr(start, pos_ - start)) + "'";
+        return std::nullopt;
+      }
+      v = v * base + digit;
+      if (v > 0xFFFFFFFFll) {
+        err_ = "number out of range";
+        return std::nullopt;
+      }
+    }
+    return v;
+  }
+
+  std::string_view s_;
+  const std::map<std::string, std::int64_t>& syms_;
+  std::size_t pos_ = 0;
+  std::string err_;
+};
+
+// ---- statement model -------------------------------------------------------
+
+struct Statement {
+  int line = 0;
+  std::string mnemonic;            // uppercased; empty for pure-label lines
+  std::vector<std::string> args;   // raw operand texts (comma-split)
+  std::uint32_t addr = 0;          // assigned in pass 1
+  std::vector<Operand> ops;        // parsed operand shapes (instructions)
+  bool bad = false;                // errored in pass 1; pass 2 skips it
+};
+
+/// Splits an operand list on commas that are not inside brackets/quotes.
+std::vector<std::string> split_args(std::string_view s) {
+  std::vector<std::string> out;
+  int depth = 0;
+  bool in_str = false, in_chr = false;
+  std::string cur;
+  for (const char c : s) {
+    if (in_str) {
+      cur += c;
+      if (c == '"') in_str = false;
+      continue;
+    }
+    if (in_chr) {
+      cur += c;
+      if (c == '\'') in_chr = false;
+      continue;
+    }
+    if (c == '"') in_str = true;
+    if (c == '\'') in_chr = true;
+    if (c == '[' || c == '(') ++depth;
+    if (c == ']' || c == ')') --depth;
+    if (c == ',' && depth == 0) {
+      out.push_back(cur);
+      cur.clear();
+      continue;
+    }
+    cur += c;
+  }
+  if (!cur.empty()) out.push_back(cur);
+  for (auto& a : out) {  // trim
+    const auto b = a.find_first_not_of(" \t");
+    const auto e = a.find_last_not_of(" \t");
+    a = b == std::string::npos ? "" : a.substr(b, e - b + 1);
+  }
+  while (!out.empty() && out.back().empty()) out.pop_back();
+  return out;
+}
+
+// ---- the assembler ---------------------------------------------------------
+
+class Assembler {
+ public:
+  AsmResult run(std::string_view source, std::string name) {
+    result_.program.name = std::move(name);
+    parse_lines(source);
+    pass1();
+    // Pass 2 runs even after pass-1 errors (skipping the bad statements)
+    // so later lines still get diagnostics; a program only ships clean.
+    pass2();
+    if (result_.ok()) {
+      result_.program.org = static_cast<std::uint16_t>(org_);
+      result_.program.entry =
+          entry_.has_value() ? static_cast<std::uint16_t>(*entry_) : result_.program.org;
+      result_.program.image = std::move(image_);
+    }
+    return std::move(result_);
+  }
+
+ private:
+  void error(int line, std::string msg) { result_.errors.push_back({line, std::move(msg)}); }
+
+  void parse_lines(std::string_view source) {
+    int line_no = 0;
+    std::size_t pos = 0;
+    while (pos <= source.size()) {
+      const std::size_t nl = source.find('\n', pos);
+      std::string_view line =
+          source.substr(pos, nl == std::string_view::npos ? std::string_view::npos : nl - pos);
+      pos = nl == std::string_view::npos ? source.size() + 1 : nl + 1;
+      ++line_no;
+
+      // Strip comments (respecting char/string literals).
+      std::string clean;
+      bool in_str = false, in_chr = false;
+      for (const char c : line) {
+        if (!in_str && !in_chr && (c == ';' || c == '#')) break;
+        if (c == '"' && !in_chr) in_str = !in_str;
+        if (c == '\'' && !in_str) in_chr = !in_chr;
+        clean += c;
+      }
+      // Leading label(s).
+      std::string_view rest = clean;
+      for (;;) {
+        const auto b = rest.find_first_not_of(" \t");
+        if (b == std::string_view::npos) {
+          rest = {};
+          break;
+        }
+        rest = rest.substr(b);
+        std::size_t i = 0;
+        while (i < rest.size() && is_ident_char(rest[i])) ++i;
+        if (i > 0 && i < rest.size() && rest[i] == ':' && is_ident_start(rest[0])) {
+          Statement label_stmt;
+          label_stmt.line = line_no;
+          label_stmt.mnemonic = "";
+          label_stmt.args.push_back(upper(rest.substr(0, i)));
+          stmts_.push_back(std::move(label_stmt));
+          rest = rest.substr(i + 1);
+          continue;
+        }
+        break;
+      }
+      if (rest.empty()) continue;
+
+      // First token = mnemonic/directive — unless the second token is EQU
+      // ("NAME EQU expr", 8086 style).
+      std::size_t i = 0;
+      while (i < rest.size() && !std::isspace(static_cast<unsigned char>(rest[i]))) ++i;
+      std::string first = upper(rest.substr(0, i));
+      std::string_view tail = rest.substr(i);
+      const auto tb = tail.find_first_not_of(" \t");
+      tail = tb == std::string_view::npos ? std::string_view{} : tail.substr(tb);
+
+      std::size_t j = 0;
+      while (j < tail.size() && !std::isspace(static_cast<unsigned char>(tail[j]))) ++j;
+      if (upper(tail.substr(0, j)) == "EQU") {
+        Statement st;
+        st.line = line_no;
+        st.mnemonic = "EQU";
+        st.args.push_back(first);
+        std::string_view expr = tail.substr(j);
+        const auto eb = expr.find_first_not_of(" \t");
+        st.args.push_back(eb == std::string_view::npos ? "" : std::string(expr.substr(eb)));
+        stmts_.push_back(std::move(st));
+        continue;
+      }
+
+      Statement st;
+      st.line = line_no;
+      st.mnemonic = std::move(first);
+      st.args = split_args(tail);
+      stmts_.push_back(std::move(st));
+    }
+  }
+
+  std::optional<std::int64_t> eval(int line, std::string_view text) {
+    ExprParser p(text, syms_);
+    auto v = p.parse();
+    if (!v) error(line, p.error());
+    return v;
+  }
+
+  /// Parses an operand's *shape* (pass 1 — no symbol values needed).
+  std::optional<Operand> parse_operand(int line, const std::string& text) {
+    Operand op;
+    if (text.empty()) {
+      error(line, "empty operand");
+      return std::nullopt;
+    }
+    if (text.front() == '[') {
+      if (text.back() != ']') {
+        error(line, "missing ']' in memory operand");
+        return std::nullopt;
+      }
+      std::string inner = text.substr(1, text.size() - 2);
+      const auto b = inner.find_first_not_of(" \t");
+      if (b == std::string::npos) {
+        error(line, "empty memory operand");
+        return std::nullopt;
+      }
+      inner = inner.substr(b);
+      std::size_t i = 0;
+      while (i < inner.size() && is_ident_char(inner[i])) ++i;
+      const auto base = parse_reg(std::string_view(inner).substr(0, i));
+      if (!base) {
+        error(line, "memory operand must be [REG] or [REG+disp]");
+        return std::nullopt;
+      }
+      op.kind = Operand::kMem;
+      op.reg = *base;
+      std::string_view rest = std::string_view(inner).substr(i);
+      const auto rb = rest.find_first_not_of(" \t");
+      if (rb != std::string_view::npos) {
+        rest = rest.substr(rb);
+        if (rest.front() != '+') {
+          error(line, "memory displacement must be written [REG+expr]");
+          return std::nullopt;
+        }
+        op.text = std::string(rest.substr(1));
+      }
+      return op;
+    }
+    if (const auto r = parse_reg(text)) {
+      op.kind = Operand::kReg;
+      op.reg = *r;
+      return op;
+    }
+    op.kind = Operand::kExpr;
+    op.text = text;
+    return op;
+  }
+
+  /// Instruction size in bytes from mnemonic + operand shapes; 0 = error.
+  std::size_t instr_size(const Statement& st) {
+    const std::string& m = st.mnemonic;
+    const auto& ops = st.ops;
+    const auto shapes_are = [&](Operand::Kind a, Operand::Kind b) {
+      return ops.size() == 2 && ops[0].kind == a && ops[1].kind == b;
+    };
+    if (m == "NOP" || m == "HLT" || m == "INT3" || m == "RET") {
+      if (!ops.empty()) { error(st.line, m + " takes no operands"); return 0; }
+      return 1;
+    }
+    if (m == "JMP" || m == "JZ" || m == "JE" || m == "JNZ" || m == "JNE" || m == "JC" ||
+        m == "JB" || m == "JNC" || m == "JAE" || m == "JS" || m == "JNS" || m == "LOOP" ||
+        m == "CALL") {
+      if (ops.size() != 1 || ops[0].kind != Operand::kExpr) {
+        error(st.line, m + " takes one address expression");
+        return 0;
+      }
+      return 3;
+    }
+    if (m == "PUSH" || m == "POP" || m == "NEG" || m == "NOT" || m == "INC" || m == "DEC") {
+      if (ops.size() != 1 || ops[0].kind != Operand::kReg) {
+        error(st.line, m + " takes one register");
+        return 0;
+      }
+      return 2;
+    }
+    if (m == "OUT") {
+      if (!shapes_are(Operand::kExpr, Operand::kReg)) {
+        error(st.line, "OUT takes a port number and a register");
+        return 0;
+      }
+      return 3;
+    }
+    if (m == "ADD" || m == "SUB" || m == "AND" || m == "OR" || m == "XOR" || m == "SHL" ||
+        m == "SHR" || m == "MUL" || m == "CMP") {
+      if (shapes_are(Operand::kReg, Operand::kReg)) return 2;
+      if (shapes_are(Operand::kReg, Operand::kExpr)) return 4;
+      error(st.line, m + " takes REG, REG or REG, imm");
+      return 0;
+    }
+    if (m == "MOV") {
+      if (shapes_are(Operand::kReg, Operand::kExpr)) return 4;
+      if (shapes_are(Operand::kReg, Operand::kReg)) return 2;
+      if (shapes_are(Operand::kReg, Operand::kMem) || shapes_are(Operand::kMem, Operand::kReg))
+        return 3;
+      error(st.line, "MOV operands must be REG,imm / REG,REG / REG,[mem] / [mem],REG");
+      return 0;
+    }
+    if (m == "MOVB") {
+      if (shapes_are(Operand::kReg, Operand::kMem) || shapes_are(Operand::kMem, Operand::kReg))
+        return 3;
+      error(st.line, "MOVB operands must be REG,[mem] or [mem],REG");
+      return 0;
+    }
+    error(st.line, "unknown mnemonic '" + m + "'");
+    return 0;
+  }
+
+  void pass1() {
+    std::int64_t pc = -1;  // -1 = org not pinned yet (set by first ORG or first emission)
+    bool emitted = false;
+    const auto pin = [&]() {
+      if (pc < 0) {
+        org_ = kDefaultOrg;
+        pc = kDefaultOrg;
+      }
+    };
+    bool overflow = false;
+    for (auto& st : stmts_) {
+      const std::size_t errs_before = result_.errors.size();
+      [&] {
+        if (st.mnemonic.empty()) {  // label
+          pin();
+          const std::string& name = st.args[0];
+          if (parse_reg(name) || syms_.count(name) != 0) {
+            error(st.line, "duplicate or reserved symbol '" + name + "'");
+            return;
+          }
+          syms_[name] = pc;
+          return;
+        }
+        if (st.mnemonic == "EQU") {
+          const std::string name = upper(st.args[0]);
+          if (parse_reg(name) || syms_.count(name) != 0) {
+            error(st.line, "duplicate or reserved symbol '" + name + "'");
+            return;
+          }
+          const auto v = eval(st.line, st.args[1]);
+          if (v) syms_[name] = *v;
+          return;
+        }
+        if (st.mnemonic == "ORG") {
+          if (st.args.size() != 1) { error(st.line, "ORG takes one expression"); return; }
+          const auto v = eval(st.line, st.args[0]);
+          if (!v) return;
+          if (*v < 0 || *v >= static_cast<std::int64_t>(kMemSize)) {
+            error(st.line, "ORG out of range");
+            return;
+          }
+          if (!emitted && pc < 0) {
+            org_ = *v;
+            pc = *v;
+          } else if (*v < pc) {
+            error(st.line, "ORG may not move backwards");
+            return;
+          } else {
+            pc = *v;
+          }
+          st.addr = static_cast<std::uint32_t>(pc);
+          return;
+        }
+        if (st.mnemonic == "ENTRY") {
+          return;  // evaluated in pass 2 (forward label refs allowed)
+        }
+        pin();
+        st.addr = static_cast<std::uint32_t>(pc);
+        std::size_t size = 0;
+        if (st.mnemonic == "DB") {
+          for (const auto& a : st.args) {
+            if (a.size() >= 2 && a.front() == '"' && a.back() == '"') size += a.size() - 2;
+            else size += 1;
+          }
+          if (st.args.empty()) error(st.line, "DB needs operands");
+        } else if (st.mnemonic == "DW") {
+          size = st.args.size() * 2;
+          if (st.args.empty()) error(st.line, "DW needs operands");
+        } else if (st.mnemonic == "RESB") {
+          if (st.args.size() != 1) { error(st.line, "RESB takes one expression"); return; }
+          const auto v = eval(st.line, st.args[0]);
+          if (!v || *v < 0 || *v > static_cast<std::int64_t>(kMemSize)) {
+            if (v) error(st.line, "RESB size out of range");
+            return;
+          }
+          size = static_cast<std::size_t>(*v);
+        } else {
+          bool ops_ok = true;
+          for (const auto& a : st.args) {
+            auto op = parse_operand(st.line, a);
+            if (!op) {
+              ops_ok = false;
+              break;
+            }
+            st.ops.push_back(std::move(*op));
+          }
+          if (ops_ok) size = instr_size(st);
+        }
+        pc += static_cast<std::int64_t>(size);
+        emitted = emitted || size > 0;
+        if (pc > static_cast<std::int64_t>(kMemSize)) {
+          error(st.line, "program exceeds 64 KiB address space");
+          overflow = true;
+        }
+      }();
+      st.bad = result_.errors.size() > errs_before;
+      if (overflow) return;
+    }
+    if (pc < 0) {
+      org_ = kDefaultOrg;
+      pc = kDefaultOrg;
+    }
+    end_ = pc;
+  }
+
+  void emit8(std::int64_t v) { image_.push_back(static_cast<std::uint8_t>(v & 0xFF)); }
+  void emit16(std::int64_t v) {
+    emit8(v & 0xFF);
+    emit8((v >> 8) & 0xFF);
+  }
+
+  /// Evaluates to a 16-bit value (immediates/addresses wrap like the CPU).
+  std::optional<std::uint16_t> eval16(int line, std::string_view text) {
+    const auto v = eval(line, text);
+    if (!v) return std::nullopt;
+    if (*v < -0x8000 || *v > 0xFFFF) {
+      error(line, "value out of 16-bit range");
+      return std::nullopt;
+    }
+    return static_cast<std::uint16_t>(*v & 0xFFFF);
+  }
+
+  std::optional<std::uint8_t> eval_disp(int line, const Operand& op) {
+    if (op.text.empty()) return 0;
+    const auto v = eval(line, op.text);
+    if (!v) return std::nullopt;
+    if (*v < 0 || *v > 0xFF) {
+      error(line, "memory displacement must be 0..255");
+      return std::nullopt;
+    }
+    return static_cast<std::uint8_t>(*v);
+  }
+
+  void pass2() {
+    for (const auto& st : stmts_) {
+      if (st.bad || st.mnemonic.empty() || st.mnemonic == "EQU") continue;
+      if (st.mnemonic == "ORG") {
+        const auto target = static_cast<std::size_t>(st.addr - static_cast<std::uint32_t>(org_));
+        while (image_.size() < target) emit8(0);
+        continue;
+      }
+      if (st.mnemonic == "ENTRY") {
+        if (st.args.size() != 1) { error(st.line, "ENTRY takes one expression"); continue; }
+        const auto v = eval16(st.line, st.args[0]);
+        if (v) entry_ = *v;
+        continue;
+      }
+      if (st.mnemonic == "DB") {
+        for (const auto& a : st.args) {
+          if (a.size() >= 2 && a.front() == '"' && a.back() == '"') {
+            for (std::size_t i = 1; i + 1 < a.size(); ++i) emit8(a[i]);
+          } else {
+            const auto v = eval(st.line, a);
+            if (v) emit8(*v);
+            else emit8(0);
+          }
+        }
+        continue;
+      }
+      if (st.mnemonic == "DW") {
+        for (const auto& a : st.args) {
+          const auto v = eval16(st.line, a);
+          emit16(v ? *v : 0);
+        }
+        continue;
+      }
+      if (st.mnemonic == "RESB") {
+        const auto v = eval(st.line, st.args[0]);
+        for (std::int64_t i = 0; v && i < *v; ++i) emit8(0);
+        continue;
+      }
+      encode(st);
+    }
+  }
+
+  void encode(const Statement& st) {
+    const std::string& m = st.mnemonic;
+    const auto& ops = st.ops;
+    const auto rr = [](Reg a, Reg b) {
+      return static_cast<std::uint8_t>((a << 4) | b);
+    };
+    if (m == "NOP") { emit8(kNop); return; }
+    if (m == "HLT") { emit8(kHlt); return; }
+    if (m == "INT3") { emit8(kInt3); return; }
+    if (m == "RET") { emit8(kRet); return; }
+
+    static const std::map<std::string, Op> kJumps = {
+        {"JMP", kJmp}, {"JZ", kJz},   {"JE", kJz},   {"JNZ", kJnz}, {"JNE", kJnz},
+        {"JC", kJc},   {"JB", kJc},   {"JNC", kJnc}, {"JAE", kJnc}, {"JS", kJs},
+        {"JNS", kJns}, {"LOOP", kLoop}, {"CALL", kCall}};
+    if (const auto it = kJumps.find(m); it != kJumps.end()) {
+      emit8(it->second);
+      const auto v = eval16(st.line, ops[0].text);
+      emit16(v ? *v : 0);
+      return;
+    }
+
+    static const std::map<std::string, Op> kUnary = {
+        {"PUSH", kPush}, {"POP", kPop}, {"NEG", kNeg}, {"NOT", kNot},
+        {"INC", kInc},   {"DEC", kDec}};
+    if (const auto it = kUnary.find(m); it != kUnary.end()) {
+      emit8(it->second);
+      emit8(ops[0].reg);
+      return;
+    }
+
+    if (m == "OUT") {
+      const auto port = eval(st.line, ops[0].text);
+      if (port && (*port < 0 || *port > 0xFF)) error(st.line, "port must be 0..255");
+      emit8(kOut);
+      emit8(port ? *port : 0);
+      emit8(ops[1].reg);
+      return;
+    }
+
+    static const std::map<std::string, int> kAlu = {{"ADD", 0}, {"SUB", 1}, {"AND", 2},
+                                                    {"OR", 3},  {"XOR", 4}, {"SHL", 5},
+                                                    {"SHR", 6}, {"MUL", 7}};
+    if (const auto it = kAlu.find(m); it != kAlu.end()) {
+      if (ops[1].kind == Operand::kReg) {
+        emit8(kAddRR + it->second);
+        emit8(rr(ops[0].reg, ops[1].reg));
+      } else {
+        emit8(kAddRI + it->second);
+        emit8(ops[0].reg);
+        const auto v = eval16(st.line, ops[1].text);
+        emit16(v ? *v : 0);
+      }
+      return;
+    }
+    if (m == "CMP") {
+      if (ops[1].kind == Operand::kReg) {
+        emit8(kCmpRR);
+        emit8(rr(ops[0].reg, ops[1].reg));
+      } else {
+        emit8(kCmpRI);
+        emit8(ops[0].reg);
+        const auto v = eval16(st.line, ops[1].text);
+        emit16(v ? *v : 0);
+      }
+      return;
+    }
+
+    if (m == "MOV" || m == "MOVB") {
+      const bool byte = m == "MOVB";
+      if (!byte && ops[0].kind == Operand::kReg && ops[1].kind == Operand::kExpr) {
+        emit8(kMovRI);
+        emit8(ops[0].reg);
+        const auto v = eval16(st.line, ops[1].text);
+        emit16(v ? *v : 0);
+        return;
+      }
+      if (!byte && ops[0].kind == Operand::kReg && ops[1].kind == Operand::kReg) {
+        emit8(kMovRR);
+        emit8(rr(ops[0].reg, ops[1].reg));
+        return;
+      }
+      if (ops[0].kind == Operand::kReg && ops[1].kind == Operand::kMem) {
+        emit8(byte ? kLdB : kLdW);
+        emit8(rr(ops[0].reg, ops[1].reg));
+        const auto d = eval_disp(st.line, ops[1]);
+        emit8(d ? *d : 0);
+        return;
+      }
+      if (ops[0].kind == Operand::kMem && ops[1].kind == Operand::kReg) {
+        emit8(byte ? kStB : kStW);
+        emit8(rr(ops[0].reg, ops[1].reg));
+        const auto d = eval_disp(st.line, ops[0]);
+        emit8(d ? *d : 0);
+        return;
+      }
+    }
+    error(st.line, "internal: unencodable statement");  // instr_size screens shapes
+  }
+
+  AsmResult result_;
+  std::vector<Statement> stmts_;
+  std::map<std::string, std::int64_t> syms_;
+  std::vector<std::uint8_t> image_;
+  std::int64_t org_ = kDefaultOrg;
+  std::int64_t end_ = 0;
+  std::optional<std::uint16_t> entry_;
+};
+
+}  // namespace
+
+std::string AsmResult::error_text() const {
+  std::string out;
+  for (const auto& e : errors) {
+    out += "line " + std::to_string(e.line) + ": " + e.message + "\n";
+  }
+  return out;
+}
+
+AsmResult assemble(std::string_view source, std::string name) {
+  Assembler a;
+  return a.run(source, std::move(name));
+}
+
+}  // namespace rtct::a86

@@ -1,0 +1,51 @@
+// Two-pass agent86 assembler.
+//
+// The bundled agent86 games are written in this 8086-flavored assembly and
+// assembled at startup, mirroring how the AC16 games are built — the game
+// stays genuinely separate from the engine.
+//
+// Syntax (case-insensitive keywords, one statement per line):
+//   ; comment (also "#")
+//   label:                      ; defines `label` = current address
+//   ORG expr                    ; move assembly origin (default 0x0100)
+//   NAME EQU expr               ; define constant (backward refs only)
+//   ENTRY expr                  ; set entry point (default = first ORG)
+//   DB expr|"string", ...       ; emit bytes
+//   DW expr, ...                ; emit little-endian words
+//   RESB expr                   ; emit zero bytes
+//   MNEMONIC operands           ; see isa.h
+//
+// Operands: registers AX BX CX DX SI DI SP; memory as [REG] / [REG+expr]
+// (displacement is an unsigned byte, 0..255); immediates are expressions
+// over decimal / 0x / 0b / trailing-h hex / 'c' char literals, labels and
+// EQU symbols, with + - * / %, unary -, and parentheses.
+// Mnemonic aliases: JE=JZ, JNE=JNZ, JB=JC, JAE=JNC.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/cores/agent86/isa.h"
+
+namespace rtct::a86 {
+
+struct AsmError {
+  int line = 0;  ///< 1-based source line
+  std::string message;
+};
+
+struct AsmResult {
+  Program program;
+  std::vector<AsmError> errors;
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+  /// All errors joined, one per line — for test failure messages.
+  [[nodiscard]] std::string error_text() const;
+};
+
+/// Assembles agent86 source into a Program. Never throws; syntax problems
+/// are reported per line in the result.
+AsmResult assemble(std::string_view source, std::string name = "untitled");
+
+}  // namespace rtct::a86

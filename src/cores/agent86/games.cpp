@@ -1,0 +1,39 @@
+#include "src/cores/agent86/games.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/cores/agent86/assembler.h"
+
+namespace rtct::a86 {
+
+namespace detail {
+
+Program build_program(const std::string& name, const char* source) {
+  auto result = assemble(source, name);
+  if (!result.ok()) {
+    std::fprintf(stderr, "agent86: bundled game '%s' failed to assemble:\n%s", name.c_str(),
+                 result.error_text().c_str());
+    std::abort();
+  }
+  return std::move(result.program);
+}
+
+}  // namespace detail
+
+std::vector<std::string_view> game_names() { return {"skirmish", "pong", "havoc"}; }
+
+const Program* program_by_name(std::string_view name) {
+  if (name == "skirmish") return &skirmish_program();
+  if (name == "pong") return &pong_program();
+  if (name == "havoc") return &havoc_program();
+  return nullptr;
+}
+
+std::unique_ptr<Agent86Machine> make_machine(std::string_view name, MachineConfig cfg) {
+  const Program* program = program_by_name(name);
+  if (program == nullptr) return nullptr;
+  return std::make_unique<Agent86Machine>(*program, cfg);
+}
+
+}  // namespace rtct::a86

@@ -1,0 +1,42 @@
+// Bundled agent86 games: two-player programs written in agent86 assembly
+// and assembled at startup (cached), mirroring src/games for AC16.
+//
+//   skirmish  two fighters: move, punch (range + cooldown), block, rounds
+//   pong      deliberately shares its name with ac16:pong — same label,
+//             different image, so cross-core pairing MUST be refused by
+//             the content-id handshake (§2 "same game image")
+//   havoc     determinism stressor: input-seeded xorshift PRNG scribbling
+//             RAM and video, MUL mixing, deep CALL recursion
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/cores/agent86/isa.h"
+#include "src/cores/agent86/machine.h"
+
+namespace rtct::a86 {
+
+/// Names of all bundled agent86 games.
+std::vector<std::string_view> game_names();
+
+/// Looks up a bundled game's assembled program; nullptr when unknown.
+/// Programs are assembled once and cached for the process lifetime.
+const Program* program_by_name(std::string_view name);
+
+/// Creates a machine running a bundled game; nullptr when unknown.
+std::unique_ptr<Agent86Machine> make_machine(std::string_view name, MachineConfig cfg = {});
+
+const Program& skirmish_program();
+const Program& pong_program();
+const Program& havoc_program();
+
+namespace detail {
+/// Assembles a bundled source, aborting loudly on error (a bundled game
+/// that does not assemble is a build defect, not a runtime condition).
+Program build_program(const std::string& name, const char* source);
+}  // namespace detail
+
+}  // namespace rtct::a86

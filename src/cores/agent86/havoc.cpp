@@ -1,0 +1,101 @@
+// agent86:havoc — the determinism stressor (agent86's "torture"). Mixes
+// both players' inputs and the frame counter into a 16-bit xorshift PRNG,
+// scribbles 256 pseudo-random bytes across a wandering window, splashes a
+// video row, and runs an 8-deep CALL chain so the stack page churns too.
+// Every byte it touches is synchronized state: any replica divergence
+// (missed input, bad rollback, stale page digest) amplifies within frames.
+#include "src/cores/agent86/games.h"
+
+namespace rtct::a86 {
+
+namespace {
+constexpr const char* kSource = R"asm(
+; ---- agent86 havoc --------------------------------------------------------
+VID     EQU 0B800h
+INP     EQU 0F800h
+STATE   EQU 0x0400
+O_RNG   EQU 2
+O_PTR   EQU 4
+
+        ORG 0x0100
+
+frame:
+        MOV SI, STATE
+        ; fold inputs + frame number into the PRNG state
+        MOV DI, INP
+        MOVB AX, [DI]
+        MOVB BX, [DI+1]
+        SHL BX, 8
+        OR AX, BX
+        MOV BX, [DI+2]       ; frame counter low word
+        XOR AX, BX
+        MOV BX, [SI+O_RNG]
+        XOR AX, BX
+        ; 16-bit xorshift (7, 9, 8)
+        MOV BX, AX
+        SHL BX, 7
+        XOR AX, BX
+        MOV BX, AX
+        SHR BX, 9
+        XOR AX, BX
+        MOV BX, AX
+        SHL BX, 8
+        XOR AX, BX
+        MOV [SI+O_RNG], AX
+        ; scribble 256 bytes over a wandering window in 0x2000..0x5FFF
+        MOV DI, [SI+O_PTR]
+        AND DI, 0x3FFF
+        ADD DI, 0x2000
+        MOV CX, 256
+scrib:
+        MUL AX, 31
+        ADD AX, CX
+        MOVB [DI], AX
+        INC DI
+        LOOP scrib
+        ; advance the window by a prime so pages interleave across frames
+        MOV DI, [SI+O_PTR]
+        ADD DI, 509
+        MOV [SI+O_PTR], DI
+        ; splash video row (frame & 31)
+        MOV DI, INP
+        MOV BX, [DI+2]
+        AND BX, 31
+        SHL BX, 6
+        ADD BX, VID
+        MOV DI, BX
+        MOV CX, 64
+vid_lp:
+        MOVB [DI], AX
+        MUL AX, 13
+        ADD AX, 7
+        INC DI
+        LOOP vid_lp
+        ; 8-deep recursive mix (stack page traffic)
+        MOV CX, 8
+        CALL rec
+        MOV BX, [SI+O_RNG]
+        XOR BX, AX
+        MOV [SI+O_RNG], BX
+        HLT
+        JMP frame
+
+rec:
+        MUL AX, 33
+        ADD AX, CX
+        DEC CX
+        JZ rec_done
+        CALL rec
+rec_done:
+        RET
+
+        ENTRY frame
+)asm";
+}  // namespace
+
+const Program& havoc_program() {
+  static const Program program = detail::build_program("havoc", kSource);
+  return program;
+}
+
+}  // namespace rtct::a86

@@ -1,0 +1,128 @@
+// Agent86Machine: the complete second core — CPU, flat 64 KiB RAM,
+// memory-mapped input block and text video — implementing the identical
+// IDeterministicGame contract as AC16's ArcadeMachine. The sync layer
+// (src/core) runs it without a single special case; that is the point.
+//
+// Determinism notes mirror AC16: pure 16-bit integer machine, all
+// arithmetic wraps mod 2^16, inputs are latched into the 0xF800 block
+// before the frame runs, and the per-frame cycle budget turns a runaway
+// frame into a deterministic fault instead of a hang.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/cores/agent86/isa.h"
+#include "src/emu/game.h"
+
+namespace rtct::a86 {
+
+struct MachineConfig {
+  /// Per-frame cycle budget; exceeding it faults (a program must HLT once
+  /// per frame, like real-mode code spinning on vsync).
+  int cycles_per_frame = 50000;
+};
+
+class Agent86Machine final : public emu::IDeterministicGame, public emu::IRenderableGame {
+ public:
+  explicit Agent86Machine(Program program, MachineConfig cfg = {});
+
+  // IDeterministicGame
+  void reset() override;
+  void step_frame(InputWord input) override;
+  [[nodiscard]] std::uint64_t state_hash() const override;
+  [[nodiscard]] std::uint64_t state_digest(int version) const override;
+  [[nodiscard]] std::vector<std::uint64_t> page_digests() const override;
+  [[nodiscard]] std::uint32_t page_digest_base() const override { return 0; }
+  [[nodiscard]] std::vector<std::uint8_t> save_state() const override;
+  void save_state_into(std::vector<std::uint8_t>& out) const override;
+  bool load_state(std::span<const std::uint8_t> data) override;
+  [[nodiscard]] FrameNo frame() const override { return frame_; }
+  [[nodiscard]] std::uint64_t content_id() const override { return checksum_; }
+  [[nodiscard]] std::string content_name() const override {
+    return "agent86:" + program_.name;
+  }
+  [[nodiscard]] bool faulted() const override { return fault_ != Fault::kNone; }
+  [[nodiscard]] const emu::IRenderableGame* renderable() const override { return this; }
+
+  // IRenderableGame
+  [[nodiscard]] int fb_cols() const override { return kFbCols; }
+  [[nodiscard]] int fb_rows() const override { return kFbRows; }
+  [[nodiscard]] std::span<const std::uint8_t> framebuffer() const override {
+    return {mem_.data() + kVideoBase, kFbSize};
+  }
+
+  // Introspection (tests, tools, benches).
+  [[nodiscard]] Fault fault() const { return fault_; }
+  [[nodiscard]] std::uint16_t reg(Reg r) const { return regs_[r]; }
+  [[nodiscard]] std::uint16_t ip() const { return ip_; }
+  [[nodiscard]] std::uint16_t tone() const { return tone_; }
+  [[nodiscard]] const Program& program() const { return program_; }
+  [[nodiscard]] int last_frame_cycles() const { return last_frame_cycles_; }
+  [[nodiscard]] const std::vector<std::uint16_t>& debug_log() const { return debug_log_; }
+
+  /// Raw memory poke through the dirty-page tracker (tests and
+  /// divergence-injection tooling only — a poked replica is desynced by
+  /// construction, which is what the bisector tests want).
+  void poke(std::uint16_t addr, std::uint8_t v) { write8(addr, v); }
+  [[nodiscard]] std::uint8_t peek(std::uint16_t addr) const { return mem_[addr]; }
+  [[nodiscard]] std::uint16_t peek16(std::uint16_t addr) const {
+    return static_cast<std::uint16_t>(mem_[addr] |
+                                      (mem_[static_cast<std::uint16_t>(addr + 1)] << 8));
+  }
+
+ private:
+  static constexpr std::uint8_t kStateVersion = 1;
+
+  void write8(std::uint16_t addr, std::uint8_t v) {
+    mem_[addr] = v;
+    const auto page = static_cast<std::size_t>(addr) >> kPageShift;
+    dirty_[page >> 6] |= 1ull << (page & 63);
+  }
+  void write16(std::uint16_t addr, std::uint16_t v) {
+    write8(addr, static_cast<std::uint8_t>(v & 0xFF));
+    write8(static_cast<std::uint16_t>(addr + 1), static_cast<std::uint8_t>(v >> 8));
+  }
+  [[nodiscard]] std::uint16_t read16(std::uint16_t addr) const {
+    return static_cast<std::uint16_t>(mem_[addr] |
+                                      (mem_[static_cast<std::uint16_t>(addr + 1)] << 8));
+  }
+
+  /// Runs until HLT, a fault, or the cycle budget. Returns cycles used.
+  int run_frame(int cycle_budget);
+
+  template <typename Sink>
+  void visit_cpu_state(Sink&& sink) const {
+    for (const auto r : regs_) sink.u16(r);
+    sink.u16(ip_);
+    sink.u8(static_cast<std::uint8_t>((zf_ ? 1 : 0) | (sf_ ? 2 : 0) | (cf_ ? 4 : 0)));
+    sink.u8(static_cast<std::uint8_t>(fault_));
+  }
+
+  void mark_all_pages_dirty() const;
+  void refresh_dirty_pages() const;
+
+  Program program_;
+  std::uint64_t checksum_;  ///< cached Program::checksum()
+  MachineConfig cfg_;
+  std::vector<std::uint8_t> mem_;  ///< full flat 64 KiB
+  std::uint16_t regs_[kNumRegs] = {};
+  std::uint16_t ip_ = 0;
+  bool zf_ = false, sf_ = false, cf_ = false;
+  Fault fault_ = Fault::kNone;
+  std::uint16_t tone_ = 0;
+  FrameNo frame_ = 0;
+  int last_frame_cycles_ = 0;
+  std::vector<std::uint16_t> debug_log_;
+
+  // Incremental-digest cache, same shape as ArcadeMachine's but covering
+  // all 256 pages (there is no immutable region to exclude).
+  mutable std::array<std::uint64_t, kNumPages> page_digest_{};
+  mutable std::array<std::uint64_t, kNumPages / 64> dirty_{};
+};
+
+}  // namespace rtct::a86

@@ -1,0 +1,244 @@
+// agent86:pong — the classic, on the 64x32 agent86 screen. Intentionally
+// shares its bare name with ac16:pong: the two images (and therefore
+// content ids) differ, and the session handshake must refuse to pair them.
+#include "src/cores/agent86/games.h"
+
+namespace rtct::a86 {
+
+namespace {
+constexpr const char* kSource = R"asm(
+; ---- agent86 pong ---------------------------------------------------------
+VID     EQU 0B800h
+INP     EQU 0F800h
+STATE   EQU 0x0400
+O_INIT  EQU 0        ; 0 until first frame ran
+O_BX    EQU 2        ; ball x (0..63)
+O_BY    EQU 4        ; ball y (0..31)
+O_VX    EQU 6        ; ball x velocity (1 or -1)
+O_VY    EQU 8
+O_P0    EQU 10       ; paddle 0 top row (0..27, height 5)
+O_P1    EQU 12
+O_S0    EQU 14       ; scores
+O_S1    EQU 16
+
+        ORG 0x0100
+
+frame:
+        MOV SI, STATE
+        MOV AX, [SI+O_INIT]
+        CMP AX, 0
+        JNZ run
+        CALL reset_ball
+        MOV AX, 13
+        MOV [SI+O_P0], AX
+        MOV [SI+O_P1], AX
+        MOV AX, 1
+        MOV [SI+O_INIT], AX
+run:
+        ; paddle 0 (player 0: up=1 down=2)
+        MOV DI, INP
+        MOVB AX, [DI]
+        MOV BX, [SI+O_P0]
+        MOV CX, AX
+        AND CX, 1
+        JZ p0_down
+        CMP BX, 0
+        JZ p0_down
+        DEC BX
+p0_down:
+        MOV CX, AX
+        AND CX, 2
+        JZ p0_done
+        CMP BX, 27
+        JZ p0_done
+        INC BX
+p0_done:
+        MOV [SI+O_P0], BX
+        ; paddle 1
+        MOVB AX, [DI+1]
+        MOV BX, [SI+O_P1]
+        MOV CX, AX
+        AND CX, 1
+        JZ p1_down
+        CMP BX, 0
+        JZ p1_down
+        DEC BX
+p1_down:
+        MOV CX, AX
+        AND CX, 2
+        JZ p1_done
+        CMP BX, 27
+        JZ p1_done
+        INC BX
+p1_done:
+        MOV [SI+O_P1], BX
+        ; move ball
+        MOV AX, [SI+O_BX]
+        MOV BX, [SI+O_VX]
+        ADD AX, BX
+        MOV [SI+O_BX], AX
+        MOV AX, [SI+O_BY]
+        MOV BX, [SI+O_VY]
+        ADD AX, BX
+        MOV [SI+O_BY], AX
+        ; top/bottom walls
+        CMP AX, 0
+        JNZ not_top
+        MOV BX, 1
+        MOV [SI+O_VY], BX
+not_top:
+        CMP AX, 31
+        JNZ not_bot
+        MOV BX, 0xFFFF
+        MOV [SI+O_VY], BX
+not_bot:
+        ; left paddle face is column 2
+        MOV AX, [SI+O_BX]
+        CMP AX, 2
+        JNZ no_lpad
+        MOV AX, [SI+O_BY]
+        MOV BX, [SI+O_P0]
+        CMP AX, BX
+        JC no_lpad          ; ball above paddle
+        SUB AX, BX
+        CMP AX, 5
+        JNC no_lpad         ; ball below paddle
+        MOV BX, 1
+        MOV [SI+O_VX], BX
+no_lpad:
+        ; right paddle face is column 61
+        MOV AX, [SI+O_BX]
+        CMP AX, 61
+        JNZ no_rpad
+        MOV AX, [SI+O_BY]
+        MOV BX, [SI+O_P1]
+        CMP AX, BX
+        JC no_rpad
+        SUB AX, BX
+        CMP AX, 5
+        JNC no_rpad
+        MOV BX, 0xFFFF
+        MOV [SI+O_VX], BX
+no_rpad:
+        ; scoring
+        MOV AX, [SI+O_BX]
+        CMP AX, 0
+        JNZ no_s1
+        MOV AX, [SI+O_S1]
+        INC AX
+        MOV [SI+O_S1], AX
+        CALL reset_ball
+no_s1:
+        MOV AX, [SI+O_BX]
+        CMP AX, 63
+        JNZ no_s0
+        MOV AX, [SI+O_S0]
+        INC AX
+        MOV [SI+O_S0], AX
+        CALL reset_ball
+no_s0:
+        CALL draw
+        HLT
+        JMP frame
+
+; ---- serve: centre the ball, direction from score parity ------------------
+reset_ball:
+        MOV AX, 32
+        MOV [SI+O_BX], AX
+        MOV AX, 16
+        MOV [SI+O_BY], AX
+        MOV AX, [SI+O_S0]
+        MOV BX, [SI+O_S1]
+        ADD AX, BX
+        AND AX, 1
+        JZ rb_pos
+        MOV AX, 0xFFFF
+        JMP rb_set
+rb_pos:
+        MOV AX, 1
+rb_set:
+        MOV [SI+O_VX], AX
+        MOV AX, 1
+        MOV [SI+O_VY], AX
+        RET
+
+; ---- presentation ---------------------------------------------------------
+draw:
+        MOV DI, VID          ; clear 1024 words
+        MOV CX, 1024
+        MOV AX, 0
+d_clr:
+        MOV [DI], AX
+        ADD DI, 2
+        LOOP d_clr
+        ; paddles (columns 1 and 62, 5 rows tall)
+        MOV AX, [SI+O_P0]
+        SHL AX, 6
+        ADD AX, VID+1
+        MOV DI, AX
+        MOV BX, 10
+        MOV CX, 5
+d_pad0:
+        MOVB [DI], BX
+        ADD DI, 64
+        LOOP d_pad0
+        MOV AX, [SI+O_P1]
+        SHL AX, 6
+        ADD AX, VID+62
+        MOV DI, AX
+        MOV BX, 12
+        MOV CX, 5
+d_pad1:
+        MOVB [DI], BX
+        ADD DI, 64
+        LOOP d_pad1
+        ; ball
+        MOV AX, [SI+O_BY]
+        SHL AX, 6
+        MOV BX, [SI+O_BX]
+        ADD AX, BX
+        ADD AX, VID
+        MOV DI, AX
+        MOV BX, 15
+        MOVB [DI], BX
+        ; score bars along row 0 (clamped to 30 cells)
+        MOV CX, [SI+O_S0]
+        CMP CX, 0
+        JZ d_s0_done
+        CMP CX, 30
+        JC d_s0
+        MOV CX, 30
+d_s0:
+        MOV DI, VID
+        MOV BX, 6
+d_s0_lp:
+        MOVB [DI], BX
+        INC DI
+        LOOP d_s0_lp
+d_s0_done:
+        MOV CX, [SI+O_S1]
+        CMP CX, 0
+        JZ d_s1_done
+        CMP CX, 30
+        JC d_s1
+        MOV CX, 30
+d_s1:
+        MOV DI, VID+63
+        MOV BX, 13
+d_s1_lp:
+        MOVB [DI], BX
+        DEC DI
+        LOOP d_s1_lp
+d_s1_done:
+        RET
+
+        ENTRY frame
+)asm";
+}  // namespace
+
+const Program& pong_program() {
+  static const Program program = detail::build_program("pong", kSource);
+  return program;
+}
+
+}  // namespace rtct::a86

@@ -1,0 +1,312 @@
+// agent86:skirmish — a minimal two-player fighter: walk, punch (range 2,
+// 12-frame cooldown), block, knockback, best-of rounds with HP bars.
+#include "src/cores/agent86/games.h"
+
+namespace rtct::a86 {
+
+namespace {
+constexpr const char* kSource = R"asm(
+; ---- agent86 skirmish -----------------------------------------------------
+VID     EQU 0B800h
+INP     EQU 0F800h
+STATE   EQU 0x0400
+O_INIT  EQU 0
+O_X0    EQU 2        ; fighter positions (1..62)
+O_X1    EQU 4
+O_HP0   EQU 6        ; hit points (10 per round)
+O_HP1   EQU 8
+O_CD0   EQU 10       ; punch cooldowns
+O_CD1   EQU 12
+O_SC0   EQU 14       ; rounds won
+O_SC1   EQU 16
+
+        ORG 0x0100
+
+frame:
+        MOV SI, STATE
+        MOV AX, [SI+O_INIT]
+        CMP AX, 0
+        JNZ run
+        CALL round_reset
+        MOV AX, 1
+        MOV [SI+O_INIT], AX
+run:
+        ; tick down punch cooldowns
+        MOV AX, [SI+O_CD0]
+        CMP AX, 0
+        JZ cd0_done
+        DEC AX
+        MOV [SI+O_CD0], AX
+cd0_done:
+        MOV AX, [SI+O_CD1]
+        CMP AX, 0
+        JZ cd1_done
+        DEC AX
+        MOV [SI+O_CD1], AX
+cd1_done:
+        ; ---- movement (left=4 right=8) ----
+        MOV DI, INP
+        MOVB AX, [DI]
+        MOV BX, [SI+O_X0]
+        MOV CX, AX
+        AND CX, 4
+        JZ p0_right
+        CMP BX, 1
+        JZ p0_right
+        DEC BX
+p0_right:
+        MOV CX, AX
+        AND CX, 8
+        JZ p0_move_done
+        CMP BX, 62
+        JZ p0_move_done
+        INC BX
+p0_move_done:
+        MOV [SI+O_X0], BX
+        MOVB AX, [DI+1]
+        MOV BX, [SI+O_X1]
+        MOV CX, AX
+        AND CX, 4
+        JZ p1_right
+        CMP BX, 1
+        JZ p1_right
+        DEC BX
+p1_right:
+        MOV CX, AX
+        AND CX, 8
+        JZ p1_move_done
+        CMP BX, 62
+        JZ p1_move_done
+        INC BX
+p1_move_done:
+        MOV [SI+O_X1], BX
+        ; ---- player 0 punch (A=16; blocked by opponent's B=32) ----
+        MOVB AX, [DI]
+        AND AX, 16
+        JZ p0_punch_done
+        MOV AX, [SI+O_CD0]
+        CMP AX, 0
+        JNZ p0_punch_done
+        MOV AX, 12
+        MOV [SI+O_CD0], AX
+        CALL fighters_dist
+        CMP AX, 3
+        JNC p0_punch_done    ; out of range
+        MOVB AX, [DI+1]
+        AND AX, 32
+        JNZ p0_punch_done    ; blocked
+        MOV AX, [SI+O_HP1]
+        CMP AX, 0
+        JZ p0_punch_done
+        DEC AX
+        MOV [SI+O_HP1], AX
+        ; knock p1 away from p0
+        MOV AX, [SI+O_X1]
+        MOV BX, [SI+O_X0]
+        CMP AX, BX
+        JC p0_kb_left
+        ADD AX, 3
+        CMP AX, 62
+        JC p0_kb_store
+        MOV AX, 62
+        JMP p0_kb_store
+p0_kb_left:
+        SUB AX, 3
+        JNS p0_kb_clamped
+        MOV AX, 1
+p0_kb_clamped:
+        CMP AX, 1
+        JNC p0_kb_store
+        MOV AX, 1
+p0_kb_store:
+        MOV [SI+O_X1], AX
+p0_punch_done:
+        ; ---- player 1 punch (mirror) ----
+        MOVB AX, [DI+1]
+        AND AX, 16
+        JZ p1_punch_done
+        MOV AX, [SI+O_CD1]
+        CMP AX, 0
+        JNZ p1_punch_done
+        MOV AX, 12
+        MOV [SI+O_CD1], AX
+        CALL fighters_dist
+        CMP AX, 3
+        JNC p1_punch_done
+        MOVB AX, [DI]
+        AND AX, 32
+        JNZ p1_punch_done
+        MOV AX, [SI+O_HP0]
+        CMP AX, 0
+        JZ p1_punch_done
+        DEC AX
+        MOV [SI+O_HP0], AX
+        MOV AX, [SI+O_X0]
+        MOV BX, [SI+O_X1]
+        CMP AX, BX
+        JC p1_kb_left
+        ADD AX, 3
+        CMP AX, 62
+        JC p1_kb_store
+        MOV AX, 62
+        JMP p1_kb_store
+p1_kb_left:
+        SUB AX, 3
+        JNS p1_kb_clamped
+        MOV AX, 1
+p1_kb_clamped:
+        CMP AX, 1
+        JNC p1_kb_store
+        MOV AX, 1
+p1_kb_store:
+        MOV [SI+O_X0], AX
+p1_punch_done:
+        ; ---- round scoring ----
+        MOV AX, [SI+O_HP1]
+        CMP AX, 0
+        JNZ chk_hp0
+        MOV AX, [SI+O_SC0]
+        INC AX
+        MOV [SI+O_SC0], AX
+        CALL round_reset
+chk_hp0:
+        MOV AX, [SI+O_HP0]
+        CMP AX, 0
+        JNZ rounds_done
+        MOV AX, [SI+O_SC1]
+        INC AX
+        MOV [SI+O_SC1], AX
+        CALL round_reset
+rounds_done:
+        CALL draw
+        HLT
+        JMP frame
+
+; ---- AX = |x0 - x1| -------------------------------------------------------
+fighters_dist:
+        MOV AX, [SI+O_X0]
+        MOV BX, [SI+O_X1]
+        SUB AX, BX
+        JNS fd_done
+        NEG AX
+fd_done:
+        RET
+
+round_reset:
+        MOV AX, 20
+        MOV [SI+O_X0], AX
+        MOV AX, 44
+        MOV [SI+O_X1], AX
+        MOV AX, 10
+        MOV [SI+O_HP0], AX
+        MOV [SI+O_HP1], AX
+        MOV AX, 0
+        MOV [SI+O_CD0], AX
+        MOV [SI+O_CD1], AX
+        RET
+
+; ---- presentation ---------------------------------------------------------
+draw:
+        MOV DI, VID
+        MOV CX, 1024
+        MOV AX, 0
+d_clr:
+        MOV [DI], AX
+        ADD DI, 2
+        LOOP d_clr
+        ; ground line, row 26
+        MOV DI, VID + 1664
+        MOV CX, 64
+        MOV AX, 3
+d_gnd:
+        MOVB [DI], AX
+        INC DI
+        LOOP d_gnd
+        ; fighter 0: head row 22, body rows 23..25
+        MOV AX, [SI+O_X0]
+        ADD AX, VID + 1408
+        MOV DI, AX
+        MOV BX, 14
+        MOVB [DI], BX
+        MOV BX, 10
+        MOV CX, 3
+d_f0:
+        ADD DI, 64
+        MOVB [DI], BX
+        LOOP d_f0
+        ; fighter 1
+        MOV AX, [SI+O_X1]
+        ADD AX, VID + 1408
+        MOV DI, AX
+        MOV BX, 15
+        MOVB [DI], BX
+        MOV BX, 12
+        MOV CX, 3
+d_f1:
+        ADD DI, 64
+        MOVB [DI], BX
+        LOOP d_f1
+        ; HP bars on row 1 (2 cells per HP)
+        MOV CX, [SI+O_HP0]
+        CMP CX, 0
+        JZ d_hp0_done
+        SHL CX, 1
+        MOV DI, VID + 66
+        MOV BX, 9
+d_hp0:
+        MOVB [DI], BX
+        INC DI
+        LOOP d_hp0
+d_hp0_done:
+        MOV CX, [SI+O_HP1]
+        CMP CX, 0
+        JZ d_hp1_done
+        SHL CX, 1
+        MOV DI, VID + 125
+        MOV BX, 11
+d_hp1:
+        MOVB [DI], BX
+        DEC DI
+        LOOP d_hp1
+d_hp1_done:
+        ; round-win pips on row 0 (clamped to 20)
+        MOV CX, [SI+O_SC0]
+        CMP CX, 0
+        JZ d_sc0_done
+        CMP CX, 20
+        JC d_sc0
+        MOV CX, 20
+d_sc0:
+        MOV DI, VID + 2
+        MOV BX, 6
+d_sc0_lp:
+        MOVB [DI], BX
+        ADD DI, 2
+        LOOP d_sc0_lp
+d_sc0_done:
+        MOV CX, [SI+O_SC1]
+        CMP CX, 0
+        JZ d_sc1_done
+        CMP CX, 20
+        JC d_sc1
+        MOV CX, 20
+d_sc1:
+        MOV DI, VID + 61
+        MOV BX, 13
+d_sc1_lp:
+        MOVB [DI], BX
+        SUB DI, 2
+        LOOP d_sc1_lp
+d_sc1_done:
+        RET
+
+        ENTRY frame
+)asm";
+}  // namespace
+
+const Program& skirmish_program() {
+  static const Program program = detail::build_program("skirmish", kSource);
+  return program;
+}
+
+}  // namespace rtct::a86

@@ -8,11 +8,30 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "src/common/types.h"
 
 namespace rtct::emu {
+
+/// Optional render extension: a game that can be drawn exposes a text-mode
+/// framebuffer of palette indices (row-major, cols x rows bytes). The sync
+/// layer never touches this — it exists so presentation tools (rtct_play,
+/// rtct_watch, rtct_netplay, testbed screen capture) can render *any* core
+/// without downcasting to a concrete machine type. Geometry is per-game:
+/// AC16 is 64x48, agent86 is 64x32, cellwars synthesizes 32x24.
+class IRenderableGame {
+ public:
+  virtual ~IRenderableGame() = default;
+
+  [[nodiscard]] virtual int fb_cols() const = 0;
+  [[nodiscard]] virtual int fb_rows() const = 0;
+
+  /// fb_cols()*fb_rows() palette indices. The span is only valid until the
+  /// next step_frame()/load_state() on the owning game.
+  [[nodiscard]] virtual std::span<const std::uint8_t> framebuffer() const = 0;
+};
 
 class IDeterministicGame {
  public:
@@ -72,8 +91,29 @@ class IDeterministicGame {
 
   /// Stable identity of the loaded content (e.g. ROM checksum). The
   /// session handshake refuses to pair sites whose content ids differ —
-  /// the paper's "same game image" precondition (§2).
+  /// the paper's "same game image" precondition (§2). Two cores loading a
+  /// game of the *same name* MUST still produce different content ids
+  /// (content identity is the image, not the label).
   [[nodiscard]] virtual std::uint64_t content_id() const = 0;
+
+  /// Qualified human-readable content label, "core:game" (e.g.
+  /// "ac16:duel", "agent86:skirmish"). Advisory only — content_id() is the
+  /// identity the handshake trusts; the name is recorded in replay headers
+  /// so tooling can re-instantiate the right core without a content-id
+  /// scan. Empty when the game has no registry name (e.g. a ROM loaded
+  /// from a file).
+  [[nodiscard]] virtual std::string content_name() const { return {}; }
+
+  /// True when the game can no longer make progress (e.g. the emulated CPU
+  /// hit a bad opcode or blew its cycle budget). Presentation/tooling
+  /// surface this to the user; the sync layer keeps stepping regardless —
+  /// a deterministic fault is still deterministic.
+  [[nodiscard]] virtual bool faulted() const { return false; }
+
+  /// Render extension, or nullptr when the game has no visual surface.
+  /// Returning `this` from a subclass that also implements IRenderableGame
+  /// is the expected pattern — callers never dynamic_cast.
+  [[nodiscard]] virtual const IRenderableGame* renderable() const { return nullptr; }
 };
 
 }  // namespace rtct::emu

@@ -29,6 +29,10 @@ std::uint64_t state_digest_cross_check_failures() {
   return g_cross_check_failures.load(std::memory_order_relaxed);
 }
 
+void note_state_digest_cross_check_failure() {
+  g_cross_check_failures.fetch_add(1, std::memory_order_relaxed);
+}
+
 ArcadeMachine::ArcadeMachine(Rom rom, MachineConfig cfg)
     : rom_(std::move(rom)),
       predecode_(rom_.image),

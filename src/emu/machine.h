@@ -37,6 +37,9 @@ inline constexpr std::uint16_t kInitialSp = 0xFFFE;
 void set_state_digest_cross_check(bool on);
 [[nodiscard]] bool state_digest_cross_check();
 [[nodiscard]] std::uint64_t state_digest_cross_check_failures();
+/// Bumps the shared failure counter. Exposed so other cores (agent86)
+/// honour the same cross-check switch and report into the same counter.
+void note_state_digest_cross_check_failure();
 
 struct MachineConfig {
   /// Per-frame cycle budget; exceeding it faults (a ROM must HALT once per
@@ -50,7 +53,9 @@ struct MachineConfig {
   bool reference_interpreter = false;
 };
 
-class ArcadeMachine final : public IDeterministicGame, private Bus {
+class ArcadeMachine final : public IDeterministicGame,
+                            public IRenderableGame,
+                            private Bus {
  public:
   explicit ArcadeMachine(Rom rom, MachineConfig cfg = {});
 
@@ -66,14 +71,20 @@ class ArcadeMachine final : public IDeterministicGame, private Bus {
   bool load_state(std::span<const std::uint8_t> data) override;
   [[nodiscard]] FrameNo frame() const override { return frame_; }
   [[nodiscard]] std::uint64_t content_id() const override { return rom_.checksum(); }
+  [[nodiscard]] std::string content_name() const override { return "ac16:" + rom_.title; }
+  [[nodiscard]] bool faulted() const override { return cpu_.fault() != Fault::kNone; }
+  [[nodiscard]] const IRenderableGame* renderable() const override { return this; }
 
-  // Introspection (rendering, tests, examples).
-  [[nodiscard]] std::span<const std::uint8_t> framebuffer() const {
+  // IRenderableGame
+  [[nodiscard]] int fb_cols() const override { return kFbCols; }
+  [[nodiscard]] int fb_rows() const override { return kFbRows; }
+  [[nodiscard]] std::span<const std::uint8_t> framebuffer() const override {
     return {mem_.data() + kFbBase, kFbSize};
   }
+
+  // Introspection (rendering, tests, examples).
   [[nodiscard]] std::uint16_t tone() const { return tone_; }
   [[nodiscard]] Fault fault() const { return cpu_.fault(); }
-  [[nodiscard]] bool faulted() const { return cpu_.fault() != Fault::kNone; }
   [[nodiscard]] const Rom& rom() const { return rom_; }
   [[nodiscard]] const Cpu& cpu() const { return cpu_; }
   [[nodiscard]] int last_frame_cycles() const { return last_frame_cycles_; }

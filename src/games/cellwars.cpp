@@ -156,6 +156,16 @@ bool CellWarsGame::load_state(std::span<const std::uint8_t> data) {
   return true;
 }
 
+std::span<const std::uint8_t> CellWarsGame::framebuffer() const {
+  for (int i = 0; i < kCols * kRows; ++i) {
+    raster_[i] = static_cast<std::uint8_t>(grid_[i] == 0 ? 0 : grid_[i] * 3);
+  }
+  for (int p = 0; p < 2; ++p) {
+    raster_[cursor_y_[p] * kCols + cursor_x_[p]] = static_cast<std::uint8_t>(12 + p);
+  }
+  return {raster_, static_cast<std::size_t>(kCols * kRows)};
+}
+
 std::unique_ptr<emu::IDeterministicGame> make_cellwars() {
   return std::make_unique<CellWarsGame>();
 }

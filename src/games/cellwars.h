@@ -28,7 +28,8 @@
 
 namespace rtct::games {
 
-class CellWarsGame final : public emu::IDeterministicGame {
+class CellWarsGame final : public emu::IDeterministicGame,
+                           public emu::IRenderableGame {
  public:
   static constexpr int kCols = 32;
   static constexpr int kRows = 24;
@@ -42,6 +43,14 @@ class CellWarsGame final : public emu::IDeterministicGame {
   bool load_state(std::span<const std::uint8_t> data) override;
   [[nodiscard]] FrameNo frame() const override { return frame_; }
   [[nodiscard]] std::uint64_t content_id() const override { return 0xCE113A125ull; }
+  [[nodiscard]] std::string content_name() const override { return "native:cellwars"; }
+  [[nodiscard]] const emu::IRenderableGame* renderable() const override { return this; }
+
+  // IRenderableGame: there is no real framebuffer underneath — the grid is
+  // rasterized on demand (cells as dim palette tones, cursors bright).
+  [[nodiscard]] int fb_cols() const override { return kCols; }
+  [[nodiscard]] int fb_rows() const override { return kRows; }
+  [[nodiscard]] std::span<const std::uint8_t> framebuffer() const override;
 
   // Introspection for tests / rendering.
   [[nodiscard]] std::uint8_t cell(int x, int y) const {
@@ -64,6 +73,7 @@ class CellWarsGame final : public emu::IDeterministicGame {
   int bomb_cooldown_[2] = {};
   bool has_claimed_[2] = {};
   FrameNo frame_ = 0;
+  mutable std::uint8_t raster_[kCols * kRows] = {};  ///< framebuffer() scratch
 };
 
 /// Factory matching the testbed's game_factory signature.

@@ -9,8 +9,7 @@
 #include "src/core/session.h"
 #include "src/core/spectate.h"
 #include "src/core/wire.h"
-#include "src/emu/machine.h"
-#include "src/games/roms.h"
+#include "src/cores/registry.h"
 #include "src/baseline/tcp_like.h"
 #include "src/net/sim_network.h"
 #include "src/sim/simulator.h"
@@ -61,7 +60,7 @@ class SimSite {
         state_changed_(sim) {
     digest_version_ = cfg.sync.digest_version();
     result_.timeline.reserve(static_cast<std::size_t>(cfg.frames));
-    result_.replay = core::Replay(game_.content_id(), cfg.sync);
+    result_.replay = core::Replay(game_.content_id(), cfg.sync, game_.content_name());
   }
 
   void launch(SharedFlags& flags) {
@@ -87,9 +86,11 @@ class SimSite {
     result_.desync_frame = rollback_ ? rollback_->desync_frame() : peer_.desync_frame();
     result_.rollback_mode = rollback_ != nullptr;
     if (rollback_) result_.rollback_stats = rollback_->rollback_stats();
-    if (const auto* arcade = dynamic_cast<const emu::ArcadeMachine*>(game_holder_.get())) {
-      const auto fb = arcade->framebuffer();
+    if (const auto* r = game_.renderable()) {
+      const auto fb = r->framebuffer();
       result_.final_framebuffer.assign(fb.begin(), fb.end());
+      result_.fb_cols = r->fb_cols();
+      result_.fb_rows = r->fb_rows();
     }
     return std::move(result_);
   }
@@ -144,7 +145,7 @@ class SimSite {
       eff.rollback_input_delay = session_.rollback_delay();
       rollback_ = std::make_unique<core::RollbackSession>(site_, game_, eff);
       result_.buf_frames = rollback_->input_delay();
-      result_.replay = core::Replay(game_.content_id(), eff);
+      result_.replay = core::Replay(game_.content_id(), eff, game_.content_name());
       return;
     }
     const int buf = session_.effective_buf_frames();
@@ -158,7 +159,7 @@ class SimSite {
     core::SyncConfig eff = cfg_.sync;
     eff.buf_frames = buf;
     eff.digest_v2 = digest_version_ == 2;
-    result_.replay = core::Replay(game_.content_id(), eff);
+    result_.replay = core::Replay(game_.content_id(), eff, game_.content_name());
   }
 
   void finish(SharedFlags* flags) { flags->done[site_] = true; }
@@ -556,15 +557,14 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   ExperimentResult out;
   auto factory = cfg.game_factory;
   if (!factory) {
-    const emu::Rom* rom = games::rom_by_name(cfg.game);
-    if (rom == nullptr) {
+    if (cores::make_game(cfg.game) == nullptr) {
       for (auto& s : out.site) {
         s.session_failed = true;
         s.failure_reason = "unknown game '" + cfg.game + "'";
       }
       return out;
     }
-    factory = [rom] { return std::make_unique<emu::ArcadeMachine>(*rom); };
+    factory = [name = cfg.game] { return cores::make_game(name); };
   }
 
   sim::Simulator sim;

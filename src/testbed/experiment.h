@@ -32,7 +32,11 @@
 namespace rtct::testbed {
 
 struct ExperimentConfig {
-  std::string game = "duel";  ///< which bundled ROM both sites load
+  /// Which bundled game both sites load, resolved through the core
+  /// registry (cores::make_game): bare names mean AC16 ("duel" ==
+  /// "ac16:duel"), qualified names select another core ("agent86:pong",
+  /// "native:cellwars").
+  std::string game = "duel";
   /// When set, overrides `game`: produces each site's replica. Any
   /// IDeterministicGame works — including native C++ games with no
   /// emulator underneath (see games::make_cellwars), which is the
@@ -142,9 +146,12 @@ struct SiteResult {
   /// Frame at which the in-protocol hash exchange flagged divergence
   /// (-1 = never; must always be -1 for a deterministic game).
   FrameNo desync_frame = -1;
-  /// The site's screen after its last frame (64x48 palette indices) — lets
-  /// callers *see* that both replicas rendered the same game.
+  /// The site's screen after its last frame (fb_cols x fb_rows palette
+  /// indices, via IRenderableGame) — lets callers *see* that both replicas
+  /// rendered the same game. Empty when the game is not renderable.
   std::vector<std::uint8_t> final_framebuffer;
+  int fb_cols = 0;  ///< framebuffer width (0 when not renderable)
+  int fb_rows = 0;  ///< framebuffer height (0 when not renderable)
   /// Merged-input recording of the session as this site executed it
   /// (identical across sites; replayable via core::Replay::apply). Under
   /// rollback this holds only *confirmed* frames — the canonical history.

@@ -6,8 +6,7 @@
 #include "src/core/mesh.h"
 #include "src/core/pacer.h"
 #include "src/core/wire.h"
-#include "src/emu/machine.h"
-#include "src/games/roms.h"
+#include "src/cores/registry.h"
 #include "src/net/sim_network.h"
 #include "src/sim/simulator.h"
 #include "src/sim/trigger.h"
@@ -206,9 +205,8 @@ MeshExperimentResult run_mesh_experiment(const MeshExperimentConfig& cfg) {
   }
   auto factory = cfg.game_factory;
   if (!factory) {
-    const emu::Rom* rom = games::rom_by_name(cfg.game);
-    if (rom == nullptr) return out;
-    factory = [rom] { return std::make_unique<emu::ArcadeMachine>(*rom); };
+    if (cores::make_game(cfg.game) == nullptr) return out;
+    factory = [name = cfg.game] { return cores::make_game(name); };
   }
 
   sim::Simulator sim;

@@ -1,0 +1,177 @@
+// The agent86 determinism/differential suite — the same contract the AC16
+// machine is held to, proven for the second core:
+//   * two replicas fed identical inputs agree digest-for-digest;
+//   * save/load round-trip + re-simulation reproduces the straight-line
+//     digest sequence exactly (the rollback engine's bedrock);
+//   * a single poked byte changes both v1 and v2 digests;
+//   * the incremental (dirty-page) v2 digest always equals a from-scratch
+//     full rehash (cross-check armed);
+//   * save_state_into is allocation-stable on the hot path.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/cores/agent86/games.h"
+#include "src/cores/agent86/machine.h"
+#include "src/emu/machine.h"  // cross-check switch
+
+namespace rtct::a86 {
+namespace {
+
+InputWord scripted_input(std::uint32_t& rng) {
+  rng = rng * 1664525u + 1013904223u;
+  return static_cast<InputWord>(rng >> 16);
+}
+
+class Agent86Determinism : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Agent86Determinism, TwoReplicasAgreePerFrame) {
+  auto a = make_machine(GetParam());
+  auto b = make_machine(GetParam());
+  ASSERT_NE(a, nullptr);
+  std::uint32_t rng = 7;
+  for (int f = 0; f < 400; ++f) {
+    const InputWord in = scripted_input(rng);
+    a->step_frame(in);
+    b->step_frame(in);
+    ASSERT_EQ(a->state_digest(2), b->state_digest(2)) << "frame " << f;
+  }
+  EXPECT_EQ(a->state_hash(), b->state_hash());
+}
+
+TEST_P(Agent86Determinism, SaveLoadResimulateMatchesStraightLine) {
+  constexpr int kFrames = 300;
+  constexpr int kSnapAt = 137;
+
+  auto m = make_machine(GetParam());
+  ASSERT_NE(m, nullptr);
+  std::vector<InputWord> inputs;
+  std::vector<std::uint64_t> straight_v1, straight_v2;
+  std::vector<std::uint8_t> snapshot;
+  std::uint32_t rng = 99;
+  for (int f = 0; f < kFrames; ++f) {
+    inputs.push_back(scripted_input(rng));
+    m->step_frame(inputs.back());
+    straight_v1.push_back(m->state_hash());
+    straight_v2.push_back(m->state_digest(2));
+    if (f == kSnapAt) snapshot = m->save_state();
+  }
+
+  // Restore mid-run and replay the tail: every digest must reproduce.
+  auto r = make_machine(GetParam());
+  ASSERT_TRUE(r->load_state(snapshot));
+  EXPECT_EQ(r->frame(), kSnapAt + 1);
+  EXPECT_EQ(r->state_hash(), straight_v1[kSnapAt]);
+  EXPECT_EQ(r->state_digest(2), straight_v2[kSnapAt]);
+  for (int f = kSnapAt + 1; f < kFrames; ++f) {
+    r->step_frame(inputs[static_cast<std::size_t>(f)]);
+    ASSERT_EQ(r->state_hash(), straight_v1[static_cast<std::size_t>(f)]) << "frame " << f;
+    ASSERT_EQ(r->state_digest(2), straight_v2[static_cast<std::size_t>(f)]) << "frame " << f;
+  }
+
+  // And a fresh reset + full replay reproduces from frame zero.
+  r->reset();
+  for (int f = 0; f < kFrames; ++f) {
+    r->step_frame(inputs[static_cast<std::size_t>(f)]);
+    ASSERT_EQ(r->state_digest(2), straight_v2[static_cast<std::size_t>(f)]) << "frame " << f;
+  }
+}
+
+TEST_P(Agent86Determinism, SingleByteMutationChangesDigests) {
+  auto m = make_machine(GetParam());
+  std::uint32_t rng = 5;
+  for (int f = 0; f < 50; ++f) m->step_frame(scripted_input(rng));
+  const auto v1 = m->state_hash();
+  const auto v2 = m->state_digest(2);
+  m->poke(0x0401, static_cast<std::uint8_t>(m->peek(0x0401) ^ 0x80));
+  EXPECT_NE(m->state_hash(), v1);
+  EXPECT_NE(m->state_digest(2), v2);
+  // page_digests names the touched page (page 4 covers 0x0400..0x04FF).
+  auto pages_before = m->page_digests();
+  m->poke(0x0401, static_cast<std::uint8_t>(m->peek(0x0401) ^ 0x80));  // revert
+  auto pages_after = m->page_digests();
+  ASSERT_EQ(pages_before.size(), kNumPages);
+  int diffs = 0;
+  for (std::size_t i = 0; i < kNumPages; ++i) {
+    if (pages_before[i] != pages_after[i]) {
+      ++diffs;
+      EXPECT_EQ(i, 4u);
+    }
+  }
+  EXPECT_EQ(diffs, 1);
+}
+
+TEST_P(Agent86Determinism, IncrementalDigestMatchesFullRehash) {
+  emu::set_state_digest_cross_check(true);
+  auto m = make_machine(GetParam());
+  std::uint32_t rng = 21;
+  for (int f = 0; f < 200; ++f) {
+    m->step_frame(scripted_input(rng));
+    (void)m->state_digest(2);
+    if (f == 60) {
+      // A snapshot load invalidates every cached page — the classic
+      // missed-invalidation hazard the cross-check exists to catch.
+      const auto snap = m->save_state();
+      ASSERT_TRUE(m->load_state(snap));
+    }
+  }
+  // Independent spot check: page digests equal a hand-computed FNV.
+  const auto pages = m->page_digests();
+  for (const std::size_t page : {std::size_t{0}, std::size_t{4}, std::size_t{0xB8}}) {
+    std::vector<std::uint8_t> raw(kPageSize);
+    for (std::size_t i = 0; i < kPageSize; ++i) {
+      raw[i] = m->peek(static_cast<std::uint16_t>(page * kPageSize + i));
+    }
+    EXPECT_EQ(pages[page], fnv1a64(raw)) << "page " << page;
+  }
+  emu::set_state_digest_cross_check(false);
+  EXPECT_EQ(emu::state_digest_cross_check_failures(), 0u);
+}
+
+TEST_P(Agent86Determinism, SaveStateIntoIsAllocationStable) {
+  auto m = make_machine(GetParam());
+  std::vector<std::uint8_t> buf;
+  m->save_state_into(buf);
+  const auto cap = buf.capacity();
+  const auto* data = buf.data();
+  std::uint32_t rng = 1;
+  for (int f = 0; f < 32; ++f) {
+    m->step_frame(scripted_input(rng));
+    m->save_state_into(buf);
+    EXPECT_EQ(buf.capacity(), cap);
+    EXPECT_EQ(buf.data(), data);  // same backing store, no realloc
+  }
+}
+
+TEST_P(Agent86Determinism, LoadStateRejectsMalformedSnapshots) {
+  auto m = make_machine(GetParam());
+  std::uint32_t rng = 3;
+  for (int f = 0; f < 10; ++f) m->step_frame(scripted_input(rng));
+  auto good = m->save_state();
+
+  auto wrong_version = good;
+  wrong_version[0] ^= 0xFF;
+  EXPECT_FALSE(m->load_state(wrong_version));
+
+  auto wrong_content = good;
+  wrong_content[3] ^= 0x01;  // inside the content-id field
+  EXPECT_FALSE(m->load_state(wrong_content));
+
+  auto truncated = good;
+  truncated.resize(truncated.size() - 1);
+  EXPECT_FALSE(m->load_state(truncated));
+
+  auto oversized = good;
+  oversized.push_back(0);
+  EXPECT_FALSE(m->load_state(oversized));
+
+  EXPECT_TRUE(m->load_state(good));  // the machine itself is still usable
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGames, Agent86Determinism,
+                         ::testing::Values("skirmish", "pong", "havoc"),
+                         [](const auto& info) { return std::string(info.param); });
+
+}  // namespace
+}  // namespace rtct::a86

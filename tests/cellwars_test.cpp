@@ -113,7 +113,13 @@ TEST(CellWarsTest, FullDistributedSessionWithoutAnEmulator) {
   EXPECT_TRUE(r.converged());
   EXPECT_EQ(r.first_divergence(), -1);
   EXPECT_NEAR(r.avg_frame_time_ms(0), 16.667, 0.2);
-  EXPECT_TRUE(r.site[0].final_framebuffer.empty());  // no screen to capture
+  // Native games render through IRenderableGame like every core: the
+  // testbed captures their grid without knowing any machine type.
+  EXPECT_EQ(r.site[0].fb_cols, CellWarsGame::kCols);
+  EXPECT_EQ(r.site[0].fb_rows, CellWarsGame::kRows);
+  EXPECT_EQ(r.site[0].final_framebuffer.size(),
+            static_cast<std::size_t>(CellWarsGame::kCols * CellWarsGame::kRows));
+  EXPECT_EQ(r.site[0].final_framebuffer, r.site[1].final_framebuffer);
 }
 
 TEST(CellWarsTest, ObserversWorkOnNativeGamesToo) {

@@ -16,6 +16,7 @@
 
 #include "src/chaos/fault_script.h"
 #include "src/chaos/soak.h"
+#include "src/cores/registry.h"
 #include "src/emu/machine.h"
 #include "src/games/roms.h"
 
@@ -144,6 +145,62 @@ TEST_P(EmulatorChaosSoak, FastAndReferenceInterpretersAgreeUnderChaos) {
 
 INSTANTIATE_TEST_SUITE_P(EmulatorTopologies, EmulatorChaosSoak,
                          ::testing::Values(Topology::kTwoSite, Topology::kSpectator),
+                         [](const auto& info) {
+                           return std::string(topology_name(info.param));
+                         });
+
+// The cross-core invariant: every fault script the soak generates also
+// runs against an agent86 topology, with the incremental-digest
+// cross-check armed and per-frame digest agreement required. Any
+// behavioural dependency on the AC16 machine hiding in the sync layer —
+// a hardcoded page count, a snapshot-size assumption, a digest-version
+// special case — surfaces here as a two-site violation on a core that
+// shares zero code with AC16's interpreter.
+class Agent86ChaosSoak : public ::testing::TestWithParam<Topology> {};
+
+TEST_P(Agent86ChaosSoak, EveryFaultScriptHoldsOnAnAgent86Topology) {
+  const Topology topology = GetParam();
+  const auto factory = [] { return cores::make_game("agent86:skirmish"); };
+  emu::set_state_digest_cross_check(true);
+  int failures = 0;
+  for (std::uint64_t seed = kFirstSeed; seed < kFirstSeed + kSeeds; ++seed) {
+    const FaultScript script = generate_fault_script(seed, topology);
+    std::vector<Violation> violations;
+    if (topology == Topology::kMesh) {
+      testbed::MeshExperimentConfig cfg = lower_mesh(script);
+      cfg.game_factory = factory;
+      const auto r = testbed::run_mesh_experiment(cfg);
+      // Fault-free twin as the pacing baseline, as run_soak_case does —
+      // mesh re-convergence is judged against the same script minus its
+      // faults, not against the nominal period.
+      FaultScript clean = script;
+      clean.faults.clear();
+      testbed::MeshExperimentConfig ref_cfg = lower_mesh(clean);
+      ref_cfg.game_factory = factory;
+      const auto ref = testbed::run_mesh_experiment(ref_cfg);
+      violations = check_mesh(cfg, r, &ref);
+    } else {
+      testbed::ExperimentConfig cfg = lower_two_site(script);
+      cfg.game_factory = factory;
+      violations = check_two_site(cfg, testbed::run_experiment(cfg));
+    }
+    if (!violations.empty()) {
+      ++failures;
+      ADD_FAILURE() << "seed " << seed << " on " << topology_name(topology)
+                    << " (agent86): " << violations.size()
+                    << " violation(s), first: " << violations[0].invariant
+                    << " — " << violations[0].detail;
+    }
+  }
+  emu::set_state_digest_cross_check(false);
+  EXPECT_EQ(failures, 0);
+  EXPECT_EQ(emu::state_digest_cross_check_failures(), 0u)
+      << "agent86 incremental digest disagreed with the full rehash";
+}
+
+INSTANTIATE_TEST_SUITE_P(Agent86Topologies, Agent86ChaosSoak,
+                         ::testing::Values(Topology::kTwoSite, Topology::kMesh,
+                                           Topology::kSpectator),
                          [](const auto& info) {
                            return std::string(topology_name(info.param));
                          });

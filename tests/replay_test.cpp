@@ -70,6 +70,61 @@ TEST(ReplayTest, CorruptionRejected) {
   EXPECT_FALSE(Replay::parse({}).has_value());
 }
 
+TEST(ReplayTest, GameNameRoundTripsInBothContainerVersions) {
+  // v1 (no keyframe policy) carries the optional name trailer too.
+  auto m = games::make_machine("duel");
+  SyncConfig v1_cfg;
+  v1_cfg.replay_keyframe_interval = 0;  // linear recording => v1 container
+  Replay v1(m->content_id(), v1_cfg, m->content_name());
+  v1.record(0x0101);
+  ASSERT_EQ(v1.container_version(), 1);
+  auto parsed1 = Replay::parse(v1.serialize());
+  ASSERT_TRUE(parsed1.has_value());
+  EXPECT_EQ(parsed1->game_name(), "ac16:duel");
+
+  SyncConfig kf_cfg;
+  kf_cfg.digest_v2 = true;
+  kf_cfg.replay_keyframe_interval = 10;
+  Replay v2(m->content_id(), kf_cfg, "agent86:skirmish");
+  for (int f = 0; f < 25; ++f) {
+    m->step_frame(0);
+    v2.record(0);
+    if (v2.keyframe_due()) v2.record_keyframe(*m);
+  }
+  ASSERT_EQ(v2.container_version(), 2);
+  auto parsed2 = Replay::parse(v2.serialize());
+  ASSERT_TRUE(parsed2.has_value());
+  EXPECT_EQ(parsed2->game_name(), "agent86:skirmish");
+  // branch() propagates the name into the fork.
+  EXPECT_EQ(parsed2->branch(12).game_name(), "agent86:skirmish");
+}
+
+TEST(ReplayTest, NamelessRecordingsSerializeAndParseAsBefore) {
+  // A Replay with no name must serialize byte-identically to the
+  // pre-field layout — and a legacy (name-less) file parses with an
+  // empty name. The two halves of the compatibility promise.
+  std::uint64_t hash;
+  const Replay named = make_recorded_session("pong", 30, 4, &hash);
+  auto bytes = named.serialize();  // make_recorded_session passes no name
+  const auto parsed = Replay::parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->game_name().empty());
+
+  // Forged trailer corruption: a zero-length name field is rejected
+  // outright (an honest writer omits the section instead).
+  bytes.insert(bytes.end() - 8, 0x00);
+  std::uint64_t crc = fnv1a64({bytes.data(), bytes.size() - 8});
+  std::memcpy(bytes.data() + bytes.size() - 8, &crc, 8);
+  EXPECT_FALSE(Replay::parse(bytes).has_value());
+
+  // A declared name length that overruns the remaining bytes is rejected.
+  auto good = named.serialize();
+  good.insert(good.end() - 8, {0x04, 'd', 'u'});  // says 4, carries 2
+  crc = fnv1a64({good.data(), good.size() - 8});
+  std::memcpy(good.data() + good.size() - 8, &crc, 8);
+  EXPECT_FALSE(Replay::parse(good).has_value());
+}
+
 TEST(ReplayTest, FileRoundTrip) {
   std::uint64_t hash;
   const Replay rec = make_recorded_session("tanks", 60, 3, &hash);

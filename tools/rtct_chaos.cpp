@@ -41,7 +41,7 @@
 #include "src/chaos/soak.h"
 #include "src/common/json.h"
 #include "src/core/bisect.h"
-#include "src/games/roms.h"
+#include "src/cores/registry.h"
 
 namespace {
 
@@ -181,7 +181,14 @@ int cmd_replay(const Args& a) {
       std::fprintf(stderr, "rtct_chaos: --bisect needs a two-site topology (mesh records none)\n");
     } else {
       const auto factory = [&o] {
-        return rtct::games::make_game_for_content(o.replays[0].content_id());
+        const auto& r = o.replays[0];
+        if (!r.game_name().empty()) {
+          if (auto g = rtct::cores::make_game(r.game_name());
+              g != nullptr && g->content_id() == r.content_id()) {
+            return g;
+          }
+        }
+        return rtct::cores::make_game_for_content(r.content_id());
       };
       const auto rep = rtct::core::bisect_replays(o.replays[0], o.replays[1], factory);
       std::printf("%s\n", rtct::core::bisect_report_to_json(rep).c_str());

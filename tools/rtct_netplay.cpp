@@ -6,7 +6,8 @@
 // On machine B (site 1):
 //   rtct_netplay --site 1 --game duel --bind 7000 --peer <A-ip>:7000
 //
-// Each side runs the full stack: ArcadeMachine replica, session handshake
+// Each side runs the full stack: deterministic game replica (any core in
+// the registry: --game duel, --game agent86:skirmish, ...), session handshake
 // (refuses mismatched ROMs), SyncInput lockstep with 100 ms local lag over
 // UDP, master/slave frame pacing, and in-protocol desync detection.
 // Inputs come from a deterministic synthetic player by default (so the
@@ -25,7 +26,7 @@
 #include "src/emu/machine.h"
 #include "src/emu/render_text.h"
 #include "src/emu/rom_io.h"
-#include "src/games/roms.h"
+#include "src/cores/registry.h"
 #include "src/net/udp_socket.h"
 #include "src/relay/relay_client.h"
 
@@ -167,7 +168,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::unique_ptr<emu::ArcadeMachine> machine;
+  std::unique_ptr<emu::IDeterministicGame> machine;
   if (!rom_file.empty()) {
     auto rom = emu::load_rom_file(rom_file);
     if (!rom) {
@@ -176,7 +177,7 @@ int main(int argc, char** argv) {
     }
     machine = std::make_unique<emu::ArcadeMachine>(*rom);
   } else {
-    machine = games::make_machine(game);
+    machine = cores::make_game(game);
     if (!machine) {
       std::fprintf(stderr, "rtct_netplay: unknown game '%s'\n", game.c_str());
       return 1;
@@ -242,7 +243,7 @@ int main(int argc, char** argv) {
     std::printf("site %d relayed via %s, conn id %u (peer joins with --join %u), "
                 "game '%s', %d frames\n",
                 site, relay.c_str(), res->conn, res->conn,
-                machine->rom().title.c_str(), frames);
+                machine->content_name().c_str(), frames);
     std::fflush(stdout);
   } else {
     std::string peer_host;
@@ -258,7 +259,7 @@ int main(int argc, char** argv) {
     }
     transport = direct.get();
     std::printf("site %d on udp/%u -> %s, game '%s', %d frames\n", site, direct->local_port(),
-                peer.c_str(), machine->rom().title.c_str(), frames);
+                peer.c_str(), machine->content_name().c_str(), frames);
   }
 
   core::RealtimeSession session(site, *machine, player, *transport, cfg);
@@ -299,11 +300,14 @@ int main(int argc, char** argv) {
   } else if (!quiet) {
     session.set_frame_hook([](const emu::IDeterministicGame& g, const core::FrameRecord& r) {
       if (r.frame % 300 != 150) return;
-      const auto& m = dynamic_cast<const emu::ArcadeMachine&>(g);
+      const auto* screen = g.renderable();
+      if (screen == nullptr) return;
       std::printf("\n--- frame %lld (hash %016llx) ---\n%s",
                   static_cast<long long>(r.frame),
                   static_cast<unsigned long long>(r.state_hash),
-                  emu::render_ascii(m.framebuffer(), emu::kFbCols, emu::kFbRows).c_str());
+                  emu::render_ascii(screen->framebuffer(), screen->fb_cols(),
+                                    screen->fb_rows())
+                      .c_str());
     });
   }
 

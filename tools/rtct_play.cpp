@@ -2,10 +2,12 @@
 //
 //   rtct_play <game-name | file.rom> [--frames N] [--seed S] [--render-every K]
 //
-// Drives the machine with two deterministic synthetic players and renders
-// ASCII frames. Prints the final state hash so two invocations with the
-// same seed can be diffed — the determinism contract, demonstrated from
-// the command line.
+// Game names resolve through the core registry: bare names are AC16
+// ("pong" == "ac16:pong"); qualified names select another core
+// ("agent86:skirmish", "native:cellwars"). Drives the machine with two
+// deterministic synthetic players and renders ASCII frames. Prints the
+// final state hash so two invocations with the same seed can be diffed —
+// the determinism contract, demonstrated from the command line.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -14,10 +16,10 @@
 
 #include "src/core/input_source.h"
 #include "src/core/replay.h"
+#include "src/cores/registry.h"
 #include "src/emu/machine.h"
 #include "src/emu/render_text.h"
 #include "src/emu/rom_io.h"
-#include "src/games/roms.h"
 
 int main(int argc, char** argv) {
   using namespace rtct;
@@ -41,18 +43,18 @@ int main(int argc, char** argv) {
       target = arg;
     } else {
       std::fprintf(stderr,
-                   "usage: rtct_play <game|file.rom> [--frames N] [--seed S] "
+                   "usage: rtct_play <[core:]game|file.rom> [--frames N] [--seed S] "
                    "[--render-every K]\n  bundled games:");
-      for (auto name : games::game_names()) std::fprintf(stderr, " %.*s",
-                                                         static_cast<int>(name.size()),
-                                                         name.data());
+      for (const auto& e : cores::list_games()) {
+        std::fprintf(stderr, " %s", e.qualified().c_str());
+      }
       std::fprintf(stderr, "\n");
       return arg == "-h" || arg == "--help" ? 0 : 1;
     }
   }
 
-  // Resolve: bundled name first, then .rom file.
-  std::unique_ptr<emu::ArcadeMachine> machine = games::make_machine(target);
+  // Resolve: bundled (possibly qualified) name first, then .rom file.
+  std::unique_ptr<emu::IDeterministicGame> machine = cores::make_game(target);
   if (!machine) {
     auto rom = emu::load_rom_file(target);
     if (!rom) {
@@ -64,7 +66,7 @@ int main(int argc, char** argv) {
   }
 
   // --replay FILE: drive the machine from a recorded session instead of
-  // synthetic players (and verify the recording matches this ROM).
+  // synthetic players (and verify the recording matches this game image).
   std::optional<core::Replay> replay;
   if (!replay_path.empty()) {
     replay = core::Replay::load_file(replay_path);
@@ -73,7 +75,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (replay->content_id() != machine->content_id()) {
-      std::fprintf(stderr, "rtct_play: replay was recorded on a different ROM\n");
+      std::fprintf(stderr, "rtct_play: replay was recorded on a different game image\n");
       return 1;
     }
     frames = static_cast<int>(replay->frames());
@@ -81,20 +83,22 @@ int main(int argc, char** argv) {
   }
 
   core::MasherInput p0(seed), p1(seed ^ 0x9E3779B97F4A7C15ull);
-  std::printf("running '%s' for %d frames (input seed %llu)\n", machine->rom().title.c_str(),
-              frames, static_cast<unsigned long long>(seed));
+  std::printf("running '%s' for %d frames (input seed %llu)\n",
+              machine->content_name().c_str(), frames,
+              static_cast<unsigned long long>(seed));
 
+  const emu::IRenderableGame* screen = machine->renderable();
   for (int f = 0; f < frames; ++f) {
     machine->step_frame(replay ? replay->inputs()[static_cast<std::size_t>(f)]
                                : make_input(p0.input_for_frame(f), p1.input_for_frame(f)));
     if (machine->faulted()) {
-      std::fprintf(stderr, "machine faulted at frame %d: %s\n", f,
-                   emu::fault_name(machine->fault()));
+      std::fprintf(stderr, "machine faulted at frame %d\n", f);
       return 1;
     }
-    if (render_every > 0 && f % render_every == render_every - 1) {
+    if (screen != nullptr && render_every > 0 && f % render_every == render_every - 1) {
       std::printf("\n--- frame %d ---\n%s", f,
-                  emu::render_ascii(machine->framebuffer(), emu::kFbCols, emu::kFbRows)
+                  emu::render_ascii(screen->framebuffer(), screen->fb_cols(),
+                                    screen->fb_rows())
                       .c_str());
     }
   }

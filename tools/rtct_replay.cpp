@@ -35,8 +35,8 @@
 #include "src/core/bisect.h"
 #include "src/core/metrics.h"
 #include "src/core/replay.h"
+#include "src/cores/registry.h"
 #include "src/emu/machine.h"
-#include "src/games/roms.h"
 
 namespace {
 
@@ -64,7 +64,17 @@ std::optional<Replay> load_or_complain(const std::string& path) {
 }
 
 std::unique_ptr<rtct::emu::IDeterministicGame> game_for(const Replay& r) {
-  auto game = rtct::games::make_game_for_content(r.content_id());
+  // Name-first: recordings stamped with their qualified game name
+  // re-instantiate the right core directly. The content id is still the
+  // authority — a name whose image does not match (renamed game, edited
+  // file) falls back to the full registry scan.
+  if (!r.game_name().empty()) {
+    if (auto game = rtct::cores::make_game(r.game_name());
+        game != nullptr && game->content_id() == r.content_id()) {
+      return game;
+    }
+  }
+  auto game = rtct::cores::make_game_for_content(r.content_id());
   if (game == nullptr) {
     std::fprintf(stderr, "rtct_replay: no bundled game with content id %016llx\n",
                  static_cast<unsigned long long>(r.content_id()));
@@ -79,6 +89,8 @@ int cmd_info(const std::string& path) {
   if (!r) return 1;
   std::printf("container   RTCTRPL%d\n", r->container_version());
   std::printf("content_id  %016llx\n", static_cast<unsigned long long>(r->content_id()));
+  std::printf("game        %s\n",
+              r->game_name().empty() ? "(unrecorded)" : r->game_name().c_str());
   std::printf("cfps        %d\n", r->cfps());
   std::printf("buf_frames  %d\n", r->buf_frames());
   std::printf("digest_ver  %d\n", r->digest_version());
@@ -173,7 +185,7 @@ int cmd_bisect(const std::string& path_a, const std::string& path_b) {
   const auto a = load_or_complain(path_a);
   const auto b = load_or_complain(path_b);
   if (!a || !b) return 1;
-  const auto factory = [&a] { return rtct::games::make_game_for_content(a->content_id()); };
+  const auto factory = [&a] { return game_for(*a); };
   return report_and_exit(rtct::core::bisect_replays(*a, *b, factory));
 }
 
@@ -193,7 +205,7 @@ int cmd_bisect_timeline(const std::string& path_a, const std::string& path_t, in
     std::fprintf(stderr, "rtct_replay: %s: not a valid timeline export\n", path_t.c_str());
     return 1;
   }
-  const auto factory = [&a] { return rtct::games::make_game_for_content(a->content_id()); };
+  const auto factory = [&a] { return game_for(*a); };
   return report_and_exit(
       rtct::core::bisect_replay_vs_timeline(*a, *timeline, digest_version, factory));
 }
@@ -214,12 +226,12 @@ constexpr int kFixtureMutPage = 17;
 constexpr int kFixtureMutOffset = 5;  // byte within the page
 
 int cmd_gen_fixture(const std::string& dir) {
-  auto game = rtct::games::make_machine("torture");
+  auto game = rtct::cores::make_game("ac16:torture");
   if (game == nullptr) return 1;
   rtct::core::SyncConfig cfg;
   cfg.digest_v2 = true;
   cfg.replay_keyframe_interval = kFixtureInterval;
-  Replay a(game->content_id(), cfg);
+  Replay a(game->content_id(), cfg, game->content_name());
   rtct::Rng rng(42);
   for (FrameNo f = 0; f < kFixtureFrames; ++f) {
     const auto input = static_cast<rtct::InputWord>(rng.next_u64() & 0xFFFF);
@@ -248,16 +260,14 @@ int cmd_gen_fixture(const std::string& dir) {
   const std::size_t off =
       header + static_cast<std::size_t>(kFixtureMutPage) * rtct::emu::kPageSize + kFixtureMutOffset;
   mut->state[off] ^= 0x01;
-  auto scratch = rtct::games::make_machine("torture");
+  auto scratch = rtct::cores::make_game("ac16:torture");
   if (!scratch->load_state(mut->state)) {
     std::fprintf(stderr, "rtct_replay: forged snapshot failed to load\n");
     return 1;
   }
   mut->digest = scratch->state_digest(a.digest_version());
 
-  const auto factory = [] {
-    return std::unique_ptr<rtct::emu::IDeterministicGame>(rtct::games::make_machine("torture"));
-  };
+  const auto factory = [] { return rtct::cores::make_game("ac16:torture"); };
   const BisectReport rep = rtct::core::bisect_replays(a, b, factory);
   if (rep.verdict != "diverged") {
     std::fprintf(stderr, "rtct_replay: fixture self-check failed (verdict %s)\n",

@@ -3,7 +3,7 @@
 // On the hosting machine:
 //   rtct_netplay --site 0 ... --spectator-port 7500
 // Anywhere else:
-//   rtct_watch --host <host-ip>:7500 --game duel [--frames N]
+//   rtct_watch --host <host-ip>:7500 --game [core:]duel [--frames N]
 //
 // The watcher joins late (snapshot + live input feed), replays the match
 // on its own replica, and renders it as ASCII. The ROM (or bundled game
@@ -20,7 +20,7 @@
 #include "src/emu/machine.h"
 #include "src/emu/render_text.h"
 #include "src/emu/rom_io.h"
-#include "src/games/roms.h"
+#include "src/cores/registry.h"
 #include "src/net/udp_socket.h"
 
 namespace {
@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::unique_ptr<emu::ArcadeMachine> machine;
+  std::unique_ptr<emu::IDeterministicGame> machine;
   if (!rom_file.empty()) {
     auto rom = emu::load_rom_file(rom_file);
     if (!rom) {
@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
     }
     machine = std::make_unique<emu::ArcadeMachine>(*rom);
   } else {
-    machine = games::make_machine(game);
+    machine = cores::make_game(game);
     if (!machine) {
       std::fprintf(stderr, "rtct_watch: unknown game '%s'\n", game.c_str());
       return 1;
@@ -92,7 +92,7 @@ int main(int argc, char** argv) {
   }
 
   core::SpectatorClient client(*machine, core::SyncConfig{});
-  std::printf("watching %s (game '%s')...\n", host.c_str(), machine->rom().title.c_str());
+  std::printf("watching %s (game '%s')...\n", host.c_str(), machine->content_name().c_str());
 
   const Time start = steady_now();
   Time last_progress = start;
@@ -120,11 +120,13 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(val("net.udp.datagrams_received")));
         std::fflush(stdout);
       }
-      if (render_every > 0 && f % render_every == render_every - 1) {
+      const emu::IRenderableGame* screen = machine->renderable();
+      if (screen != nullptr && render_every > 0 && f % render_every == render_every - 1) {
         std::printf("\n--- frame %lld (hash %016llx) ---\n%s",
                     static_cast<long long>(f),
                     static_cast<unsigned long long>(machine->state_hash()),
-                    emu::render_ascii(machine->framebuffer(), emu::kFbCols, emu::kFbRows)
+                    emu::render_ascii(screen->framebuffer(), screen->fb_cols(),
+                                      screen->fb_rows())
                         .c_str());
       }
     }
